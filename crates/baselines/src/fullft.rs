@@ -1,0 +1,85 @@
+//! Direct full fine-tuning — every base parameter trains.
+//!
+//! Not a paper baseline table entry, but required for Fig. 1's middle panel
+//! ("Fine-Tuned LLM"), which contrasts the representation drift of naive
+//! fine-tuning against InfuserKI's locality.
+
+use infuserki_nn::layers::Module;
+use infuserki_nn::optim::{AdamW, AdamWConfig};
+use infuserki_nn::{train_epoch, LmSample, NoHook, Trainable, TransformerLm};
+use infuserki_tensor::{NodeId, Param, Tape};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A fully trainable copy of the base model.
+pub struct FullFineTune {
+    model: TransformerLm,
+}
+
+impl FullFineTune {
+    /// Takes ownership of a model copy to fine-tune.
+    pub fn new(model: TransformerLm) -> Self {
+        FullFineTune { model }
+    }
+
+    /// The fine-tuned model.
+    pub fn model(&self) -> &TransformerLm {
+        &self.model
+    }
+
+    /// Consumes the wrapper, returning the fine-tuned model.
+    pub fn into_model(self) -> TransformerLm {
+        self.model
+    }
+
+    /// Trains on QA samples; returns per-epoch mean losses.
+    pub fn train(
+        &mut self,
+        samples: &[LmSample],
+        epochs: usize,
+        lr: f32,
+        batch: usize,
+        seed: u64,
+    ) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut opt = AdamW::new(AdamWConfig {
+            lr,
+            ..AdamWConfig::default()
+        });
+        (0..epochs)
+            .map(|_| train_epoch(self, samples, batch, &mut opt, &mut rng))
+            .collect()
+    }
+}
+
+impl Trainable for FullFineTune {
+    type Sample = LmSample;
+    fn loss(&self, s: &LmSample, tape: &mut Tape) -> NodeId {
+        self.model.lm_loss(&s.tokens, &s.targets, &NoHook, tape)
+    }
+    fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.model.visit_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infuserki_nn::ModelConfig;
+
+    #[test]
+    fn full_ft_changes_the_model() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let base = TransformerLm::new(ModelConfig::tiny(25), &mut rng);
+        let mut ft = FullFineTune::new(base.clone());
+        let samples = vec![LmSample::from_completion(&[3, 4], &[5]); 4];
+        let losses = ft.train(&samples, 8, 3e-3, 4, 0);
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+        // Fine-tuned logits differ from the frozen base.
+        let mut t1 = Tape::new();
+        let mut t2 = Tape::new();
+        let a = base.forward(&[3, 4], &NoHook, &mut t1);
+        let b = ft.model().forward(&[3, 4], &NoHook, &mut t2);
+        assert_ne!(t1.value(a).data(), t2.value(b).data());
+    }
+}

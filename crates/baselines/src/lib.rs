@@ -1,0 +1,34 @@
+//! # infuserki-baselines
+//!
+//! Every baseline the paper compares InfuserKI against, implemented over the
+//! same frozen base model and [`infuserki_nn::LayerHook`] interface:
+//!
+//! * **PEFT** — [`lora::LoraMethod`], [`qlora`] (4-bit base quantization +
+//!   LoRA), [`prefix::PrefixTuning`];
+//! * **Model editing** — [`calinet::Calinet`] (FFN calibration adapter in one
+//!   top-region layer), [`tpatcher::TPatcher`] (trainable patch neurons on
+//!   the last FFN layer);
+//! * **Full fine-tuning** — [`fullft::FullFineTune`] (for the Fig. 1
+//!   forgetting visualization).
+//!
+//! All hook-based baselines implement [`common::VisitTrainable`] and train
+//! through [`common::train_patched`], the same loop InfuserKI's QA phase
+//! uses — differences in results come from the methods, not the harness.
+
+pub mod calinet;
+pub mod common;
+pub mod fullft;
+pub mod grace;
+pub mod lora;
+pub mod mitigation;
+pub mod prefix;
+pub mod qlora;
+pub mod tpatcher;
+
+pub use calinet::Calinet;
+pub use common::{train_patched, VisitTrainable};
+pub use fullft::FullFineTune;
+pub use lora::LoraMethod;
+pub use prefix::PrefixTuning;
+pub use qlora::quantize_model;
+pub use tpatcher::TPatcher;

@@ -1,0 +1,149 @@
+//! Criterion microbenches: substrate performance plus design-choice
+//! ablations called out in DESIGN.md (adapter cross-layer carry, infuser
+//! gating overhead, quantization throughput).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use infuserki_core::{InfuserKiConfig, InfuserKiMethod};
+use infuserki_kg::{synth_umls, UmlsConfig};
+use infuserki_nn::{ModelConfig, NoHook, TransformerLm};
+use infuserki_tensor::{kernels, Tape};
+use infuserki_text::{McqBuilder, Tokenizer};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let a = infuserki_tensor::init::normal(64, 64, 1.0, &mut rng);
+    let b = infuserki_tensor::init::normal(64, 192, 1.0, &mut rng);
+    c.bench_function("matmul_64x64x192", |bench| {
+        bench.iter(|| kernels::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    c.bench_function("matmul_bt_64x192", |bench| {
+        let bt = b.transposed();
+        bench.iter(|| kernels::matmul_bt(std::hint::black_box(&a), std::hint::black_box(&bt)))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let x = infuserki_tensor::init::normal(48, 48, 1.0, &mut rng);
+    c.bench_function("softmax_rows_48x48", |bench| {
+        bench.iter(|| kernels::softmax_rows(std::hint::black_box(&x)))
+    });
+}
+
+fn small_model() -> TransformerLm {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    TransformerLm::new(
+        ModelConfig {
+            vocab_size: 512,
+            ..ModelConfig::default()
+        },
+        &mut rng,
+    )
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let model = small_model();
+    let tokens: Vec<usize> = (0..40).map(|i| i % 512).collect();
+    c.bench_function("lm_forward_seq40", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            model.forward(std::hint::black_box(&tokens), &NoHook, &mut tape)
+        })
+    });
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let model = small_model();
+    let tokens: Vec<usize> = (0..40).map(|i| i % 512).collect();
+    let targets: Vec<usize> = (0..40).map(|i| (i + 1) % 512).collect();
+    c.bench_function("lm_forward_backward_seq40", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let loss = model.lm_loss(&tokens, &targets, &NoHook, &mut tape);
+            tape.backward(loss);
+            tape.grads()
+        })
+    });
+}
+
+/// Ablation: adapter + infuser overhead on top of the plain forward — the
+/// cost of the method's extra machinery per inference.
+fn bench_adapter_overhead(c: &mut Criterion) {
+    let model = small_model();
+    let method = InfuserKiMethod::new(InfuserKiConfig::for_model(model.n_layers()), &model, 18);
+    let mut no_gate_cfg = InfuserKiConfig::for_model(model.n_layers());
+    no_gate_cfg.ablation.use_infuser = false;
+    let ungated = InfuserKiMethod::new(no_gate_cfg, &model, 18);
+    let tokens: Vec<usize> = (0..40).map(|i| i % 512).collect();
+    c.bench_function("forward_with_infuserki_hook", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            model.forward(std::hint::black_box(&tokens), &method.hook(), &mut tape)
+        })
+    });
+    c.bench_function("forward_with_ungated_adapters", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            model.forward(std::hint::black_box(&tokens), &ungated.hook(), &mut tape)
+        })
+    });
+}
+
+fn bench_kg_queries(c: &mut Criterion) {
+    let store = synth_umls(&UmlsConfig::with_triplets(2500, 3));
+    let rel = store.relation_ids()[0];
+    c.bench_function("kg_tail_pool_2500", |bench| {
+        bench.iter(|| store.tail_pool(std::hint::black_box(rel)))
+    });
+    let head = store.triples()[0].head;
+    c.bench_function("kg_triples_of_head", |bench| {
+        bench.iter(|| store.triples_of_head(std::hint::black_box(head)))
+    });
+}
+
+fn bench_mcq_generation(c: &mut Criterion) {
+    let store = synth_umls(&UmlsConfig::with_triplets(500, 4));
+    let builder = McqBuilder::new(&store);
+    let triple = store.triples()[0];
+    c.bench_function("mcq_build_one", |bench| {
+        bench.iter_batched(
+            || ChaCha8Rng::seed_from_u64(9),
+            |mut rng| builder.build(std::hint::black_box(triple), 0, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let w = infuserki_tensor::init::normal(64, 192, 0.05, &mut rng);
+    c.bench_function("quantize_dequantize_64x192", |bench| {
+        bench.iter_batched(
+            || w.clone(),
+            |mut m| {
+                infuserki_baselines::qlora::quantize_dequantize(m.data_mut(), 64);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let tok = Tokenizer::build(["question : what is the finding site of chronic cardiopathy ? options : (a) x (b) y (c) z (d) w answer :"]);
+    let text = "question : what is the finding site of chronic cardiopathy ? options : (a) x (b) y (c) z (d) w answer :";
+    c.bench_function("tokenizer_encode_prompt", |bench| {
+        bench.iter(|| tok.encode_strict(std::hint::black_box(text)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_matmul, bench_softmax, bench_forward, bench_forward_backward,
+              bench_adapter_overhead, bench_kg_queries, bench_mcq_generation,
+              bench_quantization, bench_tokenizer
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Calibration utility: pre-trains a base model at a given lr/epoch budget
+//! and reports the knowledge-detection known-rate as epochs accumulate —
+//! used to size `WorldConfig` defaults for the CPU budget (not a paper
+//! artifact).
+
+use infuserki_core::detect::detect_unknown;
+use infuserki_eval::world::{build_world, Domain, WorldConfig};
+use infuserki_nn::NoHook;
+
+fn main() {
+    let mut n = 120;
+    let mut lr = 8e-3f32;
+    let mut epochs = 24;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = argv[i].parse().unwrap();
+            }
+            "--lr" => {
+                i += 1;
+                lr = argv[i].parse().unwrap();
+            }
+            "--epochs" => {
+                i += 1;
+                epochs = argv[i].parse().unwrap();
+            }
+            other => panic!("unknown arg {other}"),
+        }
+        i += 1;
+    }
+    let mut cfg = WorldConfig::new(Domain::Umls, n, 42);
+    cfg.pretrain_lr = lr;
+    cfg.pretrain_epochs = epochs;
+    let w = build_world(&cfg);
+
+    // Show a few seen-fact generations for debugging.
+    for &i in w.pretrained_idx.iter().take(5) {
+        let mcq = w.bank.mcq(0, i);
+        let prompt = w
+            .tokenizer
+            .encode_strict(&infuserki_text::format_mcq_prompt(mcq));
+        let generated = infuserki_nn::sampler::greedy_decode(&w.base, &NoHook, &prompt, 6, None);
+        println!(
+            "seen #{i}: gold '{} {}' | generated '{}'",
+            infuserki_text::option_token(mcq.correct),
+            mcq.answer(),
+            w.tokenizer.decode(&generated)
+        );
+    }
+    let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, w.bank.template(0));
+    // Ground-truth comparison: how many *pretrained* facts does the model
+    // actually answer correctly (true known-rate), and how many held-out
+    // facts does it luck into?
+    let seen: std::collections::HashSet<usize> = w.pretrained_idx.iter().copied().collect();
+    let known_set: std::collections::HashSet<usize> = det.known.iter().copied().collect();
+    let seen_correct = w
+        .pretrained_idx
+        .iter()
+        .filter(|i| known_set.contains(i))
+        .count();
+    let unseen_total = w.store.len() - seen.len();
+    let unseen_correct = det.known.len() - seen_correct;
+    println!(
+        "lr {lr} epochs {epochs}: detection {} known / {} unknown | seen acc {:.2} ({} / {}) | unseen acc {:.2} ({} / {})",
+        det.known.len(),
+        det.unknown.len(),
+        seen_correct as f32 / seen.len() as f32,
+        seen_correct,
+        seen.len(),
+        unseen_correct as f32 / unseen_total as f32,
+        unseen_correct,
+        unseen_total,
+    );
+}

@@ -1,0 +1,7 @@
+//! Runs the extension suite: GRACE vs. InfuserKI, classic forgetting
+//! mitigations (EWC/replay/distillation), and 2-hop compositional QA.
+
+fn main() {
+    let args = infuserki_bench::parse_args(std::env::args().skip(1));
+    print!("{}", infuserki_bench::extensions::extensions(args));
+}

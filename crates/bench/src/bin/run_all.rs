@@ -1,0 +1,53 @@
+//! Runs every table and figure in sequence and writes the combined report to
+//! `results/all_experiments.md`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args = infuserki_bench::parse_args(std::env::args().skip(1));
+    let mut combined = String::from("# InfuserKI reproduction — full experiment run\n\n");
+    let started = Instant::now();
+
+    for (name, f) in [
+        ("table1", infuserki_bench::tables::table1 as fn(_) -> _),
+        ("table2", infuserki_bench::tables::table2),
+        ("table3", infuserki_bench::tables::table3),
+        ("table4", infuserki_bench::tables::table4),
+    ] {
+        let t = Instant::now();
+        let report = f(args);
+        let _ = writeln!(combined, "{}", report.render());
+        let _ = writeln!(
+            combined,
+            "_{name} took {:.0}s_\n",
+            t.elapsed().as_secs_f32()
+        );
+        println!("{}", report.render());
+    }
+    for (name, f) in [
+        ("fig1", infuserki_bench::figs::fig1 as fn(_) -> String),
+        ("fig5", infuserki_bench::figs::fig5),
+        ("fig6", infuserki_bench::figs::fig6),
+        ("fig7", infuserki_bench::figs::fig7),
+        ("ext", infuserki_bench::extensions::extensions),
+    ] {
+        let t = Instant::now();
+        let text = f(args);
+        let _ = writeln!(combined, "{text}");
+        let _ = writeln!(
+            combined,
+            "_{name} took {:.0}s_\n",
+            t.elapsed().as_secs_f32()
+        );
+        println!("{text}");
+    }
+    let _ = writeln!(
+        combined,
+        "\n_total wall time: {:.0}s_",
+        started.elapsed().as_secs_f32()
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/all_experiments.md", combined);
+    eprintln!("[run_all] wrote results/all_experiments.md");
+}

@@ -1,0 +1,302 @@
+//! Library entry points for the four figures (shared by the per-figure
+//! binaries and `run_all`).
+
+use std::fmt::Write as _;
+
+use infuserki_baselines::lora::{LoraConfig, LoraMethod};
+use infuserki_baselines::{train_patched, FullFineTune};
+use infuserki_core::{train_infuserki, InfuserKiConfig, InfuserKiMethod};
+use infuserki_eval::mcq_eval::answer_template;
+use infuserki_eval::probes::{fig1_layer, gate_profile, hidden_states_for, option_probs};
+use infuserki_eval::projection::tsne;
+use infuserki_eval::world::{Domain, WorldConfig};
+use infuserki_eval::{evaluate_method, metrics::McqOutcome};
+use infuserki_nn::NoHook;
+
+use crate::cli::Args;
+use crate::runner::{placement_rows, prepare, Prepared};
+
+fn save_text(stem: &str, text: &str) {
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write(format!("results/{stem}.txt"), text);
+}
+
+fn train_default_infuserki(p: &Prepared) -> InfuserKiMethod {
+    let cfg = InfuserKiConfig::for_model(p.world.base.n_layers());
+    let mut method = InfuserKiMethod::new(cfg, &p.world.base, p.world.store.n_relations());
+    train_infuserki(
+        &p.world.base,
+        &mut method,
+        &p.data,
+        &infuserki_core::TrainConfig::default(),
+    );
+    method
+}
+
+fn train_lora(p: &Prepared) -> LoraMethod {
+    let tc = infuserki_core::TrainConfig::default();
+    let mut lora = LoraMethod::new(LoraConfig::default(), &p.world.base);
+    train_patched(
+        &p.world.base,
+        &mut lora,
+        &p.data.qa,
+        tc.epochs_qa,
+        tc.lr,
+        tc.batch,
+        tc.seed,
+    );
+    lora
+}
+
+/// Fig. 1 — t-SNE of mid-depth representations for vanilla, fully
+/// fine-tuned, and InfuserKI models; plus the representation-drift metric
+/// that quantifies the figure's visual claim.
+pub fn fig1(args: Args) -> String {
+    let n = args.scale.pick(120, 300, 600);
+    let p = prepare(&WorldConfig::new(Domain::Umls, n, args.seed));
+    let layer = fig1_layer(p.world.base.n_layers());
+
+    eprintln!("[fig1] training InfuserKI…");
+    let method = train_default_infuserki(&p);
+    eprintln!("[fig1] training full fine-tune…");
+    let mut ft = FullFineTune::new(p.world.base.clone());
+    let tc = infuserki_core::TrainConfig::default();
+    ft.train(&p.data.qa, tc.epochs_qa, tc.lr, tc.batch, tc.seed);
+
+    // Balanced probe set.
+    let take = 60.min(p.known.len()).min(p.unknown.len());
+    let mut indices: Vec<usize> = p.known.iter().take(take).copied().collect();
+    indices.extend(p.unknown.iter().take(take));
+    let labels: Vec<bool> = (0..indices.len()).map(|i| i < take).collect();
+
+    let w = &p.world;
+    let vanilla = hidden_states_for(&w.base, &NoHook, &w.tokenizer, &w.bank, &indices, layer);
+    let tuned = hidden_states_for(ft.model(), &NoHook, &w.tokenizer, &w.bank, &indices, layer);
+    let infused = hidden_states_for(
+        &w.base,
+        &method.hook(),
+        &w.tokenizer,
+        &w.bank,
+        &indices,
+        layer,
+    );
+
+    // Drift of *known*-sample representations away from the vanilla model —
+    // the quantitative core of the figure: fine-tuning displaces them,
+    // InfuserKI barely moves them.
+    let drift = |states: &[Vec<f32>]| {
+        let mut total = 0.0f32;
+        let mut count = 0;
+        for (i, s) in states.iter().enumerate() {
+            if labels[i] {
+                total += l2(s, &vanilla[i]);
+                count += 1;
+            }
+        }
+        total / count.max(1) as f32
+    };
+    let drift_ft = drift(&tuned);
+    let drift_ik = drift(&infused);
+
+    let mut csv = String::from("panel,index,known,x,y\n");
+    let mut silhouettes = Vec::new();
+    for (panel, states) in [
+        ("vanilla", &vanilla),
+        ("finetuned", &tuned),
+        ("infuserki", &infused),
+    ] {
+        let proj = tsne(states, 20.0, 300, args.seed);
+        silhouettes.push((
+            panel,
+            infuserki_eval::statistics::silhouette_2d(&proj, &labels),
+        ));
+        for (i, (x, y)) in proj.iter().enumerate() {
+            let _ = writeln!(csv, "{panel},{i},{},{x},{y}", labels[i]);
+        }
+    }
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/fig1.csv", &csv);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Fig. 1 — layer-{} representation drift (t-SNE coords in results/fig1.csv)",
+        layer + 1
+    );
+    let _ = writeln!(
+        out,
+        "mean L2 drift of known-sample representations vs. vanilla:"
+    );
+    let _ = writeln!(out, "  fine-tuned : {drift_ft:.4}");
+    let _ = writeln!(out, "  InfuserKI  : {drift_ik:.4}");
+    let _ = writeln!(
+        out,
+        "shape check (paper: fine-tuning scrambles known representations, InfuserKI preserves them): {}",
+        if drift_ft > drift_ik { "HOLDS" } else { "INVERTED" }
+    );
+    let _ = writeln!(out, "known/unknown silhouette of each t-SNE panel:");
+    for (panel, s) in silhouettes {
+        let _ = writeln!(out, "  {panel:<10} {s:.3}");
+    }
+    save_text("fig1", &out);
+    out
+}
+
+fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Fig. 5 — adapter-position sweep: bottom/middle/top FFN thirds, attention
+/// layers, and the full FFN range.
+pub fn fig5(args: Args) -> String {
+    let n = args.scale.pick(120, 300, 2500);
+    let p = prepare(&WorldConfig::new(Domain::Umls, n, args.seed));
+    let n_layers = p.world.base.n_layers();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 5 — impact of adapter positions (paper layer ranges mapped to {n_layers}-layer model)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>5} {:>9}",
+        "Placement", "NR", "RR", "F1_Unseen"
+    );
+    for (name, placement) in placement_rows(n_layers) {
+        eprintln!("[fig5] running placement {name}…");
+        let mut cfg = InfuserKiConfig::for_model(n_layers);
+        cfg.placement = placement;
+        let mut method = InfuserKiMethod::new(cfg, &p.world.base, p.world.store.n_relations());
+        train_infuserki(
+            &p.world.base,
+            &mut method,
+            &p.data,
+            &infuserki_core::TrainConfig::default(),
+        );
+        let eval = evaluate_method(
+            &p.world.base,
+            &method.hook(),
+            &p.world.tokenizer,
+            &p.world.bank,
+            &p.known,
+            &p.unknown,
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5.2} {:>5.2} {:>9.2}",
+            name, eval.nr, eval.rr, eval.f1_unseen
+        );
+    }
+    save_text("fig5", &out);
+    out
+}
+
+/// Fig. 6 — infusing scores per layer for known vs. unknown samples.
+pub fn fig6(args: Args) -> String {
+    let n = args.scale.pick(120, 300, 2500);
+    let p = prepare(&WorldConfig::new(Domain::Umls, n, args.seed));
+    let method = train_default_infuserki(&p);
+
+    let cap = 80;
+    let known: Vec<usize> = p.known.iter().take(cap).copied().collect();
+    let unknown: Vec<usize> = p.unknown.iter().take(cap).copied().collect();
+    let w = &p.world;
+    let prof_known = gate_profile(&w.base, &method, &w.tokenizer, &w.bank, &known);
+    let prof_unknown = gate_profile(&w.base, &method, &w.tokenizer, &w.bank, &unknown);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Fig. 6 — infusing scores r^l, known vs. unknown samples"
+    );
+    let _ = writeln!(out, "{:<7} {:>10} {:>10}", "layer", "known", "unknown");
+    let mut mean_known = 0.0;
+    let mut mean_unknown = 0.0;
+    let mut csv = String::from("layer,known,unknown\n");
+    for (i, &(layer, k)) in prof_known.iter().enumerate() {
+        let u = prof_unknown[i].1;
+        let _ = writeln!(out, "{:<7} {:>10.3} {:>10.3}", layer + 1, k, u);
+        let _ = writeln!(csv, "{},{k},{u}", layer + 1);
+        mean_known += k;
+        mean_unknown += u;
+    }
+    let nl = prof_known.len().max(1) as f32;
+    mean_known /= nl;
+    mean_unknown /= nl;
+    let _ = writeln!(
+        out,
+        "mean: known {mean_known:.3}, unknown {mean_unknown:.3} — shape check (paper: scores lower on known samples): {}",
+        if mean_unknown > mean_known { "HOLDS" } else { "INVERTED" }
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/fig6.csv", csv);
+    save_text("fig6", &out);
+    out
+}
+
+/// Fig. 7 — case study: option probability distributions for the base model,
+/// LoRA, and InfuserKI on (a) an injected fact and (b) a retained fact LoRA
+/// forgets.
+pub fn fig7(args: Args) -> String {
+    let n = args.scale.pick(120, 300, 2500);
+    let p = prepare(&WorldConfig::new(Domain::Umls, n, args.seed));
+    let method = train_default_infuserki(&p);
+    let lora = train_lora(&p);
+    let w = &p.world;
+
+    let base_outs = answer_template(&w.base, &NoHook, &w.tokenizer, &w.bank, 0);
+    let lora_outs = answer_template(&w.base, &lora, &w.tokenizer, &w.bank, 0);
+    let ik_outs = answer_template(&w.base, &method.hook(), &w.tokenizer, &w.bank, 0);
+    let ok = |outs: &[McqOutcome], i: usize| outs[i].correct();
+
+    // Case (a): initially unknown, now answered correctly by LoRA and InfuserKI.
+    let case_a = p
+        .unknown
+        .iter()
+        .copied()
+        .find(|&i| ok(&lora_outs, i) && ok(&ik_outs, i))
+        .or_else(|| p.unknown.iter().copied().find(|&i| ok(&ik_outs, i)))
+        .unwrap_or(*p.unknown.first().unwrap_or(&0));
+    // Case (b): initially known; LoRA forgets, InfuserKI remembers.
+    let case_b = p
+        .known
+        .iter()
+        .copied()
+        .find(|&i| ok(&base_outs, i) && !ok(&lora_outs, i) && ok(&ik_outs, i))
+        .or_else(|| {
+            p.known
+                .iter()
+                .copied()
+                .find(|&i| ok(&base_outs, i) && !ok(&lora_outs, i))
+        })
+        .unwrap_or(*p.known.first().unwrap_or(&0));
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 7 — case study (option probabilities)");
+    for (label, idx) in [("(a) injected fact", case_a), ("(b) retained fact", case_b)] {
+        let mcq = w.bank.mcq(0, idx);
+        let _ = writeln!(out, "\n{label}: {}", mcq.question);
+        for (i, opt) in mcq.options.iter().enumerate() {
+            let star = if i == mcq.correct { "*" } else { " " };
+            let _ = writeln!(out, "  {star}({}) {opt}", (b'a' + i as u8) as char);
+        }
+        for (name, probs) in [
+            ("Vanilla", option_probs(&w.base, &NoHook, &w.tokenizer, mcq)),
+            ("LoRA", option_probs(&w.base, &lora, &w.tokenizer, mcq)),
+            (
+                "InfuserKI",
+                option_probs(&w.base, &method.hook(), &w.tokenizer, mcq),
+            ),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {name:<10} a {:.3}  b {:.3}  c {:.3}  d {:.3}",
+                probs[0], probs[1], probs[2], probs[3]
+            );
+        }
+    }
+    save_text("fig7", &out);
+    out
+}

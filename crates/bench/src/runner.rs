@@ -1,0 +1,484 @@
+//! The shared experiment runner: world → detection → per-method integration
+//! → NR/RR/F1/downstream, producing a paper-style table.
+
+use std::time::Instant;
+
+use infuserki_baselines::calinet::{Calinet, CalinetConfig};
+use infuserki_baselines::lora::{LoraConfig, LoraMethod};
+use infuserki_baselines::prefix::{PrefixConfig, PrefixTuning};
+use infuserki_baselines::qlora::{quantize_model, QuantConfig};
+use infuserki_baselines::tpatcher::{TPatcher, TPatcherConfig};
+use infuserki_baselines::{train_patched, VisitTrainable};
+use infuserki_core::dataset::{qa_sample, KiDataset};
+use infuserki_core::detect::detect_unknown;
+use infuserki_core::{train_infuserki, InfuserKiConfig, InfuserKiMethod, Placement, TrainConfig};
+use infuserki_eval::downstream::{
+    build_one_hop_items, build_yesno_items, eval_one_hop, eval_yesno, sample_downstream_triples,
+};
+use infuserki_eval::world::{build_world, Domain, World, WorldConfig};
+use infuserki_eval::{evaluate_method, MethodEval};
+use infuserki_nn::{LayerHook, LmSample, NoHook, TransformerLm};
+use infuserki_text::templates::SEEN_TEMPLATES;
+use serde::{Deserialize, Serialize};
+
+/// A method to run in an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodKind {
+    /// The unmodified base model (first row of every table).
+    Vanilla,
+    /// CALINET (model editing, single top-region FFN adapter).
+    Calinet,
+    /// T-Patcher (model editing, last-FFN patch neurons).
+    TPatcher,
+    /// Prefix tuning.
+    PrefixTuning,
+    /// LoRA on attention q/v.
+    Lora,
+    /// 4-bit quantized base + LoRA.
+    QLora,
+    /// InfuserKI with the given config (paper-default via
+    /// [`ExperimentConfig::infuserki_default`]).
+    InfuserKi(InfuserKiConfig),
+}
+
+impl MethodKind {
+    /// Display name matching the paper's rows.
+    pub fn name(&self) -> String {
+        match self {
+            MethodKind::Vanilla => "Vanilla".into(),
+            MethodKind::Calinet => "CALINET".into(),
+            MethodKind::TPatcher => "T-Patcher".into(),
+            MethodKind::PrefixTuning => "Prefix Tuning".into(),
+            MethodKind::Lora => "LoRA".into(),
+            MethodKind::QLora => "QLoRA".into(),
+            MethodKind::InfuserKi(cfg) => {
+                let a = cfg.ablation;
+                if !a.use_infuser {
+                    "InfuserKI-w/o-Ro".into()
+                } else if !a.infuser_pretrain {
+                    "InfuserKI-w/o-RL".into()
+                } else if !a.use_rc {
+                    "InfuserKI-w/o-RC".into()
+                } else {
+                    "InfuserKI (Ours)".into()
+                }
+            }
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// World (KG + base model) configuration.
+    pub world: WorldConfig,
+    /// Methods to run, in row order.
+    pub methods: Vec<MethodKind>,
+    /// Training schedule shared by every method.
+    pub train: TrainConfig,
+    /// Number of downstream evaluation items.
+    pub downstream_n: usize,
+}
+
+impl ExperimentConfig {
+    /// The standard 7-row comparison (Tables 1–3) for a world.
+    pub fn standard(world: WorldConfig) -> Self {
+        let ik = InfuserKiConfig::for_model(world.n_layers);
+        ExperimentConfig {
+            world,
+            methods: vec![
+                MethodKind::Vanilla,
+                MethodKind::Calinet,
+                MethodKind::TPatcher,
+                MethodKind::PrefixTuning,
+                MethodKind::Lora,
+                MethodKind::QLora,
+                MethodKind::InfuserKi(ik),
+            ],
+            train: TrainConfig::default(),
+            downstream_n: 150,
+        }
+    }
+
+    /// Paper-default InfuserKI config for this experiment's model depth.
+    pub fn infuserki_default(&self) -> InfuserKiConfig {
+        InfuserKiConfig::for_model(self.world.n_layers)
+    }
+}
+
+/// One method's results (a table row plus bookkeeping).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Row name.
+    pub name: String,
+    /// NR/RR/F1 metrics.
+    pub eval: MethodEval,
+    /// Downstream-task F1 (PubMedQA-sim or 1-hop QA).
+    pub downstream: f32,
+    /// Wall-clock training seconds.
+    pub train_secs: f32,
+    /// Trainable parameters introduced by the method.
+    pub extra_params: usize,
+}
+
+/// A full experiment's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment title (e.g. "Table 1 — UMLS 2.5k-scale").
+    pub title: String,
+    /// KG triplet count actually used.
+    pub n_triplets: usize,
+    /// Detection split sizes: (known, unknown).
+    pub detection: (usize, usize),
+    /// One row per method.
+    pub rows: Vec<MethodResult>,
+}
+
+impl ExperimentReport {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## {} ({} triplets; detection: {} known / {} unknown)\n\n",
+            self.title, self.n_triplets, self.detection.0, self.detection.1
+        ));
+        out.push_str(&format!(
+            "{:<16} {:>5} {:>5}  {:>5} {:>5}  {:>5} {:>5} {:>5}  {:>9} {:>10}\n",
+            "Method",
+            "NR",
+            "RR",
+            "F1_T1",
+            "F1_T2",
+            "F1_T3",
+            "F1_T4",
+            "F1_T5",
+            "F1_Unseen",
+            "Downstream"
+        ));
+        let fmt = |v: f32| {
+            if v.is_nan() {
+                "    -".to_string()
+            } else {
+                format!("{v:5.2}")
+            }
+        };
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {} {}  {} {}  {} {} {}  {:>9} {:>10}\n",
+                r.name,
+                fmt(r.eval.nr),
+                fmt(r.eval.rr),
+                fmt(r.eval.f1_templates[0]),
+                fmt(r.eval.f1_templates[1]),
+                fmt(r.eval.f1_templates[2]),
+                fmt(r.eval.f1_templates[3]),
+                fmt(r.eval.f1_templates[4]),
+                fmt(r.eval.f1_unseen),
+                fmt(r.downstream),
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluates one (model, hook) against the bank and downstream task.
+fn full_eval(
+    world: &World,
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    known: &[usize],
+    unknown: &[usize],
+    downstream_n: usize,
+) -> (MethodEval, f32) {
+    let eval = evaluate_method(model, hook, &world.tokenizer, &world.bank, known, unknown);
+    let triples = sample_downstream_triples(&world.store, downstream_n, world.config.seed ^ 0xd0);
+    let downstream = match world.config.domain {
+        Domain::Umls => {
+            let items = build_yesno_items(&world.store, &triples, world.config.seed ^ 0xd1);
+            eval_yesno(model, hook, &world.tokenizer, &items)
+        }
+        Domain::MetaQa => {
+            let items = build_one_hop_items(&world.store, &triples);
+            eval_one_hop(model, hook, &world.tokenizer, &items)
+        }
+    };
+    (eval, downstream)
+}
+
+/// Unknown-only QA samples (seen templates) — the model-editing methods'
+/// natural training set (they edit wrong facts).
+fn unknown_only_samples(world: &World, unknown: &[usize]) -> Vec<LmSample> {
+    let mut out = Vec::with_capacity(unknown.len() * SEEN_TEMPLATES.len());
+    for &i in unknown {
+        for &tpl in &SEEN_TEMPLATES {
+            out.push(qa_sample(world.bank.mcq(tpl, i), &world.tokenizer));
+        }
+    }
+    out
+}
+
+/// A prepared experiment: world built, detection done, datasets ready.
+/// Figure binaries reuse this to train several methods against one world.
+pub struct Prepared {
+    /// The built world.
+    pub world: World,
+    /// Detection: initially known triple indices (N1+N2).
+    pub known: Vec<usize>,
+    /// Detection: initially unknown triple indices (N3+N4).
+    pub unknown: Vec<usize>,
+    /// InfuserKI three-phase dataset (QA includes the known mix).
+    pub data: KiDataset,
+}
+
+/// Builds the world and runs knowledge detection once.
+pub fn prepare(world_cfg: &WorldConfig) -> Prepared {
+    eprintln!("[exp] building world ({} triplets)…", world_cfg.n_triplets);
+    let world = build_world(world_cfg);
+    eprintln!("[exp] detecting unknown knowledge…");
+    let detection = detect_unknown(
+        &world.base,
+        &NoHook,
+        &world.tokenizer,
+        world.bank.template(0),
+    );
+    let known = detection.known;
+    let unknown = detection.unknown;
+    eprintln!(
+        "[exp] detection: {} known / {} unknown",
+        known.len(),
+        unknown.len()
+    );
+    let data = KiDataset::build(
+        &world.store,
+        &world.bank,
+        &world.tokenizer,
+        &known,
+        &unknown,
+        world_cfg.seed ^ 0xda7a,
+    );
+    Prepared {
+        world,
+        known,
+        unknown,
+        data,
+    }
+}
+
+/// Runs a full experiment: build world, detect, integrate per method,
+/// evaluate every row.
+pub fn run_experiment(title: &str, cfg: &ExperimentConfig) -> ExperimentReport {
+    eprintln!("[exp] {title}");
+    let Prepared {
+        world,
+        known,
+        unknown,
+        data,
+    } = prepare(&cfg.world);
+    let me_samples = unknown_only_samples(&world, &unknown);
+    let tc = &cfg.train;
+    let epochs = tc.epochs_qa;
+
+    let mut rows = Vec::new();
+    for kind in &cfg.methods {
+        let name = kind.name();
+        eprintln!("[exp] running {name}…");
+        let started = Instant::now();
+        let (eval, downstream, extra) = match kind {
+            MethodKind::Vanilla => {
+                let (e, d) = full_eval(
+                    &world,
+                    &world.base,
+                    &NoHook,
+                    &known,
+                    &unknown,
+                    cfg.downstream_n,
+                );
+                (e, d, 0)
+            }
+            MethodKind::Calinet => {
+                let mut m =
+                    Calinet::new(CalinetConfig::for_model(world.base.n_layers()), &world.base);
+                let losses = train_patched(
+                    &world.base,
+                    &mut m,
+                    &me_samples,
+                    epochs,
+                    tc.lr,
+                    tc.batch,
+                    tc.seed,
+                );
+                eprintln!("[exp]   losses {losses:.3?}");
+                let extra = m.trainable_params();
+                let (e, d) = full_eval(&world, &world.base, &m, &known, &unknown, cfg.downstream_n);
+                (e, d, extra)
+            }
+            MethodKind::TPatcher => {
+                let mut m = TPatcher::new(TPatcherConfig::default(), &world.base);
+                let losses = train_patched(
+                    &world.base,
+                    &mut m,
+                    &me_samples,
+                    epochs,
+                    tc.lr,
+                    tc.batch,
+                    tc.seed,
+                );
+                eprintln!("[exp]   losses {losses:.3?}");
+                let extra = m.trainable_params();
+                let (e, d) = full_eval(&world, &world.base, &m, &known, &unknown, cfg.downstream_n);
+                (e, d, extra)
+            }
+            MethodKind::PrefixTuning => {
+                let mut m = PrefixTuning::new(PrefixConfig::default(), &world.base);
+                let losses = train_patched(
+                    &world.base,
+                    &mut m,
+                    &data.qa,
+                    epochs,
+                    tc.lr,
+                    tc.batch,
+                    tc.seed,
+                );
+                eprintln!("[exp]   losses {losses:.3?}");
+                let extra = m.trainable_params();
+                let (e, d) = full_eval(&world, &world.base, &m, &known, &unknown, cfg.downstream_n);
+                (e, d, extra)
+            }
+            MethodKind::Lora => {
+                let mut m = LoraMethod::new(LoraConfig::default(), &world.base);
+                let losses = train_patched(
+                    &world.base,
+                    &mut m,
+                    &data.qa,
+                    epochs,
+                    tc.lr,
+                    tc.batch,
+                    tc.seed,
+                );
+                eprintln!("[exp]   losses {losses:.3?}");
+                let extra = m.trainable_params();
+                let (e, d) = full_eval(&world, &world.base, &m, &known, &unknown, cfg.downstream_n);
+                (e, d, extra)
+            }
+            MethodKind::QLora => {
+                let mut qbase = world.base.clone();
+                quantize_model(&mut qbase, QuantConfig::default());
+                let mut m = LoraMethod::new(LoraConfig::default(), &qbase);
+                let losses =
+                    train_patched(&qbase, &mut m, &data.qa, epochs, tc.lr, tc.batch, tc.seed);
+                eprintln!("[exp]   losses {losses:.3?}");
+                let extra = m.trainable_params();
+                let (e, d) = full_eval(&world, &qbase, &m, &known, &unknown, cfg.downstream_n);
+                (e, d, extra)
+            }
+            MethodKind::InfuserKi(ik_cfg) => {
+                let mut m =
+                    InfuserKiMethod::new(ik_cfg.clone(), &world.base, world.store.n_relations());
+                let rep = train_infuserki(&world.base, &mut m, &data, tc);
+                eprintln!(
+                    "[exp]   infuser {:.3?} qa {:.3?} rc {:.3?}",
+                    rep.infuser_losses, rep.qa_losses, rep.rc_losses
+                );
+                let extra = m.extra_params();
+                let (e, d) = full_eval(&world, &world.base, &m, &known, &unknown, cfg.downstream_n);
+                (e, d, extra)
+            }
+        };
+        let train_secs = started.elapsed().as_secs_f32();
+        eprintln!(
+            "[exp] {name}: NR {:.2} RR {:.2} ({train_secs:.0}s)",
+            eval.nr, eval.rr
+        );
+        rows.push(MethodResult {
+            name,
+            eval,
+            downstream,
+            train_secs,
+            extra_params: extra,
+        });
+    }
+
+    ExperimentReport {
+        title: title.to_string(),
+        n_triplets: world.store.len(),
+        detection: (known.len(), unknown.len()),
+        rows,
+    }
+}
+
+/// Position-sweep helper (Fig. 5): InfuserKI rows for each placement.
+pub fn placement_rows(n_layers: usize) -> Vec<(String, Placement)> {
+    vec![
+        ("FFN bottom".into(), Placement::bottom(n_layers)),
+        ("FFN middle".into(), Placement::middle(n_layers)),
+        ("FFN top".into(), Placement::top(n_layers)),
+        ("Attention".into(), Placement::attention(n_layers)),
+        ("FFN full".into(), Placement::main(n_layers)),
+    ]
+}
+
+/// Writes a report's rendered table and JSON to `results/`.
+pub fn save_report(report: &ExperimentReport, stem: &str) {
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("{stem}.txt")), report.render());
+    if let Ok(json) = serde_json::to_string_pretty(report) {
+        let _ = std::fs::write(dir.join(format!("{stem}.json")), json);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_names_match_paper_rows() {
+        assert_eq!(MethodKind::Vanilla.name(), "Vanilla");
+        assert_eq!(MethodKind::QLora.name(), "QLoRA");
+        let mut cfg = InfuserKiConfig::for_model(12);
+        assert_eq!(
+            MethodKind::InfuserKi(cfg.clone()).name(),
+            "InfuserKI (Ours)"
+        );
+        cfg.ablation.use_rc = false;
+        assert_eq!(
+            MethodKind::InfuserKi(cfg.clone()).name(),
+            "InfuserKI-w/o-RC"
+        );
+        cfg.ablation.use_rc = true;
+        cfg.ablation.use_infuser = false;
+        assert_eq!(MethodKind::InfuserKi(cfg).name(), "InfuserKI-w/o-Ro");
+    }
+
+    #[test]
+    fn placement_rows_cover_five_configs() {
+        let rows = placement_rows(12);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().any(|(n, _)| n == "Attention"));
+    }
+
+    #[test]
+    fn report_renders_header_and_rows() {
+        let report = ExperimentReport {
+            title: "t".into(),
+            n_triplets: 10,
+            detection: (4, 6),
+            rows: vec![MethodResult {
+                name: "Vanilla".into(),
+                eval: MethodEval {
+                    nr: f32::NAN,
+                    rr: f32::NAN,
+                    f1_templates: [0.4; 5],
+                    f1_unseen: 0.4,
+                },
+                downstream: 0.38,
+                train_secs: 0.0,
+                extra_params: 0,
+            }],
+        };
+        let text = report.render();
+        assert!(text.contains("F1_Unseen"));
+        assert!(text.contains("Vanilla"));
+        assert!(text.contains("4 known / 6 unknown"));
+    }
+}

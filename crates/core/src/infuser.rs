@@ -1,0 +1,124 @@
+//! The knowledge Infuser (Eq. 4–5).
+//!
+//! A small MLP over the mean-pooled FFN-sublayer input `Mean(H_P^l)` produces
+//! a pre-sigmoid logit; `r^l = σ(logit)` is the infusing score that scales the
+//! adapter contribution. Following Azaria & Mitchell (2023), the transformer's
+//! internal state at layer `l` carries enough signal to tell whether the model
+//! "knows" the current question — the infuser reads exactly that state.
+
+use infuserki_nn::layers::{Linear, Module};
+use infuserki_tensor::{NodeId, Param, Tape};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer infuser MLP: `d → hidden → 1` with tanh hidden activation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InfuserMlp {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl InfuserMlp {
+    /// New infuser for `layer`.
+    pub fn new(layer: usize, d_model: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        InfuserMlp {
+            l1: Linear::new(
+                &format!("infuser{layer}.l1"),
+                d_model,
+                hidden,
+                0.1,
+                true,
+                rng,
+            ),
+            l2: Linear::new(&format!("infuser{layer}.l2"), hidden, 1, 0.1, true, rng),
+        }
+    }
+
+    /// Pre-sigmoid logit for a pooled state `x: [1, d]`.
+    pub fn logit(&self, x: NodeId, tape: &mut Tape) -> NodeId {
+        let h = self.l1.forward(x, tape);
+        let a = tape.tanh(h);
+        self.l2.forward(a, tape)
+    }
+
+    /// Infusing score `r = σ(logit)` ∈ [0, 1] (Eq. 4).
+    pub fn score(&self, x: NodeId, tape: &mut Tape) -> NodeId {
+        let z = self.logit(x, tape);
+        tape.sigmoid(z)
+    }
+}
+
+impl Module for InfuserMlp {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.l1.visit(f);
+        self.l2.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.l1.visit_mut(f);
+        self.l2.visit_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infuserki_tensor::Matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn score_in_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let inf = InfuserMlp::new(0, 8, 4, &mut rng);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::full(1, 8, 2.0));
+        let s = inf.score(x, &mut t);
+        let v = t.value(s).scalar_value();
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn logit_shape_is_scalar() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inf = InfuserMlp::new(0, 6, 3, &mut rng);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(1, 6));
+        let z = inf.logit(x, &mut t);
+        assert_eq!(t.value(z).shape(), (1, 1));
+    }
+
+    #[test]
+    fn infuser_is_trainable_on_separation_task() {
+        // Two pooled states; train BCE to separate them.
+        use infuserki_nn::optim::{AdamW, AdamWConfig};
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut inf = InfuserMlp::new(0, 4, 8, &mut rng);
+        let pos = Matrix::from_vec(1, 4, vec![1.0, 0.5, -0.5, 1.0]);
+        let neg = Matrix::from_vec(1, 4, vec![-1.0, -0.5, 0.5, -1.0]);
+        let mut opt = AdamW::new(AdamWConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            ..AdamWConfig::default()
+        });
+        for _ in 0..100 {
+            let mut t = Tape::new();
+            let xp = t.leaf(pos.clone());
+            let xn = t.leaf(neg.clone());
+            let zp = inf.logit(xp, &mut t);
+            let zn = inf.logit(xn, &mut t);
+            let z = t.concat_rows(zp, zn);
+            let loss = t.bce_with_logits(z, &[1.0, 0.0]);
+            t.backward(loss);
+            let grads = t.grads();
+            opt.step(&grads, |f| inf.visit_mut(f));
+        }
+        let mut t = Tape::new();
+        let xp = t.leaf(pos);
+        let xn = t.leaf(neg);
+        let sp = inf.score(xp, &mut t);
+        let sn = inf.score(xn, &mut t);
+        assert!(t.value(sp).scalar_value() > 0.85);
+        assert!(t.value(sn).scalar_value() < 0.15);
+    }
+}

@@ -1,0 +1,267 @@
+//! The three-phase InfuserKI training loop (Eq. 7, Algorithm 1).
+//!
+//! Phase 1 tunes the infuser gates with BCE on a balanced known/unknown mix;
+//! phase 2 fine-tunes the adapters with the QA loss on seen templates;
+//! phase 3 trains adapters + RC head with statement NTL + λ_RC·InfoNCE.
+//! The base model is frozen throughout — only the method's parameters are
+//! visited by the optimizer.
+
+use infuserki_nn::optim::{AdamW, AdamWConfig};
+use infuserki_nn::{train_epoch, LmSample, Trainable, TransformerLm};
+use infuserki_tensor::{NodeId, Param, Tape};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::TrainConfig;
+use crate::dataset::{InfuserSample, KiDataset, RcSample};
+use crate::method::InfuserKiMethod;
+
+/// Per-phase mean losses recorded during training.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Mean infuser BCE per epoch (phase 1).
+    pub infuser_losses: Vec<f32>,
+    /// Mean QA loss per epoch (phase 2).
+    pub qa_losses: Vec<f32>,
+    /// Mean RC-phase loss per epoch (phase 3).
+    pub rc_losses: Vec<f32>,
+    /// Extra trainable parameters introduced by the method.
+    pub extra_params: usize,
+}
+
+struct InfuserPhase<'a> {
+    base: &'a TransformerLm,
+    method: &'a mut InfuserKiMethod,
+}
+
+impl Trainable for InfuserPhase<'_> {
+    type Sample = InfuserSample;
+    fn loss(&self, s: &InfuserSample, tape: &mut Tape) -> NodeId {
+        self.method.infuser_loss(self.base, s, tape)
+    }
+    fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.method.visit_infusers_mut(f);
+    }
+}
+
+struct QaPhase<'a> {
+    base: &'a TransformerLm,
+    method: &'a mut InfuserKiMethod,
+    train_infuser_too: bool,
+}
+
+impl Trainable for QaPhase<'_> {
+    type Sample = LmSample;
+    fn loss(&self, s: &LmSample, tape: &mut Tape) -> NodeId {
+        self.base
+            .lm_loss(&s.tokens, &s.targets, &self.method.hook(), tape)
+    }
+    fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.method.visit_adapters_mut(f);
+        if self.train_infuser_too {
+            self.method.visit_infusers_mut(f);
+        }
+    }
+}
+
+struct RcPhase<'a> {
+    base: &'a TransformerLm,
+    method: &'a mut InfuserKiMethod,
+}
+
+impl Trainable for RcPhase<'_> {
+    type Sample = RcSample;
+    fn loss(&self, s: &RcSample, tape: &mut Tape) -> NodeId {
+        self.method.rc_loss(self.base, s, tape)
+    }
+    fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.method.visit_adapters_mut(f);
+        if self.method.config().ablation.use_rc {
+            self.method.visit_rc_mut(f);
+        }
+    }
+}
+
+/// Runs the full three-phase schedule, honoring the method's ablation flags:
+/// * `use_infuser == false` (w/o-Ro) — phase 1 is skipped (no gates exist);
+/// * `infuser_pretrain == false` (w/o-RL) — phase 1 is skipped and the
+///   infuser instead trains end-to-end with the QA loss;
+/// * `use_rc == false` (w/o-RC) — phase 3 keeps the statement NTL but drops
+///   the InfoNCE term.
+pub fn train_infuserki(
+    base: &TransformerLm,
+    method: &mut InfuserKiMethod,
+    data: &KiDataset,
+    tc: &TrainConfig,
+) -> TrainingReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(tc.seed);
+    let mut report = TrainingReport {
+        extra_params: method.extra_params(),
+        ..TrainingReport::default()
+    };
+    let opt_cfg = AdamWConfig {
+        lr: tc.lr,
+        ..AdamWConfig::default()
+    };
+
+    let ablation = method.config().ablation;
+
+    // Phase 1: infuser tuning (Eq. 5).
+    if ablation.use_infuser && ablation.infuser_pretrain && !data.infuser.is_empty() {
+        let mut opt = AdamW::new(AdamWConfig {
+            lr: tc.lr_infuser,
+            ..opt_cfg
+        });
+        let mut phase = InfuserPhase { base, method };
+        for _ in 0..tc.epochs_infuser {
+            let loss = train_epoch(&mut phase, &data.infuser, tc.batch, &mut opt, &mut rng);
+            report.infuser_losses.push(loss);
+        }
+    }
+
+    // Phase 2: QA training (Eq. 8).
+    if !data.qa.is_empty() {
+        let mut opt = AdamW::new(opt_cfg);
+        let mut phase = QaPhase {
+            base,
+            method,
+            train_infuser_too: ablation.use_infuser && !ablation.infuser_pretrain,
+        };
+        for _ in 0..tc.epochs_qa {
+            let loss = train_epoch(&mut phase, &data.qa, tc.batch, &mut opt, &mut rng);
+            report.qa_losses.push(loss);
+        }
+    }
+
+    // Phase 3: RC training (Eq. 9–10).
+    if !data.rc.is_empty() && tc.epochs_rc > 0 {
+        let mut opt = AdamW::new(opt_cfg);
+        let mut phase = RcPhase { base, method };
+        for _ in 0..tc.epochs_rc {
+            let loss = train_epoch(&mut phase, &data.rc, tc.batch, &mut opt, &mut rng);
+            report.rc_losses.push(loss);
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InfuserKiConfig;
+    use crate::dataset::McqBank;
+    use infuserki_kg::{synth_umls, UmlsConfig};
+    use infuserki_nn::ModelConfig;
+    use infuserki_text::prompts;
+    use infuserki_text::templates::TemplateSet;
+    use infuserki_text::Tokenizer;
+
+    fn setup() -> (TransformerLm, InfuserKiMethod, KiDataset) {
+        let store = synth_umls(&UmlsConfig::with_triplets(24, 13));
+        let triples = store.triples().to_vec();
+        let bank = McqBank::build(&store, &triples, 2);
+        let mut lines: Vec<String> = store.entity_names().map(str::to_string).collect();
+        for r in store.relation_names() {
+            lines.extend(TemplateSet::vocabulary_lines(r));
+        }
+        lines.extend(prompts::vocabulary_lines());
+        let tok = Tokenizer::build(lines.iter().map(String::as_str));
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let base = TransformerLm::new(
+            ModelConfig {
+                vocab_size: tok.vocab_size(),
+                max_seq: 96,
+                ..ModelConfig::tiny(0)
+            },
+            &mut rng,
+        );
+        let known: Vec<usize> = (0..8).collect();
+        let unknown: Vec<usize> = (8..24).collect();
+        let data = KiDataset::build(&store, &bank, &tok, &known, &unknown, 3);
+        let mut cfg = InfuserKiConfig::for_model(base.n_layers());
+        cfg.bottleneck = 4;
+        cfg.infuser_hidden = 4;
+        cfg.rc_dim = 8;
+        let method = InfuserKiMethod::new(cfg, &base, store.n_relations());
+        (base, method, data)
+    }
+
+    fn quick_tc() -> TrainConfig {
+        TrainConfig {
+            epochs_infuser: 1,
+            epochs_qa: 1,
+            epochs_rc: 1,
+            lr: 1e-3,
+            lr_infuser: 1e-2,
+            batch: 4,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_three_phases_run_and_report() {
+        let (base, mut method, data) = setup();
+        let report = train_infuserki(&base, &mut method, &data, &quick_tc());
+        assert_eq!(report.infuser_losses.len(), 1);
+        assert_eq!(report.qa_losses.len(), 1);
+        assert_eq!(report.rc_losses.len(), 1);
+        assert!(report.extra_params > 0);
+        assert!(report.qa_losses[0].is_finite());
+    }
+
+    #[test]
+    fn base_model_params_never_change() {
+        let (base, mut method, data) = setup();
+        let mut t0 = Tape::new();
+        let before = base.forward(&[2, 3, 4], &infuserki_nn::NoHook, &mut t0);
+        let snapshot = t0.value(before).clone();
+        train_infuserki(&base, &mut method, &data, &quick_tc());
+        let mut t1 = Tape::new();
+        let after = base.forward(&[2, 3, 4], &infuserki_nn::NoHook, &mut t1);
+        assert_eq!(t1.value(after).data(), snapshot.data());
+    }
+
+    #[test]
+    fn ablation_wo_rl_skips_infuser_phase() {
+        let (base, method, data) = setup();
+        let mut cfg = method.config().clone();
+        cfg.ablation.infuser_pretrain = false;
+        let mut m2 = InfuserKiMethod::new(cfg, &base, 18);
+        let report = train_infuserki(&base, &mut m2, &data, &quick_tc());
+        assert!(report.infuser_losses.is_empty());
+        assert_eq!(report.qa_losses.len(), 1);
+    }
+
+    #[test]
+    fn ablation_wo_ro_skips_infuser_phase_too() {
+        let (base, _method, data) = setup();
+        let mut cfg = InfuserKiConfig::for_model(base.n_layers());
+        cfg.bottleneck = 4;
+        cfg.infuser_hidden = 4;
+        cfg.rc_dim = 8;
+        cfg.ablation.use_infuser = false;
+        let mut m2 = InfuserKiMethod::new(cfg, &base, 18);
+        let report = train_infuserki(&base, &mut m2, &data, &quick_tc());
+        assert!(report.infuser_losses.is_empty());
+    }
+
+    #[test]
+    fn qa_training_reduces_qa_loss() {
+        let (base, mut method, data) = setup();
+        let tc = TrainConfig {
+            epochs_infuser: 1,
+            epochs_qa: 6,
+            epochs_rc: 0,
+            lr: 3e-3,
+            lr_infuser: 1e-2,
+            batch: 8,
+            seed: 5,
+        };
+        let report = train_infuserki(&base, &mut method, &data, &tc);
+        let first = report.qa_losses.first().copied().unwrap();
+        let last = report.qa_losses.last().copied().unwrap();
+        assert!(last < first, "QA loss should fall: {first} → {last}");
+    }
+}

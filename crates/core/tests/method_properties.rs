@@ -1,0 +1,119 @@
+//! Property tests on the InfuserKI method: identity-at-init for arbitrary
+//! placements, gate range, and trace shape invariants over random inputs.
+
+use infuserki_core::{Ablation, InfuserKiConfig, InfuserKiMethod, Placement, Site};
+use infuserki_nn::{ForwardTrace, ModelConfig, NoHook, TransformerLm};
+use infuserki_tensor::Tape;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const VOCAB: usize = 20;
+const LAYERS: usize = 4;
+
+fn base() -> TransformerLm {
+    let mut rng = ChaCha8Rng::seed_from_u64(55);
+    TransformerLm::new(
+        ModelConfig {
+            n_layers: LAYERS,
+            ..ModelConfig::tiny(VOCAB)
+        },
+        &mut rng,
+    )
+}
+
+fn placement_strategy() -> impl Strategy<Value = Placement> {
+    (0..LAYERS, prop::bool::ANY).prop_flat_map(|(first, attn)| {
+        ((first + 1)..=LAYERS).prop_map(move |last| Placement {
+            site: if attn { Site::Attention } else { Site::Ffn },
+            first,
+            last,
+        })
+    })
+}
+
+fn tokens_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..VOCAB, 1..8)
+}
+
+fn config(placement: Placement, ablation: Ablation) -> InfuserKiConfig {
+    let mut cfg = InfuserKiConfig::for_model(LAYERS);
+    cfg.placement = placement;
+    cfg.ablation = ablation;
+    cfg.bottleneck = 3;
+    cfg.infuser_hidden = 4;
+    cfg.rc_dim = 6;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fresh_method_is_identity_for_any_placement(placement in placement_strategy(),
+                                                  tokens in tokens_strategy()) {
+        let b = base();
+        let m = InfuserKiMethod::new(config(placement, Ablation::default()), &b, 5);
+        let mut t1 = Tape::new();
+        let mut t2 = Tape::new();
+        let plain = b.forward(&tokens, &NoHook, &mut t1);
+        let hooked = b.forward(&tokens, &m.hook(), &mut t2);
+        prop_assert_eq!(t1.value(plain).data(), t2.value(hooked).data());
+    }
+
+    #[test]
+    fn gates_stay_in_unit_interval(placement in placement_strategy(),
+                                   tokens in tokens_strategy()) {
+        let b = base();
+        let m = InfuserKiMethod::new(config(placement, Ablation::default()), &b, 5);
+        let mut tape = Tape::new();
+        let mut trace = ForwardTrace::new();
+        b.forward_traced(&tokens, &m.hook(), &mut tape, &mut trace);
+        prop_assert_eq!(trace.gate_scores.len(), placement.len());
+        for &(layer, node) in &trace.gate_scores {
+            prop_assert!(placement.contains(layer));
+            let v = tape.value(node).scalar_value();
+            prop_assert!((0.0..=1.0).contains(&v), "gate {v} at layer {layer}");
+        }
+    }
+
+    #[test]
+    fn adapter_outputs_match_sequence_shape(placement in placement_strategy(),
+                                            tokens in tokens_strategy()) {
+        let b = base();
+        let m = InfuserKiMethod::new(config(placement, Ablation::default()), &b, 5);
+        let mut tape = Tape::new();
+        let mut trace = ForwardTrace::new();
+        b.forward_traced(&tokens, &m.hook(), &mut tape, &mut trace);
+        prop_assert_eq!(trace.adapter_outputs.len(), placement.len());
+        for &(_, node) in &trace.adapter_outputs {
+            prop_assert_eq!(
+                tape.value(node).shape(),
+                (tokens.len(), b.config().d_model)
+            );
+        }
+    }
+
+    #[test]
+    fn wo_ro_ablation_never_records_gates(tokens in tokens_strategy()) {
+        let b = base();
+        let ablation = Ablation { use_infuser: false, ..Ablation::default() };
+        let m = InfuserKiMethod::new(config(Placement::main(LAYERS), ablation), &b, 5);
+        let mut tape = Tape::new();
+        let mut trace = ForwardTrace::new();
+        b.forward_traced(&tokens, &m.hook(), &mut tape, &mut trace);
+        prop_assert!(trace.gate_scores.is_empty());
+        prop_assert!(trace.gate_logits.is_empty());
+    }
+
+    #[test]
+    fn extra_params_proportional_to_layers(placement in placement_strategy()) {
+        let b = base();
+        let m = InfuserKiMethod::new(config(placement, Ablation::default()), &b, 5);
+        // adapters + infusers scale with placement length; RC head is constant.
+        let d = b.config().d_model;
+        let per_layer = (d * 3 + 3 + 3 * d) + (d * 4 + 4 + 4 + 1);
+        let rc = (2 * d * 6 + 6) + 5 * 6;
+        prop_assert_eq!(m.extra_params(), placement.len() * per_layer + rc);
+    }
+}

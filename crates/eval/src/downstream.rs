@@ -1,0 +1,295 @@
+//! Downstream tasks: PubMedQA-style yes/no QA (UMLS worlds) and
+//! MetaQA-style 1-hop open-form QA (movie worlds).
+//!
+//! Both tasks use phrasings that never appear in knowledge-integration
+//! training, so they measure whether integrated knowledge transfers across
+//! question formats — the paper's "Downstream-Task F1" column.
+
+use infuserki_kg::{Triple, TripleStore};
+use infuserki_nn::{sampler, LayerHook, TransformerLm};
+use infuserki_text::templates::TemplateSet;
+use infuserki_text::tokenizer::EOS;
+use infuserki_text::{prompts, Tokenizer};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::metrics::{token_f1, yesno_f1};
+
+/// The open-form 1-hop phrasing — deliberately distinct from every MCQ
+/// template frame.
+pub fn one_hop_question(relation: &str, subject: &str) -> String {
+    let rel = TemplateSet::relation_phrase(relation);
+    format!("tell me the {rel} of {subject} .")
+}
+
+/// One yes/no downstream item.
+#[derive(Debug, Clone)]
+pub struct YesNoItem {
+    /// Prompt text.
+    pub prompt: String,
+    /// Gold label.
+    pub gold: bool,
+}
+
+/// Builds a balanced PubMedQA-style set from `triples`: each contributes a
+/// true statement (yes) or a corrupted-tail statement (no), alternating.
+pub fn build_yesno_items(store: &TripleStore, triples: &[Triple], seed: u64) -> Vec<YesNoItem> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut items = Vec::with_capacity(triples.len());
+    for (i, t) in triples.iter().enumerate() {
+        let rel = store.relation_name(t.relation);
+        let subj = store.entity_name(t.head);
+        let gold = i % 2 == 0;
+        let obj = if gold {
+            store.entity_name(t.tail).to_string()
+        } else {
+            let pool: Vec<_> = store
+                .tail_pool(t.relation)
+                .into_iter()
+                .filter(|&e| e != t.tail)
+                .collect();
+            if pool.is_empty() {
+                continue;
+            }
+            store
+                .entity_name(pool[rng.gen_range(0..pool.len())])
+                .to_string()
+        };
+        let q = TemplateSet::yesno_question(rel, subj, &obj);
+        items.push(YesNoItem {
+            prompt: prompts::format_yesno_prompt(&q),
+            gold,
+        });
+    }
+    items
+}
+
+/// Evaluates the yes/no task: binary macro-F1 over extracted answers.
+pub fn eval_yesno(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    tokenizer: &Tokenizer,
+    items: &[YesNoItem],
+) -> f32 {
+    let pairs: Vec<(bool, Option<bool>)> = items
+        .par_iter()
+        .map(|item| {
+            let prompt = tokenizer.encode_strict(&item.prompt);
+            let generated = sampler::greedy_decode(model, hook, &prompt, 2, Some(EOS));
+            let text = tokenizer.decode(&generated);
+            (item.gold, prompts::extract_yesno(&text))
+        })
+        .collect();
+    yesno_f1(&pairs)
+}
+
+/// One open-form 1-hop item.
+#[derive(Debug, Clone)]
+pub struct OneHopItem {
+    /// Prompt text (question + "answer :").
+    pub prompt: String,
+    /// Gold answer entity name.
+    pub answer: String,
+}
+
+/// Builds 1-hop items for `triples` (every triple yields one question).
+pub fn build_one_hop_items(store: &TripleStore, triples: &[Triple]) -> Vec<OneHopItem> {
+    triples
+        .iter()
+        .map(|t| {
+            let q = one_hop_question(store.relation_name(t.relation), store.entity_name(t.head));
+            OneHopItem {
+                prompt: format!("question : {q} answer :"),
+                answer: store.entity_name(t.tail).to_string(),
+            }
+        })
+        .collect()
+}
+
+/// Evaluates 1-hop QA: mean token-F1 of generated vs. gold answers.
+pub fn eval_one_hop(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    tokenizer: &Tokenizer,
+    items: &[OneHopItem],
+) -> f32 {
+    if items.is_empty() {
+        return f32::NAN;
+    }
+    let total: f32 = items
+        .par_iter()
+        .map(|item| {
+            let prompt = tokenizer.encode_strict(&item.prompt);
+            let gold = tokenizer.encode_strict(&item.answer);
+            let generated = sampler::greedy_decode(model, hook, &prompt, gold.len() + 2, Some(EOS));
+            token_f1(&generated, &gold)
+        })
+        .sum();
+    total / items.len() as f32
+}
+
+/// A compositional 2-hop item: "the {r2} of the {r1} of {start}".
+///
+/// MetaQA's 2-hop split asks exactly these chained questions; the paper's
+/// downstream uses 1-hop, so 2-hop here is the natural extension experiment:
+/// knowledge integrated triple-by-triple should compose when *both* hops were
+/// integrated.
+#[derive(Debug, Clone)]
+pub struct TwoHopItem {
+    /// Prompt text.
+    pub prompt: String,
+    /// Gold end-entity name.
+    pub answer: String,
+    /// The underlying path.
+    pub path: infuserki_kg::paths::TwoHopPath,
+}
+
+/// Builds 2-hop items from the store's path structure (up to `limit`).
+pub fn build_two_hop_items(store: &TripleStore, limit: usize) -> Vec<TwoHopItem> {
+    infuserki_kg::paths::two_hop_paths(store, limit)
+        .into_iter()
+        .map(|p| {
+            let r1 = TemplateSet::relation_phrase(store.relation_name(p.first.relation));
+            let r2 = TemplateSet::relation_phrase(store.relation_name(p.second.relation));
+            let start = store.entity_name(p.start());
+            TwoHopItem {
+                prompt: format!("question : tell me the {r2} of the {r1} of {start} . answer :"),
+                answer: store.entity_name(p.end()).to_string(),
+                path: p,
+            }
+        })
+        .collect()
+}
+
+/// Evaluates 2-hop QA: mean token-F1 of generated vs. gold end entities.
+pub fn eval_two_hop(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    tokenizer: &Tokenizer,
+    items: &[TwoHopItem],
+) -> f32 {
+    if items.is_empty() {
+        return f32::NAN;
+    }
+    let total: f32 = items
+        .par_iter()
+        .map(|item| {
+            let prompt = tokenizer.encode_strict(&item.prompt);
+            let gold = tokenizer.encode_strict(&item.answer);
+            let generated = sampler::greedy_decode(model, hook, &prompt, gold.len() + 2, Some(EOS));
+            token_f1(&generated, &gold)
+        })
+        .sum();
+    total / items.len() as f32
+}
+
+/// Samples up to `n` evaluation triples for the downstream tasks.
+pub fn sample_downstream_triples(store: &TripleStore, n: usize, seed: u64) -> Vec<Triple> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut all = store.triples().to_vec();
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{build_vocabulary, generate_store, Domain, WorldConfig};
+    use infuserki_nn::{ModelConfig, NoHook, TransformerLm};
+
+    fn setup(domain: Domain) -> (TripleStore, Tokenizer, TransformerLm) {
+        let cfg = WorldConfig::tiny(domain, 21);
+        let store = generate_store(&cfg);
+        let tok = build_vocabulary(&store);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = TransformerLm::new(
+            ModelConfig {
+                vocab_size: tok.vocab_size(),
+                max_seq: 96,
+                ..ModelConfig::tiny(0)
+            },
+            &mut rng,
+        );
+        (store, tok, model)
+    }
+
+    #[test]
+    fn yesno_items_are_balanced_and_parseable() {
+        let (store, tok, _) = setup(Domain::Umls);
+        let items = build_yesno_items(&store, store.triples(), 3);
+        let yes = items.iter().filter(|i| i.gold).count();
+        assert!(yes > 0 && yes < items.len());
+        for item in &items {
+            // vocabulary closure: every prompt must encode strictly
+            let _ = tok.encode_strict(&item.prompt);
+        }
+    }
+
+    #[test]
+    fn yesno_eval_runs_on_untrained_model() {
+        let (store, tok, model) = setup(Domain::Umls);
+        let items = build_yesno_items(&store, &store.triples()[..10], 3);
+        let f1 = eval_yesno(&model, &NoHook, &tok, &items);
+        assert!(f1.is_nan() || (0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn one_hop_items_encode_strictly() {
+        let (store, tok, _) = setup(Domain::MetaQa);
+        let items = build_one_hop_items(&store, &store.triples()[..10]);
+        for item in &items {
+            let _ = tok.encode_strict(&item.prompt);
+            let _ = tok.encode_strict(&item.answer);
+        }
+    }
+
+    #[test]
+    fn one_hop_eval_in_unit_range() {
+        let (store, tok, model) = setup(Domain::MetaQa);
+        let items = build_one_hop_items(&store, &store.triples()[..8]);
+        let f1 = eval_one_hop(&model, &NoHook, &tok, &items);
+        assert!((0.0..=1.0).contains(&f1));
+        assert!(eval_one_hop(&model, &NoHook, &tok, &[]).is_nan());
+    }
+
+    #[test]
+    fn one_hop_phrasing_differs_from_templates() {
+        let q = one_hop_question("directed_by", "the silent horizon");
+        for tpl in 0..infuserki_text::templates::N_QA_TEMPLATES {
+            assert_ne!(
+                q,
+                TemplateSet::question("directed_by", "the silent horizon", tpl)
+            );
+        }
+    }
+
+    #[test]
+    fn two_hop_items_chain_and_encode() {
+        // UMLS-style graphs share entities between head and tail roles, so
+        // 2-hop chains exist (the MetaQA generator is strictly bipartite).
+        let (store, tok, model) = setup(Domain::Umls);
+        let items = build_two_hop_items(&store, 20);
+        assert!(!items.is_empty());
+        for item in &items {
+            assert_eq!(item.path.first.tail, item.path.second.head);
+            let _ = tok.encode_strict(&item.prompt);
+            let _ = tok.encode_strict(&item.answer);
+        }
+        let f1 = eval_two_hop(&model, &NoHook, &tok, &items[..5.min(items.len())]);
+        assert!((0.0..=1.0).contains(&f1));
+        assert!(eval_two_hop(&model, &NoHook, &tok, &[]).is_nan());
+    }
+
+    #[test]
+    fn downstream_sampling_bounds() {
+        let (store, _, _) = setup(Domain::Umls);
+        assert_eq!(sample_downstream_triples(&store, 5, 1).len(), 5);
+        assert_eq!(
+            sample_downstream_triples(&store, 10_000, 1).len(),
+            store.len()
+        );
+    }
+}

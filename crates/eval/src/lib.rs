@@ -1,0 +1,21 @@
+//! # infuserki-eval
+//!
+//! The evaluation harness: the paper's metrics (NR for reliability, RR for
+//! locality, per-template F1 and F1_Unseen for generality), the downstream
+//! tasks (PubMedQA-style yes/no and MetaQA-style 1-hop QA), analysis probes
+//! (infusing scores, hidden states, case studies) and the PCA/t-SNE
+//! projections for Fig. 1 — plus [`world`], the shared experiment fixture
+//! that generates a KG, builds the tokenizer, pre-trains the base model on
+//! the designated "known" subset, and caches the result.
+
+pub mod downstream;
+pub mod mcq_eval;
+pub mod metrics;
+pub mod probes;
+pub mod projection;
+pub mod statistics;
+pub mod world;
+
+pub use mcq_eval::{evaluate_method, MethodEval};
+pub use metrics::{macro_f1, token_f1, McqOutcome};
+pub use world::{build_world, Domain, World, WorldConfig};

@@ -1,0 +1,172 @@
+//! Metric primitives: accuracy partitions, multi-class macro-F1 for MCQ
+//! answers, and token-level F1 for free-form answers.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of answering one MCQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McqOutcome {
+    /// Gold option index.
+    pub gold: usize,
+    /// Extracted prediction; `None` when no option could be parsed (counted
+    /// as wrong, per the paper's protocol).
+    pub pred: Option<usize>,
+}
+
+impl McqOutcome {
+    /// True when the prediction matches the gold option.
+    pub fn correct(&self) -> bool {
+        self.pred == Some(self.gold)
+    }
+}
+
+/// Mean accuracy over a subset of outcome indices (NR over unknown indices,
+/// RR over known indices — Eq. in §4.1). Empty subsets yield `f32::NAN` so
+/// callers can render "–" like the paper's vanilla rows.
+pub fn subset_accuracy(outcomes: &[McqOutcome], subset: &[usize]) -> f32 {
+    if subset.is_empty() {
+        return f32::NAN;
+    }
+    let correct = subset.iter().filter(|&&i| outcomes[i].correct()).count();
+    correct as f32 / subset.len() as f32
+}
+
+/// Macro-averaged multi-class F1 over option positions. Unparseable
+/// predictions never match any class, hurting recall — mirroring the paper's
+/// treat-as-incorrect rule. Classes that never occur as gold are skipped.
+pub fn macro_f1(outcomes: &[McqOutcome], n_classes: usize) -> f32 {
+    let mut f1_sum = 0.0;
+    let mut n_present = 0;
+    for c in 0..n_classes {
+        let tp = outcomes
+            .iter()
+            .filter(|o| o.gold == c && o.pred == Some(c))
+            .count() as f32;
+        let fp = outcomes
+            .iter()
+            .filter(|o| o.gold != c && o.pred == Some(c))
+            .count() as f32;
+        let fn_ = outcomes
+            .iter()
+            .filter(|o| o.gold == c && o.pred != Some(c))
+            .count() as f32;
+        if tp + fn_ == 0.0 {
+            continue; // class absent from gold
+        }
+        n_present += 1;
+        if tp == 0.0 {
+            continue; // F1 = 0 for this class
+        }
+        let precision = tp / (tp + fp);
+        let recall = tp / (tp + fn_);
+        f1_sum += 2.0 * precision * recall / (precision + recall);
+    }
+    if n_present == 0 {
+        f32::NAN
+    } else {
+        f1_sum / n_present as f32
+    }
+}
+
+/// Token-overlap F1 between a generated answer and the gold answer (the
+/// SQuAD-style measure used for free-form downstream QA).
+pub fn token_f1(pred_tokens: &[usize], gold_tokens: &[usize]) -> f32 {
+    if pred_tokens.is_empty() || gold_tokens.is_empty() {
+        return 0.0;
+    }
+    let mut gold_counts = std::collections::HashMap::new();
+    for &t in gold_tokens {
+        *gold_counts.entry(t).or_insert(0usize) += 1;
+    }
+    let mut overlap = 0usize;
+    for &t in pred_tokens {
+        if let Some(c) = gold_counts.get_mut(&t) {
+            if *c > 0 {
+                *c -= 1;
+                overlap += 1;
+            }
+        }
+    }
+    if overlap == 0 {
+        return 0.0;
+    }
+    let precision = overlap as f32 / pred_tokens.len() as f32;
+    let recall = overlap as f32 / gold_tokens.len() as f32;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Binary macro-F1 for yes/no tasks from (gold, pred) pairs; `None`
+/// predictions count as wrong for both classes.
+pub fn yesno_f1(pairs: &[(bool, Option<bool>)]) -> f32 {
+    let outcomes: Vec<McqOutcome> = pairs
+        .iter()
+        .map(|&(gold, pred)| McqOutcome {
+            gold: usize::from(gold),
+            pred: pred.map(usize::from),
+        })
+        .collect();
+    macro_f1(&outcomes, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(gold: usize, pred: Option<usize>) -> McqOutcome {
+        McqOutcome { gold, pred }
+    }
+
+    #[test]
+    fn subset_accuracy_basics() {
+        let outs = vec![o(0, Some(0)), o(1, Some(2)), o(2, None), o(3, Some(3))];
+        assert_eq!(subset_accuracy(&outs, &[0, 3]), 1.0);
+        assert_eq!(subset_accuracy(&outs, &[1, 2]), 0.0);
+        assert_eq!(subset_accuracy(&outs, &[0, 1]), 0.5);
+        assert!(subset_accuracy(&outs, &[]).is_nan());
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_zero() {
+        let perfect: Vec<_> = (0..4).map(|c| o(c, Some(c))).collect();
+        assert!((macro_f1(&perfect, 4) - 1.0).abs() < 1e-6);
+        let awful: Vec<_> = (0..4).map(|c| o(c, None)).collect();
+        assert_eq!(macro_f1(&awful, 4), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_partial() {
+        // Class 0: tp=1 fp=1 fn=0 → p=.5 r=1 f1=2/3; class 1: tp=0 → 0.
+        let outs = vec![o(0, Some(0)), o(1, Some(0))];
+        let f1 = macro_f1(&outs, 4);
+        assert!((f1 - (2.0 / 3.0) / 2.0).abs() < 1e-5, "{f1}");
+    }
+
+    #[test]
+    fn macro_f1_skips_absent_classes() {
+        let outs = vec![o(2, Some(2))];
+        assert!((macro_f1(&outs, 4) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn token_f1_cases() {
+        assert!((token_f1(&[1, 2, 3], &[1, 2, 3]) - 1.0).abs() < 1e-6);
+        assert_eq!(token_f1(&[4, 5], &[1, 2]), 0.0);
+        // half overlap: pred {1,2}, gold {2,3}: overlap 1, p=.5, r=.5
+        assert!((token_f1(&[1, 2], &[2, 3]) - 0.5).abs() < 1e-6);
+        assert_eq!(token_f1(&[], &[1]), 0.0);
+        // duplicate handling: pred [2,2] vs gold [2] → overlap 1, p=.5, r=1
+        assert!((token_f1(&[2, 2], &[2]) - (2.0 * 0.5 / 1.5)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn yesno_f1_balanced() {
+        let pairs = vec![
+            (true, Some(true)),
+            (false, Some(false)),
+            (true, Some(false)),
+            (false, None),
+        ];
+        let f1 = yesno_f1(&pairs);
+        assert!(f1 > 0.0 && f1 < 1.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! 2-D projections for Fig. 1: PCA (power iteration) and exact t-SNE.
+//!
+//! Exact (O(n²)) t-SNE is ample for the figure's few hundred points; PCA
+//! provides the init, making runs deterministic given the seed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Mean-centers rows in place; returns the mean.
+fn center(data: &mut [Vec<f32>]) -> Vec<f32> {
+    let n = data.len();
+    let d = data[0].len();
+    let mut mean = vec![0.0f32; d];
+    for row in data.iter() {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    for row in data.iter_mut() {
+        for (v, &m) in row.iter_mut().zip(&mean) {
+            *v -= m;
+        }
+    }
+    mean
+}
+
+/// Top-`k` principal components via power iteration with deflation.
+/// Returns the projected coordinates `[n][k]`.
+pub fn pca(data: &[Vec<f32>], k: usize, seed: u64) -> Vec<Vec<f32>> {
+    assert!(!data.is_empty(), "pca: empty input");
+    let mut x: Vec<Vec<f32>> = data.to_vec();
+    center(&mut x);
+    let n = x.len();
+    let d = x[0].len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+
+    for _ in 0..k.min(d) {
+        let mut v: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        normalize(&mut v);
+        for _ in 0..60 {
+            // w = Xᵀ X v (covariance product without materializing covariance)
+            let mut xv = vec![0.0f32; n];
+            for (i, row) in x.iter().enumerate() {
+                xv[i] = dot(row, &v);
+            }
+            let mut w = vec![0.0f32; d];
+            for (i, row) in x.iter().enumerate() {
+                for (wj, &rj) in w.iter_mut().zip(row) {
+                    *wj += xv[i] * rj;
+                }
+            }
+            // Deflate previously found components.
+            for c in &components {
+                let proj = dot(&w, c);
+                for (wj, &cj) in w.iter_mut().zip(c) {
+                    *wj -= proj * cj;
+                }
+            }
+            normalize(&mut w);
+            v = w;
+        }
+        components.push(v);
+    }
+
+    x.iter()
+        .map(|row| components.iter().map(|c| dot(row, c)).collect())
+        .collect()
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f32]) {
+    let n = dot(v, v).sqrt();
+    if n > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Exact t-SNE to 2-D with PCA init.
+///
+/// `perplexity` is clamped to `(n-1)/3`; typical figure settings are 20–30.
+pub fn tsne(data: &[Vec<f32>], perplexity: f32, iters: usize, seed: u64) -> Vec<(f32, f32)> {
+    let n = data.len();
+    assert!(n >= 4, "tsne: need at least 4 points");
+    let perplexity = perplexity.min((n as f32 - 1.0) / 3.0).max(2.0);
+
+    // Pairwise squared distances.
+    let mut d2 = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f32 = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i][j] = dist;
+            d2[j][i] = dist;
+        }
+    }
+
+    // Per-point precision by bisection to match the target perplexity.
+    let target_h = perplexity.ln();
+    let mut p = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-10f32, 1e10f32);
+        let mut beta = 1.0f32;
+        for _ in 0..40 {
+            let mut sum = 0.0f32;
+            let mut h = 0.0f32;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-d2[i][j] * beta).exp();
+                sum += pij;
+            }
+            if sum <= 0.0 {
+                beta = lo;
+                break;
+            }
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-d2[i][j] * beta).exp() / sum;
+                if pij > 1e-12 {
+                    h -= pij * pij.ln();
+                }
+            }
+            if (h - target_h).abs() < 1e-4 {
+                break;
+            }
+            if h > target_h {
+                lo = beta;
+                beta = if hi >= 1e10 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f32;
+        for j in 0..n {
+            if j != i {
+                p[i][j] = (-d2[i][j] * beta).exp();
+                sum += p[i][j];
+            }
+        }
+        for j in 0..n {
+            if j != i {
+                p[i][j] /= sum.max(1e-12);
+            }
+        }
+    }
+    // Symmetrize.
+    let mut pm = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            pm[i][j] = ((p[i][j] + p[j][i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+
+    // PCA init, scaled small.
+    let init = pca(data, 2, seed);
+    let scale = init
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f32, |m, v| m.max(v.abs()))
+        .max(1e-6);
+    let mut y: Vec<[f32; 2]> = init
+        .iter()
+        .map(|r| [r[0] / scale * 1e-2, r[1] / scale * 1e-2])
+        .collect();
+    let mut vel = vec![[0.0f32; 2]; n];
+
+    let lr = 20.0f32;
+    for it in 0..iters {
+        let exaggeration = if it < iters / 4 { 4.0 } else { 1.0 };
+        // Q distribution (student-t, dof 1).
+        let mut num = vec![vec![0.0f32; n]; n];
+        let mut qsum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let t = 1.0 / (1.0 + dx * dx + dy * dy);
+                num[i][j] = t;
+                num[j][i] = t;
+                qsum += 2.0 * t;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        let momentum = if it < 60 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f32; 2];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let q = (num[i][j] / qsum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * pm[i][j] - q) * num[i][j];
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                vel[i][k] = momentum * vel[i][k] - lr * grad[k];
+                // Clamp per-step displacement: keeps early-exaggeration
+                // iterations from diverging at this small point count.
+                vel[i][k] = vel[i][k].clamp(-2.0, 2.0);
+                y[i][k] += vel[i][k];
+            }
+        }
+    }
+    y.into_iter().map(|p| (p[0], p[1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters(n_per: usize, sep: f32) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                let base = c as f32 * sep;
+                data.push(vec![
+                    base + rng.gen_range(-0.1..0.1),
+                    base + rng.gen_range(-0.1..0.1),
+                    rng.gen_range(-0.1..0.1),
+                ]);
+                labels.push(c);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn pca_projects_to_requested_dims() {
+        let (data, _) = clusters(10, 5.0);
+        let proj = pca(&data, 2, 1);
+        assert_eq!(proj.len(), 20);
+        assert_eq!(proj[0].len(), 2);
+    }
+
+    #[test]
+    fn pca_first_component_separates_clusters() {
+        let (data, labels) = clusters(10, 5.0);
+        let proj = pca(&data, 1, 1);
+        let mean = |c: usize| {
+            let vals: Vec<f32> = proj
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == c)
+                .map(|(p, _)| p[0])
+                .collect();
+            vals.iter().sum::<f32>() / vals.len() as f32
+        };
+        assert!((mean(0) - mean(1)).abs() > 1.0);
+    }
+
+    #[test]
+    fn pca_is_deterministic() {
+        let (data, _) = clusters(8, 3.0);
+        assert_eq!(pca(&data, 2, 9), pca(&data, 2, 9));
+    }
+
+    #[test]
+    fn tsne_separates_well_separated_clusters() {
+        let (data, labels) = clusters(12, 8.0);
+        let y = tsne(&data, 8.0, 250, 3);
+        assert_eq!(y.len(), 24);
+        // Mean intra-cluster distance should be far below inter-cluster.
+        let dist =
+            |a: (f32, f32), b: (f32, f32)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..y.len() {
+            for j in (i + 1)..y.len() {
+                if labels[i] == labels[j] {
+                    intra.push(dist(y[i], y[j]));
+                } else {
+                    inter.push(dist(y[i], y[j]));
+                }
+            }
+        }
+        let m_intra: f32 = intra.iter().sum::<f32>() / intra.len() as f32;
+        let m_inter: f32 = inter.iter().sum::<f32>() / inter.len() as f32;
+        assert!(
+            m_inter > 1.5 * m_intra,
+            "inter {m_inter} should exceed intra {m_intra}"
+        );
+    }
+
+    #[test]
+    fn tsne_outputs_finite_coords() {
+        let (data, _) = clusters(5, 2.0);
+        let y = tsne(&data, 5.0, 120, 7);
+        assert!(y.iter().all(|(a, b)| a.is_finite() && b.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tsne_rejects_tiny_input() {
+        let data = vec![vec![0.0; 3]; 3];
+        tsne(&data, 5.0, 10, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Statistical utilities for reporting: mean ± std across seeds, bootstrap
+//! confidence intervals, and a silhouette score quantifying Fig. 1's cluster
+//! separation claim.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (f32::NAN, f32::NAN);
+    }
+    let mean = values.iter().sum::<f32>() / values.len() as f32;
+    let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+    (mean, var.sqrt())
+}
+
+/// Percentile-bootstrap confidence interval for the mean.
+/// Returns `(lo, hi)` at the given confidence level (e.g. 0.95).
+pub fn bootstrap_ci(values: &[f32], level: f32, resamples: usize, seed: u64) -> (f32, f32) {
+    assert!((0.0..1.0).contains(&level), "level in (0,1)");
+    assert!(!values.is_empty(), "bootstrap_ci: empty sample");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut means: Vec<f32> = (0..resamples.max(1))
+        .map(|_| {
+            let s: f32 = (0..values.len())
+                .map(|_| values[rng.gen_range(0..values.len())])
+                .sum();
+            s / values.len() as f32
+        })
+        .collect();
+    means.sort_by(f32::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((means.len() as f32) * alpha) as usize;
+    let hi_idx = (((means.len() as f32) * (1.0 - alpha)) as usize).min(means.len() - 1);
+    (means[lo_idx], means[hi_idx])
+}
+
+/// Mean silhouette coefficient of a 2-cluster labeling of 2-D points —
+/// quantifies how separated the known/unknown clusters are in a Fig. 1 panel.
+/// Returns a value in [-1, 1]; higher means cleaner separation.
+pub fn silhouette_2d(points: &[(f32, f32)], labels: &[bool]) -> f32 {
+    assert_eq!(points.len(), labels.len());
+    let n = points.len();
+    if n < 3 {
+        return f32::NAN;
+    }
+    let dist = |a: (f32, f32), b: (f32, f32)| -> f32 {
+        ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+    };
+    let mut total = 0.0f32;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let mut intra = 0.0;
+        let mut n_intra = 0;
+        let mut inter = 0.0;
+        let mut n_inter = 0;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = dist(points[i], points[j]);
+            if labels[i] == labels[j] {
+                intra += d;
+                n_intra += 1;
+            } else {
+                inter += d;
+                n_inter += 1;
+            }
+        }
+        if n_intra == 0 || n_inter == 0 {
+            continue;
+        }
+        let a = intra / n_intra as f32;
+        let b = inter / n_inter as f32;
+        total += (b - a) / a.max(b).max(1e-12);
+        counted += 1;
+    }
+    if counted == 0 {
+        f32::NAN
+    } else {
+        total / counted as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-6);
+        assert!((s - 2.0).abs() < 1e-6);
+        assert!(mean_std(&[]).0.is_nan());
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_mean_for_tight_sample() {
+        let values = vec![0.5f32; 20];
+        let (lo, hi) = bootstrap_ci(&values, 0.95, 200, 1);
+        assert!((lo - 0.5).abs() < 1e-6 && (hi - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bootstrap_ci_widens_with_variance() {
+        let tight: Vec<f32> = (0..40).map(|i| 0.5 + 0.001 * (i % 2) as f32).collect();
+        let wide: Vec<f32> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let (tl, th) = bootstrap_ci(&tight, 0.95, 300, 2);
+        let (wl, wh) = bootstrap_ci(&wide, 0.95, 300, 2);
+        assert!(wh - wl > th - tl);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let v: Vec<f32> = (0..30).map(|i| i as f32 / 30.0).collect();
+        assert_eq!(bootstrap_ci(&v, 0.9, 100, 7), bootstrap_ci(&v, 0.9, 100, 7));
+    }
+
+    #[test]
+    fn silhouette_separated_clusters_near_one() {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            points.push((0.0 + 0.01 * i as f32, 0.0));
+            labels.push(false);
+            points.push((100.0 + 0.01 * i as f32, 0.0));
+            labels.push(true);
+        }
+        let s = silhouette_2d(&points, &labels);
+        assert!(s > 0.95, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_mixed_clusters_near_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let points: Vec<(f32, f32)> = (0..40)
+            .map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let labels: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let s = silhouette_2d(&points, &labels);
+        assert!(s.abs() < 0.3, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_tiny_input_nan() {
+        assert!(silhouette_2d(&[(0.0, 0.0), (1.0, 1.0)], &[true, false]).is_nan());
+    }
+}

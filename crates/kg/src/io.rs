@@ -1,0 +1,148 @@
+//! Import/export of triple stores in the pipe-separated format used by the
+//! real MetaQA release (`kb.txt`: `subject|relation|object` per line) — so a
+//! downstream user can swap the synthetic graphs for the paper's actual data
+//! without touching any other code.
+
+use std::fs;
+use std::path::Path;
+
+use crate::store::TripleStore;
+use crate::types::Triple;
+
+/// Parses a pipe-separated triple dump (`subject|relation|object` per line).
+///
+/// Empty lines and `#` comments are skipped. Duplicate `(head, relation)`
+/// pairs keep only the first tail when `functional` is set (the invariant the
+/// MCQ builder needs); otherwise all distinct triples load.
+pub fn parse_pipe_separated(text: &str, functional: bool) -> Result<TripleStore, String> {
+    let mut store = TripleStore::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '|');
+        let (Some(s), Some(r), Some(o)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "line {}: expected 'subject|relation|object', got '{line}'",
+                lineno + 1
+            ));
+        };
+        let (s, r, o) = (s.trim(), r.trim(), o.trim());
+        if s.is_empty() || r.is_empty() || o.is_empty() {
+            return Err(format!("line {}: empty field in '{line}'", lineno + 1));
+        }
+        let head = store.intern_entity(s);
+        let rel = store.intern_relation(r);
+        let tail = store.intern_entity(o);
+        let triple = Triple::new(head, rel, tail);
+        if functional {
+            store.insert_functional(triple);
+        } else {
+            store.insert(triple);
+        }
+    }
+    Ok(store)
+}
+
+/// Loads a pipe-separated triple file.
+pub fn load_pipe_separated(
+    path: impl AsRef<Path>,
+    functional: bool,
+) -> Result<TripleStore, String> {
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
+    parse_pipe_separated(&text, functional)
+}
+
+/// Serializes a store to the pipe-separated format.
+pub fn to_pipe_separated(store: &TripleStore) -> String {
+    let mut out = String::new();
+    for t in store.triples() {
+        out.push_str(store.entity_name(t.head));
+        out.push('|');
+        out.push_str(store.relation_name(t.relation));
+        out.push('|');
+        out.push_str(store.entity_name(t.tail));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a store as a pipe-separated file.
+pub fn save_pipe_separated(store: &TripleStore, path: impl AsRef<Path>) -> Result<(), String> {
+    if let Some(dir) = path.as_ref().parent() {
+        fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    fs::write(&path, to_pipe_separated(store))
+        .map_err(|e| format!("write {}: {e}", path.as_ref().display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::umls::{synth_umls, UmlsConfig};
+
+    #[test]
+    fn parse_metaqa_style_lines() {
+        let text = "the silent horizon|directed_by|ava castellano\n\
+                    # a comment\n\
+                    \n\
+                    the silent horizon|release_year|1987\n";
+        let s = parse_pipe_separated(text, true).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.n_entities(), 3);
+        assert_eq!(s.n_relations(), 2);
+        let movie = s.entity_by_name("the silent horizon").unwrap();
+        assert_eq!(s.triples_of_head(movie).len(), 2);
+    }
+
+    #[test]
+    fn functional_mode_keeps_first_tail() {
+        let text = "a|r|b\na|r|c\n";
+        let s = parse_pipe_separated(text, true).unwrap();
+        assert_eq!(s.len(), 1);
+        let nonfunc = parse_pipe_separated(text, false).unwrap();
+        assert_eq!(nonfunc.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let err = parse_pipe_separated("a|b\n", true).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err2 = parse_pipe_separated("a||c\n", true).unwrap_err();
+        assert!(err2.contains("empty field"), "{err2}");
+    }
+
+    #[test]
+    fn round_trip_preserves_store() {
+        let original = synth_umls(&UmlsConfig::with_triplets(80, 9));
+        let text = to_pipe_separated(&original);
+        let back = parse_pipe_separated(&text, true).unwrap();
+        assert_eq!(back.len(), original.len());
+        for t in original.triples() {
+            let h = back
+                .entity_by_name(original.entity_name(t.head))
+                .expect("head survives");
+            let found = back.triples_of_head(h);
+            assert!(found
+                .iter()
+                .any(|bt| back.entity_name(bt.tail) == original.entity_name(t.tail)));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let s = synth_umls(&UmlsConfig::with_triplets(30, 10));
+        let path = std::env::temp_dir().join(format!("infuserki_kg_{}.txt", std::process::id()));
+        save_pipe_separated(&s, &path).unwrap();
+        let loaded = load_pipe_separated(&path, true).unwrap();
+        assert_eq!(loaded.len(), s.len());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_pipe_separated("/nonexistent/kb.txt", true).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! Closed-vocabulary name grammars for the synthetic knowledge graphs.
+//!
+//! Every generated entity name is composed from these fixed word pools, so
+//! the token vocabulary stays bounded (≈600 words) regardless of graph size.
+
+/// Medical qualifier words (first token of a UMLS-style entity).
+pub const MED_QUALIFIERS: &[&str] = &[
+    "chronic",
+    "acute",
+    "congenital",
+    "benign",
+    "malignant",
+    "recurrent",
+    "latent",
+    "systemic",
+    "focal",
+    "diffuse",
+    "primary",
+    "secondary",
+    "atypical",
+    "juvenile",
+    "senile",
+    "idiopathic",
+    "acquired",
+    "hereditary",
+    "bilateral",
+    "unilateral",
+    "proximal",
+    "distal",
+    "anterior",
+    "posterior",
+    "lateral",
+    "medial",
+    "superficial",
+    "profound",
+    "partial",
+    "complete",
+];
+
+/// Medical stem prefixes (combined with [`MED_STEM_SUFFIXES`] into one token).
+pub const MED_STEM_PREFIXES: &[&str] = &[
+    "cardio",
+    "neuro",
+    "osteo",
+    "derma",
+    "hepato",
+    "nephro",
+    "gastro",
+    "pulmo",
+    "hemato",
+    "arthro",
+    "encephalo",
+    "myelo",
+    "angio",
+    "broncho",
+    "cranio",
+    "cysto",
+    "entero",
+    "fibro",
+    "glosso",
+    "laryngo",
+    "lympho",
+    "myo",
+    "oculo",
+    "oto",
+    "pharyngo",
+];
+
+/// Medical stem suffixes.
+pub const MED_STEM_SUFFIXES: &[&str] = &[
+    "pathy",
+    "itis",
+    "oma",
+    "osis",
+    "plasty",
+    "ectomy",
+    "algia",
+    "sclerosis",
+    "stenosis",
+    "megaly",
+    "trophy",
+    "plasia",
+    "rrhagia",
+    "spasm",
+    "ptosis",
+    "cele",
+];
+
+/// Medical relation names (subset-sized like UMLS's most frequent relations).
+pub const MED_RELATIONS: &[&str] = &[
+    "has finding site",
+    "is treated by",
+    "has causative agent",
+    "is associated with",
+    "has symptom",
+    "has pathological process",
+    "is diagnosed by",
+    "has risk factor",
+    "is prevented by",
+    "has complication",
+    "occurs in region",
+    "is contraindicated with",
+    "has biomarker",
+    "responds to therapy",
+    "is staged by",
+    "has onset period",
+    "affects system",
+    "is screened by",
+];
+
+/// Movie-title adjectives.
+pub const MOVIE_ADJECTIVES: &[&str] = &[
+    "silent",
+    "crimson",
+    "broken",
+    "hidden",
+    "burning",
+    "frozen",
+    "golden",
+    "lost",
+    "midnight",
+    "savage",
+    "electric",
+    "velvet",
+    "shattered",
+    "wandering",
+    "hollow",
+    "radiant",
+    "stolen",
+    "forgotten",
+    "restless",
+    "gilded",
+];
+
+/// Movie-title nouns.
+pub const MOVIE_NOUNS: &[&str] = &[
+    "horizon",
+    "empire",
+    "garden",
+    "mirror",
+    "station",
+    "harvest",
+    "voyage",
+    "lantern",
+    "serpent",
+    "compass",
+    "orchard",
+    "fortress",
+    "carnival",
+    "meridian",
+    "archive",
+    "monsoon",
+    "paradox",
+    "labyrinth",
+    "overture",
+    "pendulum",
+];
+
+/// Person first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "ava", "noah", "mira", "felix", "iris", "hugo", "lena", "oscar", "nina", "theo", "clara",
+    "ivan", "ruth", "marco", "elsa", "victor", "dana", "pablo", "greta", "simon",
+];
+
+/// Person last names.
+pub const LAST_NAMES: &[&str] = &[
+    "castellano",
+    "whitfield",
+    "okafor",
+    "lindqvist",
+    "moreau",
+    "tanaka",
+    "petrov",
+    "alvarez",
+    "novak",
+    "fontaine",
+    "herrera",
+    "kowalski",
+    "braun",
+    "santos",
+    "moretti",
+    "dubois",
+    "ferreira",
+    "jansen",
+    "vargas",
+    "klein",
+];
+
+/// Movie languages.
+pub const LANGUAGES: &[&str] = &[
+    "english",
+    "french",
+    "spanish",
+    "japanese",
+    "german",
+    "italian",
+    "korean",
+    "hindi",
+    "portuguese",
+    "swedish",
+    "polish",
+    "mandarin",
+];
+
+/// Movie genres.
+pub const GENRES: &[&str] = &[
+    "drama",
+    "comedy",
+    "thriller",
+    "horror",
+    "romance",
+    "documentary",
+    "western",
+    "musical",
+    "animation",
+    "mystery",
+    "adventure",
+    "noir",
+    "fantasy",
+    "biography",
+    "war",
+];
+
+/// Movie tags.
+pub const TAGS: &[&str] = &[
+    "cult",
+    "indie",
+    "classic",
+    "remake",
+    "dystopian",
+    "heist",
+    "courtroom",
+    "roadtrip",
+    "coming-of-age",
+    "space",
+    "underwater",
+    "heartwarming",
+    "gritty",
+    "surreal",
+    "satirical",
+    "slow-burn",
+    "ensemble",
+    "minimalist",
+    "epic",
+    "experimental",
+];
+
+/// Movie relation names — exactly the 9 MetaQA relation types.
+pub const MOVIE_RELATIONS: &[&str] = &[
+    "directed_by",
+    "written_by",
+    "starred_actors",
+    "release_year",
+    "in_language",
+    "has_genre",
+    "has_tags",
+    "has_imdb_rating",
+    "has_imdb_votes",
+];
+
+/// Builds the `i`-th medical entity name deterministically; names cycle
+/// through qualifier × stem combinations, disambiguated with a `type N`
+/// suffix when the combination space wraps.
+pub fn medical_entity_name(i: usize) -> String {
+    let q = MED_QUALIFIERS[i % MED_QUALIFIERS.len()];
+    let p = MED_STEM_PREFIXES[(i / MED_QUALIFIERS.len()) % MED_STEM_PREFIXES.len()];
+    let s = MED_STEM_SUFFIXES
+        [(i / (MED_QUALIFIERS.len() * MED_STEM_PREFIXES.len())) % MED_STEM_SUFFIXES.len()];
+    let wrap = i / (MED_QUALIFIERS.len() * MED_STEM_PREFIXES.len() * MED_STEM_SUFFIXES.len());
+    if wrap == 0 {
+        format!("{q} {p}{s}")
+    } else {
+        format!("{q} {p}{s} type {wrap}")
+    }
+}
+
+/// Builds the `i`-th movie title.
+pub fn movie_title(i: usize) -> String {
+    let a = MOVIE_ADJECTIVES[i % MOVIE_ADJECTIVES.len()];
+    let n = MOVIE_NOUNS[(i / MOVIE_ADJECTIVES.len()) % MOVIE_NOUNS.len()];
+    let wrap = i / (MOVIE_ADJECTIVES.len() * MOVIE_NOUNS.len());
+    if wrap == 0 {
+        format!("the {a} {n}")
+    } else {
+        format!("the {a} {n} {wrap}")
+    }
+}
+
+/// Builds the `i`-th person name.
+pub fn person_name(i: usize) -> String {
+    let f = FIRST_NAMES[i % FIRST_NAMES.len()];
+    let l = LAST_NAMES[(i / FIRST_NAMES.len()) % LAST_NAMES.len()];
+    let wrap = i / (FIRST_NAMES.len() * LAST_NAMES.len());
+    if wrap == 0 {
+        format!("{f} {l}")
+    } else {
+        format!("{f} {l} {wrap}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn medical_names_unique_over_large_range() {
+        let names: HashSet<String> = (0..20_000).map(medical_entity_name).collect();
+        assert_eq!(names.len(), 20_000);
+    }
+
+    #[test]
+    fn movie_titles_unique() {
+        let names: HashSet<String> = (0..2_000).map(movie_title).collect();
+        assert_eq!(names.len(), 2_000);
+    }
+
+    #[test]
+    fn person_names_unique() {
+        let names: HashSet<String> = (0..1_000).map(person_name).collect();
+        assert_eq!(names.len(), 1_000);
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(medical_entity_name(42), medical_entity_name(42));
+        assert_eq!(movie_title(7), movie_title(7));
+    }
+
+    #[test]
+    fn vocabulary_is_closed() {
+        // Token count of 20k medical names stays bounded by the pools.
+        let mut words = HashSet::new();
+        for i in 0..20_000 {
+            for w in medical_entity_name(i).split_whitespace() {
+                words.insert(w.to_string());
+            }
+        }
+        // qualifiers + prefix×suffix stems + "type" + wrap numerals
+        assert!(words.len() < 600, "vocab {} too large", words.len());
+    }
+
+    #[test]
+    fn nine_metaqa_relations() {
+        assert_eq!(MOVIE_RELATIONS.len(), 9);
+    }
+}

@@ -1,0 +1,236 @@
+//! Mixture-of-Partitions (MoP) style graph partitioning.
+//!
+//! The paper samples its UMLS subsets "following MoP (Meng et al. 2021)",
+//! which splits a large KG into semantically coherent partitions and trains
+//! one lightweight expert per partition. This module implements the sampling
+//! side: greedy balanced partitioning by relation-then-head locality, plus a
+//! partition-aware triple sampler that preserves each partition's relation
+//! mix (the property that keeps distractor pools type-consistent after
+//! sampling).
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::store::TripleStore;
+use crate::types::{EntityId, Triple};
+
+/// A partition of a store's triples (indices into `store.triples()`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    /// Partition id.
+    pub id: usize,
+    /// Triple indices in this partition.
+    pub triple_indices: Vec<usize>,
+}
+
+impl Partition {
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triple_indices.len()
+    }
+
+    /// True when the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triple_indices.is_empty()
+    }
+
+    /// Materializes the triples.
+    pub fn triples(&self, store: &TripleStore) -> Vec<Triple> {
+        self.triple_indices
+            .iter()
+            .map(|&i| store.triples()[i])
+            .collect()
+    }
+}
+
+/// Greedy balanced partitioning: triples are grouped by head entity (keeping
+/// an entity's facts together, as MoP's METIS step does for locality), then
+/// head-groups are assigned round-robin-by-size to `k` partitions.
+pub fn partition_by_head(store: &TripleStore, k: usize) -> Vec<Partition> {
+    assert!(k > 0, "partition count must be positive");
+    let mut by_head: HashMap<EntityId, Vec<usize>> = HashMap::new();
+    for (i, t) in store.triples().iter().enumerate() {
+        by_head.entry(t.head).or_default().push(i);
+    }
+    // Deterministic order: largest groups first, ties by entity id.
+    let mut groups: Vec<(EntityId, Vec<usize>)> = by_head.into_iter().collect();
+    groups.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+
+    let mut parts: Vec<Partition> = (0..k)
+        .map(|id| Partition {
+            id,
+            triple_indices: Vec::new(),
+        })
+        .collect();
+    for (_, idxs) in groups {
+        // Assign to the currently smallest partition (greedy balance).
+        let target = parts
+            .iter_mut()
+            .min_by_key(|p| p.triple_indices.len())
+            .expect("k > 0");
+        target.triple_indices.extend(idxs);
+    }
+    parts
+}
+
+/// Samples `n` triples by drawing proportionally from each partition,
+/// preserving every partition's share (MoP's sampling discipline).
+pub fn sample_across_partitions(
+    store: &TripleStore,
+    partitions: &[Partition],
+    n: usize,
+    rng: &mut impl Rng,
+) -> Vec<Triple> {
+    let total: usize = partitions.iter().map(Partition::len).sum();
+    if total == 0 || n == 0 {
+        return Vec::new();
+    }
+    let n = n.min(total);
+    let mut out = Vec::with_capacity(n);
+    for p in partitions {
+        let share = ((p.len() * n) as f64 / total as f64).round() as usize;
+        let mut idxs = p.triple_indices.clone();
+        idxs.shuffle(rng);
+        for &i in idxs.iter().take(share.min(p.len())) {
+            out.push(store.triples()[i]);
+        }
+    }
+    // Rounding drift: top up (or trim) to exactly n.
+    let mut all: Vec<usize> = (0..store.len()).collect();
+    all.shuffle(rng);
+    let mut i = 0;
+    while out.len() < n && i < all.len() {
+        let t = store.triples()[all[i]];
+        if !out.contains(&t) {
+            out.push(t);
+        }
+        i += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+/// Partition quality statistics: size balance and relation diversity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Number of partitions.
+    pub k: usize,
+    /// Smallest partition size.
+    pub min_size: usize,
+    /// Largest partition size.
+    pub max_size: usize,
+    /// Mean distinct relations per partition.
+    pub mean_relations: f32,
+}
+
+impl PartitionStats {
+    /// Computes stats for a partitioning of `store`.
+    pub fn of(store: &TripleStore, partitions: &[Partition]) -> Self {
+        let sizes: Vec<usize> = partitions.iter().map(Partition::len).collect();
+        let rel_counts: Vec<usize> = partitions
+            .iter()
+            .map(|p| {
+                let rels: std::collections::HashSet<_> = p
+                    .triple_indices
+                    .iter()
+                    .map(|&i| store.triples()[i].relation)
+                    .collect();
+                rels.len()
+            })
+            .collect();
+        PartitionStats {
+            k: partitions.len(),
+            min_size: sizes.iter().copied().min().unwrap_or(0),
+            max_size: sizes.iter().copied().max().unwrap_or(0),
+            mean_relations: rel_counts.iter().sum::<usize>() as f32
+                / partitions.len().max(1) as f32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::umls::{synth_umls, UmlsConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn store() -> TripleStore {
+        synth_umls(&UmlsConfig::with_triplets(400, 17))
+    }
+
+    #[test]
+    fn partitions_cover_all_triples_exactly_once() {
+        let s = store();
+        let parts = partition_by_head(&s, 4);
+        assert_eq!(parts.len(), 4);
+        let mut all: Vec<usize> = parts
+            .iter()
+            .flat_map(|p| p.triple_indices.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn head_groups_stay_together() {
+        let s = store();
+        let parts = partition_by_head(&s, 4);
+        // Every head entity's triples land in exactly one partition.
+        let mut owner: HashMap<EntityId, usize> = HashMap::new();
+        for p in &parts {
+            for &i in &p.triple_indices {
+                let h = s.triples()[i].head;
+                if let Some(&prev) = owner.get(&h) {
+                    assert_eq!(prev, p.id, "head split across partitions");
+                } else {
+                    owner.insert(h, p.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_balanced() {
+        let s = store();
+        let parts = partition_by_head(&s, 5);
+        let stats = PartitionStats::of(&s, &parts);
+        assert!(
+            stats.max_size - stats.min_size <= stats.max_size / 2 + 3,
+            "imbalanced: {stats:?}"
+        );
+        assert!(stats.mean_relations > 1.0);
+    }
+
+    #[test]
+    fn sampling_preserves_count_and_membership() {
+        let s = store();
+        let parts = partition_by_head(&s, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let sample = sample_across_partitions(&s, &parts, 100, &mut rng);
+        assert_eq!(sample.len(), 100);
+        for t in &sample {
+            assert!(s.contains(t));
+        }
+    }
+
+    #[test]
+    fn sampling_caps_at_store_size() {
+        let s = store();
+        let parts = partition_by_head(&s, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let sample = sample_across_partitions(&s, &parts, 10_000, &mut rng);
+        assert_eq!(sample.len(), s.len());
+    }
+
+    #[test]
+    fn single_partition_is_identity_cover() {
+        let s = store();
+        let parts = partition_by_head(&s, 1);
+        assert_eq!(parts[0].len(), s.len());
+        assert_eq!(parts[0].triples(&s).len(), s.len());
+    }
+}

@@ -1,0 +1,89 @@
+//! Descriptive statistics of a knowledge graph (reported in experiment logs).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::TripleStore;
+
+/// Summary statistics of a [`TripleStore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KgStats {
+    /// Triple count.
+    pub n_triples: usize,
+    /// Distinct entity count.
+    pub n_entities: usize,
+    /// Distinct relation count.
+    pub n_relations: usize,
+    /// Mean triples per head entity.
+    pub mean_head_degree: f32,
+    /// Largest per-relation triple count.
+    pub max_relation_count: usize,
+    /// Smallest per-relation triple count (over non-empty relations).
+    pub min_relation_count: usize,
+}
+
+impl KgStats {
+    /// Computes statistics for `store`.
+    pub fn of(store: &TripleStore) -> Self {
+        let mut head_deg: HashMap<_, usize> = HashMap::new();
+        let mut rel_count: HashMap<_, usize> = HashMap::new();
+        for t in store.triples() {
+            *head_deg.entry(t.head).or_default() += 1;
+            *rel_count.entry(t.relation).or_default() += 1;
+        }
+        let mean_head_degree = if head_deg.is_empty() {
+            0.0
+        } else {
+            store.len() as f32 / head_deg.len() as f32
+        };
+        KgStats {
+            n_triples: store.len(),
+            n_entities: store.n_entities(),
+            n_relations: store.n_relations(),
+            mean_head_degree,
+            max_relation_count: rel_count.values().copied().max().unwrap_or(0),
+            min_relation_count: rel_count.values().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Display for KgStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} triples, {} entities, {} relations, mean head degree {:.2}, \
+             relation counts [{}, {}]",
+            self.n_triples,
+            self.n_entities,
+            self.n_relations,
+            self.mean_head_degree,
+            self.min_relation_count,
+            self.max_relation_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::umls::{synth_umls, UmlsConfig};
+
+    #[test]
+    fn stats_of_generated_graph() {
+        let s = synth_umls(&UmlsConfig::with_triplets(300, 1));
+        let st = KgStats::of(&s);
+        assert_eq!(st.n_triples, 300);
+        assert!(st.mean_head_degree >= 1.0);
+        assert!(st.max_relation_count >= st.min_relation_count);
+        assert!(st.to_string().contains("300 triples"));
+    }
+
+    #[test]
+    fn stats_of_empty_store() {
+        let s = TripleStore::new();
+        let st = KgStats::of(&s);
+        assert_eq!(st.n_triples, 0);
+        assert_eq!(st.mean_head_degree, 0.0);
+    }
+}

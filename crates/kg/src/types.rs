@@ -1,0 +1,53 @@
+//! Interned identifiers and the triple record.
+
+use serde::{Deserialize, Serialize};
+
+/// Interned entity identifier within one [`crate::TripleStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Interned relation identifier within one [`crate::TripleStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+/// A knowledge triplet `⟨head, relation, tail⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject entity.
+    pub head: EntityId,
+    /// Relation.
+    pub relation: RelationId,
+    /// Object entity.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Constructs a triple.
+    pub fn new(head: EntityId, relation: RelationId, tail: EntityId) -> Self {
+        Triple {
+            head,
+            relation,
+            tail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_equality_is_structural() {
+        let a = Triple::new(EntityId(1), RelationId(2), EntityId(3));
+        let b = Triple::new(EntityId(1), RelationId(2), EntityId(3));
+        let c = Triple::new(EntityId(3), RelationId(2), EntityId(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(RelationId(0) < RelationId(9));
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic UMLS-style medical knowledge graph.
+//!
+//! Stands in for the paper's UMLS samples (2,500 and 25,000 triplets, MoP
+//! sampling). Preserves the statistical structure detection and integration
+//! depend on: many relations, shared entities across relations, functional
+//! `(head, relation)` pairs, and per-relation tail pools large enough to draw
+//! plausible distractors.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::names;
+use crate::store::TripleStore;
+use crate::types::Triple;
+
+/// Parameters of the synthetic UMLS generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UmlsConfig {
+    /// Number of triplets to generate.
+    pub n_triplets: usize,
+    /// Number of entities in the universe (defaults to ~0.8 × triplets).
+    pub n_entities: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UmlsConfig {
+    /// Config for a given triplet count with proportionate entities.
+    pub fn with_triplets(n_triplets: usize, seed: u64) -> Self {
+        UmlsConfig {
+            n_triplets,
+            n_entities: (n_triplets * 4 / 5).max(40),
+            seed,
+        }
+    }
+}
+
+/// Generates a deterministic medical-domain KG.
+///
+/// Each relation draws heads and tails from overlapping entity subsets;
+/// `(head, relation)` pairs are functional. Panics only if the requested
+/// triplet count is impossible for the universe size.
+pub fn synth_umls(cfg: &UmlsConfig) -> TripleStore {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut store = TripleStore::new();
+
+    let entities: Vec<_> = (0..cfg.n_entities)
+        .map(|i| store.intern_entity(&names::medical_entity_name(i)))
+        .collect();
+    let relations: Vec<_> = names::MED_RELATIONS
+        .iter()
+        .map(|r| store.intern_relation(r))
+        .collect();
+
+    // Per-relation head/tail pools: overlapping random subsets, so entities
+    // participate in several relations (like UMLS concepts do).
+    let pool_size = (cfg.n_entities / 2).max(10).min(cfg.n_entities);
+    let pools: Vec<(Vec<_>, Vec<_>)> = relations
+        .iter()
+        .map(|_| {
+            let mut heads = entities.clone();
+            heads.shuffle(&mut rng);
+            heads.truncate(pool_size);
+            let mut tails = entities.clone();
+            tails.shuffle(&mut rng);
+            // Tail pools are smaller: several heads share each tail, giving
+            // the edit-distance distractor pool realistic near-misses.
+            tails.truncate((pool_size / 2).max(8).min(cfg.n_entities));
+            (heads, tails)
+        })
+        .collect();
+
+    let capacity: usize = pools.iter().map(|(h, _)| h.len()).sum();
+    assert!(
+        cfg.n_triplets <= capacity,
+        "cannot generate {} functional triplets from capacity {capacity}; \
+         increase n_entities",
+        cfg.n_triplets
+    );
+
+    let mut attempts = 0usize;
+    let max_attempts = cfg.n_triplets * 200;
+    while store.len() < cfg.n_triplets {
+        attempts += 1;
+        assert!(
+            attempts < max_attempts,
+            "generator stalled at {} / {} triplets",
+            store.len(),
+            cfg.n_triplets
+        );
+        let ri = rng.gen_range(0..relations.len());
+        let (heads, tails) = &pools[ri];
+        let h = heads[rng.gen_range(0..heads.len())];
+        let t = tails[rng.gen_range(0..tails.len())];
+        if h == t {
+            continue;
+        }
+        store.insert_functional(Triple::new(h, relations[ri], t));
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let s = synth_umls(&UmlsConfig::with_triplets(500, 1));
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.n_relations(), names::MED_RELATIONS.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synth_umls(&UmlsConfig::with_triplets(200, 7));
+        let b = synth_umls(&UmlsConfig::with_triplets(200, 7));
+        assert_eq!(a.triples(), b.triples());
+        let c = synth_umls(&UmlsConfig::with_triplets(200, 8));
+        assert_ne!(a.triples(), c.triples());
+    }
+
+    #[test]
+    fn head_relation_pairs_are_functional() {
+        let s = synth_umls(&UmlsConfig::with_triplets(400, 3));
+        let mut seen = std::collections::HashSet::new();
+        for t in s.triples() {
+            assert!(seen.insert((t.head, t.relation)), "duplicate (h,r)");
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let s = synth_umls(&UmlsConfig::with_triplets(300, 5));
+        assert!(s.triples().iter().all(|t| t.head != t.tail));
+    }
+
+    #[test]
+    fn tail_pools_support_distractors() {
+        let s = synth_umls(&UmlsConfig::with_triplets(400, 2));
+        for r in s.relation_ids() {
+            if !s.triples_of_relation(r).is_empty() {
+                assert!(
+                    s.tail_pool(r).len() >= 4,
+                    "relation {} pool too small for 4-way MCQ",
+                    s.relation_name(r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scales_to_25k_shape() {
+        // The Table 3 scale: 10× triplets, still functional and closed-vocab.
+        let s = synth_umls(&UmlsConfig::with_triplets(5_000, 4));
+        assert_eq!(s.len(), 5_000);
+    }
+}

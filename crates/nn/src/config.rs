@@ -1,0 +1,114 @@
+//! Model hyperparameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture of the base transformer LM.
+///
+/// The default mirrors LLaMa-2-7B's *geometry* at a CPU-trainable scale:
+/// 12 pre-LN decoder layers with causal multi-head attention, GELU FFNs,
+/// learned positional embeddings, and a weight-tied LM head. The paper's
+/// layer-indexed experiments (adapters in the last 30 of 32 layers, position
+/// sweeps over thirds) are mapped onto this depth proportionally — see
+/// `DESIGN.md` §4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Vocabulary size (set from the tokenizer).
+    pub vocab_size: usize,
+    /// Hidden width `d`.
+    pub d_model: usize,
+    /// Number of transformer layers `L`.
+    pub n_layers: usize,
+    /// Attention heads (must divide `d_model`).
+    pub n_heads: usize,
+    /// FFN inner width.
+    pub d_ff: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_seq: usize,
+    /// LayerNorm epsilon.
+    pub ln_eps: f32,
+    /// Weight init standard deviation.
+    pub init_std: f32,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            vocab_size: 2048,
+            d_model: 64,
+            n_layers: 12,
+            n_heads: 4,
+            d_ff: 192,
+            max_seq: 96,
+            ln_eps: 1e-5,
+            init_std: 0.02,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A very small configuration for unit tests.
+    pub fn tiny(vocab_size: usize) -> Self {
+        ModelConfig {
+            vocab_size,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 32,
+            max_seq: 32,
+            ..ModelConfig::default()
+        }
+    }
+
+    /// Per-head width.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.d_model % self.n_heads != 0 {
+            return Err(format!(
+                "d_model {} not divisible by n_heads {}",
+                self.d_model, self.n_heads
+            ));
+        }
+        if self.vocab_size == 0 || self.n_layers == 0 || self.max_seq == 0 {
+            return Err("zero-sized dimension".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ModelConfig::default().validate().is_ok());
+        assert_eq!(ModelConfig::default().head_dim(), 16);
+    }
+
+    #[test]
+    fn rejects_indivisible_heads() {
+        let c = ModelConfig {
+            d_model: 10,
+            n_heads: 3,
+            ..ModelConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        assert!(ModelConfig::tiny(100).validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ModelConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: ModelConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

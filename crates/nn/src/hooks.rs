@@ -1,0 +1,148 @@
+//! Layer hook points — the extension mechanism every knowledge-integration
+//! method plugs into.
+//!
+//! The paper patches a *frozen* LLaMa-2 with extra modules at various
+//! positions: parallel FFN adapters (InfuserKI, CALINET), extra FFN neurons
+//! (T-Patcher), low-rank attention deltas (LoRA/QLoRA) and prepended
+//! key/value prefixes (Prefix Tuning). [`LayerHook`] exposes exactly those
+//! interception points on [`crate::TransformerLm`]; the base forward pass is
+//! method-agnostic.
+
+use infuserki_tensor::{NodeId, Tape};
+
+/// Per-forward observations and cross-layer hook state.
+///
+/// The trace doubles as (a) the probe surface for the paper's analyses
+/// (Fig. 1 hidden states, Fig. 6 infusing scores) and (b) the carrier of the
+/// InfuserKI adapter's cross-layer accumulator `H_A^{l-1}` (Eq. 1), which must
+/// flow from one layer's hook invocation to the next within a single forward.
+#[derive(Default)]
+pub struct ForwardTrace {
+    /// `H_P^l`: the input of each layer's FFN sublayer (post-LayerNorm).
+    pub ffn_inputs: Vec<NodeId>,
+    /// The raw FFN output of each layer (before hooks).
+    pub ffn_outputs: Vec<NodeId>,
+    /// Each layer's block output hidden state (after both residuals).
+    pub block_outputs: Vec<NodeId>,
+    /// Cross-layer adapter accumulator `H_A^{l-1}` (InfuserKI Eq. 1).
+    pub adapter_carry: Option<NodeId>,
+    /// `(layer, H_A^l)` adapter outputs, for RC-phase entity pooling.
+    pub adapter_outputs: Vec<(usize, NodeId)>,
+    /// `(layer, r^l)` infusing-score nodes, for the Fig. 6 probe.
+    pub gate_scores: Vec<(usize, NodeId)>,
+    /// `(layer, logit)` pre-sigmoid infuser outputs, for the BCE infuser-
+    /// tuning phase (Eq. 5).
+    pub gate_logits: Vec<(usize, NodeId)>,
+}
+
+impl ForwardTrace {
+    /// A fresh, empty trace.
+    pub fn new() -> Self {
+        ForwardTrace::default()
+    }
+
+    /// The adapter output recorded at `layer`, if any.
+    pub fn adapter_output_at(&self, layer: usize) -> Option<NodeId> {
+        self.adapter_outputs
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .map(|(_, n)| *n)
+    }
+
+    /// The last recorded adapter output (`H_A^L` in Eq. 9's pooling).
+    pub fn last_adapter_output(&self) -> Option<NodeId> {
+        self.adapter_outputs.last().map(|(_, n)| *n)
+    }
+}
+
+/// Interception points on the transformer forward pass.
+///
+/// All methods default to "no change", so the unit struct [`NoHook`] runs the
+/// vanilla model. Implementations receive the tape to record their own
+/// (trainable-parameter) subgraphs; the trace carries per-forward state.
+pub trait LayerHook: Sync {
+    /// Additive delta to the attention **query** projection output at
+    /// `layer` (`x` is the attention sublayer input, post-LN). LoRA-style.
+    fn attn_q_delta(&self, _layer: usize, _x: NodeId, _tape: &mut Tape) -> Option<NodeId> {
+        None
+    }
+
+    /// Additive delta to the attention **value** projection output.
+    fn attn_v_delta(&self, _layer: usize, _x: NodeId, _tape: &mut Tape) -> Option<NodeId> {
+        None
+    }
+
+    /// Learnable key/value rows `([p, d_model], [p, d_model])` prepended to
+    /// attention at `layer` (prefix tuning). Rows are split per-head by the
+    /// attention module.
+    fn prefix_kv(&self, _layer: usize, _tape: &mut Tape) -> Option<(NodeId, NodeId)> {
+        None
+    }
+
+    /// Rewrites the attention sublayer output (pre-residual). Used by the
+    /// Fig. 5 "attention placement" ablation of the knowledge adapters.
+    fn attn_output(
+        &self,
+        _layer: usize,
+        _attn_in: NodeId,
+        attn_out: NodeId,
+        _tape: &mut Tape,
+        _trace: &mut ForwardTrace,
+    ) -> NodeId {
+        attn_out
+    }
+
+    /// Rewrites the FFN sublayer output (pre-residual). `ffn_in` is `H_P^l`,
+    /// `ffn_out` is `FFN(H_P^l)`; InfuserKI returns
+    /// `r^l · H_A^l + FFN(H_P^l)` (Eq. 6), CALINET/T-Patcher add their own
+    /// corrections here.
+    fn ffn_output(
+        &self,
+        _layer: usize,
+        _ffn_in: NodeId,
+        ffn_out: NodeId,
+        _tape: &mut Tape,
+        _trace: &mut ForwardTrace,
+    ) -> NodeId {
+        ffn_out
+    }
+}
+
+/// The identity hook: runs the unmodified base model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl LayerHook for NoHook {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infuserki_tensor::Matrix;
+
+    #[test]
+    fn nohook_defaults_are_identity() {
+        let mut tape = Tape::new();
+        let mut trace = ForwardTrace::new();
+        let x = tape.leaf(Matrix::zeros(2, 4));
+        let y = tape.leaf(Matrix::zeros(2, 4));
+        let h = NoHook;
+        assert!(h.attn_q_delta(0, x, &mut tape).is_none());
+        assert!(h.prefix_kv(0, &mut tape).is_none());
+        assert_eq!(h.ffn_output(0, x, y, &mut tape, &mut trace), y);
+        assert_eq!(h.attn_output(0, x, y, &mut tape, &mut trace), y);
+    }
+
+    #[test]
+    fn trace_adapter_lookup() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::scalar(0.0));
+        let b = tape.leaf(Matrix::scalar(0.0));
+        let mut trace = ForwardTrace::new();
+        assert!(trace.last_adapter_output().is_none());
+        trace.adapter_outputs.push((3, a));
+        trace.adapter_outputs.push((4, b));
+        assert_eq!(trace.adapter_output_at(3), Some(a));
+        assert_eq!(trace.adapter_output_at(5), None);
+        assert_eq!(trace.last_adapter_output(), Some(b));
+    }
+}

@@ -1,0 +1,28 @@
+//! # infuserki-nn
+//!
+//! A decoder-only transformer language model (`SmolLM`) built on
+//! `infuserki-tensor`, plus the optimizer and training machinery shared by
+//! the InfuserKI method and every baseline.
+//!
+//! The model exposes **hook points** ([`hooks::LayerHook`]) at each layer's
+//! attention and FFN sublayers. The InfuserKI adapters, LoRA, QLoRA, prefix
+//! tuning, CALINET and T-Patcher all inject themselves through these hooks,
+//! so a single frozen base model serves every method — mirroring how the
+//! paper patches a frozen LLaMa-2.
+
+pub mod attention;
+pub mod block;
+pub mod config;
+pub mod ffn;
+pub mod hooks;
+pub mod layers;
+pub mod model;
+pub mod optim;
+pub mod sampler;
+pub mod trainer;
+
+pub use config::ModelConfig;
+pub use hooks::{ForwardTrace, LayerHook, NoHook};
+pub use model::TransformerLm;
+pub use optim::{AdamW, AdamWConfig};
+pub use trainer::{compute_batch_grads, eval_loss, train_epoch, LmSample, Trainable};

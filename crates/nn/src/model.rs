@@ -1,0 +1,327 @@
+//! The base language model: a decoder-only transformer with a weight-tied LM
+//! head and learned positional embeddings.
+
+use std::fs;
+use std::path::Path;
+
+use infuserki_tensor::op::IGNORE_INDEX;
+use infuserki_tensor::{NodeId, Param, Tape};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::block::TransformerBlock;
+use crate::hooks::{ForwardTrace, LayerHook};
+use crate::layers::{Embedding, LayerNorm, Module};
+use crate::ModelConfig;
+
+/// Decoder-only transformer LM ("SmolLM" in the reproduction's DESIGN.md).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransformerLm {
+    cfg: ModelConfig,
+    tok_embed: Embedding,
+    pos_embed: Embedding,
+    blocks: Vec<TransformerBlock>,
+    ln_f: LayerNorm,
+}
+
+impl TransformerLm {
+    /// Builds a freshly initialized model.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn new(cfg: ModelConfig, rng: &mut impl Rng) -> Self {
+        cfg.validate().expect("invalid ModelConfig");
+        let blocks = (0..cfg.n_layers)
+            .map(|l| TransformerBlock::new(l, &cfg, rng))
+            .collect();
+        TransformerLm {
+            tok_embed: Embedding::new("tok_embed", cfg.vocab_size, cfg.d_model, cfg.init_std, rng),
+            pos_embed: Embedding::new("pos_embed", cfg.max_seq, cfg.d_model, cfg.init_std, rng),
+            ln_f: LayerNorm::new("ln_f", cfg.d_model, cfg.ln_eps),
+            blocks,
+            cfg,
+        }
+    }
+
+    /// The architecture config.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.cfg.n_layers
+    }
+
+    /// The blocks (read access for method wiring).
+    pub fn blocks(&self) -> &[TransformerBlock] {
+        &self.blocks
+    }
+
+    /// Mutable blocks (weight quantization for QLoRA).
+    pub fn blocks_mut(&mut self) -> &mut [TransformerBlock] {
+        &mut self.blocks
+    }
+
+    /// Full forward pass with hooks and trace capture.
+    ///
+    /// Returns the `[n, vocab]` logits node. `tokens` must be non-empty and
+    /// no longer than `max_seq`.
+    pub fn forward_traced(
+        &self,
+        tokens: &[usize],
+        hook: &dyn LayerHook,
+        tape: &mut Tape,
+        trace: &mut ForwardTrace,
+    ) -> NodeId {
+        assert!(!tokens.is_empty(), "forward: empty token sequence");
+        assert!(
+            tokens.len() <= self.cfg.max_seq,
+            "forward: sequence {} exceeds max_seq {}",
+            tokens.len(),
+            self.cfg.max_seq
+        );
+        let te = self.tok_embed.forward(tokens, tape);
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let pe = self.pos_embed.forward(&positions, tape);
+        let mut x = tape.add(te, pe);
+        for block in &self.blocks {
+            x = block.forward(x, hook, tape, trace);
+        }
+        let h = self.ln_f.forward(x, tape);
+        // Weight-tied head: logits = h @ E^T.
+        let e = tape.param(self.tok_embed.table());
+        tape.matmul_bt(h, e)
+    }
+
+    /// Forward pass discarding the trace.
+    pub fn forward(&self, tokens: &[usize], hook: &dyn LayerHook, tape: &mut Tape) -> NodeId {
+        let mut trace = ForwardTrace::new();
+        self.forward_traced(tokens, hook, tape, &mut trace)
+    }
+
+    /// Next-token cross-entropy over a sequence: position `i` predicts
+    /// `targets[i]`; use [`IGNORE_INDEX`] to mask prompt positions.
+    ///
+    /// `targets.len()` must equal `tokens.len()`.
+    pub fn lm_loss(
+        &self,
+        tokens: &[usize],
+        targets: &[usize],
+        hook: &dyn LayerHook,
+        tape: &mut Tape,
+    ) -> NodeId {
+        assert_eq!(tokens.len(), targets.len(), "lm_loss: length mismatch");
+        let logits = self.forward(tokens, hook, tape);
+        tape.cross_entropy(logits, targets)
+    }
+
+    /// Convenience: teacher-forced loss where the model must produce
+    /// `completion` after `prompt`. Builds the shifted target vector.
+    pub fn completion_loss(
+        &self,
+        prompt: &[usize],
+        completion: &[usize],
+        hook: &dyn LayerHook,
+        tape: &mut Tape,
+    ) -> NodeId {
+        let (tokens, targets) = completion_sample(prompt, completion);
+        self.lm_loss(&tokens, &targets, hook, tape)
+    }
+
+    /// Log-probability (natural log) the model assigns to `completion`
+    /// following `prompt`, summed over completion tokens. Used for MCQ option
+    /// scoring.
+    pub fn completion_logprob(
+        &self,
+        prompt: &[usize],
+        completion: &[usize],
+        hook: &dyn LayerHook,
+    ) -> f32 {
+        assert!(
+            !completion.is_empty(),
+            "completion_logprob: empty completion"
+        );
+        let mut tape = Tape::new();
+        let mut tokens = prompt.to_vec();
+        tokens.extend_from_slice(completion);
+        // Drop the final token's prediction: nothing follows it.
+        let input = &tokens[..tokens.len() - 1];
+        let logits = self.forward(input, hook, &mut tape);
+        self.sum_completion_logprob(&tape, logits, prompt.len(), completion)
+    }
+
+    fn sum_completion_logprob(
+        &self,
+        tape: &Tape,
+        logits: NodeId,
+        prompt_len: usize,
+        completion: &[usize],
+    ) -> f32 {
+        let v = tape.value(logits);
+        let lp = infuserki_tensor::kernels::log_softmax_rows(v);
+        let mut total = 0.0;
+        for (i, &tok) in completion.iter().enumerate() {
+            // Row prompt_len-1+i predicts completion[i].
+            let row = prompt_len - 1 + i;
+            total += lp.get(row, tok);
+        }
+        total
+    }
+
+    /// Saves the model (config + all parameters) as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("model serialization cannot fail");
+        if let Some(dir) = path.as_ref().parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, json)
+    }
+
+    /// Loads a model saved by [`save`](Self::save).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let json = fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
+        let model: TransformerLm =
+            serde_json::from_str(&json).map_err(|e| format!("parse checkpoint: {e}"))?;
+        model.cfg.validate()?;
+        Ok(model)
+    }
+}
+
+impl Module for TransformerLm {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.tok_embed.visit(f);
+        self.pos_embed.visit(f);
+        for b in &self.blocks {
+            b.visit(f);
+        }
+        self.ln_f.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.tok_embed.visit_mut(f);
+        self.pos_embed.visit_mut(f);
+        for b in &mut self.blocks {
+            b.visit_mut(f);
+        }
+        self.ln_f.visit_mut(f);
+    }
+}
+
+/// Builds `(tokens, targets)` for teacher forcing: the model sees
+/// `prompt ++ completion[..-1]` and must predict each completion token;
+/// prompt positions are masked with [`IGNORE_INDEX`].
+pub fn completion_sample(prompt: &[usize], completion: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        !completion.is_empty(),
+        "completion_sample: empty completion"
+    );
+    let mut tokens = Vec::with_capacity(prompt.len() + completion.len() - 1);
+    tokens.extend_from_slice(prompt);
+    tokens.extend_from_slice(&completion[..completion.len() - 1]);
+    let mut targets = vec![IGNORE_INDEX; tokens.len()];
+    for (i, &tok) in completion.iter().enumerate() {
+        targets[prompt.len() - 1 + i] = tok;
+    }
+    (tokens, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHook;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model() -> TransformerLm {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        TransformerLm::new(ModelConfig::tiny(40), &mut rng)
+    }
+
+    #[test]
+    fn forward_logits_shape() {
+        let m = model();
+        let mut t = Tape::new();
+        let y = m.forward(&[1, 2, 3], &NoHook, &mut t);
+        assert_eq!(t.value(y).shape(), (3, 40));
+    }
+
+    #[test]
+    fn trace_covers_all_layers() {
+        let m = model();
+        let mut t = Tape::new();
+        let mut trace = ForwardTrace::new();
+        m.forward_traced(&[1, 2], &NoHook, &mut t, &mut trace);
+        assert_eq!(trace.ffn_inputs.len(), 2);
+        assert_eq!(trace.block_outputs.len(), 2);
+    }
+
+    #[test]
+    fn completion_sample_alignment() {
+        let (tokens, targets) = completion_sample(&[10, 11], &[20, 21]);
+        assert_eq!(tokens, vec![10, 11, 20]);
+        assert_eq!(targets, vec![IGNORE_INDEX, 20, 21]);
+    }
+
+    #[test]
+    fn lm_loss_is_finite_scalar() {
+        let m = model();
+        let mut t = Tape::new();
+        let loss = m.completion_loss(&[1, 2], &[3, 4], &NoHook, &mut t);
+        let v = t.value(loss).scalar_value();
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn logprob_is_negative_and_finite() {
+        let m = model();
+        let lp = m.completion_logprob(&[1, 2], &[3], &NoHook);
+        assert!(lp < 0.0 && lp.is_finite());
+    }
+
+    #[test]
+    fn training_signal_reaches_params() {
+        let mut m = model();
+        let mut t = Tape::new();
+        let loss = m.completion_loss(&[1, 2], &[3], &NoHook, &mut t);
+        t.backward(loss);
+        let grads = t.grads();
+        let mut with_grad = 0;
+        m.visit_mut(&mut |p| {
+            if grads.get(p.id()).is_some() {
+                with_grad += 1;
+            }
+        });
+        // Every parameter should receive gradient (tied embeddings included).
+        assert_eq!(with_grad, {
+            let mut total = 0;
+            m.visit(&mut |_| total += 1);
+            total
+        });
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_logits() {
+        let m = model();
+        let dir = std::env::temp_dir().join("infuserki_test_ckpt");
+        let path = dir.join("model.json");
+        m.save(&path).unwrap();
+        let loaded = TransformerLm::load(&path).unwrap();
+        let mut t1 = Tape::new();
+        let mut t2 = Tape::new();
+        let a = m.forward(&[1, 2, 3], &NoHook, &mut t1);
+        let b = loaded.forward(&[1, 2, 3], &NoHook, &mut t2);
+        assert_eq!(t1.value(a).data(), t2.value(b).data());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn forward_rejects_overlong_input() {
+        let m = model();
+        let mut t = Tape::new();
+        let tokens = vec![0usize; m.config().max_seq + 1];
+        m.forward(&tokens, &NoHook, &mut t);
+    }
+}

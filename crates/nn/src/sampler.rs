@@ -1,0 +1,334 @@
+//! Decoding and option scoring.
+//!
+//! The paper evaluates knowledge with multiple-choice questions: the LLM
+//! generates an answer and a regex extracts the chosen option letter. For the
+//! reproduction we implement both (a) greedy generation with letter
+//! extraction (matching the paper's protocol) and (b) direct option
+//! log-likelihood scoring (used by the Fig. 7 case-study probability tables).
+
+use infuserki_tensor::{kernels, Tape};
+
+use crate::hooks::LayerHook;
+use crate::model::TransformerLm;
+
+/// Greedy-decodes up to `max_new` tokens after `prompt`, stopping early at
+/// `eos` (if given). Returns only the newly generated tokens.
+pub fn greedy_decode(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompt: &[usize],
+    max_new: usize,
+    eos: Option<usize>,
+) -> Vec<usize> {
+    let mut tokens = prompt.to_vec();
+    let mut out = Vec::with_capacity(max_new);
+    for _ in 0..max_new {
+        if tokens.len() >= model.config().max_seq {
+            break;
+        }
+        let mut tape = Tape::new();
+        let logits = model.forward(&tokens, hook, &mut tape);
+        let v = tape.value(logits);
+        let last = v.row(v.rows() - 1);
+        let next = argmax(last);
+        if Some(next) == eos {
+            break;
+        }
+        out.push(next);
+        tokens.push(next);
+    }
+    out
+}
+
+/// Sums each candidate completion's log-likelihood after `prompt`.
+pub fn score_options(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompt: &[usize],
+    options: &[Vec<usize>],
+) -> Vec<f32> {
+    options
+        .iter()
+        .map(|opt| model.completion_logprob(prompt, opt, hook))
+        .collect()
+}
+
+/// Normalizes per-option log-likelihoods into a probability distribution
+/// (length-normalized to avoid favoring short options).
+pub fn option_probabilities(scores: &[f32], lengths: &[usize]) -> Vec<f32> {
+    assert_eq!(scores.len(), lengths.len());
+    let normed: Vec<f32> = scores
+        .iter()
+        .zip(lengths)
+        .map(|(&s, &l)| s / l.max(1) as f32)
+        .collect();
+    let m = kernels::softmax_rows(&infuserki_tensor::Matrix::row_vec(normed));
+    m.into_vec()
+}
+
+/// Beam-search decoding: keeps the `beam_width` highest-log-probability
+/// continuations at each step. Returns the best completed sequence (new
+/// tokens only). Falls back to the best live beam if nothing hits `eos`.
+pub fn beam_search(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompt: &[usize],
+    max_new: usize,
+    beam_width: usize,
+    eos: Option<usize>,
+) -> Vec<usize> {
+    assert!(beam_width >= 1, "beam width must be at least 1");
+    #[derive(Clone)]
+    struct Beam {
+        tokens: Vec<usize>,
+        score: f32,
+        done: bool,
+    }
+    let mut beams = vec![Beam {
+        tokens: Vec::new(),
+        score: 0.0,
+        done: false,
+    }];
+    for _ in 0..max_new {
+        if beams.iter().all(|b| b.done) {
+            break;
+        }
+        let mut candidates: Vec<Beam> = Vec::new();
+        for beam in &beams {
+            if beam.done {
+                candidates.push(beam.clone());
+                continue;
+            }
+            let mut input = prompt.to_vec();
+            input.extend(&beam.tokens);
+            if input.len() >= model.config().max_seq {
+                let mut b = beam.clone();
+                b.done = true;
+                candidates.push(b);
+                continue;
+            }
+            let mut tape = Tape::new();
+            let logits = model.forward(&input, hook, &mut tape);
+            let v = tape.value(logits);
+            let last = kernels::log_softmax_rows(&infuserki_tensor::Matrix::row_vec(
+                v.row(v.rows() - 1).to_vec(),
+            ));
+            // Top beam_width expansions of this beam.
+            let mut idx: Vec<usize> = (0..last.cols()).collect();
+            idx.sort_by(|&a, &b| last.get(0, b).total_cmp(&last.get(0, a)));
+            for &tok in idx.iter().take(beam_width) {
+                let mut b = beam.clone();
+                b.score += last.get(0, tok);
+                if Some(tok) == eos {
+                    b.done = true;
+                } else {
+                    b.tokens.push(tok);
+                }
+                candidates.push(b);
+            }
+        }
+        // Length-normalized pruning so longer beams are not starved.
+        candidates.sort_by(|a, b| {
+            let an = a.score / (a.tokens.len().max(1) as f32);
+            let bn = b.score / (b.tokens.len().max(1) as f32);
+            bn.total_cmp(&an)
+        });
+        candidates.truncate(beam_width);
+        beams = candidates;
+    }
+    beams
+        .into_iter()
+        .max_by(|a, b| {
+            let an = a.score / (a.tokens.len().max(1) as f32);
+            let bn = b.score / (b.tokens.len().max(1) as f32);
+            an.total_cmp(&bn)
+        })
+        .map(|b| b.tokens)
+        .unwrap_or_default()
+}
+
+/// Top-k sampling: draws each next token from the renormalized top-`k`
+/// distribution with `temperature` scaling. Deterministic given `rng`.
+pub fn sample_top_k(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompt: &[usize],
+    max_new: usize,
+    k: usize,
+    temperature: f32,
+    eos: Option<usize>,
+    rng: &mut impl rand::Rng,
+) -> Vec<usize> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(temperature > 0.0, "temperature must be positive");
+    let mut tokens = prompt.to_vec();
+    let mut out = Vec::with_capacity(max_new);
+    for _ in 0..max_new {
+        if tokens.len() >= model.config().max_seq {
+            break;
+        }
+        let mut tape = Tape::new();
+        let logits = model.forward(&tokens, hook, &mut tape);
+        let v = tape.value(logits);
+        let mut last: Vec<f32> = v.row(v.rows() - 1).to_vec();
+        for x in &mut last {
+            *x /= temperature;
+        }
+        let mut idx: Vec<usize> = (0..last.len()).collect();
+        idx.sort_by(|&a, &b| last[b].total_cmp(&last[a]));
+        idx.truncate(k);
+        let max = last[idx[0]];
+        let weights: Vec<f32> = idx.iter().map(|&i| (last[i] - max).exp()).collect();
+        let total: f32 = weights.iter().sum();
+        let mut draw = rng.gen_range(0.0..total);
+        let mut next = idx[0];
+        for (pos, &w) in weights.iter().enumerate() {
+            if draw < w {
+                next = idx[pos];
+                break;
+            }
+            draw -= w;
+        }
+        if Some(next) == eos {
+            break;
+        }
+        out.push(next);
+        tokens.push(next);
+    }
+    out
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHook;
+    use crate::ModelConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model() -> TransformerLm {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        TransformerLm::new(ModelConfig::tiny(30), &mut rng)
+    }
+
+    #[test]
+    fn greedy_decode_emits_tokens() {
+        let m = model();
+        let out = greedy_decode(&m, &NoHook, &[1, 2], 5, None);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&t| t < 30));
+    }
+
+    #[test]
+    fn greedy_decode_is_deterministic() {
+        let m = model();
+        assert_eq!(
+            greedy_decode(&m, &NoHook, &[3, 4], 4, None),
+            greedy_decode(&m, &NoHook, &[3, 4], 4, None)
+        );
+    }
+
+    #[test]
+    fn greedy_decode_respects_eos() {
+        let m = model();
+        let free = greedy_decode(&m, &NoHook, &[1], 5, None);
+        // Use the first generated token as EOS: generation must stop at zero.
+        let stopped = greedy_decode(&m, &NoHook, &[1], 5, Some(free[0]));
+        assert!(stopped.is_empty());
+    }
+
+    #[test]
+    fn greedy_decode_respects_max_seq() {
+        let m = model();
+        let max = m.config().max_seq;
+        let out = greedy_decode(&m, &NoHook, &[1], max * 2, None);
+        assert!(out.len() <= max - 1);
+    }
+
+    #[test]
+    fn score_options_orders_by_likelihood() {
+        let m = model();
+        let opts = vec![vec![5], vec![6], vec![7]];
+        let scores = score_options(&m, &NoHook, &[1, 2], &opts);
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().all(|s| s.is_finite() && *s < 0.0));
+    }
+
+    #[test]
+    fn option_probabilities_sum_to_one() {
+        let p = option_probabilities(&[-1.0, -2.0, -3.0, -4.0], &[1, 1, 2, 2]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(p[0] > p[1]);
+    }
+
+    #[test]
+    fn beam_width_one_equals_greedy_prefix() {
+        // With width 1 and no EOS, beam search follows the greedy path until
+        // its length-normalized pruning stops extending; the emitted tokens
+        // must be a prefix of the greedy decode.
+        let m = model();
+        let greedy = greedy_decode(&m, &NoHook, &[1, 2], 4, None);
+        let beam = beam_search(&m, &NoHook, &[1, 2], 4, 1, None);
+        assert!(!beam.is_empty());
+        assert_eq!(&greedy[..beam.len()], &beam[..]);
+    }
+
+    #[test]
+    fn beam_search_scores_at_least_greedy() {
+        let m = model();
+        let greedy = greedy_decode(&m, &NoHook, &[3], 3, None);
+        let beam = beam_search(&m, &NoHook, &[3], 3, 3, None);
+        let score = |seq: &[usize]| {
+            if seq.is_empty() {
+                return f32::NEG_INFINITY;
+            }
+            m.completion_logprob(&[3], seq, &NoHook) / seq.len() as f32
+        };
+        assert!(
+            score(&beam) >= score(&greedy) - 1e-4,
+            "beam {:.4} < greedy {:.4}",
+            score(&beam),
+            score(&greedy)
+        );
+    }
+
+    #[test]
+    fn top_k_sampling_is_seeded_and_bounded() {
+        let m = model();
+        let mut r1 = ChaCha8Rng::seed_from_u64(4);
+        let mut r2 = ChaCha8Rng::seed_from_u64(4);
+        let a = sample_top_k(&m, &NoHook, &[1], 5, 3, 1.0, None, &mut r1);
+        let b = sample_top_k(&m, &NoHook, &[1], 5, 3, 1.0, None, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&t| t < 30));
+    }
+
+    #[test]
+    fn top_k_one_is_greedy() {
+        let m = model();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let sampled = sample_top_k(&m, &NoHook, &[2, 3], 4, 1, 1.0, None, &mut rng);
+        let greedy = greedy_decode(&m, &NoHook, &[2, 3], 4, None);
+        assert_eq!(sampled, greedy);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+}

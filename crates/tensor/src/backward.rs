@@ -1,0 +1,424 @@
+//! Reverse-mode differentiation over a recorded tape.
+
+use crate::kernels;
+use crate::matrix::Matrix;
+use crate::op::{Op, IGNORE_INDEX};
+use crate::param::Gradients;
+use crate::tape::{NodeId, Tape};
+
+fn accumulate(slot: &mut Option<Matrix>, delta: Matrix) {
+    match slot {
+        Some(g) => g.add_assign(&delta),
+        None => *slot = Some(delta),
+    }
+}
+
+impl Tape {
+    /// Runs reverse-mode autodiff from the scalar node `root`, filling
+    /// per-node gradients (readable via [`Tape::grad`], extractable via
+    /// [`Tape::grads`]).
+    ///
+    /// Nodes recorded after `root` are ignored; nodes that do not contribute
+    /// to `root` keep a `None` gradient. Safe to call once per tape.
+    ///
+    /// # Panics
+    /// Panics if `root` is not a `[1,1]` node.
+    pub fn backward(&mut self, root: NodeId) {
+        assert_eq!(
+            self.value(root).shape(),
+            (1, 1),
+            "backward: root must be a scalar loss"
+        );
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[root.index()] = Some(Matrix::scalar(1.0));
+
+        for i in (0..=root.index()).rev() {
+            // Parents are strictly earlier on the tape (topological order by
+            // construction), so split lets us read this node's gradient while
+            // mutating parents' slots.
+            let (before, after) = self.grads.split_at_mut(i);
+            let gout = match &after[0] {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &self.nodes[i];
+            backward_op(&node.op, &self.nodes, gout, before);
+        }
+    }
+
+    /// Extracts per-parameter gradients (leaf nodes carrying a `ParamId`)
+    /// into a mergeable map. Call after [`Tape::backward`].
+    pub fn grads(&self) -> Gradients {
+        let mut out = Gradients::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Op::Leaf { param: Some(pid) } = node.op {
+                if let Some(g) = &self.grads[i] {
+                    out.add(pid, g.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Propagates `gout` (gradient of node `i`'s output) into `grads_before`
+/// (slots for nodes with index < i).
+fn backward_op(
+    op: &Op,
+    nodes: &[crate::tape::Node],
+    gout: &Matrix,
+    grads_before: &mut [Option<Matrix>],
+) {
+    let val = |id: NodeId| -> &Matrix { &nodes[id.index()].value };
+    match op {
+        Op::Leaf { .. } => {}
+        Op::MatMul(a, b) => {
+            let da = kernels::matmul_bt(gout, val(*b));
+            let db = kernels::matmul_at(val(*a), gout);
+            accumulate(&mut grads_before[a.index()], da);
+            accumulate(&mut grads_before[b.index()], db);
+        }
+        Op::MatMulBt(a, b) => {
+            // y = a @ b^T: dA = g @ b, dB = g^T @ a
+            let da = kernels::matmul(gout, val(*b));
+            let db = kernels::matmul_at(gout, val(*a));
+            accumulate(&mut grads_before[a.index()], da);
+            accumulate(&mut grads_before[b.index()], db);
+        }
+        Op::Add(a, b) => {
+            accumulate(&mut grads_before[a.index()], gout.clone());
+            accumulate(&mut grads_before[b.index()], gout.clone());
+        }
+        Op::AddRowBroadcast(a, b) => {
+            accumulate(&mut grads_before[a.index()], gout.clone());
+            let mut db = Matrix::zeros(1, gout.cols());
+            for r in 0..gout.rows() {
+                for (o, &g) in db.row_mut(0).iter_mut().zip(gout.row(r).iter()) {
+                    *o += g;
+                }
+            }
+            accumulate(&mut grads_before[b.index()], db);
+        }
+        Op::Sub(a, b) => {
+            accumulate(&mut grads_before[a.index()], gout.clone());
+            let mut db = gout.clone();
+            db.scale_assign(-1.0);
+            accumulate(&mut grads_before[b.index()], db);
+        }
+        Op::Mul(a, b) => {
+            let mut da = gout.clone();
+            for (x, y) in da.data_mut().iter_mut().zip(val(*b).data().iter()) {
+                *x *= y;
+            }
+            let mut db = gout.clone();
+            for (x, y) in db.data_mut().iter_mut().zip(val(*a).data().iter()) {
+                *x *= y;
+            }
+            accumulate(&mut grads_before[a.index()], da);
+            accumulate(&mut grads_before[b.index()], db);
+        }
+        Op::MulScalarNode(a, s) => {
+            let sv = val(*s).scalar_value();
+            let mut da = gout.clone();
+            da.scale_assign(sv);
+            accumulate(&mut grads_before[a.index()], da);
+            let ds: f32 = gout
+                .data()
+                .iter()
+                .zip(val(*a).data().iter())
+                .map(|(&g, &x)| g * x)
+                .sum();
+            accumulate(&mut grads_before[s.index()], Matrix::scalar(ds));
+        }
+        Op::Scale(a, c) => {
+            let mut da = gout.clone();
+            da.scale_assign(*c);
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::Transpose(a) => {
+            accumulate(&mut grads_before[a.index()], gout.transposed());
+        }
+        Op::Softmax(a) => {
+            // y known from the node's own forward; recompute from the input.
+            let y = kernels::softmax_rows(val(*a));
+            let mut da = Matrix::zeros(y.rows(), y.cols());
+            for r in 0..y.rows() {
+                let yr = y.row(r);
+                let gr = gout.row(r);
+                let dotp = kernels::dot(gr, yr);
+                for (c, o) in da.row_mut(r).iter_mut().enumerate() {
+                    *o = yr[c] * (gr[c] - dotp);
+                }
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::LogSoftmax(a) => {
+            let p = kernels::softmax_rows(val(*a));
+            let mut da = Matrix::zeros(p.rows(), p.cols());
+            for r in 0..p.rows() {
+                let gr = gout.row(r);
+                let gsum: f32 = gr.iter().sum();
+                let pr = p.row(r);
+                for (c, o) in da.row_mut(r).iter_mut().enumerate() {
+                    *o = gr[c] - pr[c] * gsum;
+                }
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::LayerNorm { x, gain, bias, eps } => {
+            let vx = val(*x);
+            let vg = val(*gain);
+            let (n, d) = vx.shape();
+            let mut dx = Matrix::zeros(n, d);
+            let mut dgain = Matrix::zeros(1, d);
+            let mut dbias = Matrix::zeros(1, d);
+            for r in 0..n {
+                let row = vx.row(r);
+                let mean = row.iter().sum::<f32>() / d as f32;
+                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                let gr = gout.row(r);
+                // dgain, dbias and the two per-row means of dxhat statistics
+                let mut mean_dxhat = 0.0f32;
+                let mut mean_dxhat_xhat = 0.0f32;
+                let mut xhat = vec![0.0f32; d];
+                let mut dxhat = vec![0.0f32; d];
+                for c in 0..d {
+                    xhat[c] = (row[c] - mean) * inv;
+                    dxhat[c] = gr[c] * vg.get(0, c);
+                    mean_dxhat += dxhat[c];
+                    mean_dxhat_xhat += dxhat[c] * xhat[c];
+                    dgain.row_mut(0)[c] += gr[c] * xhat[c];
+                    dbias.row_mut(0)[c] += gr[c];
+                }
+                mean_dxhat /= d as f32;
+                mean_dxhat_xhat /= d as f32;
+                for (c, o) in dx.row_mut(r).iter_mut().enumerate() {
+                    *o = inv * (dxhat[c] - mean_dxhat - xhat[c] * mean_dxhat_xhat);
+                }
+            }
+            accumulate(&mut grads_before[x.index()], dx);
+            accumulate(&mut grads_before[gain.index()], dgain);
+            accumulate(&mut grads_before[bias.index()], dbias);
+        }
+        Op::Relu(a) => {
+            let mut da = gout.clone();
+            for (g, &x) in da.data_mut().iter_mut().zip(val(*a).data().iter()) {
+                if x <= 0.0 {
+                    *g = 0.0;
+                }
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::Gelu(a) => {
+            let mut da = gout.clone();
+            for (g, &x) in da.data_mut().iter_mut().zip(val(*a).data().iter()) {
+                *g *= kernels::gelu_grad(x);
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::Silu(a) => {
+            let mut da = gout.clone();
+            for (g, &x) in da.data_mut().iter_mut().zip(val(*a).data().iter()) {
+                *g *= kernels::silu_grad(x);
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::Sigmoid(a) => {
+            let mut da = gout.clone();
+            for (g, &x) in da.data_mut().iter_mut().zip(val(*a).data().iter()) {
+                let y = kernels::sigmoid(x);
+                *g *= y * (1.0 - y);
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::Tanh(a) => {
+            let mut da = gout.clone();
+            for (g, &x) in da.data_mut().iter_mut().zip(val(*a).data().iter()) {
+                let y = x.tanh();
+                *g *= 1.0 - y * y;
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::Embedding { weight, ids } => {
+            let w = val(*weight);
+            let mut dw = Matrix::zeros(w.rows(), w.cols());
+            for (r, &id) in ids.iter().enumerate() {
+                let src = gout.row(r);
+                for (o, &g) in dw.row_mut(id).iter_mut().zip(src.iter()) {
+                    *o += g;
+                }
+            }
+            accumulate(&mut grads_before[weight.index()], dw);
+        }
+        Op::MeanRows(a) => {
+            let va = val(*a);
+            let n = va.rows();
+            let scale = 1.0 / n as f32;
+            let mut da = Matrix::zeros(n, va.cols());
+            for r in 0..n {
+                for (o, &g) in da.row_mut(r).iter_mut().zip(gout.row(0).iter()) {
+                    *o = g * scale;
+                }
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::MeanSelectedRows(a, rows) => {
+            let va = val(*a);
+            let scale = 1.0 / rows.len() as f32;
+            let mut da = Matrix::zeros(va.rows(), va.cols());
+            for &r in rows {
+                for (o, &g) in da.row_mut(r).iter_mut().zip(gout.row(0).iter()) {
+                    *o += g * scale;
+                }
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::ConcatRows(a, b) => {
+            let na = val(*a).rows();
+            let cols = gout.cols();
+            let da = Matrix::from_vec(na, cols, gout.data()[..na * cols].to_vec());
+            let db = Matrix::from_vec(gout.rows() - na, cols, gout.data()[na * cols..].to_vec());
+            accumulate(&mut grads_before[a.index()], da);
+            accumulate(&mut grads_before[b.index()], db);
+        }
+        Op::ConcatCols(parts) => {
+            let mut off = 0;
+            for &p in parts {
+                let vp = val(p);
+                let w = vp.cols();
+                let mut dp = Matrix::zeros(vp.rows(), w);
+                for r in 0..vp.rows() {
+                    dp.row_mut(r).copy_from_slice(&gout.row(r)[off..off + w]);
+                }
+                accumulate(&mut grads_before[p.index()], dp);
+                off += w;
+            }
+        }
+        Op::SliceCols(a, start, end) => {
+            let va = val(*a);
+            let mut da = Matrix::zeros(va.rows(), va.cols());
+            for r in 0..va.rows() {
+                da.row_mut(r)[*start..*end].copy_from_slice(gout.row(r));
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::SliceRows(a, start, end) => {
+            let va = val(*a);
+            let mut da = Matrix::zeros(va.rows(), va.cols());
+            for (gr, r) in (*start..*end).enumerate() {
+                da.row_mut(r).copy_from_slice(gout.row(gr));
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::CausalMask { a, .. } => {
+            // Adding a constant mask: gradient passes through unchanged.
+            accumulate(&mut grads_before[a.index()], gout.clone());
+        }
+        Op::CrossEntropy { logits, targets } => {
+            let vl = val(*logits);
+            let p = kernels::softmax_rows(vl);
+            let count = targets.iter().filter(|&&t| t != IGNORE_INDEX).count() as f32;
+            let gv = gout.scalar_value() / count;
+            let mut dl = Matrix::zeros(vl.rows(), vl.cols());
+            for (r, &t) in targets.iter().enumerate() {
+                if t == IGNORE_INDEX {
+                    continue;
+                }
+                let pr = p.row(r);
+                let out = dl.row_mut(r);
+                for (c, o) in out.iter_mut().enumerate() {
+                    *o = gv * (pr[c] - if c == t { 1.0 } else { 0.0 });
+                }
+            }
+            accumulate(&mut grads_before[logits.index()], dl);
+        }
+        Op::BceWithLogits { logits, targets } => {
+            let vl = val(*logits);
+            let gv = gout.scalar_value() / targets.len() as f32;
+            let mut dl = Matrix::zeros(vl.rows(), 1);
+            for (r, &y) in targets.iter().enumerate() {
+                let z = vl.get(r, 0);
+                dl.set(r, 0, gv * (kernels::sigmoid(z) - y));
+            }
+            accumulate(&mut grads_before[logits.index()], dl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // loss = sum(a @ b) with a=[1,2], b=[2,1]
+        let mut t = Tape::new();
+        let pa = Param::new("a", Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let pb = Param::new("b", Matrix::from_vec(2, 1, vec![5.0, 7.0]));
+        let a = t.param(&pa);
+        let b = t.param(&pb);
+        let c = t.matmul(a, b); // 2*5 + 3*7 = 31
+        t.backward(c);
+        let g = t.grads();
+        assert_eq!(g.get(pa.id()).unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(g.get(pb.id()).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_on_shared_nodes() {
+        // loss = (x + x) reduced to scalar: dx = 2
+        let mut t = Tape::new();
+        let p = Param::new("x", Matrix::scalar(4.0));
+        let x = t.param(&p);
+        let y = t.add(x, x);
+        t.backward(y);
+        assert_eq!(t.grads().get(p.id()).unwrap().scalar_value(), 2.0);
+    }
+
+    #[test]
+    fn backward_cross_entropy_points_toward_target() {
+        let mut t = Tape::new();
+        let p = Param::new("l", Matrix::from_vec(1, 3, vec![0.0, 0.0, 0.0]));
+        let l = t.param(&p);
+        let loss = t.cross_entropy(l, &[1]);
+        t.backward(loss);
+        let g = t.grads();
+        let gl = g.get(p.id()).unwrap();
+        // gradient is softmax - onehot: [1/3, 1/3-1, 1/3]
+        assert!((gl.get(0, 0) - 1.0 / 3.0).abs() < 1e-5);
+        assert!((gl.get(0, 1) + 2.0 / 3.0).abs() < 1e-5);
+        assert!(gl.get(0, 1) < 0.0, "target logit should be pushed up");
+    }
+
+    #[test]
+    fn backward_ignores_unrelated_nodes() {
+        let mut t = Tape::new();
+        let p = Param::new("x", Matrix::scalar(1.0));
+        let x = t.param(&p);
+        let _unused = t.scale(x, 3.0);
+        let y = t.scale(x, 2.0);
+        t.backward(y);
+        assert_eq!(t.grads().get(p.id()).unwrap().scalar_value(), 2.0);
+    }
+
+    #[test]
+    fn mul_scalar_node_grads() {
+        let mut t = Tape::new();
+        let pa = Param::new("a", Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let ps = Param::new("s", Matrix::scalar(0.5));
+        let a = t.param(&pa);
+        let s = t.param(&ps);
+        let o = t.mul_scalar_node(a, s);
+        let m = t.mean_rows(o); // [1,2] mean over rows = identity here
+        let loss = t.matmul_bt(m, m); // sum of squares scaled
+        t.backward(loss);
+        let g = t.grads();
+        assert!(g.get(pa.id()).is_some());
+        assert!(g.get(ps.id()).is_some());
+        // loss = s^2 (9+16) = 25 s^2, so dL/ds = 50 s = 25 at s = 0.5
+        let gs = g.get(ps.id()).unwrap().scalar_value();
+        assert!((gs - 25.0).abs() < 1e-4, "gs = {gs}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for tensor operations.
+//!
+//! Shape mismatches in the hot path are programming errors and panic with a
+//! descriptive message (the library is an internal substrate, not a parsing
+//! boundary), but fallible entry points used by checkpoint loading return
+//! [`TensorError`] so callers can surface corruption without aborting.
+
+use std::fmt;
+
+/// Errors surfaced by fallible tensor entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A shape constraint was violated: `(context, expected, got)`.
+    ShapeMismatch {
+        /// What was being attempted.
+        context: &'static str,
+        /// Human-readable expectation.
+        expected: String,
+        /// Human-readable actual.
+        got: String,
+    },
+    /// An index was out of bounds for the given dimension size.
+    IndexOutOfBounds {
+        /// What was being attempted.
+        context: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Size of the dimension indexed.
+        len: usize,
+    },
+    /// Serialized data failed validation (e.g. element count != rows*cols).
+    Corrupt(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{context}: shape mismatch, expected {expected}, got {got}"
+            ),
+            TensorError::IndexOutOfBounds {
+                context,
+                index,
+                len,
+            } => write!(f, "{context}: index {index} out of bounds for length {len}"),
+            TensorError::Corrupt(msg) => write!(f, "corrupt tensor data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            context: "matmul",
+            expected: "[2,3]".into(),
+            got: "[4,5]".into(),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("[4,5]"));
+    }
+
+    #[test]
+    fn display_index_oob() {
+        let e = TensorError::IndexOutOfBounds {
+            context: "row",
+            index: 7,
+            len: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn display_corrupt() {
+        let e = TensorError::Corrupt("bad len".into());
+        assert!(e.to_string().contains("bad len"));
+    }
+}

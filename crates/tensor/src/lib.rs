@@ -1,0 +1,38 @@
+//! # infuserki-tensor
+//!
+//! A small, dependency-light CPU tensor library with tape-based reverse-mode
+//! automatic differentiation, purpose-built as the numerical substrate for the
+//! InfuserKI reproduction.
+//!
+//! Design notes (see `DESIGN.md` at the workspace root):
+//!
+//! * All values are dense, row-major `f32` matrices ([`Matrix`]). Sequences of
+//!   token embeddings are `[seq, d]` matrices; scalars are `[1, 1]`.
+//! * Autograd is a **tape** ([`Tape`]): every operation appends a node holding
+//!   its op tag ([`Op`]), parent node ids and the eagerly computed value.
+//!   [`Tape::backward`] walks the tape in reverse, matching on the op enum —
+//!   no boxed closures, so tapes are `Send` and backward dispatch is a jump
+//!   table over a dense `Vec`.
+//! * Trainable parameters live *outside* tapes in [`ParamSet`]s. A parameter is
+//!   leafed into a tape once per forward pass (cached by [`Tape::param`]);
+//!   after `backward`, [`Tape::grads`] extracts per-parameter gradients into a
+//!   mergeable [`Gradients`] map, enabling data-parallel batch accumulation.
+//!
+//! Gradient correctness for every op is property-tested against central finite
+//! differences (see `tests/` and [`check`]).
+
+mod backward;
+pub mod check;
+pub mod error;
+pub mod init;
+pub mod kernels;
+pub mod matrix;
+pub mod op;
+pub mod param;
+pub mod tape;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use op::Op;
+pub use param::{Gradients, Param, ParamId, ParamSet};
+pub use tape::{NodeId, Tape};

@@ -1,0 +1,319 @@
+//! Dense row-major `f32` matrix — the single value type of the engine.
+
+use crate::error::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` matrix.
+///
+/// All tensor values in the engine are 2-D: a token-embedding sequence is
+/// `[seq, d]`, a scalar loss is `[1, 1]`, a bias row is `[1, d]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Fallible variant of [`Matrix::from_vec`] for deserialization paths.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::Corrupt(format!(
+                "buffer length {} != {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// A `[1, 1]` scalar matrix.
+    pub fn scalar(v: f32) -> Self {
+        Matrix::from_vec(1, 1, vec![v])
+    }
+
+    /// A `[1, n]` row vector.
+    pub fn row_vec(v: Vec<f32>) -> Self {
+        let n = v.len();
+        Matrix::from_vec(1, n, v)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable slice over row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable slice over row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The value of a `[1,1]` matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `[1,1]`.
+    pub fn scalar_value(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "scalar_value on non-scalar matrix");
+        self.data[0]
+    }
+
+    /// Sets every element to zero, reusing the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// In-place element-wise `self += other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scaling `self *= alpha`.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|v| *v *= alpha);
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius (L2) norm of the buffer.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element, or 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_round_trip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn try_from_vec_rejects_bad_len() {
+        assert!(Matrix::try_from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::try_from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn row_access() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let t = m.transposed();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::full(1, 3, 1.0);
+        let b = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[3., 5., 7.]);
+        a.scale_assign(0.5);
+        assert_eq!(a.data(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, -4.0]);
+        assert!((m.l2_norm() - 5.0).abs() < 1e-6);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.sum(), -1.0);
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let s = Matrix::scalar(2.5);
+        assert_eq!(s.scalar_value(), 2.5);
+        let r = Matrix::row_vec(vec![1.0, 2.0]);
+        assert_eq!(r.shape(), (1, 2));
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut m = Matrix::zeros(1, 2);
+        assert!(m.all_finite());
+        m.set(0, 1, f32::NAN);
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let s = serde_json::to_string(&m);
+        // serde_json is not a dependency of this crate's tests; use bincode-free
+        // manual check instead when unavailable.
+        if let Ok(s) = s {
+            let back: Matrix = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+}

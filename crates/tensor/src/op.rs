@@ -1,0 +1,208 @@
+//! The operation vocabulary of the autograd tape.
+
+use crate::param::ParamId;
+use crate::tape::NodeId;
+
+/// One differentiable operation recorded on a [`crate::Tape`].
+///
+/// Ops are a closed enum (no boxed closures): the backward pass in
+/// `backward.rs` matches on this tag, which keeps tapes `Send` and dispatch
+/// branch-predictable. Integer payloads (`ids`, `targets`) are owned by the
+/// op so a node is self-contained.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// An input value; `param` links it to a trainable parameter for gradient
+    /// extraction.
+    Leaf { param: Option<ParamId> },
+    /// `a @ b`.
+    MatMul(NodeId, NodeId),
+    /// `a @ b^T` (fused; avoids materializing the transpose).
+    MatMulBt(NodeId, NodeId),
+    /// Element-wise `a + b` (equal shapes).
+    Add(NodeId, NodeId),
+    /// `a [n,d] + b [1,d]` broadcast over rows (bias add).
+    AddRowBroadcast(NodeId, NodeId),
+    /// Element-wise `a - b` (equal shapes).
+    Sub(NodeId, NodeId),
+    /// Element-wise `a * b` (equal shapes).
+    Mul(NodeId, NodeId),
+    /// `a * s` where `s` is a `[1,1]` node (differentiable scalar gate).
+    MulScalarNode(NodeId, NodeId),
+    /// `a * c` for a compile-time constant `c`.
+    Scale(NodeId, f32),
+    /// Matrix transpose.
+    Transpose(NodeId),
+    /// Row-wise softmax.
+    Softmax(NodeId),
+    /// Row-wise log-softmax.
+    LogSoftmax(NodeId),
+    /// Layer normalization over each row with affine `gain`/`bias` (`[1,d]`).
+    LayerNorm {
+        /// Input `[n,d]`.
+        x: NodeId,
+        /// Per-feature gain `[1,d]`.
+        gain: NodeId,
+        /// Per-feature bias `[1,d]`.
+        bias: NodeId,
+        /// Variance epsilon.
+        eps: f32,
+    },
+    /// Element-wise ReLU.
+    Relu(NodeId),
+    /// Element-wise GELU (tanh approximation).
+    Gelu(NodeId),
+    /// Element-wise SiLU.
+    Silu(NodeId),
+    /// Element-wise logistic sigmoid.
+    Sigmoid(NodeId),
+    /// Element-wise tanh.
+    Tanh(NodeId),
+    /// Row gather: `value[i] = weight[ids[i]]`.
+    Embedding {
+        /// Embedding table node (usually a parameter leaf) `[V,d]`.
+        weight: NodeId,
+        /// Row indices, one per output row.
+        ids: Vec<usize>,
+    },
+    /// Mean over all rows: `[n,d] -> [1,d]`.
+    MeanRows(NodeId),
+    /// Mean over the selected rows: `[n,d] -> [1,d]`.
+    MeanSelectedRows(NodeId, Vec<usize>),
+    /// Vertical stacking `[n1,d];[n2,d] -> [n1+n2,d]`.
+    ConcatRows(NodeId, NodeId),
+    /// Horizontal concatenation of parts with equal row counts.
+    ConcatCols(Vec<NodeId>),
+    /// Column slice `[.., start..end)`.
+    SliceCols(NodeId, usize, usize),
+    /// Row slice `[start..end, ..]`.
+    SliceRows(NodeId, usize, usize),
+    /// Adds `-1e9` where `col > row + offset` (causal attention mask; the
+    /// offset accommodates prefix-tuning's prepended key/value rows).
+    CausalMask {
+        /// Attention score matrix `[n, n+offset]`.
+        a: NodeId,
+        /// Number of always-visible leading columns.
+        offset: usize,
+    },
+    /// Mean token-level cross-entropy between `logits [n,V]` and `targets`;
+    /// produces a `[1,1]` loss. Positions with target == `IGNORE_INDEX`
+    /// contribute nothing.
+    CrossEntropy {
+        /// Unnormalized logits.
+        logits: NodeId,
+        /// One class index per row (or [`IGNORE_INDEX`]).
+        targets: Vec<usize>,
+    },
+    /// Mean binary cross-entropy on `logits [n,1]` against float targets;
+    /// numerically stable (log-sum-exp form); produces `[1,1]`.
+    BceWithLogits {
+        /// Pre-sigmoid logits.
+        logits: NodeId,
+        /// Targets in `[0,1]`, one per row.
+        targets: Vec<f32>,
+    },
+}
+
+/// Sentinel target value ignored by [`Op::CrossEntropy`] (prompt positions).
+pub const IGNORE_INDEX: usize = usize::MAX;
+
+impl Op {
+    /// Parent node ids of this op, in evaluation order.
+    pub fn parents(&self) -> Vec<NodeId> {
+        match self {
+            Op::Leaf { .. } => vec![],
+            Op::MatMul(a, b)
+            | Op::MatMulBt(a, b)
+            | Op::Add(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::MulScalarNode(a, b)
+            | Op::ConcatRows(a, b) => vec![*a, *b],
+            Op::Scale(a, _)
+            | Op::Transpose(a)
+            | Op::Softmax(a)
+            | Op::LogSoftmax(a)
+            | Op::Relu(a)
+            | Op::Gelu(a)
+            | Op::Silu(a)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::MeanRows(a)
+            | Op::MeanSelectedRows(a, _)
+            | Op::SliceCols(a, _, _)
+            | Op::SliceRows(a, _, _)
+            | Op::CausalMask { a, .. } => vec![*a],
+            Op::LayerNorm { x, gain, bias, .. } => vec![*x, *gain, *bias],
+            Op::Embedding { weight, .. } => vec![*weight],
+            Op::ConcatCols(parts) => parts.clone(),
+            Op::CrossEntropy { logits, .. } => vec![*logits],
+            Op::BceWithLogits { logits, .. } => vec![*logits],
+        }
+    }
+
+    /// Short name for debugging/profiling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf { .. } => "leaf",
+            Op::MatMul(..) => "matmul",
+            Op::MatMulBt(..) => "matmul_bt",
+            Op::Add(..) => "add",
+            Op::AddRowBroadcast(..) => "add_row_bcast",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::MulScalarNode(..) => "mul_scalar_node",
+            Op::Scale(..) => "scale",
+            Op::Transpose(..) => "transpose",
+            Op::Softmax(..) => "softmax",
+            Op::LogSoftmax(..) => "log_softmax",
+            Op::LayerNorm { .. } => "layer_norm",
+            Op::Relu(..) => "relu",
+            Op::Gelu(..) => "gelu",
+            Op::Silu(..) => "silu",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Embedding { .. } => "embedding",
+            Op::MeanRows(..) => "mean_rows",
+            Op::MeanSelectedRows(..) => "mean_selected_rows",
+            Op::ConcatRows(..) => "concat_rows",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::SliceCols(..) => "slice_cols",
+            Op::SliceRows(..) => "slice_rows",
+            Op::CausalMask { .. } => "causal_mask",
+            Op::CrossEntropy { .. } => "cross_entropy",
+            Op::BceWithLogits { .. } => "bce_with_logits",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parents_of_leaf_is_empty() {
+        assert!(Op::Leaf { param: None }.parents().is_empty());
+    }
+
+    #[test]
+    fn parents_of_binary_ops() {
+        let a = NodeId(0);
+        let b = NodeId(1);
+        assert_eq!(Op::MatMul(a, b).parents(), vec![a, b]);
+        assert_eq!(Op::ConcatCols(vec![a, b]).parents(), vec![a, b]);
+    }
+
+    #[test]
+    fn names_are_distinctive() {
+        assert_eq!(Op::Softmax(NodeId(0)).name(), "softmax");
+        assert_eq!(
+            Op::CausalMask {
+                a: NodeId(0),
+                offset: 0
+            }
+            .name(),
+            "causal_mask"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Trainable parameters and gradient accumulation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Globally unique identity of a trainable parameter.
+///
+/// Ids are process-global so gradients computed on independent tapes (e.g.
+/// data-parallel batch members) unambiguously refer to the same parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParamId(u64);
+
+/// A named trainable matrix.
+///
+/// Deserialized parameters receive a *fresh* id — identity is per-process,
+/// while names provide the stable cross-checkpoint key (see
+/// [`ParamSet::load_state_from`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    #[serde(skip, default = "fresh_id")]
+    id: ParamId,
+    name: String,
+    data: Matrix,
+}
+
+fn fresh_id() -> ParamId {
+    ParamId(NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+impl Param {
+    /// Creates a parameter with a fresh unique id.
+    pub fn new(name: impl Into<String>, data: Matrix) -> Self {
+        Param {
+            id: fresh_id(),
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Unique id.
+    #[inline]
+    pub fn id(&self) -> ParamId {
+        self.id
+    }
+
+    /// Human-readable name (stable across save/load).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn data(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Mutable value (used by optimizers).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut Matrix {
+        &mut self.data
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// An ordered collection of parameters belonging to one module/model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamSet {
+    params: Vec<Param>,
+}
+
+impl ParamSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ParamSet::default()
+    }
+
+    /// Adds a parameter, returning a handle index within this set.
+    pub fn push(&mut self, p: Param) -> usize {
+        self.params.push(p);
+        self.params.len() - 1
+    }
+
+    /// Creates and registers a parameter in one step.
+    pub fn add(&mut self, name: impl Into<String>, data: Matrix) -> usize {
+        self.push(Param::new(name, data))
+    }
+
+    /// Parameter at set index `i`.
+    pub fn get(&self, i: usize) -> &Param {
+        &self.params[i]
+    }
+
+    /// Mutable parameter at set index `i`.
+    pub fn get_mut(&mut self, i: usize) -> &mut Param {
+        &mut self.params[i]
+    }
+
+    /// Iterates parameters in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter()
+    }
+
+    /// Mutable iteration in registration order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.params.iter_mut()
+    }
+
+    /// Number of parameters (matrices, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when the set holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar element count — the "extra parameters" number reported in
+    /// the paper's experimental details.
+    pub fn numel(&self) -> usize {
+        self.params.iter().map(Param::numel).sum()
+    }
+
+    /// Finds a parameter by name.
+    pub fn by_name(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Copies values from `other` into this set, matching parameters by name
+    /// and requiring identical shapes. Returns the number of matched
+    /// parameters. Used for checkpoint restore, where ids differ.
+    pub fn load_state_from(&mut self, other: &ParamSet) -> Result<usize, String> {
+        let mut matched = 0;
+        for p in &mut self.params {
+            if let Some(src) = other.params.iter().find(|o| o.name == p.name) {
+                if src.data.shape() != p.data.shape() {
+                    return Err(format!(
+                        "param '{}': shape {:?} != checkpoint {:?}",
+                        p.name,
+                        p.data.shape(),
+                        src.data.shape()
+                    ));
+                }
+                p.data = src.data.clone();
+                matched += 1;
+            }
+        }
+        Ok(matched)
+    }
+}
+
+/// Accumulated gradients keyed by [`ParamId`]; mergeable across tapes for
+/// data-parallel batches.
+#[derive(Debug, Default)]
+pub struct Gradients {
+    map: HashMap<ParamId, Matrix>,
+}
+
+impl Gradients {
+    /// An empty gradient map.
+    pub fn new() -> Self {
+        Gradients::default()
+    }
+
+    /// Accumulates `g` into the slot for `id`.
+    pub fn add(&mut self, id: ParamId, g: Matrix) {
+        match self.map.get_mut(&id) {
+            Some(acc) => acc.add_assign(&g),
+            None => {
+                self.map.insert(id, g);
+            }
+        }
+    }
+
+    /// Gradient for `id`, if any was accumulated.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.map.get(&id)
+    }
+
+    /// Merges all gradients from `other` into `self` (summing overlaps).
+    pub fn merge(mut self, other: Gradients) -> Gradients {
+        for (id, g) in other.map {
+            self.add(id, g);
+        }
+        self
+    }
+
+    /// Scales every gradient by `alpha` (e.g. `1/batch`).
+    pub fn scale(&mut self, alpha: f32) {
+        for g in self.map.values_mut() {
+            g.scale_assign(alpha);
+        }
+    }
+
+    /// Global L2 norm over all gradients (for clipping).
+    pub fn global_norm(&self) -> f32 {
+        self.map
+            .values()
+            .map(|g| {
+                let n = g.l2_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Number of parameters with gradients.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no gradients were accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(id, grad)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ParamId, &Matrix)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_ids_are_unique() {
+        let a = Param::new("a", Matrix::zeros(1, 1));
+        let b = Param::new("a", Matrix::zeros(1, 1));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn paramset_numel() {
+        let mut s = ParamSet::new();
+        s.add("w", Matrix::zeros(3, 4));
+        s.add("b", Matrix::zeros(1, 4));
+        assert_eq!(s.numel(), 16);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn gradients_merge_sums_overlaps() {
+        let p = Param::new("w", Matrix::zeros(1, 2));
+        let mut g1 = Gradients::new();
+        g1.add(p.id(), Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut g2 = Gradients::new();
+        g2.add(p.id(), Matrix::from_vec(1, 2, vec![10.0, 20.0]));
+        let merged = g1.merge(g2);
+        assert_eq!(merged.get(p.id()).unwrap().data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn gradients_global_norm() {
+        let p1 = Param::new("a", Matrix::zeros(1, 1));
+        let p2 = Param::new("b", Matrix::zeros(1, 1));
+        let mut g = Gradients::new();
+        g.add(p1.id(), Matrix::scalar(3.0));
+        g.add(p2.id(), Matrix::scalar(4.0));
+        assert!((g.global_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_state_matches_by_name() {
+        let mut dst = ParamSet::new();
+        dst.add("w", Matrix::zeros(2, 2));
+        dst.add("b", Matrix::zeros(1, 2));
+        let mut src = ParamSet::new();
+        src.add("w", Matrix::full(2, 2, 7.0));
+        let n = dst.load_state_from(&src).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(dst.by_name("w").unwrap().data().get(1, 1), 7.0);
+        assert_eq!(dst.by_name("b").unwrap().data().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn load_state_rejects_shape_mismatch() {
+        let mut dst = ParamSet::new();
+        dst.add("w", Matrix::zeros(2, 2));
+        let mut src = ParamSet::new();
+        src.add("w", Matrix::zeros(3, 3));
+        assert!(dst.load_state_from(&src).is_err());
+    }
+
+    #[test]
+    fn serde_gives_fresh_ids() {
+        let p = Param::new("w", Matrix::from_vec(1, 1, vec![5.0]));
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Param = serde_json::from_str(&json).unwrap();
+        assert_eq!(q.name(), "w");
+        assert_eq!(q.data().scalar_value(), 5.0);
+        assert_ne!(p.id(), q.id());
+    }
+}

@@ -1,0 +1,540 @@
+//! The autograd tape: eager forward evaluation + recorded graph.
+
+use std::collections::HashMap;
+
+use crate::kernels;
+use crate::matrix::Matrix;
+use crate::op::{Op, IGNORE_INDEX};
+use crate::param::{Param, ParamId};
+
+/// Index of a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index into the tape's node vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+pub(crate) struct Node {
+    pub(crate) op: Op,
+    pub(crate) value: Matrix,
+}
+
+/// A single forward pass: values are computed eagerly as ops are recorded;
+/// [`Tape::backward`](crate::Tape::backward) then fills per-node gradients.
+///
+/// One tape per (sample, forward); tapes are cheap to create and are dropped
+/// after gradient extraction. Parameters are leafed in at most once per tape
+/// via [`Tape::param`].
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) grads: Vec<Option<Matrix>>,
+    leaf_cache: HashMap<ParamId, NodeId>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `id`.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.index()].value
+    }
+
+    /// The gradient of `id` after [`backward`](Self::backward); `None` if the
+    /// node did not receive any gradient.
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.grads.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    /// The op recorded at `id` (for diagnostics).
+    pub fn op(&self, id: NodeId) -> &Op {
+        &self.nodes[id.index()].op
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> NodeId {
+        debug_assert!(value.all_finite() || matches!(op, Op::CausalMask { .. }));
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { op, value });
+        id
+    }
+
+    // ---- leaves ------------------------------------------------------------
+
+    /// Records a constant input value (no gradient extraction).
+    pub fn leaf(&mut self, value: Matrix) -> NodeId {
+        self.push(Op::Leaf { param: None }, value)
+    }
+
+    /// Leafs a trainable parameter into the tape, copying its current data.
+    /// Repeated calls with the same parameter return the cached node.
+    pub fn param(&mut self, p: &Param) -> NodeId {
+        if let Some(&id) = self.leaf_cache.get(&p.id()) {
+            return id;
+        }
+        let id = self.push(
+            Op::Leaf {
+                param: Some(p.id()),
+            },
+            p.data().clone(),
+        );
+        self.leaf_cache.insert(p.id(), id);
+        id
+    }
+
+    // ---- linear algebra ----------------------------------------------------
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = kernels::matmul(self.value(a), self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// `a @ b^T` without materializing the transpose.
+    pub fn matmul_bt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = kernels::matmul_bt(self.value(a), self.value(b));
+        self.push(Op::MatMulBt(a, b), v)
+    }
+
+    /// Element-wise `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "add: shape mismatch");
+        let mut v = va.clone();
+        v.add_assign(vb);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// `a [n,d] + b [1,d]`, broadcasting `b` over rows.
+    pub fn add_row_broadcast(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(vb.rows(), 1, "add_row_broadcast: rhs must be [1,d]");
+        assert_eq!(va.cols(), vb.cols(), "add_row_broadcast: col mismatch");
+        let mut v = va.clone();
+        for r in 0..v.rows() {
+            let brow = vb.row(0).to_vec();
+            for (x, y) in v.row_mut(r).iter_mut().zip(brow.iter()) {
+                *x += y;
+            }
+        }
+        self.push(Op::AddRowBroadcast(a, b), v)
+    }
+
+    /// Element-wise `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "sub: shape mismatch");
+        let mut v = va.clone();
+        for (x, y) in v.data_mut().iter_mut().zip(vb.data().iter()) {
+            *x -= y;
+        }
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Element-wise `a * b`.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "mul: shape mismatch");
+        let mut v = va.clone();
+        for (x, y) in v.data_mut().iter_mut().zip(vb.data().iter()) {
+            *x *= y;
+        }
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// `a * s` where `s` is a differentiable `[1,1]` node — the infuser gate.
+    pub fn mul_scalar_node(&mut self, a: NodeId, s: NodeId) -> NodeId {
+        assert_eq!(
+            self.value(s).shape(),
+            (1, 1),
+            "mul_scalar_node: gate must be [1,1]"
+        );
+        let sv = self.value(s).scalar_value();
+        let mut v = self.value(a).clone();
+        v.scale_assign(sv);
+        self.push(Op::MulScalarNode(a, s), v)
+    }
+
+    /// `a * c` for a constant `c`.
+    pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
+        let mut v = self.value(a).clone();
+        v.scale_assign(c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transposed();
+        self.push(Op::Transpose(a), v)
+    }
+
+    // ---- normalization & nonlinearity ---------------------------------------
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let v = kernels::softmax_rows(self.value(a));
+        self.push(Op::Softmax(a), v)
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&mut self, a: NodeId) -> NodeId {
+        let v = kernels::log_softmax_rows(self.value(a));
+        self.push(Op::LogSoftmax(a), v)
+    }
+
+    /// Layer normalization over rows with affine gain/bias (`[1,d]` each).
+    pub fn layer_norm(&mut self, x: NodeId, gain: NodeId, bias: NodeId, eps: f32) -> NodeId {
+        let (vx, vg, vb) = (self.value(x), self.value(gain), self.value(bias));
+        let d = vx.cols();
+        assert_eq!(vg.shape(), (1, d), "layer_norm: gain shape");
+        assert_eq!(vb.shape(), (1, d), "layer_norm: bias shape");
+        let mut v = Matrix::zeros(vx.rows(), d);
+        for r in 0..vx.rows() {
+            let row = vx.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            let out = v.row_mut(r);
+            for c in 0..d {
+                out[c] = (row[c] - mean) * inv * vg.get(0, c) + vb.get(0, c);
+            }
+        }
+        self.push(Op::LayerNorm { x, gain, bias, eps }, v)
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Element-wise GELU (tanh approximation).
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(kernels::gelu);
+        self.push(Op::Gelu(a), v)
+    }
+
+    /// Element-wise SiLU.
+    pub fn silu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(kernels::silu);
+        self.push(Op::Silu(a), v)
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(kernels::sigmoid);
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Element-wise tanh.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    // ---- structure ----------------------------------------------------------
+
+    /// Gathers rows `ids` from the `[V,d]` table at `weight`.
+    pub fn embedding(&mut self, weight: NodeId, ids: &[usize]) -> NodeId {
+        let w = self.value(weight);
+        let d = w.cols();
+        let mut v = Matrix::zeros(ids.len(), d);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < w.rows(), "embedding: id {id} >= vocab {}", w.rows());
+            v.row_mut(r).copy_from_slice(w.row(id));
+        }
+        self.push(
+            Op::Embedding {
+                weight,
+                ids: ids.to_vec(),
+            },
+            v,
+        )
+    }
+
+    /// Mean over all rows: `[n,d] -> [1,d]`.
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let va = self.value(a);
+        let (n, d) = va.shape();
+        assert!(n > 0, "mean_rows: empty input");
+        let mut v = Matrix::zeros(1, d);
+        for r in 0..n {
+            let row = va.row(r);
+            for (o, &x) in v.row_mut(0).iter_mut().zip(row.iter()) {
+                *o += x;
+            }
+        }
+        v.scale_assign(1.0 / n as f32);
+        self.push(Op::MeanRows(a), v)
+    }
+
+    /// Mean over the given rows: `[n,d] -> [1,d]` (entity-span pooling).
+    pub fn mean_selected_rows(&mut self, a: NodeId, rows: &[usize]) -> NodeId {
+        let va = self.value(a);
+        assert!(!rows.is_empty(), "mean_selected_rows: empty selection");
+        let d = va.cols();
+        let mut v = Matrix::zeros(1, d);
+        for &r in rows {
+            assert!(r < va.rows(), "mean_selected_rows: row {r} out of bounds");
+            for (o, &x) in v.row_mut(0).iter_mut().zip(va.row(r).iter()) {
+                *o += x;
+            }
+        }
+        v.scale_assign(1.0 / rows.len() as f32);
+        self.push(Op::MeanSelectedRows(a, rows.to_vec()), v)
+    }
+
+    /// Vertical stack `[a; b]`.
+    pub fn concat_rows(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.cols(), vb.cols(), "concat_rows: col mismatch");
+        let mut data = Vec::with_capacity(va.len() + vb.len());
+        data.extend_from_slice(va.data());
+        data.extend_from_slice(vb.data());
+        let v = Matrix::from_vec(va.rows() + vb.rows(), va.cols(), data);
+        self.push(Op::ConcatRows(a, b), v)
+    }
+
+    /// Horizontal concatenation of equally-tall parts.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_cols: no parts");
+        let n = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut v = Matrix::zeros(n, total);
+        let mut off = 0;
+        for &p in parts {
+            let vp = self.value(p);
+            assert_eq!(vp.rows(), n, "concat_cols: row mismatch");
+            let w = vp.cols();
+            for r in 0..n {
+                let src = vp.row(r).to_vec();
+                v.row_mut(r)[off..off + w].copy_from_slice(&src);
+            }
+            off += w;
+        }
+        self.push(Op::ConcatCols(parts.to_vec()), v)
+    }
+
+    /// Column slice `[.., start..end)`.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let va = self.value(a);
+        assert!(start < end && end <= va.cols(), "slice_cols: bad range");
+        let mut v = Matrix::zeros(va.rows(), end - start);
+        for r in 0..va.rows() {
+            let src = va.row(r)[start..end].to_vec();
+            v.row_mut(r).copy_from_slice(&src);
+        }
+        self.push(Op::SliceCols(a, start, end), v)
+    }
+
+    /// Row slice `[start..end, ..)`.
+    pub fn slice_rows(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let va = self.value(a);
+        assert!(start < end && end <= va.rows(), "slice_rows: bad range");
+        let cols = va.cols();
+        let data = va.data()[start * cols..end * cols].to_vec();
+        let v = Matrix::from_vec(end - start, cols, data);
+        self.push(Op::SliceRows(a, start, end), v)
+    }
+
+    /// Applies the causal attention mask: positions with `col > row + offset`
+    /// receive `-1e9`. `offset` > 0 makes leading (prefix) columns visible.
+    pub fn causal_mask(&mut self, a: NodeId, offset: usize) -> NodeId {
+        let va = self.value(a);
+        let (n, m) = va.shape();
+        assert_eq!(m, n + offset, "causal_mask: cols must be rows + offset");
+        let mut v = va.clone();
+        for r in 0..n {
+            let row = v.row_mut(r);
+            for (c, x) in row.iter_mut().enumerate() {
+                if c > r + offset {
+                    *x = -1e9;
+                }
+            }
+        }
+        self.push(Op::CausalMask { a, offset }, v)
+    }
+
+    // ---- losses -------------------------------------------------------------
+
+    /// Mean token cross-entropy; rows whose target is [`IGNORE_INDEX`] are
+    /// masked out of the mean. Returns a `[1,1]` loss node.
+    ///
+    /// # Panics
+    /// Panics if every target is ignored.
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: &[usize]) -> NodeId {
+        let vl = self.value(logits);
+        assert_eq!(vl.rows(), targets.len(), "cross_entropy: target count");
+        let ls = kernels::log_softmax_rows(vl);
+        let mut loss = 0.0;
+        let mut count = 0usize;
+        for (r, &t) in targets.iter().enumerate() {
+            if t == IGNORE_INDEX {
+                continue;
+            }
+            assert!(t < vl.cols(), "cross_entropy: target {t} >= classes");
+            loss -= ls.get(r, t);
+            count += 1;
+        }
+        assert!(count > 0, "cross_entropy: all targets ignored");
+        let v = Matrix::scalar(loss / count as f32);
+        self.push(
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+            },
+            v,
+        )
+    }
+
+    /// Mean binary cross-entropy on `[n,1]` logits, numerically stable:
+    /// `max(z,0) - z*y + ln(1 + e^{-|z|})`. Returns `[1,1]`.
+    pub fn bce_with_logits(&mut self, logits: NodeId, targets: &[f32]) -> NodeId {
+        let vl = self.value(logits);
+        assert_eq!(vl.cols(), 1, "bce_with_logits: logits must be [n,1]");
+        assert_eq!(vl.rows(), targets.len(), "bce_with_logits: target count");
+        let mut loss = 0.0;
+        for (r, &y) in targets.iter().enumerate() {
+            let z = vl.get(r, 0);
+            loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        }
+        let v = Matrix::scalar(loss / targets.len() as f32);
+        self.push(
+            Op::BceWithLogits {
+                logits,
+                targets: targets.to_vec(),
+            },
+            v,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_value() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::scalar(3.0));
+        assert_eq!(t.value(a).scalar_value(), 3.0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn param_is_cached() {
+        let mut t = Tape::new();
+        let p = Param::new("w", Matrix::zeros(2, 2));
+        let a = t.param(&p);
+        let b = t.param(&p);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn forward_values_of_composites() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = t.leaf(Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        let c = t.matmul(a, b);
+        assert_eq!(t.value(c).scalar_value(), 11.0);
+        let s = t.scale(c, 2.0);
+        assert_eq!(t.value(s).scalar_value(), 22.0);
+    }
+
+    #[test]
+    fn causal_mask_pattern() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::zeros(3, 3));
+        let m = t.causal_mask(a, 0);
+        assert_eq!(t.value(m).get(0, 1), -1e9);
+        assert_eq!(t.value(m).get(1, 1), 0.0);
+        assert_eq!(t.value(m).get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn causal_mask_with_prefix_offset() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::zeros(2, 4));
+        let m = t.causal_mask(a, 2);
+        // prefix columns 0..2 always visible
+        assert_eq!(t.value(m).get(0, 0), 0.0);
+        assert_eq!(t.value(m).get(0, 2), 0.0);
+        assert_eq!(t.value(m).get(0, 3), -1e9);
+        assert_eq!(t.value(m).get(1, 3), 0.0);
+    }
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let mut t = Tape::new();
+        let w = t.leaf(Matrix::from_vec(3, 2, vec![0., 0., 1., 1., 2., 2.]));
+        let e = t.embedding(w, &[2, 0, 2]);
+        assert_eq!(t.value(e).row(0), &[2., 2.]);
+        assert_eq!(t.value(e).row(1), &[0., 0.]);
+    }
+
+    #[test]
+    fn mean_selected_rows_value() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(3, 2, vec![0., 0., 2., 4., 4., 8.]));
+        let m = t.mean_selected_rows(a, &[1, 2]);
+        assert_eq!(t.value(m).row(0), &[3., 6.]);
+    }
+
+    #[test]
+    fn concat_and_slice_round_trip() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = t.leaf(Matrix::from_vec(2, 1, vec![5., 6.]));
+        let c = t.concat_cols(&[a, b]);
+        assert_eq!(t.value(c).row(0), &[1., 2., 5.]);
+        let s = t.slice_cols(c, 2, 3);
+        assert_eq!(t.value(s).data(), &[5., 6.]);
+        let r = t.slice_rows(c, 1, 2);
+        assert_eq!(t.value(r).data(), &[3., 4., 6.]);
+    }
+
+    #[test]
+    fn cross_entropy_ignores_masked_rows() {
+        let mut t = Tape::new();
+        // row 0: confident correct, row 1: masked garbage
+        let l = t.leaf(Matrix::from_vec(2, 2, vec![10.0, -10.0, 0.0, 0.0]));
+        let loss = t.cross_entropy(l, &[0, IGNORE_INDEX]);
+        assert!(t.value(loss).scalar_value() < 1e-3);
+    }
+
+    #[test]
+    fn bce_with_logits_known_values() {
+        let mut t = Tape::new();
+        let l = t.leaf(Matrix::from_vec(2, 1, vec![0.0, 0.0]));
+        let loss = t.bce_with_logits(l, &[1.0, 0.0]);
+        // -ln(0.5) for both rows
+        assert!((t.value(loss).scalar_value() - 0.6931).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mul_scalar_node_scales() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 2, vec![2.0, 4.0]));
+        let s = t.leaf(Matrix::scalar(0.5));
+        let o = t.mul_scalar_node(a, s);
+        assert_eq!(t.value(o).data(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Levenshtein edit distance — the paper's distractor-selection metric
+//! (Appendix A.1: first distractor minimizes edit distance to the head
+//! entity; the random distractors are drawn from the ten candidates nearest
+//! to the correct answer).
+
+/// Character-level Levenshtein distance (two-row dynamic program).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Indices of `pool` sorted by ascending edit distance to `target`
+/// (stable: ties keep pool order).
+pub fn rank_by_distance(target: &str, pool: &[&str]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    let dists: Vec<usize> = pool.iter().map(|s| levenshtein(target, s)).collect();
+    idx.sort_by_key(|&i| dists[i]);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn rank_orders_by_distance() {
+        let pool = ["cardiopathy", "neuropathy", "osteoma"];
+        let r = rank_by_distance("cardiopathy", &pool);
+        assert_eq!(r[0], 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn identity_axiom(s in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&s, &s), 0);
+        }
+
+        #[test]
+        fn symmetry_axiom(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            let d = levenshtein(&a, &b);
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+    }
+}

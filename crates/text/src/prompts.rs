@@ -1,0 +1,198 @@
+//! Instruction prompt formatting and answer extraction.
+//!
+//! Mirrors the paper's protocol (Table 6): questions are wrapped in an
+//! instruction scaffold, the model generates free text, and the chosen option
+//! is extracted from the generation — responses with no extractable option
+//! count as incorrect. The scaffold here is a terse analog of the paper's
+//! Alpaca preamble, sized for the CPU-scale base model (DESIGN.md §2).
+
+use crate::mcq::Mcq;
+
+/// The four option-letter tokens. Parentheses keep them distinct from the
+/// article "a" in the word-level vocabulary.
+pub const OPTION_TOKENS: [&str; 4] = ["(a)", "(b)", "(c)", "(d)"];
+
+/// Option token for index 0–3.
+pub fn option_token(i: usize) -> &'static str {
+    OPTION_TOKENS[i]
+}
+
+/// Formats an MCQ into the instruction prompt the model is queried with.
+pub fn format_mcq_prompt(mcq: &Mcq) -> String {
+    format!(
+        "question : {} options : (a) {} (b) {} (c) {} (d) {} answer :",
+        mcq.question, mcq.options[0], mcq.options[1], mcq.options[2], mcq.options[3]
+    )
+}
+
+/// The gold completion for QA training: option letter followed by the answer
+/// text, e.g. `"(c) acute osteoma"`.
+pub fn gold_completion(mcq: &Mcq) -> String {
+    format!("{} {}", option_token(mcq.correct), mcq.answer())
+}
+
+/// Formats a yes/no question prompt.
+pub fn format_yesno_prompt(question: &str) -> String {
+    format!("question : {question} options : yes no answer :")
+}
+
+/// Extracts the chosen option index from generated text — the reproduction's
+/// analog of the paper's regex extraction. Returns the first option token
+/// found, or `None` (counted as incorrect, per the paper).
+pub fn extract_option(generated: &str) -> Option<usize> {
+    for word in crate::tokenizer::split_words(generated) {
+        if let Some(i) = OPTION_TOKENS.iter().position(|&t| t == word) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Extracts the chosen option by matching the generated *answer text* against
+/// the option texts (token-overlap F1), falling back to option-letter
+/// extraction when no text overlaps.
+///
+/// Rationale (DESIGN.md §2): the paper's regex extraction works because
+/// LLaMa-2's option-letter binding is reliable; the CPU-scale substrate
+/// communicates its choice most reliably through the answer text it
+/// generates, so extraction matches on that first. Ambiguous generations
+/// (no overlap with any option, no letter) return `None` and count as
+/// incorrect, exactly like the paper's unparseable outputs.
+pub fn extract_choice(generated: &str, options: &[String; 4]) -> Option<usize> {
+    let gen_words = crate::tokenizer::split_words(generated);
+    let mut best: Option<(usize, f32)> = None;
+    for (i, opt) in options.iter().enumerate() {
+        let opt_words = crate::tokenizer::split_words(opt);
+        let overlap = token_overlap_f1(&gen_words, &opt_words);
+        if overlap > 0.0 && best.map_or(true, |(_, b)| overlap > b) {
+            best = Some((i, overlap));
+        }
+    }
+    best.map(|(i, _)| i).or_else(|| extract_option(generated))
+}
+
+fn token_overlap_f1(pred: &[String], gold: &[String]) -> f32 {
+    if pred.is_empty() || gold.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for w in gold {
+        *counts.entry(w.as_str()).or_insert(0usize) += 1;
+    }
+    let mut overlap = 0usize;
+    for w in pred {
+        if let Some(c) = counts.get_mut(w.as_str()) {
+            if *c > 0 {
+                *c -= 1;
+                overlap += 1;
+            }
+        }
+    }
+    if overlap == 0 {
+        return 0.0;
+    }
+    let p = overlap as f32 / pred.len() as f32;
+    let r = overlap as f32 / gold.len() as f32;
+    2.0 * p * r / (p + r)
+}
+
+/// Extracts a yes/no answer from generated text.
+pub fn extract_yesno(generated: &str) -> Option<bool> {
+    for word in crate::tokenizer::split_words(generated) {
+        match word.as_str() {
+            "yes" => return Some(true),
+            "no" => return Some(false),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// All scaffold words any prompt can emit — for vocabulary closure.
+pub fn vocabulary_lines() -> Vec<String> {
+    vec![
+        "question : options : (a) (b) (c) (d) answer : yes no".to_string(),
+        "context : true false maybe".to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infuserki_kg::{EntityId, RelationId, Triple};
+
+    fn mcq() -> Mcq {
+        Mcq {
+            question: "what is the has symptom of chronic cardiopathy ?".into(),
+            options: [
+                "acute osteoma".into(),
+                "benign neuritis".into(),
+                "focal myoma".into(),
+                "latent dermatosis".into(),
+            ],
+            correct: 2,
+            triple: Triple::new(EntityId(0), RelationId(0), EntityId(1)),
+            template_idx: 0,
+        }
+    }
+
+    #[test]
+    fn prompt_contains_all_options_in_order() {
+        let p = format_mcq_prompt(&mcq());
+        let a = p.find("(a) acute osteoma").unwrap();
+        let b = p.find("(b) benign neuritis").unwrap();
+        let c = p.find("(c) focal myoma").unwrap();
+        let d = p.find("(d) latent dermatosis").unwrap();
+        assert!(a < b && b < c && c < d);
+        assert!(p.ends_with("answer :"));
+    }
+
+    #[test]
+    fn gold_completion_has_letter_and_text() {
+        assert_eq!(gold_completion(&mcq()), "(c) focal myoma");
+    }
+
+    #[test]
+    fn extract_option_finds_first_letter() {
+        assert_eq!(extract_option("(b) benign neuritis"), Some(1));
+        assert_eq!(extract_option("i think (d) is right"), Some(3));
+        assert_eq!(extract_option("no idea"), None);
+        // the article "a" must not be mistaken for option (a)
+        assert_eq!(extract_option("a hard question"), None);
+    }
+
+    #[test]
+    fn extract_choice_matches_answer_text() {
+        let m = mcq();
+        assert_eq!(extract_choice("(c) focal myoma", &m.options), Some(2));
+        // Text beats a collapsed wrong letter — the substrate's failure mode.
+        assert_eq!(extract_choice("(a) focal myoma", &m.options), Some(2));
+        // Partial overlap still resolves to the best option.
+        assert_eq!(extract_choice("myoma", &m.options), Some(2));
+        // No text overlap: falls back to the letter.
+        assert_eq!(extract_choice("(d) something else", &m.options), Some(3));
+        // Nothing extractable.
+        assert_eq!(extract_choice("unsure", &m.options), None);
+    }
+
+    #[test]
+    fn extract_choice_prefers_strongest_overlap() {
+        let m = mcq();
+        // "acute osteoma" (option a) fully matched beats "benign" partial.
+        assert_eq!(extract_choice("acute osteoma benign", &m.options), Some(0));
+    }
+
+    #[test]
+    fn extract_yesno() {
+        assert_eq!(super::extract_yesno("yes , certainly"), Some(true));
+        assert_eq!(super::extract_yesno("i say no"), Some(false));
+        assert_eq!(super::extract_yesno("maybe"), None);
+    }
+
+    #[test]
+    fn yesno_prompt_shape() {
+        let p = format_yesno_prompt("is x the y of z ?");
+        assert!(p.starts_with("question :"));
+        assert!(p.contains("options : yes no"));
+    }
+}

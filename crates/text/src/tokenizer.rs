@@ -1,0 +1,212 @@
+//! Closed-vocabulary word-level tokenizer.
+//!
+//! The synthetic universe (entity names, templates, prompt scaffolding) is
+//! generated from finite word pools, so a word-level vocabulary is complete
+//! by construction; `<unk>` exists only as a safety valve and is asserted
+//! unused in the experiment pipelines.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Id of the `<unk>` token.
+pub const UNK: usize = 0;
+/// Id of the `<eos>` end-of-sequence token.
+pub const EOS: usize = 1;
+
+/// Word-level tokenizer with punctuation isolation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tokenizer {
+    words: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Tokenizer {
+    /// Builds a vocabulary from an iterator of texts. Token order is
+    /// first-seen, after the reserved `<unk>`/`<eos>` slots.
+    pub fn build<'a>(texts: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut tok = Tokenizer {
+            words: vec!["<unk>".into(), "<eos>".into()],
+            index: HashMap::new(),
+        };
+        tok.index.insert("<unk>".into(), UNK);
+        tok.index.insert("<eos>".into(), EOS);
+        for text in texts {
+            for w in split_words(text) {
+                tok.add_word(&w);
+            }
+        }
+        tok
+    }
+
+    fn add_word(&mut self, w: &str) -> usize {
+        if let Some(&id) = self.index.get(w) {
+            return id;
+        }
+        let id = self.words.len();
+        self.words.push(w.to_string());
+        self.index.insert(w.to_string(), id);
+        id
+    }
+
+    /// Extends the vocabulary from further texts (idempotent).
+    pub fn extend<'a>(&mut self, texts: impl IntoIterator<Item = &'a str>) {
+        for text in texts {
+            for w in split_words(text) {
+                self.add_word(&w);
+            }
+        }
+    }
+
+    /// Rebuilds the word→id index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+    }
+
+    /// Encodes text to token ids; unknown words map to [`UNK`].
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        split_words(text)
+            .into_iter()
+            .map(|w| self.index.get(&w).copied().unwrap_or(UNK))
+            .collect()
+    }
+
+    /// Encodes, asserting the text is fully in-vocabulary (experiment paths).
+    ///
+    /// # Panics
+    /// Panics naming the first out-of-vocabulary word.
+    pub fn encode_strict(&self, text: &str) -> Vec<usize> {
+        split_words(text)
+            .into_iter()
+            .map(|w| {
+                *self
+                    .index
+                    .get(&w)
+                    .unwrap_or_else(|| panic!("out-of-vocabulary word: '{w}'"))
+            })
+            .collect()
+    }
+
+    /// Decodes ids back to a space-joined string.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .map(|&i| self.words.get(i).map(String::as_str).unwrap_or("<bad>"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Id of a single word, if in vocabulary.
+    pub fn word_id(&self, w: &str) -> Option<usize> {
+        self.index.get(w).copied()
+    }
+
+    /// The word for an id.
+    pub fn word(&self, id: usize) -> Option<&str> {
+        self.words.get(id).map(String::as_str)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// Splits text into lowercase words, isolating punctuation as tokens.
+pub fn split_words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            flush(&mut cur, &mut out);
+        } else if matches!(ch, '?' | '.' | ',' | ':' | ';' | '!') {
+            flush(&mut cur, &mut out);
+            out.push(ch.to_string());
+        } else {
+            cur.extend(ch.to_lowercase());
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+fn flush(cur: &mut String, out: &mut Vec<String>) {
+    if !cur.is_empty() {
+        out.push(std::mem::take(cur));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_isolates_punctuation_and_lowercases() {
+        assert_eq!(
+            split_words("What is Aspirin, exactly?"),
+            vec!["what", "is", "aspirin", ",", "exactly", "?"]
+        );
+    }
+
+    #[test]
+    fn parenthesized_option_tokens_survive() {
+        // '(' and ')' are not split, so "(a)" is one token.
+        assert_eq!(split_words("answer: (a)"), vec!["answer", ":", "(a)"]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = Tokenizer::build(["the silent horizon", "who directed the silent horizon ?"]);
+        let ids = t.encode_strict("who directed the silent horizon ?");
+        assert_eq!(t.decode(&ids), "who directed the silent horizon ?");
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let t = Tokenizer::build(["hello world"]);
+        let ids = t.encode("hello mars");
+        assert_eq!(ids[1], UNK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-vocabulary")]
+    fn encode_strict_panics_on_oov() {
+        let t = Tokenizer::build(["hello"]);
+        t.encode_strict("goodbye");
+    }
+
+    #[test]
+    fn extend_is_idempotent() {
+        let mut t = Tokenizer::build(["a b c"]);
+        let before = t.vocab_size();
+        t.extend(["a b c"]);
+        assert_eq!(t.vocab_size(), before);
+        t.extend(["d"]);
+        assert_eq!(t.vocab_size(), before + 1);
+    }
+
+    #[test]
+    fn reserved_ids_are_stable() {
+        let t = Tokenizer::build(["x"]);
+        assert_eq!(t.word(UNK), Some("<unk>"));
+        assert_eq!(t.word(EOS), Some("<eos>"));
+        assert_eq!(t.word_id("x"), Some(2));
+    }
+
+    #[test]
+    fn serde_round_trip_with_rebuild() {
+        let t = Tokenizer::build(["alpha beta gamma"]);
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Tokenizer = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(
+            back.encode_strict("beta gamma"),
+            t.encode_strict("beta gamma")
+        );
+    }
+}

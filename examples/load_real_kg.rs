@@ -1,0 +1,64 @@
+//! Using your own knowledge graph: load a MetaQA-style `kb.txt`
+//! (`subject|relation|object` per line), inspect it, and render the
+//! multiple-choice questions the integration pipeline would train on.
+//!
+//! ```text
+//! cargo run --release --example load_real_kg            # embedded demo data
+//! cargo run --release --example load_real_kg -- kb.txt  # your file
+//! ```
+
+use infuserki::kg::io::{load_pipe_separated, parse_pipe_separated};
+use infuserki::kg::KgStats;
+use infuserki::text::templates::N_QA_TEMPLATES;
+use infuserki::text::{format_mcq_prompt, McqBuilder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const DEMO_KB: &str = "\
+the crimson voyage|directed_by|mira okafor
+the crimson voyage|release_year|1994
+the crimson voyage|has_genre|adventure
+the crimson voyage|starred_actors|theo lindqvist
+the hollow archive|directed_by|mira okafor
+the hollow archive|release_year|2003
+the hollow archive|has_genre|mystery
+the hollow archive|starred_actors|clara moreau
+the gilded monsoon|directed_by|pablo vargas
+the gilded monsoon|release_year|1988
+the gilded monsoon|has_genre|drama
+the gilded monsoon|starred_actors|greta novak
+the restless pendulum|directed_by|dana herrera
+the restless pendulum|release_year|2011
+the restless pendulum|has_genre|thriller
+the restless pendulum|starred_actors|ivan braun
+";
+
+fn main() {
+    let store = match std::env::args().nth(1) {
+        Some(path) => load_pipe_separated(&path, true).expect("load kb file"),
+        None => parse_pipe_separated(DEMO_KB, true).expect("demo kb parses"),
+    };
+    println!("loaded: {}", KgStats::of(&store));
+    for r in store.relation_ids() {
+        println!(
+            "  relation '{}': {} triples, {} distinct tails",
+            store.relation_name(r),
+            store.triples_of_relation(r).len(),
+            store.tail_pool(r).len()
+        );
+    }
+
+    // Render the MCQs the detection/integration pipeline would use.
+    let builder = McqBuilder::new(&store);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    println!("\nsample questions (template coverage: {N_QA_TEMPLATES} per relation):");
+    for (i, &t) in store.triples().iter().take(3).enumerate() {
+        let mcq = builder.build(t, i % N_QA_TEMPLATES, &mut rng);
+        println!("\n{}", format_mcq_prompt(&mcq));
+        println!(
+            "   gold: ({}) {}",
+            (b'a' + mcq.correct as u8) as char,
+            mcq.answer()
+        );
+    }
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Records the full experiment suite at the given scale (default: quick) and
+# assembles results/all_experiments.md. Pre-trained bases are cached in
+# artifacts/, so reruns are much faster.
+set -euo pipefail
+SCALE="${1:-quick}"
+SEED="${2:-42}"
+cargo build --release -p infuserki-bench --bins
+exec ./target/release/run_all --scale "$SCALE" --seed "$SEED"

@@ -1,0 +1,12 @@
+//! # infuserki — workspace facade
+//!
+//! Re-exports the public API of every crate in the InfuserKI reproduction so
+//! examples and downstream users can depend on a single crate.
+
+pub use infuserki_baselines as baselines;
+pub use infuserki_core as core;
+pub use infuserki_eval as eval;
+pub use infuserki_kg as kg;
+pub use infuserki_nn as nn;
+pub use infuserki_tensor as tensor;
+pub use infuserki_text as text;

