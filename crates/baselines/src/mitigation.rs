@@ -106,6 +106,7 @@ impl EwcPenalty {
 }
 
 /// Full fine-tuning with the EWC penalty. Returns per-epoch mean task losses.
+#[allow(clippy::too_many_arguments)]
 pub fn train_full_ft_ewc(
     model: &mut TransformerLm,
     new_samples: &[LmSample],
@@ -152,6 +153,7 @@ pub fn train_full_ft_ewc(
 
 /// Replay: full fine-tuning on the new samples plus a replayed fraction of
 /// known samples each epoch.
+#[allow(clippy::too_many_arguments)]
 pub fn train_full_ft_replay(
     model: &mut TransformerLm,
     new_samples: &[LmSample],
@@ -178,6 +180,7 @@ pub fn train_full_ft_replay(
 /// Distillation against the frozen pre-update teacher: task CE on new samples
 /// plus `alpha ·` cross-entropy between the student and the teacher's output
 /// distribution on known prompts.
+#[allow(clippy::too_many_arguments)]
 pub fn train_full_ft_distill(
     model: &mut TransformerLm,
     new_samples: &[LmSample],

@@ -24,6 +24,55 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
+/// Blocked-kernel vs seed-kernel square matmuls at 64–512 dims: the numbers
+/// behind the blocking design notes in `kernels.rs`.
+fn bench_matmul_blocked_vs_seed(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for dim in [64usize, 128, 256, 512] {
+        let a = infuserki_tensor::init::normal(dim, dim, 1.0, &mut rng);
+        let b = infuserki_tensor::init::normal(dim, dim, 1.0, &mut rng);
+        c.bench_function(&format!("matmul_{dim}x{dim}x{dim}"), |bench| {
+            bench.iter(|| kernels::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        c.bench_function(&format!("matmul_{dim}x{dim}x{dim}_seed"), |bench| {
+            bench.iter(|| {
+                kernels::reference::matmul(std::hint::black_box(&a), std::hint::black_box(&b))
+            })
+        });
+    }
+    // The transposed-operand products at a representative mid size.
+    let a = infuserki_tensor::init::normal(256, 256, 1.0, &mut rng);
+    let b = infuserki_tensor::init::normal(256, 256, 1.0, &mut rng);
+    c.bench_function("matmul_bt_256x256x256", |bench| {
+        bench.iter(|| kernels::matmul_bt(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    c.bench_function("matmul_bt_256x256x256_seed", |bench| {
+        bench.iter(|| {
+            kernels::reference::matmul_bt(std::hint::black_box(&a), std::hint::black_box(&b))
+        })
+    });
+    c.bench_function("matmul_at_256x256x256", |bench| {
+        bench.iter(|| kernels::matmul_at(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    c.bench_function("matmul_at_256x256x256_seed", |bench| {
+        bench.iter(|| {
+            kernels::reference::matmul_at(std::hint::black_box(&a), std::hint::black_box(&b))
+        })
+    });
+    // Allocation-free accumulate variant (the backward-pass hot path shape).
+    let mut out = infuserki_tensor::Matrix::zeros(256, 256);
+    c.bench_function("matmul_into_acc_256x256x256", |bench| {
+        bench.iter(|| {
+            kernels::matmul_into(
+                std::hint::black_box(&a),
+                std::hint::black_box(&b),
+                &mut out,
+                true,
+            )
+        })
+    });
+}
+
 fn bench_softmax(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let x = infuserki_tensor::init::normal(48, 48, 1.0, &mut rng);
@@ -142,7 +191,8 @@ fn bench_tokenizer(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_matmul, bench_softmax, bench_forward, bench_forward_backward,
+    targets = bench_matmul, bench_matmul_blocked_vs_seed, bench_softmax,
+              bench_forward, bench_forward_backward,
               bench_adapter_overhead, bench_kg_queries, bench_mcq_generation,
               bench_quantization, bench_tokenizer
 }

@@ -54,10 +54,10 @@ pub fn extensions(args: Args) -> String {
         "Method", "NR", "RR", "F1_Unseen"
     );
 
-    let mut eval_and_row = |name: &str,
-                            model: &infuserki_nn::TransformerLm,
-                            hook: &dyn infuserki_nn::LayerHook,
-                            out: &mut String| {
+    let eval_and_row = |name: &str,
+                        model: &infuserki_nn::TransformerLm,
+                        hook: &dyn infuserki_nn::LayerHook,
+                        out: &mut String| {
         let e = evaluate_method(model, hook, &w.tokenizer, &w.bank, &p.known, &p.unknown);
         let _ = writeln!(
             out,
@@ -99,7 +99,12 @@ pub fn extensions(args: Args) -> String {
     gate_out_cfg.gate_input = GateInput::SublayerOut;
     let mut ik_out = InfuserKiMethod::new(gate_out_cfg, &w.base, w.store.n_relations());
     train_infuserki(&w.base, &mut ik_out, &p.data, &tc);
-    eval_and_row("InfuserKI (gate=FFN-out)", &w.base, &ik_out.hook(), &mut out);
+    eval_and_row(
+        "InfuserKI (gate=FFN-out)",
+        &w.base,
+        &ik_out.hook(),
+        &mut out,
+    );
 
     // Classic mitigations over full fine-tuning.
     let new_qa: Vec<LmSample> = p
@@ -175,18 +180,21 @@ pub fn extensions(args: Args) -> String {
     // the "limited number of edits" failure mode of model editors.
     let mut grace2 = Grace::new(GraceConfig::for_model(w.base.n_layers()), &w.base);
     let _ = writeln!(out, "\nGRACE sequential-edit scaling (edits → NR, RR):");
-    let checkpoints = [
-        p.unknown.len() / 4,
-        p.unknown.len() / 2,
-        p.unknown.len(),
-    ];
+    let checkpoints = [p.unknown.len() / 4, p.unknown.len() / 2, p.unknown.len()];
     let mut applied = 0usize;
     for &target in &checkpoints {
         for &i in p.unknown.iter().take(target).skip(applied) {
             grace2.apply_edit(&w.base, &qa_sample(w.bank.mcq(0, i), &w.tokenizer));
         }
         applied = target;
-        let e = evaluate_method(&w.base, &grace2, &w.tokenizer, &w.bank, &p.known, &p.unknown);
+        let e = evaluate_method(
+            &w.base,
+            &grace2,
+            &w.tokenizer,
+            &w.bank,
+            &p.known,
+            &p.unknown,
+        );
         let _ = writeln!(out, "  {applied:>4} edits: NR {:.2}  RR {:.2}", e.nr, e.rr);
     }
 

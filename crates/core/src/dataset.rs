@@ -269,7 +269,7 @@ mod tests {
         for tpl in 0..N_QA_TEMPLATES {
             assert_eq!(bank.template(tpl).len(), 60);
         }
-        let bank2 = McqBank::build(&store, &store.triples().to_vec(), 42);
+        let bank2 = McqBank::build(&store, store.triples(), 42);
         assert_eq!(bank.mcq(2, 7).options, bank2.mcq(2, 7).options);
         assert_eq!(bank.mcq(2, 7).correct, bank2.mcq(2, 7).correct);
     }

@@ -79,9 +79,9 @@ pub fn evaluate_method(
     let mut f1_templates = [0.0f32; N_QA_TEMPLATES];
     let mut nr = f32::NAN;
     let mut rr = f32::NAN;
-    for tpl in 0..N_QA_TEMPLATES {
+    for (tpl, f1_slot) in f1_templates.iter_mut().enumerate() {
         let outcomes = answer_template(model, hook, tokenizer, bank, tpl);
-        f1_templates[tpl] = macro_f1(&outcomes, 4);
+        *f1_slot = macro_f1(&outcomes, 4);
         if tpl == 0 {
             nr = subset_accuracy(&outcomes, unknown);
             rr = subset_accuracy(&outcomes, known);

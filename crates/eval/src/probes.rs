@@ -106,7 +106,6 @@ pub fn option_probs(
     [probs[0], probs[1], probs[2], probs[3]]
 }
 
-
 /// Embeds an entity name as the mean-pooled final hidden state of its tokens
 /// under (model, hook) — the representation-space view of what integration
 /// changed.

@@ -115,22 +115,21 @@ pub fn tsne(data: &[Vec<f32>], perplexity: f32, iters: usize, seed: u64) -> Vec<
         for _ in 0..40 {
             let mut sum = 0.0f32;
             let mut h = 0.0f32;
-            for j in 0..n {
+            for (j, &d) in d2[i].iter().enumerate() {
                 if j == i {
                     continue;
                 }
-                let pij = (-d2[i][j] * beta).exp();
-                sum += pij;
+                sum += (-d * beta).exp();
             }
             if sum <= 0.0 {
                 beta = lo;
                 break;
             }
-            for j in 0..n {
+            for (j, &d) in d2[i].iter().enumerate() {
                 if j == i {
                     continue;
                 }
-                let pij = (-d2[i][j] * beta).exp() / sum;
+                let pij = (-d * beta).exp() / sum;
                 if pij > 1e-12 {
                     h -= pij * pij.ln();
                 }
@@ -157,9 +156,9 @@ pub fn tsne(data: &[Vec<f32>], perplexity: f32, iters: usize, seed: u64) -> Vec<
                 sum += p[i][j];
             }
         }
-        for j in 0..n {
+        for (j, pv) in p[i].iter_mut().enumerate() {
             if j != i {
-                p[i][j] /= sum.max(1e-12);
+                *pv /= sum.max(1e-12);
             }
         }
     }
@@ -237,9 +236,9 @@ mod tests {
             for _ in 0..n_per {
                 let base = c as f32 * sep;
                 data.push(vec![
-                    base + rng.gen_range(-0.1..0.1),
-                    base + rng.gen_range(-0.1..0.1),
-                    rng.gen_range(-0.1..0.1),
+                    base + rng.gen_range(-0.1f32..0.1),
+                    base + rng.gen_range(-0.1f32..0.1),
+                    rng.gen_range(-0.1f32..0.1),
                 ]);
                 labels.push(c);
             }

@@ -1,0 +1,50 @@
+//! The base-model artifact cache must be *bitwise* faithful: a world built
+//! fresh and a world rebuilt through `TransformerLm::save`/`load` must agree
+//! on every parameter bit. The golden-determinism suite in
+//! `tests/golden_determinism.rs` relies on this — a cached rerun that loses
+//! even a sign-of-zero would make "same seed, same bits" unprovable.
+
+use infuserki_eval::world::{build_world, Domain, WorldConfig};
+use infuserki_nn::layers::Module;
+
+fn all_param_bits(m: &infuserki_nn::model::TransformerLm) -> Vec<(String, Vec<u32>)> {
+    let mut out = Vec::new();
+    m.visit(&mut |p| {
+        out.push((
+            p.name().to_string(),
+            p.data().data().iter().map(|v| v.to_bits()).collect(),
+        ));
+    });
+    out
+}
+
+#[test]
+fn cached_base_model_is_bitwise_identical_to_fresh() {
+    let dir = std::env::temp_dir().join(format!("infuserki_fidelity_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
+    let cfg = WorldConfig::tiny(Domain::Umls, 211);
+
+    let fresh = build_world(&cfg); // pretrains and saves the cache
+    let cached = build_world(&cfg); // loads the cache
+
+    let a = all_param_bits(&fresh.base);
+    let b = all_param_bits(&cached.base);
+    assert_eq!(a.len(), b.len(), "param count changed across cache reload");
+    for ((name_a, bits_a), (name_b, bits_b)) in a.iter().zip(b.iter()) {
+        assert_eq!(name_a, name_b, "param order changed across cache reload");
+        assert_eq!(bits_a.len(), bits_b.len(), "{name_a}: shape changed");
+        for (i, (x, y)) in bits_a.iter().zip(bits_b.iter()).enumerate() {
+            assert_eq!(
+                x,
+                y,
+                "{name_a}[{i}]: fresh {} vs cached {} ({:e} vs {:e})",
+                x,
+                y,
+                f32::from_bits(*x),
+                f32::from_bits(*y)
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

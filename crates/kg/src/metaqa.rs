@@ -107,7 +107,7 @@ pub fn synth_metaqa(cfg: &MetaQaConfig) -> TripleStore {
         let tail = pool[rng.gen_range(0..pool.len())];
         store.insert_functional(Triple::new(movie, rel, tail));
         ri += 1;
-        if ri % relations.len() == 0 {
+        if ri.is_multiple_of(relations.len()) {
             mi += 1;
         }
     }

@@ -66,7 +66,7 @@ impl ModelConfig {
 
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(format!(
                 "d_model {} not divisible by n_heads {}",
                 self.d_model, self.n_heads

@@ -54,16 +54,17 @@ impl Linear {
         }
     }
 
-    /// Applies the projection on the tape.
+    /// Applies the projection on the tape. With a bias this records the fused
+    /// [`Tape::affine`] node (one output allocation, one backward dispatch);
+    /// without one it falls back to a plain matmul.
     pub fn forward(&self, x: NodeId, tape: &mut Tape) -> NodeId {
         let w = tape.param(&self.w);
-        let y = tape.matmul(x, w);
         match &self.b {
             Some(b) => {
                 let bn = tape.param(b);
-                tape.add_row_broadcast(y, bn)
+                tape.affine(x, w, bn)
             }
-            None => y,
+            None => tape.matmul(x, w),
         }
     }
 

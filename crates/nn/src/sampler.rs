@@ -149,6 +149,7 @@ pub fn beam_search(
 
 /// Top-k sampling: draws each next token from the renormalized top-`k`
 /// distribution with `temperature` scaling. Deterministic given `rng`.
+#[allow(clippy::too_many_arguments)]
 pub fn sample_top_k(
     model: &TransformerLm,
     hook: &dyn LayerHook,
@@ -255,7 +256,7 @@ mod tests {
         let m = model();
         let max = m.config().max_seq;
         let out = greedy_decode(&m, &NoHook, &[1], max * 2, None);
-        assert!(out.len() <= max - 1);
+        assert!(out.len() < max);
     }
 
     #[test]

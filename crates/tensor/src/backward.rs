@@ -13,6 +13,40 @@ fn accumulate(slot: &mut Option<Matrix>, delta: Matrix) {
     }
 }
 
+/// Accumulates a `rows×cols` matrix-product contribution directly into
+/// `slot` via an allocation-free `_into` kernel: an occupied slot is passed
+/// with `accumulate=true` (no temporary, no add pass); an empty slot is
+/// allocated once and overwritten.
+fn accumulate_product(
+    slot: &mut Option<Matrix>,
+    rows: usize,
+    cols: usize,
+    compute: impl FnOnce(&mut Matrix, bool),
+) {
+    match slot {
+        Some(g) => compute(g, true),
+        None => {
+            let mut g = Matrix::zeros(rows, cols);
+            compute(&mut g, false);
+            *slot = Some(g);
+        }
+    }
+}
+
+/// Column-sums of `gout` added into `slot` (bias gradient of a row-broadcast
+/// add).
+fn accumulate_col_sums(slot: &mut Option<Matrix>, gout: &Matrix) {
+    if slot.is_none() {
+        *slot = Some(Matrix::zeros(1, gout.cols()));
+    }
+    let db = slot.as_mut().expect("slot just filled");
+    for r in 0..gout.rows() {
+        for (o, &g) in db.row_mut(0).iter_mut().zip(gout.row(r).iter()) {
+            *o += g;
+        }
+    }
+}
+
 impl Tape {
     /// Runs reverse-mode autodiff from the scalar node `root`, filling
     /// per-node gradients (readable via [`Tape::grad`], extractable via
@@ -73,17 +107,66 @@ fn backward_op(
     match op {
         Op::Leaf { .. } => {}
         Op::MatMul(a, b) => {
-            let da = kernels::matmul_bt(gout, val(*b));
-            let db = kernels::matmul_at(val(*a), gout);
-            accumulate(&mut grads_before[a.index()], da);
-            accumulate(&mut grads_before[b.index()], db);
+            // y = a @ b: dA = g @ bᵀ, dB = aᵀ @ g — both written straight
+            // into the gradient slots (no temporaries on the re-visit path).
+            let (va, vb) = (val(*a), val(*b));
+            accumulate_product(
+                &mut grads_before[a.index()],
+                gout.rows(),
+                vb.rows(),
+                |o, acc| {
+                    kernels::matmul_bt_into(gout, vb, o, acc);
+                },
+            );
+            accumulate_product(
+                &mut grads_before[b.index()],
+                va.cols(),
+                gout.cols(),
+                |o, acc| {
+                    kernels::matmul_at_into(va, gout, o, acc);
+                },
+            );
         }
         Op::MatMulBt(a, b) => {
-            // y = a @ b^T: dA = g @ b, dB = g^T @ a
-            let da = kernels::matmul(gout, val(*b));
-            let db = kernels::matmul_at(gout, val(*a));
-            accumulate(&mut grads_before[a.index()], da);
-            accumulate(&mut grads_before[b.index()], db);
+            // y = a @ bᵀ: dA = g @ b, dB = gᵀ @ a
+            let (va, vb) = (val(*a), val(*b));
+            accumulate_product(
+                &mut grads_before[a.index()],
+                gout.rows(),
+                vb.cols(),
+                |o, acc| {
+                    kernels::matmul_into(gout, vb, o, acc);
+                },
+            );
+            accumulate_product(
+                &mut grads_before[b.index()],
+                gout.cols(),
+                va.cols(),
+                |o, acc| {
+                    kernels::matmul_at_into(gout, va, o, acc);
+                },
+            );
+        }
+        Op::Affine { x, w, bias } => {
+            // y = x @ w + 1·biasᵀ: dX = g @ wᵀ, dW = xᵀ @ g, dbias = Σ_rows g
+            let (vx, vw) = (val(*x), val(*w));
+            accumulate_product(
+                &mut grads_before[x.index()],
+                gout.rows(),
+                vw.rows(),
+                |o, acc| {
+                    kernels::matmul_bt_into(gout, vw, o, acc);
+                },
+            );
+            accumulate_product(
+                &mut grads_before[w.index()],
+                vx.cols(),
+                gout.cols(),
+                |o, acc| {
+                    kernels::matmul_at_into(vx, gout, o, acc);
+                },
+            );
+            accumulate_col_sums(&mut grads_before[bias.index()], gout);
         }
         Op::Add(a, b) => {
             accumulate(&mut grads_before[a.index()], gout.clone());
@@ -91,13 +174,7 @@ fn backward_op(
         }
         Op::AddRowBroadcast(a, b) => {
             accumulate(&mut grads_before[a.index()], gout.clone());
-            let mut db = Matrix::zeros(1, gout.cols());
-            for r in 0..gout.rows() {
-                for (o, &g) in db.row_mut(0).iter_mut().zip(gout.row(r).iter()) {
-                    *o += g;
-                }
-            }
-            accumulate(&mut grads_before[b.index()], db);
+            accumulate_col_sums(&mut grads_before[b.index()], gout);
         }
         Op::Sub(a, b) => {
             accumulate(&mut grads_before[a.index()], gout.clone());

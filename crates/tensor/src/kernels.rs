@@ -1,11 +1,151 @@
-//! Hot numeric kernels.
+//! Hot numeric kernels: parallel, cache-blocked matrix products plus the
+//! activation/softmax primitives the rest of the workspace builds on.
 //!
-//! The matmul uses the `ikj` loop order so the innermost loop walks both the
-//! output row and the `b` row contiguously — this autovectorizes well and was
-//! measured at several GFLOP/s on the single-core target box. Bounds checks
-//! are hoisted by slicing rows once per iteration.
+//! # Blocking design
+//!
+//! All three products (`a@b`, `a@bᵀ`, `aᵀ@b`) share the same structure:
+//!
+//! 1. **Row-band parallelism.** Output rows are split into contiguous,
+//!    near-equal bands, one band per worker thread, run under
+//!    `std::thread::scope`. Bands write disjoint `out` slices (via
+//!    `split_at_mut`), so no synchronization is needed beyond the join.
+//! 2. **Register tiling.** Inside a band, outputs are computed in `MR×NR`
+//!    tiles ([`matmul_into`]/[`matmul_at_into`]: 4 output rows × 8 columns;
+//!    [`matmul_bt_into`]: 4×4 dot-product tiles). Each tile's accumulators
+//!    live in registers across the entire inner dimension, so per-`p` traffic
+//!    is loads only — the seed kernel re-read and re-wrote the output row on
+//!    every step of the inner dimension. Tile edges fall back to scalar
+//!    loops.
+//! 3. **Serial fast path.** Products smaller than [`PAR_MIN_FLOPS`] run on
+//!    the calling thread even when more threads are configured: band spawn
+//!    costs ~10µs, which swamps sub-millisecond products. The threshold was
+//!    tuned on the microbench suite (`cargo bench -p infuserki-bench`): at
+//!    64³ spawning loses, at 256³ it amortizes.
+//!
+//! # Determinism
+//!
+//! Every output element is accumulated **over the inner dimension `p` in
+//! ascending order through a single accumulator chain**, in the tile path,
+//! the scalar-edge path, and every band split. Consequently the blocked,
+//! banded, multi-threaded result is *bit-for-bit identical* to the serial
+//! result for any thread count and any tile alignment — floating-point
+//! summation order never changes. (`accumulate=true` in the `_into` variants
+//! adds the prior output value once, after the chain.)
+//!
+//! The chain's arithmetic is the [`fmadd`] helper: hardware fused
+//! multiply-add when the build targets it (see `.cargo/config.toml`), plain
+//! multiply + add otherwise. The choice is per *build*, never per call, so
+//! reproducibility holds within any given binary; against the plain-chain
+//! [`reference`] oracle an FMA build agrees to (tighter than) the documented
+//! `1e-4` relative tolerance.
+//!
+//! # Thread knob
+//!
+//! Worker count resolution order: [`set_num_threads`] override →
+//! `INFUSERKI_THREADS` env var → `std::thread::available_parallelism()`.
+//! Set either to `1` for strictly single-threaded execution; results are
+//! identical either way (see above), so the knob only trades wall-clock.
+//!
+//! The pre-blocking seed kernels are preserved in [`reference`] as the
+//! correctness oracle for the property-test suite and the before/after
+//! microbenches.
 
 use crate::matrix::Matrix;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Output-row tile height of the register micro-kernel.
+const MR: usize = 4;
+/// Output-column tile width of the register micro-kernel.
+const NR: usize = 8;
+
+/// Products below this many FLOPs (`2·m·n·k`) stay on the calling thread.
+///
+/// Empirically (microbench suite, see module docs): a 64×64×192 product
+/// (~1.6 MFLOP) finishes in well under the ~10µs a scoped-thread spawn
+/// costs, while 256³ (~33 MFLOP) amortizes spawning comfortably. The
+/// break-even sits near a few MFLOP; 8 MFLOP adds safety margin.
+const PAR_MIN_FLOPS: usize = 8_000_000;
+
+/// Runtime thread-count override; 0 = unset (use env/default).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the kernel worker-thread count for this process.
+///
+/// `set_num_threads(1)` forces strictly serial execution; `0` clears the
+/// override, falling back to `INFUSERKI_THREADS` / available parallelism.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Worker threads the matrix kernels will use for large products.
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o != 0 {
+        return o;
+    }
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("INFUSERKI_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Splits `rows` output rows into `bands` contiguous near-equal ranges.
+fn row_bands(rows: usize, bands: usize) -> Vec<Range<usize>> {
+    let bands = bands.min(rows).max(1);
+    let base = rows / bands;
+    let extra = rows % bands;
+    let mut out = Vec::with_capacity(bands);
+    let mut start = 0;
+    for b in 0..bands {
+        let len = base + usize::from(b < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Worker count for a product of `flops` FLOPs over `out_rows` output rows.
+fn effective_threads(flops: usize, out_rows: usize) -> usize {
+    if flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        num_threads().min(out_rows).max(1)
+    }
+}
+
+/// Runs `band_fn(rows, out_band)` over row bands, threaded when worthwhile.
+///
+/// `out` is the full output buffer (`out_rows × n`, row-major); each band
+/// receives the disjoint slice holding exactly its rows.
+fn run_banded<F>(out: &mut [f32], out_rows: usize, n: usize, flops: usize, band_fn: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    let threads = effective_threads(flops, out_rows);
+    if threads <= 1 {
+        band_fn(0..out_rows, out);
+        return;
+    }
+    let bands = row_bands(out_rows, threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let band_fn = &band_fn;
+        for band in bands {
+            let (chunk, tail) = rest.split_at_mut(band.len() * n);
+            rest = tail;
+            scope.spawn(move || band_fn(band, chunk));
+        }
+    });
+}
+
+// ---- a @ b -----------------------------------------------------------------
 
 /// `out = a @ b` where `a: [m, k]`, `b: [k, n]`.
 ///
@@ -21,41 +161,175 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.rows(),
         b.cols()
     );
-    let m = a.rows();
-    let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    let mut out = Matrix::zeros(a.rows(), b.cols());
     matmul_into(a, b, &mut out, false);
     out
 }
 
 /// `out (+)= a @ b`; when `accumulate` is false `out` is overwritten.
 ///
-/// `out` must already have shape `[a.rows, b.cols]`.
+/// Allocation-free: `out` must already have shape `[a.rows, b.cols]`.
 pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, accumulate: bool) {
     let (m, k) = a.shape();
     let n = b.cols();
-    assert_eq!(b.rows(), k, "matmul_into: inner dim");
+    assert_eq!(b.rows(), k, "matmul_into: inner dims");
     assert_eq!(out.shape(), (m, n), "matmul_into: out shape");
-    if !accumulate {
-        out.fill_zero();
+    let flops = 2 * m * n * k;
+    let (ad, bd) = (a.data(), b.data());
+    run_banded(out.data_mut(), m, n, flops, |rows, chunk| {
+        // a-value loader: row i0+r of `a`, entry p (row-major, stride k).
+        matmul_band(|p, i| ad[i * k + p], bd, rows, chunk, k, n, accumulate);
+    });
+}
+
+/// `out = aᵀ @ b` where `a: [k, m]`, `b: [k, n]`.
+pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at: inner dims ({}x{})^T @ {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    matmul_at_into(a, b, &mut out, false);
+    out
+}
+
+/// `out (+)= aᵀ @ b`; allocation-free, `out: [a.cols, b.cols]`.
+pub fn matmul_at_into(a: &Matrix, b: &Matrix, out: &mut Matrix, accumulate: bool) {
+    let (k, m) = a.shape();
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "matmul_at_into: inner dims");
+    assert_eq!(out.shape(), (m, n), "matmul_at_into: out shape");
+    let flops = 2 * m * n * k;
+    let (ad, bd) = (a.data(), b.data());
+    run_banded(out.data_mut(), m, n, flops, |rows, chunk| {
+        // a-value loader: column i0+r of `a`, entry p (row-major, stride m).
+        matmul_band(|p, i| ad[p * m + i], bd, rows, chunk, k, n, accumulate);
+    });
+}
+
+/// One fused-multiply-add step of an accumulation chain: `c + a·b`.
+///
+/// When the build targets hardware FMA (e.g. `-C target-cpu=native` via this
+/// repo's `.cargo/config.toml`) this compiles to a single `vfmadd`
+/// instruction; otherwise it is a plain multiply + add (`f32::mul_add`
+/// without hardware support would fall back to a slow libm call). The choice
+/// is fixed at compile time, so within one build every kernel path uses the
+/// same chain and results stay bitwise reproducible.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
     }
-    let bd = b.data();
-    for i in 0..m {
-        let arow = a.row(i);
-        let orow = out.row_mut(i);
-        for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0.0 {
-                continue;
+    #[cfg(not(target_feature = "fma"))]
+    {
+        c + a * b
+    }
+}
+
+/// Shared banded kernel for `a@b` and `aᵀ@b`.
+///
+/// Computes `chunk[i - rows.start][j] (+)= Σ_p load_a(p, i) · b[p][j]` for
+/// `i ∈ rows`, `j ∈ 0..n`, `p` ascending. Main path: `MR×NR` register tiles
+/// over an A panel packed to `[p][r]` layout (contiguous inner-loop reads,
+/// no bounds-checked gather in the hot loop); edges: scalar loops with the
+/// identical per-element accumulation chain.
+#[inline(always)]
+fn matmul_band(
+    load_a: impl Fn(usize, usize) -> f32,
+    bd: &[f32],
+    rows: Range<usize>,
+    chunk: &mut [f32],
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    let mb = rows.len();
+    let i_main = mb - mb % MR;
+    let j_main = n - n % NR;
+    // O(k·MR) packing scratch, reused across the band's row tiles.
+    let mut apack = vec![0.0f32; k * MR];
+    for ib in (0..i_main).step_by(MR) {
+        for (p, ap) in apack.chunks_exact_mut(MR).enumerate() {
+            for (r, slot) in ap.iter_mut().enumerate() {
+                *slot = load_a(p, rows.start + ib + r);
             }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+        }
+        for jb in (0..j_main).step_by(NR) {
+            let mut acc = [[0.0f32; NR]; MR];
+            for (ap, brow) in apack.chunks_exact(MR).zip(bd.chunks_exact(n)) {
+                let bs: &[f32; NR] = brow[jb..jb + NR].try_into().expect("NR block");
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = ap[r];
+                    for (c, s) in acc_row.iter_mut().enumerate() {
+                        *s = fmadd(av, bs[c], *s);
+                    }
+                }
             }
+            for (r, acc_row) in acc.iter().enumerate() {
+                let orow = &mut chunk[(ib + r) * n + jb..(ib + r) * n + jb + NR];
+                if accumulate {
+                    for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
+                        *o += v;
+                    }
+                } else {
+                    orow.copy_from_slice(acc_row);
+                }
+            }
+        }
+        // Column tail of the MR-row block.
+        for r in 0..MR {
+            let i = rows.start + ib + r;
+            scalar_row_tail(&load_a, bd, i, ib + r, chunk, k, n, j_main, n, accumulate);
+        }
+    }
+    // Remaining rows: full scalar rows.
+    for li in i_main..mb {
+        let i = rows.start + li;
+        scalar_row_tail(&load_a, bd, i, li, chunk, k, n, 0, n, accumulate);
+    }
+}
+
+/// Scalar edge path: `chunk[li][j] (+)= Σ_p load_a(p, i) · b[p][j]` for
+/// `j ∈ j_lo..j_hi`, `p` ascending — same [`fmadd`] chain as the tile path,
+/// so tile-edge placement (which depends on the band split) never changes a
+/// result bit.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn scalar_row_tail(
+    load_a: &impl Fn(usize, usize) -> f32,
+    bd: &[f32],
+    i: usize,
+    li: usize,
+    chunk: &mut [f32],
+    k: usize,
+    n: usize,
+    j_lo: usize,
+    j_hi: usize,
+    accumulate: bool,
+) {
+    for j in j_lo..j_hi {
+        let mut s = 0.0f32;
+        for p in 0..k {
+            s = fmadd(load_a(p, i), bd[p * n + j], s);
+        }
+        let o = &mut chunk[li * n + j];
+        if accumulate {
+            *o += s;
+        } else {
+            *o = s;
         }
     }
 }
 
-/// `out = a @ b^T` where `a: [m, k]`, `b: [n, k]` — avoids materializing the
+// ---- a @ b^T ---------------------------------------------------------------
+
+/// `out = a @ bᵀ` where `a: [m, k]`, `b: [n, k]` — avoids materializing the
 /// transpose; each dot product walks two contiguous rows.
 pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
@@ -67,50 +341,114 @@ pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
         b.rows(),
         b.cols()
     );
-    let m = a.rows();
-    let n = b.rows();
-    let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let orow = out.row_mut(i);
-        for (j, o) in orow.iter_mut().enumerate() {
-            *o = dot(arow, b.row(j));
-        }
-    }
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    matmul_bt_into(a, b, &mut out, false);
     out
 }
 
-/// `out = a^T @ b` where `a: [k, m]`, `b: [k, n]`.
-pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.rows(),
-        b.rows(),
-        "matmul_at: inner dims ({}x{})^T @ {}x{}",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
-    let (k, m) = a.shape();
-    let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
-    for p in 0..k {
-        let arow = a.row(p);
-        let brow = b.row(p);
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+/// `out (+)= a @ bᵀ`; allocation-free, `out: [a.rows, b.rows]`.
+pub fn matmul_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix, accumulate: bool) {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    assert_eq!(b.cols(), k, "matmul_bt_into: inner dims");
+    assert_eq!(out.shape(), (m, n), "matmul_bt_into: out shape");
+    let flops = 2 * m * n * k;
+    let (ad, bd) = (a.data(), b.data());
+    run_banded(out.data_mut(), m, n, flops, |rows, chunk| {
+        matmul_bt_band(ad, bd, rows, chunk, k, n, accumulate);
+    });
+}
+
+/// Tile height/width of the dot-product micro-kernel (`a@bᵀ`).
+const TR: usize = 4;
+
+/// Banded `a@bᵀ` kernel: `TR×TR` tiles of simultaneous dot products, so each
+/// loaded `a`/`b` value feeds `TR` accumulators. Per-element accumulation is
+/// a single ascending-`p` chain in both the tile and the scalar edge path.
+fn matmul_bt_band(
+    ad: &[f32],
+    bd: &[f32],
+    rows: Range<usize>,
+    chunk: &mut [f32],
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    let mb = rows.len();
+    let i_main = mb - mb % TR;
+    let j_main = n - n % TR;
+    for ib in (0..i_main).step_by(TR) {
+        let arows: [&[f32]; TR] = std::array::from_fn(|r| {
+            let i = rows.start + ib + r;
+            &ad[i * k..(i + 1) * k]
+        });
+        for jb in (0..j_main).step_by(TR) {
+            let brows: [&[f32]; TR] = std::array::from_fn(|c| &bd[(jb + c) * k..(jb + c + 1) * k]);
+            let mut acc = [[0.0f32; TR]; TR];
+            for p in 0..k {
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = arows[r][p];
+                    for (c, av_acc) in acc_row.iter_mut().enumerate() {
+                        *av_acc = fmadd(av, brows[c][p], *av_acc);
+                    }
+                }
             }
-            let orow = &mut out.data_mut()[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+            for (r, acc_row) in acc.iter().enumerate() {
+                for (c, &v) in acc_row.iter().enumerate() {
+                    let o = &mut chunk[(ib + r) * n + jb + c];
+                    if accumulate {
+                        *o += v;
+                    } else {
+                        *o = v;
+                    }
+                }
+            }
+        }
+        for r in 0..TR {
+            for j in j_main..n {
+                let s = dot_seq(arows[r], &bd[j * k..(j + 1) * k]);
+                let o = &mut chunk[(ib + r) * n + j];
+                if accumulate {
+                    *o += s;
+                } else {
+                    *o = s;
+                }
             }
         }
     }
-    out
+    for li in i_main..mb {
+        let i = rows.start + li;
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let s = dot_seq(arow, &bd[j * k..(j + 1) * k]);
+            let o = &mut chunk[li * n + j];
+            if accumulate {
+                *o += s;
+            } else {
+                *o = s;
+            }
+        }
+    }
+}
+
+/// Ascending-order dot product through one [`fmadd`] chain — the exact
+/// accumulation chain every matmul kernel in this module uses per output
+/// element (tile paths and scalar edges alike).
+#[inline]
+fn dot_seq(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut s = 0.0f32;
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        s = fmadd(a, b, s);
+    }
+    s
 }
 
 /// Dot product of two equal-length slices (unrolled by 4 for the vectorizer).
+///
+/// Note: the 4-lane split changes summation order vs [`dot_seq`]; it is used
+/// where raw speed matters and bit-stability across code paths does not
+/// (e.g. softmax backward).
 #[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     debug_assert_eq!(x.len(), y.len());
@@ -133,9 +471,86 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     acc
 }
 
+pub mod reference {
+    //! The pre-blocking seed kernels, kept verbatim as the correctness
+    //! oracle for the equivalence property tests and as the baseline for
+    //! the before/after microbenches.
+
+    use crate::matrix::Matrix;
+
+    /// Seed `a @ b`: serial `ikj` loop with a zero-skip branch.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "reference matmul: inner dims");
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut out = Matrix::zeros(m, n);
+        let bd = b.data();
+        for i in 0..m {
+            let arow = a.row(i);
+            let orow = out.row_mut(i);
+            for (p, &av) in arow.iter().enumerate().take(k) {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Seed `a @ bᵀ`: per-element dot products.
+    pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "reference matmul_bt: inner dims");
+        let m = a.rows();
+        let n = b.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = a.row(i);
+            let orow = out.row_mut(i);
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = arow.iter().zip(b.row(j).iter()).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        out
+    }
+
+    /// Seed `aᵀ @ b`: `p`-outer accumulation.
+    pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "reference matmul_at: inner dims");
+        let (k, m) = a.shape();
+        let n = b.cols();
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let arow = a.row(p);
+            let brow = b.row(p);
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data_mut()[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---- softmax & activations -------------------------------------------------
+
 /// Row-wise softmax with max-subtraction for stability.
 pub fn softmax_rows(x: &Matrix) -> Matrix {
     let mut out = x.clone();
+    softmax_rows_in_place(&mut out);
+    out
+}
+
+/// In-place row-wise softmax (allocation-free form of [`softmax_rows`]).
+pub fn softmax_rows_in_place(out: &mut Matrix) {
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -149,7 +564,6 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
             *v *= inv;
         }
     }
-    out
 }
 
 /// Row-wise log-softmax (numerically stable log-sum-exp form).
@@ -180,14 +594,14 @@ pub fn sigmoid(v: f32) -> f32 {
 /// tanh-approximation GELU (the variant used by GPT-style models).
 #[inline]
 pub fn gelu(v: f32) -> f32 {
-    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * v * (1.0 + (C * (v + 0.044_715 * v * v * v)).tanh())
 }
 
 /// Derivative of [`gelu`].
 #[inline]
 pub fn gelu_grad(v: f32) -> f32 {
-    const C: f32 = 0.797_884_56;
+    const C: f32 = 0.797_884_6;
     let u = C * (v + 0.044_715 * v * v * v);
     let t = u.tanh();
     let du = C * (1.0 + 3.0 * 0.044_715 * v * v);
@@ -256,11 +670,85 @@ mod tests {
     }
 
     #[test]
+    fn matmul_bt_into_accumulates() {
+        let a = m(1, 2, &[1., 1.]);
+        let b = m(1, 2, &[2., 3.]);
+        let mut out = Matrix::full(1, 1, 10.0);
+        matmul_bt_into(&a, &b, &mut out, true);
+        assert_eq!(out.scalar_value(), 15.0);
+        matmul_bt_into(&a, &b, &mut out, false);
+        assert_eq!(out.scalar_value(), 5.0);
+    }
+
+    #[test]
+    fn matmul_at_into_accumulates() {
+        let a = m(2, 1, &[1., 1.]);
+        let b = m(2, 1, &[2., 3.]);
+        let mut out = Matrix::full(1, 1, 10.0);
+        matmul_at_into(&a, &b, &mut out, true);
+        assert_eq!(out.scalar_value(), 15.0);
+        matmul_at_into(&a, &b, &mut out, false);
+        assert_eq!(out.scalar_value(), 5.0);
+    }
+
+    #[test]
     #[should_panic(expected = "inner dims")]
     fn matmul_shape_panics() {
         let a = m(1, 2, &[1., 1.]);
         let b = m(3, 1, &[1., 1., 1.]);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn blocked_matches_reference_on_awkward_shapes() {
+        // Shapes straddling tile boundaries: 1×1, non-multiples of MR/NR/TR.
+        for &(mm, kk, nn) in &[(1, 1, 1), (5, 7, 9), (4, 8, 8), (13, 3, 17), (3, 16, 5)] {
+            let a = Matrix::from_vec(
+                mm,
+                kk,
+                (0..mm * kk).map(|i| (i as f32 * 0.37).sin()).collect(),
+            );
+            let b = Matrix::from_vec(
+                kk,
+                nn,
+                (0..kk * nn).map(|i| (i as f32 * 0.73).cos()).collect(),
+            );
+            let fast = matmul(&a, &b);
+            let slow = reference::matmul(&a, &b);
+            for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+                assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "{mm}x{kk}x{nn}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        // Band splits must not change accumulation order: force threading by
+        // hammering the banded path directly on a mid-size product.
+        let a = Matrix::from_vec(64, 33, (0..64 * 33).map(|i| (i as f32).sin()).collect());
+        let b = Matrix::from_vec(33, 29, (0..33 * 29).map(|i| (i as f32).cos()).collect());
+        let serial = matmul(&a, &b);
+        let mut banded = Matrix::zeros(64, 29);
+        // Simulate a 3-way band split exactly as run_banded would.
+        let (ad, bd) = (a.data(), b.data());
+        let mut rest = banded.data_mut();
+        for band in row_bands(64, 3) {
+            let (chunk, tail) = rest.split_at_mut(band.len() * 29);
+            rest = tail;
+            matmul_band(|p, i| ad[i * 33 + p], bd, band, chunk, 33, 29, false);
+        }
+        assert_eq!(serial.data(), banded.data());
+    }
+
+    #[test]
+    fn set_num_threads_round_trip() {
+        let before = num_threads();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        let _ = num_threads(); // falls back to default resolution
+        set_num_threads(before.max(1));
+        set_num_threads(0);
     }
 
     #[test]
@@ -319,5 +807,6 @@ mod tests {
         let x: Vec<f32> = (0..7).map(|i| i as f32).collect();
         let y = vec![1.0f32; 7];
         assert_eq!(dot(&x, &y), 21.0);
+        assert_eq!(dot_seq(&x, &y), 21.0);
     }
 }

@@ -18,6 +18,17 @@ pub enum Op {
     MatMul(NodeId, NodeId),
     /// `a @ b^T` (fused; avoids materializing the transpose).
     MatMulBt(NodeId, NodeId),
+    /// Fused `x @ w + bias` with `bias [1,d]` broadcast over rows — the
+    /// linear-layer hot path as a single node (one output allocation, one
+    /// backward dispatch instead of MatMul + AddRowBroadcast).
+    Affine {
+        /// Input `[n,k]`.
+        x: NodeId,
+        /// Weight `[k,d]`.
+        w: NodeId,
+        /// Row-broadcast bias `[1,d]`.
+        bias: NodeId,
+    },
     /// Element-wise `a + b` (equal shapes).
     Add(NodeId, NodeId),
     /// `a [n,d] + b [1,d]` broadcast over rows (bias add).
@@ -134,6 +145,7 @@ impl Op {
             | Op::SliceRows(a, _, _)
             | Op::CausalMask { a, .. } => vec![*a],
             Op::LayerNorm { x, gain, bias, .. } => vec![*x, *gain, *bias],
+            Op::Affine { x, w, bias } => vec![*x, *w, *bias],
             Op::Embedding { weight, .. } => vec![*weight],
             Op::ConcatCols(parts) => parts.clone(),
             Op::CrossEntropy { logits, .. } => vec![*logits],
@@ -147,6 +159,7 @@ impl Op {
             Op::Leaf { .. } => "leaf",
             Op::MatMul(..) => "matmul",
             Op::MatMulBt(..) => "matmul_bt",
+            Op::Affine { .. } => "affine",
             Op::Add(..) => "add",
             Op::AddRowBroadcast(..) => "add_row_bcast",
             Op::Sub(..) => "sub",

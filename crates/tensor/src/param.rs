@@ -203,15 +203,25 @@ impl Gradients {
     }
 
     /// Global L2 norm over all gradients (for clipping).
+    ///
+    /// The per-parameter squared norms are summed in ascending *value* order,
+    /// so the result is a pure function of the multiset of gradient matrices.
+    /// Neither `HashMap` iteration order (seeded per instance) nor [`ParamId`]
+    /// assignment order (which differs between a freshly built model and one
+    /// deserialized from a checkpoint) can perturb the clip scale — a single
+    /// reordered float addition here would make every weight bit downstream
+    /// irreproducible across reruns of the same seed.
     pub fn global_norm(&self) -> f32 {
-        self.map
+        let mut sq: Vec<f32> = self
+            .map
             .values()
             .map(|g| {
                 let n = g.l2_norm();
                 n * n
             })
-            .sum::<f32>()
-            .sqrt()
+            .collect();
+        sq.sort_unstable_by(f32::total_cmp);
+        sq.iter().sum::<f32>().sqrt()
     }
 
     /// Number of parameters with gradients.
@@ -291,6 +301,29 @@ mod tests {
         let mut src = ParamSet::new();
         src.add("w", Matrix::zeros(3, 3));
         assert!(dst.load_state_from(&src).is_err());
+    }
+
+    #[test]
+    fn global_norm_is_insertion_order_independent() {
+        // Two maps with distinct hasher seeds and reversed insertion order
+        // must produce the same bits — the norm is reduced in ParamId order.
+        let params: Vec<Param> = (0..9)
+            .map(|i| {
+                Param::new(
+                    "p",
+                    Matrix::from_vec(1, 3, vec![0.1 * i as f32, -1.7, 3.3 + i as f32]),
+                )
+            })
+            .collect();
+        let mut fwd = Gradients::new();
+        let mut rev = Gradients::new();
+        for p in &params {
+            fwd.add(p.id(), p.data().clone());
+        }
+        for p in params.iter().rev() {
+            rev.add(p.id(), p.data().clone());
+        }
+        assert_eq!(fwd.global_norm().to_bits(), rev.global_norm().to_bits());
     }
 
     #[test]

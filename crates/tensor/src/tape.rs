@@ -113,6 +113,25 @@ impl Tape {
         self.push(Op::MatMulBt(a, b), v)
     }
 
+    /// Fused `x @ w + bias` (`bias [1,d]` broadcast over rows): the
+    /// linear-layer hot path recorded as a single node. The product is written
+    /// into one output allocation via [`kernels::matmul_into`] and the bias is
+    /// folded in place, so the unfused intermediate `x @ w` never exists.
+    pub fn affine(&mut self, x: NodeId, w: NodeId, bias: NodeId) -> NodeId {
+        let (vx, vw, vb) = (self.value(x), self.value(w), self.value(bias));
+        assert_eq!(vb.rows(), 1, "affine: bias must be [1,d]");
+        assert_eq!(vw.cols(), vb.cols(), "affine: bias col mismatch");
+        let mut v = Matrix::zeros(vx.rows(), vw.cols());
+        kernels::matmul_into(vx, vw, &mut v, false);
+        let brow = vb.row(0).to_vec();
+        for r in 0..v.rows() {
+            for (o, &b) in v.row_mut(r).iter_mut().zip(brow.iter()) {
+                *o += b;
+            }
+        }
+        self.push(Op::Affine { x, w, bias }, v)
+    }
+
     /// Element-wise `a + b`.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (self.value(a), self.value(b));
@@ -526,7 +545,7 @@ mod tests {
         let l = t.leaf(Matrix::from_vec(2, 1, vec![0.0, 0.0]));
         let loss = t.bce_with_logits(l, &[1.0, 0.0]);
         // -ln(0.5) for both rows
-        assert!((t.value(loss).scalar_value() - 0.6931).abs() < 1e-3);
+        assert!((t.value(loss).scalar_value() - std::f32::consts::LN_2).abs() < 1e-3);
     }
 
     #[test]

@@ -110,6 +110,52 @@ proptest! {
     }
 
     #[test]
+    fn grad_affine_input(x in matrix(2, 3)) {
+        let res = check_gradient(&x, EPS, |t, n| {
+            let w = t.leaf(Matrix::from_vec(3, 2, vec![0.5, -1.0, 1.5, 0.3, -0.7, 0.9]));
+            let b = t.leaf(Matrix::from_vec(1, 2, vec![0.2, -0.4]));
+            let y = t.affine(n, w, b);
+            reduce(t, y)
+        });
+        prop_assert!(res.within(TOL), "{:?}", res);
+    }
+
+    #[test]
+    fn grad_affine_weight(w in matrix(3, 2)) {
+        let res = check_gradient(&w, EPS, |t, n| {
+            let x = t.leaf(Matrix::from_vec(2, 3, vec![0.5, -1.0, 1.5, 0.3, -0.7, 0.9]));
+            let b = t.leaf(Matrix::from_vec(1, 2, vec![0.2, -0.4]));
+            let y = t.affine(x, n, b);
+            reduce(t, y)
+        });
+        prop_assert!(res.within(TOL), "{:?}", res);
+    }
+
+    #[test]
+    fn grad_affine_bias(b in matrix(1, 2)) {
+        let res = check_gradient(&b, EPS, |t, n| {
+            let x = t.leaf(Matrix::from_vec(2, 3, vec![0.5, -1.0, 1.5, 0.3, -0.7, 0.9]));
+            let w = t.leaf(Matrix::from_vec(3, 2, vec![0.1, 0.6, -0.2, 0.8, 0.4, -0.9]));
+            let y = t.affine(x, w, n);
+            reduce(t, y)
+        });
+        prop_assert!(res.within(TOL), "{:?}", res);
+    }
+
+    #[test]
+    fn affine_matches_unfused(x in matrix(3, 4)) {
+        // The fused node must agree exactly with matmul + add_row_broadcast.
+        let mut t = Tape::new();
+        let xn = t.leaf(x);
+        let w = t.leaf(Matrix::from_vec(4, 2, (0..8).map(|i| 0.15 * i as f32 - 0.5).collect()));
+        let b = t.leaf(Matrix::from_vec(1, 2, vec![0.3, -0.8]));
+        let fused = t.affine(xn, w, b);
+        let mm = t.matmul(xn, w);
+        let unfused = t.add_row_broadcast(mm, b);
+        prop_assert_eq!(t.value(fused).data(), t.value(unfused).data());
+    }
+
+    #[test]
     fn grad_add_and_sub(a in matrix(2, 3)) {
         let res = check_gradient(&a, EPS, |t, x| {
             let b = t.leaf(Matrix::from_vec(2, 3, vec![0.2; 6]));

@@ -64,7 +64,7 @@ pub fn extract_choice(generated: &str, options: &[String; 4]) -> Option<usize> {
     for (i, opt) in options.iter().enumerate() {
         let opt_words = crate::tokenizer::split_words(opt);
         let overlap = token_overlap_f1(&gen_words, &opt_words);
-        if overlap > 0.0 && best.map_or(true, |(_, b)| overlap > b) {
+        if overlap > 0.0 && best.is_none_or(|(_, b)| overlap > b) {
             best = Some((i, overlap));
         }
     }

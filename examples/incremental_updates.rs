@@ -56,7 +56,7 @@ fn main() {
     }
 
     // Final check over the whole graph.
-    let bank = McqBank::build(&world.store, &world.store.triples().to_vec(), 99);
+    let bank = McqBank::build(&world.store, world.store.triples(), 99);
     let final_det = detect_unknown(
         &world.base,
         &method.hook(),

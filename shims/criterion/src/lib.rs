@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion` covering the subset this workspace uses:
+//! `Criterion::default().sample_size(..).warm_up_time(..).measurement_time(..)`,
+//! `bench_function` with `Bencher::iter` / `Bencher::iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! Timing model: after a wall-clock warm-up, each sample times a batch of
+//! iterations (batch size auto-scaled so one batch takes ≳100 µs) and the
+//! harness reports the median, minimum, and maximum per-iteration time.
+//! No plots, no statistics beyond that — just honest numbers on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Controls batching for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state: batches may be large.
+    SmallInput,
+    /// Large per-iteration state: keep batches small.
+    LargeInput,
+    /// One setup per timed call.
+    PerIteration,
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream-compatible CLI filtering: the first non-flag argument
+        // (`cargo bench -- <substring>`) restricts which benchmarks run.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 10).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Wall-clock warm-up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the sampling phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary. Skipped when a CLI
+    /// filter is set and `name` does not contain it.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            cfg: BenchCfg {
+                sample_size: self.sample_size,
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+            },
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+struct BenchCfg {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+/// Times a closure under the harness configuration.
+pub struct Bencher {
+    cfg: BenchCfg,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, measuring a rough
+        // per-iteration cost to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Size batches so one batch takes ≳100 µs (amortizes timer overhead).
+        let batch = ((100_000.0 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let meas_start = Instant::now();
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns.push(ns);
+            if meas_start.elapsed() > self.cfg.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.cfg.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let meas_start = Instant::now();
+        for _ in 0..self.cfg.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let ns = t0.elapsed().as_nanos() as f64;
+            black_box(out);
+            self.samples_ns.push(ns);
+            if meas_start.elapsed() > self.cfg.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let min = self.samples_ns[0];
+        let max = *self.samples_ns.last().unwrap();
+        println!(
+            "{name:<40} median {:>12}  (min {}, max {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.samples_ns.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+    }
+}

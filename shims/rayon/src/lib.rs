@@ -1,0 +1,217 @@
+//! Offline stand-in for `rayon` covering the subset this workspace uses:
+//! `slice.par_iter().map(f).{collect, sum, reduce}`.
+//!
+//! Work is split into contiguous chunks executed on `std::thread::scope`
+//! threads — one chunk per logical CPU (capped by `RAYON_NUM_THREADS` or
+//! `INFUSERKI_THREADS`). Results are recombined **in input order**, and
+//! `reduce` folds sequentially over the ordered results, so any
+//! floating-point combining is deterministic for a given thread count and
+//! identical to the serial result when one thread is used.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads used for parallel pipelines.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        for var in ["RAYON_NUM_THREADS", "INFUSERKI_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    return n.max(1);
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Maps `items` through `f` on worker threads, preserving input order.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A (possibly mapped) parallel pipeline; terminal ops materialize it.
+pub trait ParallelIterator: Sized {
+    /// Element type produced by the pipeline.
+    type Item: Send;
+
+    /// Runs the pipeline, returning all items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Lazily maps each element.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Ordered fold with an identity constructor (rayon-compatible shape).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+
+    /// Sums all items in input order.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Collects all items in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Keeps items satisfying the predicate (order preserved).
+    fn filter<P: Fn(&Self::Item) -> bool + Sync>(self, pred: P) -> Filter<Self, P> {
+        Filter { base: self, pred }
+    }
+}
+
+/// Parallel view over a slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// Lazily mapped pipeline stage.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_vec(self.base.run(), &self.f)
+    }
+}
+
+/// Lazily filtered pipeline stage.
+pub struct Filter<B, P> {
+    base: B,
+    pred: P,
+}
+
+impl<B, P> ParallelIterator for Filter<B, P>
+where
+    B: ParallelIterator,
+    P: Fn(&B::Item) -> bool + Sync,
+{
+    type Item = B::Item;
+
+    fn run(self) -> Vec<B::Item> {
+        let pred = &self.pred;
+        self.base.run().into_iter().filter(|x| pred(x)).collect()
+    }
+}
+
+/// `&collection → par_iter()` entry point (rayon-compatible shape).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: 'a;
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Starts a parallel pipeline borrowing the collection.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i32> = (0..100).collect();
+        let out: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x + 1).sum();
+        assert_eq!(s, (1..=1000).sum::<u64>());
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        let (total, count) = v
+            .par_iter()
+            .map(|&x| (x, 1usize))
+            .reduce(|| (0.0, 0), |(a, n), (b, m)| (a + b, n + m));
+        assert_eq!(count, 3);
+        assert!((total - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let v: Vec<i32> = vec![];
+        let out: Vec<i32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let s: i32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls (the shim's
+//! value-tree flavour) by walking the raw `proc_macro::TokenStream` — no
+//! `syn`/`quote`. Supported shapes, which cover every derive in this
+//! workspace:
+//!
+//! - named-field structs, honouring `#[serde(skip)]` and
+//!   `#[serde(skip, default = "path")]` (skipped fields are omitted on
+//!   serialize and rebuilt via `Default::default()` or `path()`),
+//! - tuple structs (newtypes serialize transparently; wider tuples as arrays),
+//! - unit structs,
+//! - enums with unit variants only (serialized as the variant-name string).
+//!
+//! Generics and data-carrying enum variants are rejected with a clear panic
+//! at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One struct field as seen by the generators.
+struct Field {
+    /// Field name; `None` for tuple-struct fields.
+    name: Option<String>,
+    /// `#[serde(skip)]` present.
+    skip: bool,
+    /// `default = "path"` payload of a skip attribute.
+    default_path: Option<String>,
+}
+
+/// Parsed derive input.
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip leading attributes (doc comments included) and visibility.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break kw;
+                }
+                panic!("serde_derive shim: unexpected token `{kw}` before struct/enum");
+            }
+            other => panic!("serde_derive shim: unexpected input {other:?}"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "enum" {
+                Shape::UnitEnum(parse_variants(g.stream(), &name))
+            } else {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(parse_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde_derive shim: unexpected body for `{name}`: {other:?}"),
+    };
+    Input { name, shape }
+}
+
+/// Consumes leading `#[...]` attributes, returning (skip, default_path).
+fn take_attrs(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default_path = None;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            panic!("serde_derive shim: `#` not followed by attribute group");
+        };
+        let mut inner = g.stream().into_iter();
+        let is_serde = matches!(
+            inner.next(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+        );
+        if !is_serde {
+            continue; // doc comment or foreign attribute
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        let mut args = args.stream().into_iter().peekable();
+        while let Some(tok) = args.next() {
+            match tok {
+                TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    // default = "path"
+                    args.next(); // `=`
+                    if let Some(TokenTree::Literal(lit)) = args.next() {
+                        let s = lit.to_string();
+                        default_path = Some(s.trim_matches('"').to_string());
+                    }
+                }
+                TokenTree::Punct(_) => {}
+                other => {
+                    panic!("serde_derive shim: unsupported serde attribute token {other:?}")
+                }
+            }
+        }
+    }
+    (skip, default_path)
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility prefix.
+fn take_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips type tokens up to a top-level `,` (tracks `<...>` nesting).
+fn skip_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(tok) = iter.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default_path) = take_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        take_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field {
+            name: Some(name),
+            skip,
+            default_path,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default_path) = take_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        if skip {
+            panic!("serde_derive shim: #[serde(skip)] on tuple fields is not supported");
+        }
+        take_vis(&mut iter);
+        skip_type(&mut iter);
+        fields.push(Field {
+            name: None,
+            skip,
+            default_path,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = take_attrs(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            other => panic!("serde_derive shim: bad variant in `{enum_name}`: {other:?}"),
+        }
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: enum `{enum_name}` has a data-carrying variant; \
+                 only unit variants are supported"
+            ),
+            other => panic!("serde_derive shim: unexpected token in `{enum_name}`: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut s =
+                String::from("let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                let n = f.name.as_ref().unwrap();
+                s.push_str(&format!(
+                    "__fields.push((\"{n}\".to_string(), \
+                     serde::Serialize::to_value(&self.{n})));\n"
+                ));
+            }
+            s.push_str("serde::Value::Object(__fields)");
+            s
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            "serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Tuple(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string())"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut inits = Vec::new();
+            for f in fields {
+                let n = f.name.as_ref().unwrap();
+                if f.skip {
+                    let init = match &f.default_path {
+                        Some(path) => format!("{path}()"),
+                        None => "::std::default::Default::default()".to_string(),
+                    };
+                    inits.push(format!("{n}: {init}"));
+                } else {
+                    inits.push(format!(
+                        "{n}: serde::Deserialize::from_value(__v.get_field(\"{n}\")\
+                         .ok_or_else(|| serde::DeError::missing(\"{n}\"))?)?"
+                    ));
+                }
+            }
+            format!(
+                "if !matches!(__v, serde::Value::Object(_)) {{\n\
+                 return Err(serde::DeError::expected(\"object\", __v));\n}}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(fields) => {
+            let n = fields.len();
+            let gets: Vec<String> = (0..n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = match __v {{\n\
+                 serde::Value::Array(items) if items.len() == {n} => items,\n\
+                 other => return Err(serde::DeError::expected(\"array of {n}\", other)),\n}};\n\
+                 Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n{},\n\
+                 other => Err(serde::DeError(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 other => Err(serde::DeError::expected(\"string variant\", other)),\n}}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}

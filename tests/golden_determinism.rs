@@ -1,0 +1,144 @@
+//! Golden-determinism: the full pipeline (world → detect → dataset → train →
+//! eval) is *bitwise* reproducible under a fixed seed with `threads = 1`, and
+//! the matrix kernels' banded parallelism is designed so a multi-threaded run
+//! matches too (every output element is a single ascending accumulation
+//! chain regardless of the band split — see `crates/tensor/src/kernels.rs`).
+//!
+//! All three pipeline runs live in one `#[test]`: the kernel thread override
+//! is process-global, so sequencing inside a single test avoids cross-test
+//! races without any locking.
+
+use infuserki::core::dataset::KiDataset;
+use infuserki::core::detect::detect_unknown;
+use infuserki::core::{train_infuserki, InfuserKiConfig, InfuserKiMethod, TrainConfig};
+use infuserki::eval::evaluate_method;
+use infuserki::eval::world::{build_world, Domain, WorldConfig};
+use infuserki::nn::NoHook;
+use infuserki::tensor::kernels;
+
+/// Trained-parameter snapshot plus the headline eval metrics of one run.
+struct RunFingerprint {
+    known: Vec<usize>,
+    unknown: Vec<usize>,
+    params: Vec<(String, Vec<f32>)>,
+    infuser_losses: Vec<f32>,
+    qa_losses: Vec<f32>,
+    rc_losses: Vec<f32>,
+    nr: f32,
+    rr: f32,
+}
+
+/// Panics naming the first bitwise difference between two param snapshots.
+fn assert_params_bitwise_eq(a: &[(String, Vec<f32>)], b: &[(String, Vec<f32>)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: param count differs");
+    for ((na, va), (nb, vb)) in a.iter().zip(b.iter()) {
+        assert_eq!(na, nb, "{what}: param order differs");
+        assert_eq!(va.len(), vb.len(), "{what}: {na} length differs");
+        for (i, (x, y)) in va.iter().zip(vb.iter()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: first divergence at {na}[{i}]: {x:e} ({:#010x}) vs {y:e} ({:#010x})",
+                x.to_bits(),
+                y.to_bits()
+            );
+        }
+    }
+}
+
+fn run_pipeline(seed: u64) -> RunFingerprint {
+    let dir = std::env::temp_dir().join(format!("infuserki_golden_{}_{seed}", std::process::id()));
+    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
+    let w = build_world(&WorldConfig::tiny(Domain::Umls, seed));
+    let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, w.bank.template(0));
+    let data = KiDataset::build(&w.store, &w.bank, &w.tokenizer, &det.known, &det.unknown, 1);
+
+    let mut cfg = InfuserKiConfig::for_model(w.base.n_layers());
+    cfg.bottleneck = 6;
+    cfg.infuser_hidden = 8;
+    cfg.rc_dim = 12;
+    let mut method = InfuserKiMethod::new(cfg, &w.base, w.store.n_relations());
+    let tc = TrainConfig {
+        epochs_infuser: 1,
+        epochs_qa: 2,
+        epochs_rc: 1,
+        lr: 3e-3,
+        lr_infuser: 1e-2,
+        batch: 8,
+        seed: 7,
+    };
+    let report = train_infuserki(&w.base, &mut method, &data, &tc);
+
+    let eval = evaluate_method(
+        &w.base,
+        &method.hook(),
+        &w.tokenizer,
+        &w.bank,
+        &det.known,
+        &det.unknown,
+    );
+
+    let mut params = Vec::new();
+    method.visit_all(&mut |p| params.push((p.name().to_string(), p.data().data().to_vec())));
+    RunFingerprint {
+        known: det.known,
+        unknown: det.unknown,
+        params,
+        infuser_losses: report.infuser_losses,
+        qa_losses: report.qa_losses,
+        rc_losses: report.rc_losses,
+        nr: eval.nr,
+        rr: eval.rr,
+    }
+}
+
+fn max_rel_diff(a: &[(String, Vec<f32>)], b: &[(String, Vec<f32>)]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .flat_map(|((_, va), (_, vb))| va.iter().zip(vb.iter()))
+        .map(|(&x, &y)| (x - y).abs() / 1.0f32.max(x.abs()).max(y.abs()))
+        .fold(0.0f32, f32::max)
+}
+
+#[test]
+fn pipeline_is_golden_deterministic() {
+    // --- two single-threaded runs must agree bit for bit --------------------
+    kernels::set_num_threads(1);
+    let first = run_pipeline(211);
+    let second = run_pipeline(211);
+    assert_eq!(first.known, second.known, "known-fact detection diverged");
+    assert_eq!(
+        first.unknown, second.unknown,
+        "unknown-fact detection diverged"
+    );
+    assert_eq!(
+        first.infuser_losses, second.infuser_losses,
+        "infuser loss curves diverged"
+    );
+    assert_eq!(first.qa_losses, second.qa_losses, "QA loss curves diverged");
+    assert_eq!(first.rc_losses, second.rc_losses, "RC loss curves diverged");
+    assert_params_bitwise_eq(&first.params, &second.params, "threads=1 rerun");
+    assert_eq!(first.nr.to_bits(), second.nr.to_bits(), "NR diverged");
+    assert!(
+        (first.rr.is_nan() && second.rr.is_nan()) || first.rr.to_bits() == second.rr.to_bits(),
+        "RR diverged"
+    );
+
+    // --- a multi-threaded run must agree within tolerance -------------------
+    // (By the kernels' determinism design it is bitwise identical too, but
+    // the documented contract for threaded runs is 1e-4 relative.)
+    kernels::set_num_threads(4);
+    let threaded = run_pipeline(211);
+    kernels::set_num_threads(0); // restore default resolution
+    let drift = max_rel_diff(&first.params, &threaded.params);
+    assert!(
+        drift <= 1e-4,
+        "threads=4 drifted {drift} relative from threads=1"
+    );
+    assert!(
+        (first.nr - threaded.nr).abs() <= 1e-4,
+        "threaded NR drifted: {} vs {}",
+        first.nr,
+        threaded.nr
+    );
+}
