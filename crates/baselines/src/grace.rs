@@ -178,6 +178,13 @@ impl LayerHook for Grace {
         let v = tape.param(&self.entries[i].value);
         tape.add_row_broadcast(ffn_out, v)
     }
+
+    /// GRACE keys on the *full-sequence* mean of the FFN input — a row's
+    /// output depends on tokens after it, so the hook cannot run under the
+    /// KV-cached incremental engine. Samplers fall back to full recompute.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
 }
 
 impl VisitTrainable for Grace {

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use infuserki_core::{InfuserKiConfig, InfuserKiMethod};
 use infuserki_kg::{synth_umls, UmlsConfig};
-use infuserki_nn::{ModelConfig, NoHook, TransformerLm};
+use infuserki_nn::{sampler, ModelConfig, NoHook, TransformerLm};
 use infuserki_tensor::{kernels, Tape};
 use infuserki_text::{McqBuilder, Tokenizer};
 use rand::SeedableRng;
@@ -140,6 +140,73 @@ fn bench_adapter_overhead(c: &mut Criterion) {
     });
 }
 
+/// Incremental engine vs full recompute: 64-token greedy generation from a
+/// 16-token prompt through the KV-cached path (`prefill` + `decode_step`)
+/// and the pre-cache reference path (full forward per emitted token). The
+/// acceptance target is a ≥3× cached speedup on this workload.
+fn bench_generation_cached_vs_uncached(c: &mut Criterion) {
+    let model = small_model();
+    let prompt: Vec<usize> = (0..16).map(|i| (i * 5 + 1) % 512).collect();
+    c.bench_function("greedy_decode_64_cached", |bench| {
+        bench.iter(|| {
+            sampler::greedy_decode(&model, &NoHook, std::hint::black_box(&prompt), 64, None)
+        })
+    });
+    c.bench_function("greedy_decode_64_uncached", |bench| {
+        bench.iter(|| {
+            sampler::greedy_decode_uncached(
+                &model,
+                &NoHook,
+                std::hint::black_box(&prompt),
+                64,
+                None,
+            )
+        })
+    });
+}
+
+/// The two phases of cached inference in isolation: prefill throughput over
+/// a 40-token prompt, and single-token decode latency against that cache.
+fn bench_prefill_and_decode_step(c: &mut Criterion) {
+    let model = small_model();
+    let tokens: Vec<usize> = (0..40).map(|i| i % 512).collect();
+    c.bench_function("prefill_seq40", |bench| {
+        bench.iter(|| model.prefill(std::hint::black_box(&tokens), &NoHook))
+    });
+    let (cache, _) = model.prefill(&tokens, &NoHook);
+    c.bench_function("decode_step_after_seq40", |bench| {
+        bench.iter_batched(
+            || cache.fork(),
+            |mut cache| model.decode_step(7, &NoHook, &mut cache),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// MCQ option scoring: the shared-prefix cached scorer (prefill the question
+/// once, score four completions from forked caches) vs the pre-cache
+/// reference (one full forward per option).
+fn bench_mcq_scoring(c: &mut Criterion) {
+    let model = small_model();
+    let prompt: Vec<usize> = (0..32).map(|i| (i * 3 + 2) % 512).collect();
+    let options: Vec<Vec<usize>> = vec![vec![5, 6], vec![7, 8], vec![9, 10], vec![11, 12]];
+    c.bench_function("score_4_options_cached", |bench| {
+        bench.iter(|| {
+            sampler::score_options(&model, &NoHook, std::hint::black_box(&prompt), &options)
+        })
+    });
+    c.bench_function("score_4_options_uncached", |bench| {
+        bench.iter(|| {
+            sampler::score_options_uncached(
+                &model,
+                &NoHook,
+                std::hint::black_box(&prompt),
+                &options,
+            )
+        })
+    });
+}
+
 fn bench_kg_queries(c: &mut Criterion) {
     let store = synth_umls(&UmlsConfig::with_triplets(2500, 3));
     let rel = store.relation_ids()[0];
@@ -193,7 +260,9 @@ criterion_group! {
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
     targets = bench_matmul, bench_matmul_blocked_vs_seed, bench_softmax,
               bench_forward, bench_forward_backward,
-              bench_adapter_overhead, bench_kg_queries, bench_mcq_generation,
+              bench_adapter_overhead, bench_generation_cached_vs_uncached,
+              bench_prefill_and_decode_step, bench_mcq_scoring,
+              bench_kg_queries, bench_mcq_generation,
               bench_quantization, bench_tokenizer
 }
 criterion_main!(benches);

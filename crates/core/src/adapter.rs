@@ -8,7 +8,7 @@
 //! on the base model — integration starts from the unmodified LLM.
 
 use infuserki_nn::layers::{Linear, Module};
-use infuserki_tensor::{NodeId, Param, Tape};
+use infuserki_tensor::{Matrix, NodeId, Param, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -42,9 +42,22 @@ impl AdapterLayer {
         self.up.forward(a, tape)
     }
 
+    /// Tape-free counterpart of [`Self::forward`] for the incremental
+    /// inference engine. Bitwise-identical to the tape path.
+    pub fn apply(&self, h_tilde: &Matrix) -> Matrix {
+        let z = self.down.apply(h_tilde);
+        let a = z.map(|v| v.max(0.0));
+        self.up.apply(&a)
+    }
+
     /// Bottleneck width `d'`.
     pub fn bottleneck(&self) -> usize {
         self.down.shape().1
+    }
+
+    /// Model width `d`.
+    pub fn d_model(&self) -> usize {
+        self.down.shape().0
     }
 }
 

@@ -7,7 +7,7 @@
 //! "knows" the current question — the infuser reads exactly that state.
 
 use infuserki_nn::layers::{Linear, Module};
-use infuserki_tensor::{NodeId, Param, Tape};
+use infuserki_tensor::{Matrix, NodeId, Param, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +45,15 @@ impl InfuserMlp {
     pub fn score(&self, x: NodeId, tape: &mut Tape) -> NodeId {
         let z = self.logit(x, tape);
         tape.sigmoid(z)
+    }
+
+    /// Tape-free counterpart of [`Self::logit`] for the incremental
+    /// inference engine: maps pooled rows `[n, d]` to logits `[n, 1]`.
+    /// Bitwise-identical to the tape path row for row.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        let h = self.l1.apply(x);
+        let a = h.map(f32::tanh);
+        self.l2.apply(&a)
     }
 }
 

@@ -3,8 +3,8 @@
 //! model's forward pass.
 
 use infuserki_nn::layers::{Linear, Module};
-use infuserki_nn::{ForwardTrace, LayerHook, TransformerLm};
-use infuserki_tensor::{init, NodeId, Param, Tape};
+use infuserki_nn::{ForwardTrace, HookState, LayerHook, TransformerLm};
+use infuserki_tensor::{infer, init, kernels, Matrix, NodeId, Param, Tape};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -126,23 +126,77 @@ impl InfuserKiMethod {
         trace.adapter_outputs.push((layer, h_a));
 
         if self.cfg.ablation.use_infuser {
-            // Eq. 4: r^l from the mean-pooled sublayer input (or output,
-            // under the GateInput::SublayerOut design ablation).
+            // Eq. 4, made causal: the paper pools the *full* sequence, which
+            // row `t` cannot see under autoregressive decoding. We gate row
+            // `t` by its cumulative prefix mean `Mean(gate_src[0..=t])`
+            // instead; the last row's gate is bitwise the paper's
+            // full-sequence gate, so the recorded logits/scores (and Eq. 5's
+            // BCE) are unchanged, while every row becomes KV-cacheable.
             let gate_src = match self.cfg.gate_input {
                 GateInput::SublayerIn => sub_in,
                 GateInput::SublayerOut => sub_out,
             };
-            let pooled = tape.mean_rows(gate_src);
-            let logit = self.infusers[offset].logit(pooled, tape);
-            trace.gate_logits.push((layer, logit));
-            let r = tape.sigmoid(logit);
-            trace.gate_scores.push((layer, r));
-            // Eq. 6: H_O^l = r^l · H_A^l + FFN(H_P^l).
-            let gated = tape.mul_scalar_node(h_a, r);
+            let pooled = tape.cum_mean_rows(gate_src);
+            let logits = self.infusers[offset].logit(pooled, tape);
+            let n = tape.value(logits).rows();
+            let last_logit = tape.slice_rows(logits, n - 1, n);
+            trace.gate_logits.push((layer, last_logit));
+            let r = tape.sigmoid(logits);
+            let last_r = tape.slice_rows(r, n - 1, n);
+            trace.gate_scores.push((layer, last_r));
+            // Eq. 6: H_O^l = r^l · H_A^l + FFN(H_P^l), per row.
+            let gated = tape.mul_col_broadcast(h_a, r);
             tape.add(gated, sub_out)
         } else {
             // Eq. 3 (w/o-Ro ablation): plain additive fusion.
             tape.add(h_a, sub_out)
+        }
+    }
+
+    /// Tape-free counterpart of [`Self::adapt`] for the KV-cached incremental
+    /// engine. Bitwise-identical row for row to the tape path under any
+    /// chunking: the adapter carry is row-local (it crosses *layers*, not
+    /// tokens), and the cumulative gate statistics in `state` continue the
+    /// prefix means across chunks exactly.
+    fn adapt_incremental(
+        &self,
+        layer: usize,
+        sub_in: &Matrix,
+        sub_out: Matrix,
+        state: &mut InfuserInferState,
+    ) -> Matrix {
+        let offset = self.cfg.placement.offset(layer);
+        // Eq. 1.
+        let h_tilde = match &state.carry {
+            Some(carry) => {
+                let mut h = carry.clone();
+                h.add_assign(sub_in);
+                h
+            }
+            None => sub_in.clone(),
+        };
+        // Eq. 2.
+        let h_a = self.adapters[offset].apply(&h_tilde);
+        state.carry = Some(h_a.clone());
+        if self.cfg.ablation.use_infuser {
+            // Eq. 4 (causal form — see `adapt`).
+            let gate_src = match self.cfg.gate_input {
+                GateInput::SublayerIn => sub_in,
+                GateInput::SublayerOut => &sub_out,
+            };
+            let (sums, count) = &mut state.gates[offset];
+            let pooled = infer::cumulative_mean_rows_continue(sums, count, gate_src);
+            let logits = self.infusers[offset].apply(&pooled);
+            let r = logits.map(kernels::sigmoid);
+            // Eq. 6.
+            let mut out = infer::mul_col_broadcast(&h_a, &r);
+            out.add_assign(&sub_out);
+            out
+        } else {
+            // Eq. 3 (w/o-Ro ablation).
+            let mut out = h_a;
+            out.add_assign(&sub_out);
+            out
         }
     }
 
@@ -240,6 +294,40 @@ impl InfuserKiMethod {
     }
 }
 
+/// Per-cache incremental hook state: the cross-layer adapter carry (reset at
+/// the start of each chunk — it flows across layers within one forward, not
+/// across tokens) and, per adapted layer, the running column sums and row
+/// count behind the cumulative gate means (persist across chunks — they pool
+/// over every token seen so far, matching the tape path's prefix means).
+#[derive(Clone)]
+struct InfuserInferState {
+    carry: Option<Matrix>,
+    gates: Vec<(Vec<f32>, usize)>,
+}
+
+impl InfuserInferState {
+    fn new(n_adapters: usize, d_model: usize) -> Self {
+        InfuserInferState {
+            carry: None,
+            gates: vec![(vec![0.0; d_model], 0); n_adapters],
+        }
+    }
+}
+
+impl HookState for InfuserInferState {
+    fn clone_box(&self) -> Box<dyn HookState> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn begin_chunk(&mut self) {
+        self.carry = None;
+    }
+}
+
 /// The method is itself a [`LayerHook`], so harness code can treat every
 /// knowledge-integration method as `&dyn LayerHook` uniformly.
 impl LayerHook for InfuserKiMethod {
@@ -264,6 +352,31 @@ impl LayerHook for InfuserKiMethod {
     ) -> NodeId {
         self.hook()
             .attn_output(layer, attn_in, attn_out, tape, trace)
+    }
+
+    fn make_state(&self) -> Option<Box<dyn HookState>> {
+        self.hook().make_state()
+    }
+
+    fn infer_ffn_output(
+        &self,
+        layer: usize,
+        ffn_in: &Matrix,
+        ffn_out: Matrix,
+        state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        self.hook().infer_ffn_output(layer, ffn_in, ffn_out, state)
+    }
+
+    fn infer_attn_output(
+        &self,
+        layer: usize,
+        attn_in: &Matrix,
+        attn_out: Matrix,
+        state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        self.hook()
+            .infer_attn_output(layer, attn_in, attn_out, state)
     }
 }
 
@@ -302,6 +415,54 @@ impl LayerHook for InfuserKiHook<'_> {
         }
         self.method.adapt(layer, attn_in, attn_out, tape, trace)
     }
+
+    fn make_state(&self) -> Option<Box<dyn HookState>> {
+        let m = self.method;
+        Some(Box::new(InfuserInferState::new(
+            m.adapters.len(),
+            m.adapters[0].d_model(),
+        )))
+    }
+
+    fn infer_ffn_output(
+        &self,
+        layer: usize,
+        ffn_in: &Matrix,
+        ffn_out: Matrix,
+        state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        let p = &self.method.cfg.placement;
+        if p.site != Site::Ffn || !p.contains(layer) {
+            return ffn_out;
+        }
+        let st = downcast_state(state);
+        self.method.adapt_incremental(layer, ffn_in, ffn_out, st)
+    }
+
+    fn infer_attn_output(
+        &self,
+        layer: usize,
+        attn_in: &Matrix,
+        attn_out: Matrix,
+        state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        let p = &self.method.cfg.placement;
+        if p.site != Site::Attention || !p.contains(layer) {
+            return attn_out;
+        }
+        let st = downcast_state(state);
+        self.method.adapt_incremental(layer, attn_in, attn_out, st)
+    }
+}
+
+/// Extracts the [`InfuserInferState`] a cache built via `make_state` carries.
+fn downcast_state(state: &mut Option<Box<dyn HookState>>) -> &mut InfuserInferState {
+    state
+        .as_mut()
+        .expect("InfuserKI incremental inference requires hook state")
+        .as_any_mut()
+        .downcast_mut::<InfuserInferState>()
+        .expect("hook state is not InfuserInferState")
 }
 
 #[cfg(test)]

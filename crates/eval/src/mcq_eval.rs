@@ -103,14 +103,13 @@ pub fn evaluate_method(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::world::{build_world, Domain, WorldConfig};
+    use crate::world::{build_world_in, Domain, WorldConfig};
     use infuserki_nn::NoHook;
 
     #[test]
     fn evaluate_untrained_world_produces_full_row() {
         let dir = std::env::temp_dir().join(format!("infuserki_eval_{}", std::process::id()));
-        std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
-        let w = build_world(&WorldConfig::tiny(Domain::MetaQa, 3));
+        let w = build_world_in(&WorldConfig::tiny(Domain::MetaQa, 3), &dir);
         let known: Vec<usize> = (0..10).collect();
         let unknown: Vec<usize> = (10..40).collect();
         let eval = evaluate_method(&w.base, &NoHook, &w.tokenizer, &w.bank, &known, &unknown);

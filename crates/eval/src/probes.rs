@@ -162,14 +162,13 @@ fn cosine(a: &[f32], b: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::world::{build_world, Domain, WorldConfig};
+    use crate::world::{build_world_in, Domain, WorldConfig};
     use infuserki_core::InfuserKiConfig;
     use infuserki_nn::NoHook;
 
     fn world() -> crate::world::World {
         let dir = std::env::temp_dir().join(format!("infuserki_probe_{}", std::process::id()));
-        std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
-        build_world(&WorldConfig::tiny(Domain::Umls, 55))
+        build_world_in(&WorldConfig::tiny(Domain::Umls, 55), &dir)
     }
 
     #[test]

@@ -154,6 +154,11 @@ impl Trainable for PretrainModel {
     }
 }
 
+/// Binary-level default for the base-model cache location: the
+/// `INFUSERKI_ARTIFACTS` env var, falling back to `artifacts/`. Tests and
+/// library callers that need isolation pass an explicit directory to
+/// [`build_world_in`] instead — mutating the env var from concurrently
+/// running tests is a process-global race.
 fn artifacts_dir() -> PathBuf {
     std::env::var_os("INFUSERKI_ARTIFACTS")
         .map(PathBuf::from)
@@ -168,8 +173,16 @@ pub fn generate_store(cfg: &WorldConfig) -> TripleStore {
     }
 }
 
-/// Builds (or loads from cache) the full world for `cfg`.
+/// Builds (or loads from cache) the full world for `cfg`, caching the base
+/// model under the process-wide artifacts directory (see `artifacts_dir`).
 pub fn build_world(cfg: &WorldConfig) -> World {
+    build_world_in(cfg, &artifacts_dir())
+}
+
+/// Builds (or loads from cache) the full world for `cfg`, caching the base
+/// model under `artifacts`. Parallel callers with distinct directories never
+/// interfere — unlike the env-var default, which is process-global.
+pub fn build_world_in(cfg: &WorldConfig, artifacts: &std::path::Path) -> World {
     let store = generate_store(cfg);
     let tokenizer = build_vocabulary(&store);
     let triples = store.triples().to_vec();
@@ -193,7 +206,7 @@ pub fn build_world(cfg: &WorldConfig) -> World {
         ..ModelConfig::default()
     };
 
-    let cache_path = artifacts_dir().join(format!("base_{}.json", cfg.cache_key()));
+    let cache_path = artifacts.join(format!("base_{}.json", cfg.cache_key()));
     let base = match TransformerLm::load(&cache_path) {
         Ok(model) if model.config() == &model_cfg => {
             eprintln!(
@@ -356,14 +369,13 @@ mod tests {
     #[test]
     fn tiny_world_builds_and_caches() {
         let dir = std::env::temp_dir().join(format!("infuserki_world_{}", std::process::id()));
-        std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
         let cfg = WorldConfig::tiny(Domain::Umls, 99);
-        let w = build_world(&cfg);
+        let w = build_world_in(&cfg, &dir);
         assert_eq!(w.store.len(), 40);
         assert!(!w.pretrained_idx.is_empty());
         assert!(w.tokenizer.vocab_size() > 50);
         // Second build loads from cache and produces identical logits.
-        let w2 = build_world(&cfg);
+        let w2 = build_world_in(&cfg, &dir);
         let mut t1 = Tape::new();
         let mut t2 = Tape::new();
         let a = w.base.forward(&[2, 3], &NoHook, &mut t1);
@@ -375,10 +387,9 @@ mod tests {
     #[test]
     fn pretraining_separates_known_from_unknown() {
         let dir = std::env::temp_dir().join(format!("infuserki_world_sep_{}", std::process::id()));
-        std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
         let mut cfg = WorldConfig::tiny(Domain::Umls, 7);
         cfg.pretrain_epochs = 14;
-        let w = build_world(&cfg);
+        let w = build_world_in(&cfg, &dir);
         let mcqs = w.bank.template(0).to_vec();
         let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, &mcqs);
         // Accuracy on pretrained facts should exceed accuracy on held-out.

@@ -4,7 +4,7 @@
 //! `tests/golden_determinism.rs` relies on this — a cached rerun that loses
 //! even a sign-of-zero would make "same seed, same bits" unprovable.
 
-use infuserki_eval::world::{build_world, Domain, WorldConfig};
+use infuserki_eval::world::{build_world_in, Domain, WorldConfig};
 use infuserki_nn::layers::Module;
 
 fn all_param_bits(m: &infuserki_nn::model::TransformerLm) -> Vec<(String, Vec<u32>)> {
@@ -22,11 +22,10 @@ fn all_param_bits(m: &infuserki_nn::model::TransformerLm) -> Vec<(String, Vec<u3
 fn cached_base_model_is_bitwise_identical_to_fresh() {
     let dir = std::env::temp_dir().join(format!("infuserki_fidelity_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
     let cfg = WorldConfig::tiny(Domain::Umls, 211);
 
-    let fresh = build_world(&cfg); // pretrains and saves the cache
-    let cached = build_world(&cfg); // loads the cache
+    let fresh = build_world_in(&cfg, &dir); // pretrains and saves the cache
+    let cached = build_world_in(&cfg, &dir); // loads the cache
 
     let a = all_param_bits(&fresh.base);
     let b = all_param_bits(&cached.base);

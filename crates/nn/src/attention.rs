@@ -1,10 +1,11 @@
 //! Causal multi-head self-attention with hook points for LoRA deltas and
 //! prefix-tuning key/value rows.
 
-use infuserki_tensor::{NodeId, Param, Tape};
+use infuserki_tensor::{infer, kernels, Matrix, NodeId, Param, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::kv_cache::LayerKv;
 use crate::layers::{Linear, Module};
 use crate::LayerHook;
 
@@ -74,6 +75,54 @@ impl CausalSelfAttention {
         }
         let merged = tape.concat_cols(&heads);
         self.wo.forward(merged, tape)
+    }
+
+    /// Incremental tape-free forward: projects only the new chunk `x`
+    /// (`[m, d_model]`), appends its K/V rows to the cache, and attends the
+    /// new queries against the full cached history. With every kernel
+    /// accumulating ascending over the inner dimension and masked scores
+    /// softmaxing to exact zeros, the returned rows are bitwise identical to
+    /// the corresponding rows of a full-sequence tape forward.
+    pub fn forward_incremental(
+        &self,
+        x: &Matrix,
+        hook: &dyn LayerHook,
+        kv: &mut LayerKv,
+    ) -> Matrix {
+        let mut q = self.wq.apply(x);
+        let k = self.wk.apply(x);
+        let mut v = self.wv.apply(x);
+        if let Some(dq) = hook.infer_attn_q_delta(self.layer, x) {
+            q.add_assign(&dq);
+        }
+        if let Some(dv) = hook.infer_attn_v_delta(self.layer, x) {
+            v.add_assign(&dv);
+        }
+        kv.append(&k, &v);
+
+        let m = x.rows();
+        // Columns visible to the chunk's first row: prefix + previously
+        // cached tokens — the causal-mask offset of these rows in a full
+        // forward.
+        let offset = kv.total_rows() - m;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut merged = Matrix::zeros(m, self.n_heads * self.head_dim);
+        for h in 0..self.n_heads {
+            let lo = h * self.head_dim;
+            let hi = lo + self.head_dim;
+            let qh = q.slice_cols(lo, hi);
+            let kh = kv.k.slice_cols(lo, hi);
+            let vh = kv.v.slice_cols(lo, hi);
+            let mut scores = kernels::matmul_bt(&qh, &kh);
+            scores.scale_assign(scale);
+            infer::causal_mask_in_place(&mut scores, offset);
+            let attn = kernels::softmax_rows(&scores);
+            let head = kernels::matmul(&attn, &vh);
+            for r in 0..m {
+                merged.row_mut(r)[lo..hi].copy_from_slice(head.row(r));
+            }
+        }
+        self.wo.apply(&merged)
     }
 
     /// The query projection (LoRA targets it).

@@ -1,12 +1,13 @@
 //! Pre-LN transformer decoder block with hook points on both sublayers.
 
-use infuserki_tensor::{NodeId, Param, Tape};
+use infuserki_tensor::{Matrix, NodeId, Param, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::attention::CausalSelfAttention;
 use crate::ffn::FeedForward;
-use crate::hooks::{ForwardTrace, LayerHook};
+use crate::hooks::{ForwardTrace, HookState, LayerHook};
+use crate::kv_cache::LayerKv;
 use crate::layers::{LayerNorm, Module};
 use crate::ModelConfig;
 
@@ -55,6 +56,31 @@ impl TransformerBlock {
         let x = tape.add(x, f_out);
 
         trace.block_outputs.push(x);
+        x
+    }
+
+    /// Incremental tape-free forward over a new chunk `x` (`[m, d_model]`),
+    /// reading and extending this layer's KV cache. Mirrors [`Self::forward`]
+    /// operation for operation.
+    pub fn forward_incremental(
+        &self,
+        x: &Matrix,
+        hook: &dyn LayerHook,
+        kv: &mut LayerKv,
+        state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        // Attention sublayer.
+        let a_in = self.ln1.apply(x);
+        let a_raw = self.attn.forward_incremental(&a_in, hook, kv);
+        let a_out = hook.infer_attn_output(self.layer, &a_in, a_raw, state);
+        let mut x = x.clone();
+        x.add_assign(&a_out);
+
+        // FFN sublayer.
+        let f_in = self.ln2.apply(&x);
+        let f_raw = self.ffn.apply(&f_in);
+        let f_out = hook.infer_ffn_output(self.layer, &f_in, f_raw, state);
+        x.add_assign(&f_out);
         x
     }
 

@@ -2,7 +2,7 @@
 //! the transformer's factual-knowledge store (Dai et al. 2022; Geva et al.
 //! 2021) and the anchor point for knowledge adapters.
 
-use infuserki_tensor::{NodeId, Param, Tape};
+use infuserki_tensor::{kernels, Matrix, NodeId, Param, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +29,14 @@ impl FeedForward {
         let h = self.w1.forward(x, tape);
         let a = tape.gelu(h);
         self.w2.forward(a, tape)
+    }
+
+    /// Tape-free `FFN(x)` (KV-cached inference): same projections and the
+    /// same [`kernels::gelu`] map as the tape path.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        let h = self.w1.apply(x);
+        let a = h.map(kernels::gelu);
+        self.w2.apply(&a)
     }
 
     /// Inner width (T-Patcher appends neurons logically after this).

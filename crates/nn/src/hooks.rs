@@ -8,7 +8,7 @@
 //! interception points on [`crate::TransformerLm`]; the base forward pass is
 //! method-agnostic.
 
-use infuserki_tensor::{NodeId, Tape};
+use infuserki_tensor::{Matrix, NodeId, Tape};
 
 /// Per-forward observations and cross-layer hook state.
 ///
@@ -55,11 +55,45 @@ impl ForwardTrace {
     }
 }
 
+/// Persistent, forkable hook state carried by a KV cache across incremental
+/// forward chunks.
+///
+/// Hooks whose tape-free path needs memory between chunks (InfuserKI's
+/// cross-layer adapter carry and cumulative gate statistics) store it here;
+/// the cache clones it on [`crate::KvCache::fork`] so shared-prefix decoding
+/// branches evolve independently.
+pub trait HookState: Send {
+    /// Clones the state for a cache fork.
+    fn clone_box(&self) -> Box<dyn HookState>;
+
+    /// Downcast access for the owning hook's `infer_*` overrides.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Called at the start of every incremental chunk. Per-forward state
+    /// (like the adapter carry, which flows across *layers*, not tokens)
+    /// resets here; per-token state (cumulative gate sums) persists.
+    fn begin_chunk(&mut self) {}
+}
+
+impl Clone for Box<dyn HookState> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// Interception points on the transformer forward pass.
 ///
 /// All methods default to "no change", so the unit struct [`NoHook`] runs the
 /// vanilla model. Implementations receive the tape to record their own
 /// (trainable-parameter) subgraphs; the trace carries per-forward state.
+///
+/// The `infer_*` family mirrors the tape methods on plain [`Matrix`] values
+/// for the KV-cached inference engine. The defaults emulate the tape hook on
+/// a throwaway scratch tape, which is bitwise-correct for every row-local,
+/// stateless hook (LoRA deltas, prefix K/V, CALINET/T-Patcher corrections);
+/// hooks with cross-layer or cross-chunk state override them natively
+/// (InfuserKI) or opt out of incremental decoding entirely
+/// ([`LayerHook::supports_incremental`], GRACE).
 pub trait LayerHook: Sync {
     /// Additive delta to the attention **query** projection output at
     /// `layer` (`x` is the attention sublayer input, post-LN). LoRA-style.
@@ -105,6 +139,76 @@ pub trait LayerHook: Sync {
         _trace: &mut ForwardTrace,
     ) -> NodeId {
         ffn_out
+    }
+
+    /// Whether this hook can run under the KV-cached incremental engine.
+    /// Hooks whose output at a position depends on *future* or full-sequence
+    /// statistics (GRACE's ε-ball lookup over the sequence mean) return
+    /// `false`; cached samplers then fall back to full recomputation.
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    /// Fresh per-cache state for the `infer_*` path, if this hook needs any.
+    fn make_state(&self) -> Option<Box<dyn HookState>> {
+        None
+    }
+
+    /// Tape-free counterpart of [`LayerHook::attn_q_delta`].
+    fn infer_attn_q_delta(&self, layer: usize, x: &Matrix) -> Option<Matrix> {
+        let mut tape = Tape::new();
+        let xn = tape.leaf(x.clone());
+        let d = self.attn_q_delta(layer, xn, &mut tape)?;
+        Some(tape.value(d).clone())
+    }
+
+    /// Tape-free counterpart of [`LayerHook::attn_v_delta`].
+    fn infer_attn_v_delta(&self, layer: usize, x: &Matrix) -> Option<Matrix> {
+        let mut tape = Tape::new();
+        let xn = tape.leaf(x.clone());
+        let d = self.attn_v_delta(layer, xn, &mut tape)?;
+        Some(tape.value(d).clone())
+    }
+
+    /// Tape-free counterpart of [`LayerHook::prefix_kv`].
+    fn infer_prefix_kv(&self, layer: usize) -> Option<(Matrix, Matrix)> {
+        let mut tape = Tape::new();
+        let (k, v) = self.prefix_kv(layer, &mut tape)?;
+        Some((tape.value(k).clone(), tape.value(v).clone()))
+    }
+
+    /// Tape-free counterpart of [`LayerHook::attn_output`]. `state` is the
+    /// cache's hook state (if [`LayerHook::make_state`] provided one).
+    fn infer_attn_output(
+        &self,
+        layer: usize,
+        attn_in: &Matrix,
+        attn_out: Matrix,
+        _state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        let mut tape = Tape::new();
+        let mut trace = ForwardTrace::new();
+        let i = tape.leaf(attn_in.clone());
+        let o = tape.leaf(attn_out);
+        let r = self.attn_output(layer, i, o, &mut tape, &mut trace);
+        tape.value(r).clone()
+    }
+
+    /// Tape-free counterpart of [`LayerHook::ffn_output`]. `state` is the
+    /// cache's hook state (if [`LayerHook::make_state`] provided one).
+    fn infer_ffn_output(
+        &self,
+        layer: usize,
+        ffn_in: &Matrix,
+        ffn_out: Matrix,
+        _state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        let mut tape = Tape::new();
+        let mut trace = ForwardTrace::new();
+        let i = tape.leaf(ffn_in.clone());
+        let o = tape.leaf(ffn_out);
+        let r = self.ffn_output(layer, i, o, &mut tape, &mut trace);
+        tape.value(r).clone()
     }
 }
 

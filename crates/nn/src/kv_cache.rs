@@ -1,0 +1,119 @@
+//! Per-layer key/value cache for incremental (chunked) decoding.
+//!
+//! A [`KvCache`] stores, per transformer layer, the full-width projected key
+//! and value rows of every token processed so far — with any hook-provided
+//! prefix-tuning rows written once at the top. Incremental forward passes
+//! ([`crate::TransformerLm::prefill`] / [`crate::TransformerLm::decode_step`])
+//! then attend from only the *new* token rows against the cached history,
+//! turning an O(n²)-per-token generation loop into O(n).
+//!
+//! Keys and values are cached at model width (`[prefix + tokens, d_model]`)
+//! rather than per head: per-head column slicing commutes with row
+//! concatenation, so slicing the cached matrix reproduces the tape path's
+//! per-head `concat_rows(prefix_head, k_head)` bitwise.
+//!
+//! [`KvCache::fork`] clones the cache (including hook state), which is how
+//! shared-prefix MCQ scoring prefills a question once and scores every
+//! option from its own branch.
+
+use infuserki_tensor::Matrix;
+
+use crate::hooks::{HookState, LayerHook};
+
+/// Cached projected K/V rows for one attention layer.
+#[derive(Clone)]
+pub struct LayerKv {
+    pub(crate) k: Matrix,
+    pub(crate) v: Matrix,
+    pub(crate) prefix_len: usize,
+}
+
+impl LayerKv {
+    /// Appends freshly projected K/V rows for a new chunk of tokens.
+    pub(crate) fn append(&mut self, k_new: &Matrix, v_new: &Matrix) {
+        self.k.append_rows(k_new);
+        self.v.append_rows(v_new);
+    }
+
+    /// Total cached rows (prefix + tokens).
+    pub fn total_rows(&self) -> usize {
+        self.k.rows()
+    }
+
+    /// Number of always-visible prefix-tuning rows at the top.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+}
+
+/// A forkable decoding cache: one [`LayerKv`] per layer plus optional
+/// persistent hook state.
+#[derive(Clone)]
+pub struct KvCache {
+    pub(crate) layers: Vec<LayerKv>,
+    pub(crate) tokens: usize,
+    pub(crate) state: Option<Box<dyn HookState>>,
+}
+
+impl KvCache {
+    /// Builds an empty cache for `n_layers` layers, querying the hook for
+    /// per-layer prefix K/V rows and per-cache state.
+    pub(crate) fn new(n_layers: usize, d_model: usize, hook: &dyn LayerHook) -> Self {
+        let layers = (0..n_layers)
+            .map(|l| {
+                let (k, v) = hook
+                    .infer_prefix_kv(l)
+                    .unwrap_or_else(|| (Matrix::zeros(0, d_model), Matrix::zeros(0, d_model)));
+                assert_eq!(k.shape(), v.shape(), "prefix K/V shape mismatch");
+                let prefix_len = k.rows();
+                LayerKv { k, v, prefix_len }
+            })
+            .collect();
+        KvCache {
+            layers,
+            tokens: 0,
+            state: hook.make_state(),
+        }
+    }
+
+    /// Number of token positions already cached (prefix rows excluded).
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// An independent copy sharing this cache's history — the branch point
+    /// for shared-prefix option scoring and beam search.
+    pub fn fork(&self) -> KvCache {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHook;
+
+    #[test]
+    fn empty_cache_has_no_rows() {
+        let c = KvCache::new(3, 8, &NoHook);
+        assert_eq!(c.layers.len(), 3);
+        assert_eq!(c.tokens(), 0);
+        for l in &c.layers {
+            assert_eq!(l.total_rows(), 0);
+            assert_eq!(l.prefix_len(), 0);
+        }
+    }
+
+    #[test]
+    fn append_grows_rows() {
+        let mut c = KvCache::new(1, 4, &NoHook);
+        let k = Matrix::full(2, 4, 1.0);
+        let v = Matrix::full(2, 4, 2.0);
+        c.layers[0].append(&k, &v);
+        assert_eq!(c.layers[0].total_rows(), 2);
+        let fork = c.fork();
+        c.layers[0].append(&k, &v);
+        assert_eq!(c.layers[0].total_rows(), 4);
+        assert_eq!(fork.layers[0].total_rows(), 2, "fork is independent");
+    }
+}

@@ -1,6 +1,6 @@
 //! Primitive layers: linear projections, embeddings, layer norm.
 
-use infuserki_tensor::{init, Matrix, NodeId, Param, Tape};
+use infuserki_tensor::{infer, init, kernels, Matrix, NodeId, Param, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +68,16 @@ impl Linear {
         }
     }
 
+    /// Tape-free projection on a plain matrix (KV-cached inference). Shares
+    /// its arithmetic with the tape path ([`infer::affine`] / the same matmul
+    /// kernel), so outputs are bitwise identical row for row.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        match &self.b {
+            Some(b) => infer::affine(x, self.w.data(), b.data()),
+            None => kernels::matmul(x, self.w.data()),
+        }
+    }
+
     /// Weight parameter.
     pub fn weight(&self) -> &Param {
         &self.w
@@ -125,6 +135,17 @@ impl Embedding {
         tape.embedding(t, ids)
     }
 
+    /// Tape-free row gather (KV-cached inference).
+    pub fn gather(&self, ids: &[usize]) -> Matrix {
+        let t = self.table.data();
+        let mut out = Matrix::zeros(ids.len(), t.cols());
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < t.rows(), "embedding id {id} out of range");
+            out.row_mut(r).copy_from_slice(t.row(id));
+        }
+        out
+    }
+
     /// The raw table parameter (tied LM head reads it).
     pub fn table(&self) -> &Param {
         &self.table
@@ -169,6 +190,12 @@ impl LayerNorm {
         let g = tape.param(&self.gain);
         let b = tape.param(&self.bias);
         tape.layer_norm(x, g, b, self.eps)
+    }
+
+    /// Tape-free normalization (KV-cached inference); same arithmetic as the
+    /// tape path via [`infer::layer_norm`].
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        infer::layer_norm(x, self.gain.data(), self.bias.data(), self.eps)
     }
 }
 

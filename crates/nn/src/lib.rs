@@ -15,6 +15,7 @@ pub mod block;
 pub mod config;
 pub mod ffn;
 pub mod hooks;
+pub mod kv_cache;
 pub mod layers;
 pub mod model;
 pub mod optim;
@@ -22,7 +23,8 @@ pub mod sampler;
 pub mod trainer;
 
 pub use config::ModelConfig;
-pub use hooks::{ForwardTrace, LayerHook, NoHook};
+pub use hooks::{ForwardTrace, HookState, LayerHook, NoHook};
+pub use kv_cache::KvCache;
 pub use model::TransformerLm;
 pub use optim::{AdamW, AdamWConfig};
 pub use trainer::{compute_batch_grads, eval_loss, train_epoch, LmSample, Trainable};

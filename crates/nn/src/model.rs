@@ -5,12 +5,13 @@ use std::fs;
 use std::path::Path;
 
 use infuserki_tensor::op::IGNORE_INDEX;
-use infuserki_tensor::{NodeId, Param, Tape};
+use infuserki_tensor::{kernels, Matrix, NodeId, Param, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::block::TransformerBlock;
 use crate::hooks::{ForwardTrace, LayerHook};
+use crate::kv_cache::KvCache;
 use crate::layers::{Embedding, LayerNorm, Module};
 use crate::ModelConfig;
 
@@ -98,6 +99,71 @@ impl TransformerLm {
     pub fn forward(&self, tokens: &[usize], hook: &dyn LayerHook, tape: &mut Tape) -> NodeId {
         let mut trace = ForwardTrace::new();
         self.forward_traced(tokens, hook, tape, &mut trace)
+    }
+
+    /// Builds an empty KV cache for incremental decoding with `hook`.
+    ///
+    /// # Panics
+    /// Panics if the hook does not support incremental decoding
+    /// ([`LayerHook::supports_incremental`]); callers that may receive such
+    /// hooks should check first and fall back to full recomputation.
+    pub fn new_cache(&self, hook: &dyn LayerHook) -> KvCache {
+        assert!(
+            hook.supports_incremental(),
+            "hook does not support KV-cached incremental decoding"
+        );
+        KvCache::new(self.cfg.n_layers, self.cfg.d_model, hook)
+    }
+
+    /// Runs a chunk of `tokens` through the model incrementally, appending
+    /// their K/V rows to `cache`. Returns the `[chunk, vocab]` logits of the
+    /// new positions — bitwise identical (at one kernel thread) to the
+    /// corresponding rows of a full [`Self::forward`] over the whole cached
+    /// sequence.
+    pub fn extend_cached(
+        &self,
+        tokens: &[usize],
+        hook: &dyn LayerHook,
+        cache: &mut KvCache,
+    ) -> Matrix {
+        assert!(!tokens.is_empty(), "extend_cached: empty chunk");
+        let start = cache.tokens;
+        assert!(
+            start + tokens.len() <= self.cfg.max_seq,
+            "extend_cached: sequence {} exceeds max_seq {}",
+            start + tokens.len(),
+            self.cfg.max_seq
+        );
+        if let Some(s) = cache.state.as_mut() {
+            s.begin_chunk();
+        }
+        let positions: Vec<usize> = (start..start + tokens.len()).collect();
+        let mut x = self.tok_embed.gather(tokens);
+        x.add_assign(&self.pos_embed.gather(&positions));
+        // Split the cache borrows: blocks need the per-layer K/V while the
+        // hook state threads through every sublayer call.
+        let mut state = cache.state.take();
+        for (block, kv) in self.blocks.iter().zip(cache.layers.iter_mut()) {
+            x = block.forward_incremental(&x, hook, kv, &mut state);
+        }
+        cache.state = state;
+        cache.tokens += tokens.len();
+        let h = self.ln_f.apply(&x);
+        kernels::matmul_bt(&h, self.tok_embed.table().data())
+    }
+
+    /// Prefills a fresh cache with `tokens` and returns it together with the
+    /// prompt logits.
+    pub fn prefill(&self, tokens: &[usize], hook: &dyn LayerHook) -> (KvCache, Matrix) {
+        let mut cache = self.new_cache(hook);
+        let logits = self.extend_cached(tokens, hook, &mut cache);
+        (cache, logits)
+    }
+
+    /// Decodes one token against the cache, returning its `[1, vocab]`
+    /// logits row.
+    pub fn decode_step(&self, token: usize, hook: &dyn LayerHook, cache: &mut KvCache) -> Matrix {
+        self.extend_cached(&[token], hook, cache)
     }
 
     /// Next-token cross-entropy over a sequence: position `i` predicts

@@ -6,14 +6,57 @@
 //! extraction (matching the paper's protocol) and (b) direct option
 //! log-likelihood scoring (used by the Fig. 7 case-study probability tables).
 
-use infuserki_tensor::{kernels, Tape};
+use infuserki_tensor::{kernels, Matrix, Tape};
 
 use crate::hooks::LayerHook;
+use crate::kv_cache::KvCache;
 use crate::model::TransformerLm;
 
 /// Greedy-decodes up to `max_new` tokens after `prompt`, stopping early at
 /// `eos` (if given). Returns only the newly generated tokens.
+///
+/// Runs on the KV-cached incremental engine: the prompt is prefilled once and
+/// each new token costs a single-row decode step. Produces exactly the tokens
+/// of [`greedy_decode_uncached`] (the pre-cache full-recompute path, kept as
+/// the differential-test reference); hooks that cannot decode incrementally
+/// fall back to it automatically.
 pub fn greedy_decode(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompt: &[usize],
+    max_new: usize,
+    eos: Option<usize>,
+) -> Vec<usize> {
+    if !hook.supports_incremental() {
+        return greedy_decode_uncached(model, hook, prompt, max_new, eos);
+    }
+    let max_seq = model.config().max_seq;
+    if max_new == 0 || prompt.len() >= max_seq {
+        return Vec::new();
+    }
+    let (mut cache, logits) = model.prefill(prompt, hook);
+    let mut next = argmax(logits.row(logits.rows() - 1));
+    let mut out = Vec::with_capacity(max_new);
+    let mut n_tokens = prompt.len();
+    loop {
+        if Some(next) == eos {
+            break;
+        }
+        out.push(next);
+        n_tokens += 1;
+        if out.len() == max_new || n_tokens >= max_seq {
+            break;
+        }
+        let logits = model.decode_step(next, hook, &mut cache);
+        next = argmax(logits.row(0));
+    }
+    out
+}
+
+/// The pre-cache greedy decoder: recomputes the full forward pass for every
+/// generated token. Reference implementation for the differential equivalence
+/// suite and the fallback for hooks without incremental support.
+pub fn greedy_decode_uncached(
     model: &TransformerLm,
     hook: &dyn LayerHook,
     prompt: &[usize],
@@ -41,7 +84,47 @@ pub fn greedy_decode(
 }
 
 /// Sums each candidate completion's log-likelihood after `prompt`.
+///
+/// Shared-prefix scoring: the prompt is prefilled into a KV cache once, and
+/// every option is scored from its own fork of that cache — so an MCQ with
+/// four options pays for one prompt forward instead of four. Matches
+/// [`score_options_uncached`] row for row (bitwise at one kernel thread).
 pub fn score_options(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompt: &[usize],
+    options: &[Vec<usize>],
+) -> Vec<f32> {
+    if !hook.supports_incremental() || prompt.is_empty() {
+        return score_options_uncached(model, hook, prompt, options);
+    }
+    let (cache, logits) = model.prefill(prompt, hook);
+    // The prompt's last row predicts each option's first token; log-softmax
+    // is row-local, so normalizing the extracted row matches the full path.
+    let last_lp =
+        kernels::log_softmax_rows(&Matrix::row_vec(logits.row(logits.rows() - 1).to_vec()));
+    options
+        .iter()
+        .map(|opt| {
+            assert!(!opt.is_empty(), "completion_logprob: empty completion");
+            let mut total = last_lp.get(0, opt[0]);
+            if opt.len() > 1 {
+                let mut branch = cache.fork();
+                let logits = model.extend_cached(&opt[..opt.len() - 1], hook, &mut branch);
+                let lp = kernels::log_softmax_rows(&logits);
+                for (i, &tok) in opt[1..].iter().enumerate() {
+                    total += lp.get(i, tok);
+                }
+            }
+            total
+        })
+        .collect()
+}
+
+/// The pre-cache option scorer: one full forward per option. Reference
+/// implementation for the differential suite and the non-incremental
+/// fallback.
+pub fn score_options_uncached(
     model: &TransformerLm,
     hook: &dyn LayerHook,
     prompt: &[usize],
@@ -69,7 +152,119 @@ pub fn option_probabilities(scores: &[f32], lengths: &[usize]) -> Vec<f32> {
 /// Beam-search decoding: keeps the `beam_width` highest-log-probability
 /// continuations at each step. Returns the best completed sequence (new
 /// tokens only). Falls back to the best live beam if nothing hits `eos`.
+///
+/// Each live beam carries its own fork of the prompt's KV cache, so a step
+/// costs one single-row decode per expansion instead of a full-sequence
+/// forward per beam. Candidate ordering, pruning and final selection are the
+/// same as [`beam_search_uncached`], so the chosen sequence is identical.
 pub fn beam_search(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompt: &[usize],
+    max_new: usize,
+    beam_width: usize,
+    eos: Option<usize>,
+) -> Vec<usize> {
+    assert!(beam_width >= 1, "beam width must be at least 1");
+    if !hook.supports_incremental() {
+        return beam_search_uncached(model, hook, prompt, max_new, beam_width, eos);
+    }
+    struct Beam {
+        tokens: Vec<usize>,
+        score: f32,
+        done: bool,
+        /// Cache over `prompt ++ tokens` plus the log-probs of the next
+        /// token; `None` once the beam is done or the context is full.
+        branch: Option<(KvCache, Vec<f32>)>,
+    }
+    let frozen = |b: &Beam| Beam {
+        tokens: b.tokens.clone(),
+        score: b.score,
+        done: true,
+        branch: None,
+    };
+    let max_seq = model.config().max_seq;
+    let root_branch = (prompt.len() < max_seq).then(|| {
+        let (cache, logits) = model.prefill(prompt, hook);
+        let lp =
+            kernels::log_softmax_rows(&Matrix::row_vec(logits.row(logits.rows() - 1).to_vec()));
+        (cache, lp.into_vec())
+    });
+    let mut beams = vec![Beam {
+        tokens: Vec::new(),
+        score: 0.0,
+        done: false,
+        branch: root_branch,
+    }];
+    for _ in 0..max_new {
+        if beams.iter().all(|b| b.done) {
+            break;
+        }
+        let mut candidates: Vec<Beam> = Vec::new();
+        for beam in &beams {
+            if beam.done {
+                candidates.push(frozen(beam));
+                continue;
+            }
+            let Some((cache, last)) = &beam.branch else {
+                // Context full: freeze the beam, as the uncached path does.
+                candidates.push(frozen(beam));
+                continue;
+            };
+            // Top beam_width expansions of this beam.
+            let mut idx: Vec<usize> = (0..last.len()).collect();
+            idx.sort_by(|&a, &b| last[b].total_cmp(&last[a]));
+            for &tok in idx.iter().take(beam_width) {
+                let score = beam.score + last[tok];
+                if Some(tok) == eos {
+                    candidates.push(Beam {
+                        tokens: beam.tokens.clone(),
+                        score,
+                        done: true,
+                        branch: None,
+                    });
+                    continue;
+                }
+                let mut tokens = beam.tokens.clone();
+                tokens.push(tok);
+                let branch = (prompt.len() + tokens.len() < max_seq).then(|| {
+                    let mut fork = cache.fork();
+                    let logits = model.decode_step(tok, hook, &mut fork);
+                    let lp = kernels::log_softmax_rows(&logits);
+                    (fork, lp.into_vec())
+                });
+                candidates.push(Beam {
+                    tokens,
+                    score,
+                    done: false,
+                    branch,
+                });
+            }
+        }
+        // Length-normalized pruning so longer beams are not starved.
+        candidates.sort_by(|a, b| {
+            let an = a.score / (a.tokens.len().max(1) as f32);
+            let bn = b.score / (b.tokens.len().max(1) as f32);
+            bn.total_cmp(&an)
+        });
+        candidates.truncate(beam_width);
+        beams = candidates;
+    }
+    beams
+        .into_iter()
+        .max_by(|a, b| {
+            let an = a.score / (a.tokens.len().max(1) as f32);
+            let bn = b.score / (b.tokens.len().max(1) as f32);
+            an.total_cmp(&bn)
+        })
+        .map(|b| b.tokens)
+        .unwrap_or_default()
+}
+
+/// The pre-cache beam search: a full-sequence forward per live beam per step.
+/// Reference implementation for the differential suite and the
+/// non-incremental fallback.
+pub fn beam_search_uncached(
     model: &TransformerLm,
     hook: &dyn LayerHook,
     prompt: &[usize],

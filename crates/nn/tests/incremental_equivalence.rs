@@ -1,0 +1,289 @@
+//! Differential equivalence for the KV-cached incremental engine: the
+//! tape-free `prefill`/`extend_cached`/`decode_step` path must reproduce the
+//! tape forward **bitwise** with serial kernels, for every hook interception
+//! point (q/v deltas, prefix K/V, output rewrites) and every prompt length
+//! up to the context limit.
+//!
+//! The kernel thread override is process-global, so every test here takes a
+//! shared lock before touching it and restores the default before releasing.
+
+use std::sync::Mutex;
+
+use infuserki_nn::hooks::{ForwardTrace, LayerHook};
+use infuserki_nn::{sampler, ModelConfig, NoHook, TransformerLm};
+use infuserki_tensor::{init, kernels, Matrix, NodeId, Tape};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const VOCAB: usize = 40;
+
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn model(seed: u64) -> TransformerLm {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    TransformerLm::new(ModelConfig::tiny(VOCAB), &mut rng)
+}
+
+fn tokens(n: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 7 + 3) % VOCAB).collect()
+}
+
+/// Tape-path logits for the whole prompt.
+fn full_logits(m: &TransformerLm, toks: &[usize], hook: &dyn LayerHook) -> Matrix {
+    let mut tape = Tape::new();
+    let id = m.forward(toks, hook, &mut tape);
+    tape.value(id).clone()
+}
+
+fn assert_bitwise(a: &Matrix, b: &Matrix, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{ctx}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+fn assert_close(a: &[f32], b: &[f32], tol: f32, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: len");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() <= tol, "{ctx}: element {i}: {x} vs {y}");
+    }
+}
+
+// ---- synthetic hooks covering each interception point ----------------------
+
+/// LoRA-shaped: dense additive deltas on the q and v projections.
+struct QvDelta {
+    dq: Matrix,
+    dv: Matrix,
+}
+
+impl QvDelta {
+    fn new(d: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        QvDelta {
+            dq: init::normal(d, d, 0.05, &mut rng),
+            dv: init::normal(d, d, 0.05, &mut rng),
+        }
+    }
+}
+
+impl LayerHook for QvDelta {
+    fn attn_q_delta(&self, _layer: usize, x: NodeId, tape: &mut Tape) -> Option<NodeId> {
+        let w = tape.leaf(self.dq.clone());
+        Some(tape.matmul(x, w))
+    }
+
+    fn attn_v_delta(&self, _layer: usize, x: NodeId, tape: &mut Tape) -> Option<NodeId> {
+        let w = tape.leaf(self.dv.clone());
+        Some(tape.matmul(x, w))
+    }
+}
+
+/// Prefix-tuning-shaped: learnable K/V rows prepended at every layer.
+struct PrefixRows {
+    k: Matrix,
+    v: Matrix,
+}
+
+impl PrefixRows {
+    fn new(p: usize, d: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        PrefixRows {
+            k: init::normal(p, d, 0.05, &mut rng),
+            v: init::normal(p, d, 0.05, &mut rng),
+        }
+    }
+}
+
+impl LayerHook for PrefixRows {
+    fn prefix_kv(&self, _layer: usize, tape: &mut Tape) -> Option<(NodeId, NodeId)> {
+        let k = tape.leaf(self.k.clone());
+        let v = tape.leaf(self.v.clone());
+        Some((k, v))
+    }
+}
+
+/// CALINET/T-Patcher-shaped: row-local rewrites of both sublayer outputs,
+/// exercising the default scratch-tape `infer_*` emulation.
+struct OutputTweak;
+
+impl LayerHook for OutputTweak {
+    fn attn_output(
+        &self,
+        _layer: usize,
+        _attn_in: NodeId,
+        attn_out: NodeId,
+        tape: &mut Tape,
+        _trace: &mut ForwardTrace,
+    ) -> NodeId {
+        tape.scale(attn_out, 1.1)
+    }
+
+    fn ffn_output(
+        &self,
+        _layer: usize,
+        ffn_in: NodeId,
+        ffn_out: NodeId,
+        tape: &mut Tape,
+        _trace: &mut ForwardTrace,
+    ) -> NodeId {
+        let bent = tape.gelu(ffn_in);
+        let scaled = tape.scale(bent, 0.25);
+        tape.add(ffn_out, scaled)
+    }
+}
+
+fn hooks() -> Vec<(&'static str, Box<dyn LayerHook>)> {
+    let d = ModelConfig::tiny(VOCAB).d_model;
+    vec![
+        ("nohook", Box::new(NoHook)),
+        ("qv_delta", Box::new(QvDelta::new(d))),
+        ("prefix", Box::new(PrefixRows::new(3, d))),
+        ("output_tweak", Box::new(OutputTweak)),
+    ]
+}
+
+// ---- the differential suite ------------------------------------------------
+
+#[test]
+fn prefill_matches_full_forward_bitwise_all_hooks_all_lengths() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let m = model(11);
+    let max_seq = m.config().max_seq;
+    for (name, hook) in hooks() {
+        for n in 1..=max_seq {
+            let toks = tokens(n);
+            let full = full_logits(&m, &toks, hook.as_ref());
+            let (_, cached) = m.prefill(&toks, hook.as_ref());
+            assert_bitwise(&full, &cached, &format!("{name}, len {n}"));
+        }
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn chunked_extend_matches_full_forward_bitwise() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let m = model(12);
+    let toks = tokens(17);
+    for (name, hook) in hooks() {
+        let full = full_logits(&m, &toks, hook.as_ref());
+        // Uneven chunking: 1 + 5 + 2 + 9 tokens.
+        for splits in [vec![1, 6, 8, 17], vec![4, 17], vec![16, 17]] {
+            let mut cache = m.new_cache(hook.as_ref());
+            let mut start = 0;
+            for end in splits.clone() {
+                let logits = m.extend_cached(&toks[start..end], hook.as_ref(), &mut cache);
+                for (i, row) in (start..end).enumerate() {
+                    let a = Matrix::row_vec(full.row(row).to_vec());
+                    let b = Matrix::row_vec(logits.row(i).to_vec());
+                    assert_bitwise(&a, &b, &format!("{name}, splits {splits:?}, row {row}"));
+                }
+                start = end;
+            }
+        }
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn decode_step_matches_full_forward_bitwise() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let m = model(13);
+    let toks = tokens(12);
+    for (name, hook) in hooks() {
+        let (mut cache, first) = m.prefill(&toks[..1], hook.as_ref());
+        let mut last_rows = vec![first.row(0).to_vec()];
+        for &t in &toks[1..] {
+            let logits = m.decode_step(t, hook.as_ref(), &mut cache);
+            last_rows.push(logits.row(0).to_vec());
+        }
+        let full = full_logits(&m, &toks, hook.as_ref());
+        for (r, row) in last_rows.iter().enumerate() {
+            let a = Matrix::row_vec(full.row(r).to_vec());
+            let b = Matrix::row_vec(row.clone());
+            assert_bitwise(&a, &b, &format!("{name}, step {r}"));
+        }
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn forked_caches_evolve_independently_and_correctly() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let m = model(14);
+    let prefix = tokens(9);
+    let suffixes: Vec<Vec<usize>> = vec![vec![1, 2], vec![3, 4, 5], vec![6]];
+    for (name, hook) in hooks() {
+        let (cache, _) = m.prefill(&prefix, hook.as_ref());
+        for (si, suffix) in suffixes.iter().enumerate() {
+            let mut branch = cache.fork();
+            let logits = m.extend_cached(suffix, hook.as_ref(), &mut branch);
+            let mut whole = prefix.clone();
+            whole.extend_from_slice(suffix);
+            let full = full_logits(&m, &whole, hook.as_ref());
+            for (i, row) in (prefix.len()..whole.len()).enumerate() {
+                let a = Matrix::row_vec(full.row(row).to_vec());
+                let b = Matrix::row_vec(logits.row(i).to_vec());
+                assert_bitwise(&a, &b, &format!("{name}, branch {si}, row {row}"));
+            }
+        }
+        // The parent cache is untouched by branch extension.
+        assert_eq!(cache.tokens(), prefix.len());
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn prefill_matches_full_forward_with_parallel_kernels() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(4);
+    let m = model(15);
+    for (name, hook) in hooks() {
+        for n in [1, 5, 19, 32] {
+            let toks = tokens(n);
+            let full = full_logits(&m, &toks, hook.as_ref());
+            let (_, cached) = m.prefill(&toks, hook.as_ref());
+            assert_close(
+                full.data(),
+                cached.data(),
+                1e-5,
+                &format!("{name}, len {n}, threads 4"),
+            );
+        }
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn cached_samplers_match_uncached_on_synthetic_hooks() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let m = model(16);
+    let prompt = tokens(6);
+    let options: Vec<Vec<usize>> = vec![vec![1], vec![2, 3], vec![4, 5, 6], vec![7, 8]];
+    for (name, hook) in hooks() {
+        let cached = sampler::score_options(&m, hook.as_ref(), &prompt, &options);
+        let naive = sampler::score_options_uncached(&m, hook.as_ref(), &prompt, &options);
+        for (i, (a, b)) in cached.iter().zip(&naive).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{name}: option {i} score {a} vs {b}"
+            );
+        }
+        let g_cached = sampler::greedy_decode(&m, hook.as_ref(), &prompt, 10, None);
+        let g_naive = sampler::greedy_decode_uncached(&m, hook.as_ref(), &prompt, 10, None);
+        assert_eq!(g_cached, g_naive, "{name}: greedy divergence");
+        let b_cached = sampler::beam_search(&m, hook.as_ref(), &prompt, 8, 3, None);
+        let b_naive = sampler::beam_search_uncached(&m, hook.as_ref(), &prompt, 8, 3, None);
+        assert_eq!(b_cached, b_naive, "{name}: beam divergence");
+    }
+    kernels::set_num_threads(0);
+}

@@ -340,6 +340,40 @@ fn backward_op(
             }
             accumulate(&mut grads_before[a.index()], da);
         }
+        Op::CumMeanRows(a) => {
+            // out[t] = (1/(t+1)) Σ_{i<=t} x[i], so dL/dx[i] = Σ_{t>=i} g[t]/(t+1):
+            // a reverse suffix accumulation of the scaled output gradients.
+            let va = val(*a);
+            let (n, d) = va.shape();
+            let mut da = Matrix::zeros(n, d);
+            let mut acc = vec![0.0f32; d];
+            for t in (0..n).rev() {
+                let scale = 1.0 / (t + 1) as f32;
+                for (s, &g) in acc.iter_mut().zip(gout.row(t).iter()) {
+                    *s += g * scale;
+                }
+                da.row_mut(t).copy_from_slice(&acc);
+            }
+            accumulate(&mut grads_before[a.index()], da);
+        }
+        Op::MulColBroadcast(a, s) => {
+            // out[t] = a[t] * s[t]: da[t] = g[t]*s[t], ds[t] = <g[t], a[t]>
+            let vs = val(*s);
+            let mut da = gout.clone();
+            for r in 0..da.rows() {
+                let sv = vs.get(r, 0);
+                for x in da.row_mut(r) {
+                    *x *= sv;
+                }
+            }
+            accumulate(&mut grads_before[a.index()], da);
+            let va = val(*a);
+            let mut ds = Matrix::zeros(gout.rows(), 1);
+            for r in 0..gout.rows() {
+                ds.set(r, 0, kernels::dot(gout.row(r), va.row(r)));
+            }
+            accumulate(&mut grads_before[s.index()], ds);
+        }
         Op::MeanSelectedRows(a, rows) => {
             let va = val(*a);
             let scale = 1.0 / rows.len() as f32;

@@ -24,6 +24,7 @@
 mod backward;
 pub mod check;
 pub mod error;
+pub mod infer;
 pub mod init;
 pub mod kernels;
 pub mod matrix;

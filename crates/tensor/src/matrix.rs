@@ -182,6 +182,29 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v *= alpha);
     }
 
+    /// Appends `other`'s rows below `self`'s (KV-cache growth).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn append_rows(&mut self, other: &Matrix) {
+        assert_eq!(self.cols, other.cols, "append_rows: col mismatch");
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+    }
+
+    /// Owned column slice `[.., start..end)`.
+    ///
+    /// # Panics
+    /// Panics on an empty or out-of-bounds range.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start < end && end <= self.cols, "slice_cols: bad range");
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         Matrix {

@@ -77,6 +77,13 @@ pub enum Op {
     },
     /// Mean over all rows: `[n,d] -> [1,d]`.
     MeanRows(NodeId),
+    /// Cumulative prefix mean over rows: `out[t] = mean(x[0..=t])`,
+    /// `[n,d] -> [n,d]`. The causal form of [`Op::MeanRows`] — row `t` sees
+    /// only rows `0..=t`, which is what makes the infuser gate KV-cacheable.
+    CumMeanRows(NodeId),
+    /// Per-row scaling `out[t] = a[t] * s[t]` with `s [n,1]` (the causal
+    /// infuser gate applied to the adapter output).
+    MulColBroadcast(NodeId, NodeId),
     /// Mean over the selected rows: `[n,d] -> [1,d]`.
     MeanSelectedRows(NodeId, Vec<usize>),
     /// Vertical stacking `[n1,d];[n2,d] -> [n1+n2,d]`.
@@ -129,6 +136,7 @@ impl Op {
             | Op::Sub(a, b)
             | Op::Mul(a, b)
             | Op::MulScalarNode(a, b)
+            | Op::MulColBroadcast(a, b)
             | Op::ConcatRows(a, b) => vec![*a, *b],
             Op::Scale(a, _)
             | Op::Transpose(a)
@@ -140,6 +148,7 @@ impl Op {
             | Op::Sigmoid(a)
             | Op::Tanh(a)
             | Op::MeanRows(a)
+            | Op::CumMeanRows(a)
             | Op::MeanSelectedRows(a, _)
             | Op::SliceCols(a, _, _)
             | Op::SliceRows(a, _, _)
@@ -177,6 +186,8 @@ impl Op {
             Op::Tanh(..) => "tanh",
             Op::Embedding { .. } => "embedding",
             Op::MeanRows(..) => "mean_rows",
+            Op::CumMeanRows(..) => "cum_mean_rows",
+            Op::MulColBroadcast(..) => "mul_col_broadcast",
             Op::MeanSelectedRows(..) => "mean_selected_rows",
             Op::ConcatRows(..) => "concat_rows",
             Op::ConcatCols(..) => "concat_cols",

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::infer;
 use crate::kernels;
 use crate::matrix::Matrix;
 use crate::op::{Op, IGNORE_INDEX};
@@ -114,21 +115,12 @@ impl Tape {
     }
 
     /// Fused `x @ w + bias` (`bias [1,d]` broadcast over rows): the
-    /// linear-layer hot path recorded as a single node. The product is written
-    /// into one output allocation via [`kernels::matmul_into`] and the bias is
-    /// folded in place, so the unfused intermediate `x @ w` never exists.
+    /// linear-layer hot path recorded as a single node. The value computation
+    /// lives in [`infer::affine`] (shared with the tape-free inference path)
+    /// — one output allocation, bias folded in place, so the unfused
+    /// intermediate `x @ w` never exists.
     pub fn affine(&mut self, x: NodeId, w: NodeId, bias: NodeId) -> NodeId {
-        let (vx, vw, vb) = (self.value(x), self.value(w), self.value(bias));
-        assert_eq!(vb.rows(), 1, "affine: bias must be [1,d]");
-        assert_eq!(vw.cols(), vb.cols(), "affine: bias col mismatch");
-        let mut v = Matrix::zeros(vx.rows(), vw.cols());
-        kernels::matmul_into(vx, vw, &mut v, false);
-        let brow = vb.row(0).to_vec();
-        for r in 0..v.rows() {
-            for (o, &b) in v.row_mut(r).iter_mut().zip(brow.iter()) {
-                *o += b;
-            }
-        }
+        let v = infer::affine(self.value(x), self.value(w), self.value(bias));
         self.push(Op::Affine { x, w, bias }, v)
     }
 
@@ -219,22 +211,10 @@ impl Tape {
     }
 
     /// Layer normalization over rows with affine gain/bias (`[1,d]` each).
+    /// Value computation shared with the tape-free path via
+    /// [`infer::layer_norm`].
     pub fn layer_norm(&mut self, x: NodeId, gain: NodeId, bias: NodeId, eps: f32) -> NodeId {
-        let (vx, vg, vb) = (self.value(x), self.value(gain), self.value(bias));
-        let d = vx.cols();
-        assert_eq!(vg.shape(), (1, d), "layer_norm: gain shape");
-        assert_eq!(vb.shape(), (1, d), "layer_norm: bias shape");
-        let mut v = Matrix::zeros(vx.rows(), d);
-        for r in 0..vx.rows() {
-            let row = vx.row(r);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            let out = v.row_mut(r);
-            for c in 0..d {
-                out[c] = (row[c] - mean) * inv * vg.get(0, c) + vb.get(0, c);
-            }
-        }
+        let v = infer::layer_norm(self.value(x), self.value(gain), self.value(bias), eps);
         self.push(Op::LayerNorm { x, gain, bias, eps }, v)
     }
 
@@ -302,6 +282,29 @@ impl Tape {
         }
         v.scale_assign(1.0 / n as f32);
         self.push(Op::MeanRows(a), v)
+    }
+
+    /// Cumulative prefix mean over rows: `out[t] = mean(x[0..=t])`,
+    /// `[n,d] -> [n,d]`. The causal counterpart of [`mean_rows`]
+    /// (`Self::mean_rows`): the last output row is bitwise identical to
+    /// `mean_rows`, earlier rows see only their prefix — which is what makes
+    /// the infuser gate compatible with incremental (KV-cached) decoding.
+    /// Value computation shared with the tape-free path via
+    /// [`infer::cumulative_mean_rows`].
+    pub fn cum_mean_rows(&mut self, a: NodeId) -> NodeId {
+        let va = self.value(a);
+        assert!(va.rows() > 0, "cum_mean_rows: empty input");
+        let v = infer::cumulative_mean_rows(va);
+        self.push(Op::CumMeanRows(a), v)
+    }
+
+    /// Per-row scaling `out[t] = a[t] * s[t]` where `s` is a differentiable
+    /// `[n,1]` node — the causal infuser gate applied row-wise. Value
+    /// computation shared with the tape-free path via
+    /// [`infer::mul_col_broadcast`].
+    pub fn mul_col_broadcast(&mut self, a: NodeId, s: NodeId) -> NodeId {
+        let v = infer::mul_col_broadcast(self.value(a), self.value(s));
+        self.push(Op::MulColBroadcast(a, s), v)
     }
 
     /// Mean over the given rows: `[n,d] -> [1,d]` (entity-span pooling).
@@ -376,18 +379,8 @@ impl Tape {
     /// Applies the causal attention mask: positions with `col > row + offset`
     /// receive `-1e9`. `offset` > 0 makes leading (prefix) columns visible.
     pub fn causal_mask(&mut self, a: NodeId, offset: usize) -> NodeId {
-        let va = self.value(a);
-        let (n, m) = va.shape();
-        assert_eq!(m, n + offset, "causal_mask: cols must be rows + offset");
-        let mut v = va.clone();
-        for r in 0..n {
-            let row = v.row_mut(r);
-            for (c, x) in row.iter_mut().enumerate() {
-                if c > r + offset {
-                    *x = -1e9;
-                }
-            }
-        }
+        let mut v = self.value(a).clone();
+        infer::causal_mask_in_place(&mut v, offset);
         self.push(Op::CausalMask { a, offset }, v)
     }
 

@@ -58,6 +58,8 @@ unary_grad_test!(grad_silu, 2, 3, |t: &mut Tape, x| t.silu(x));
 unary_grad_test!(grad_sigmoid, 2, 3, |t: &mut Tape, x| t.sigmoid(x));
 unary_grad_test!(grad_tanh, 2, 3, |t: &mut Tape, x| t.tanh(x));
 unary_grad_test!(grad_mean_rows, 3, 4, |t: &mut Tape, x| t.mean_rows(x));
+unary_grad_test!(grad_cum_mean_rows, 4, 3, |t: &mut Tape, x| t
+    .cum_mean_rows(x));
 unary_grad_test!(grad_mean_selected, 4, 3, |t: &mut Tape, x| t
     .mean_selected_rows(x, &[1, 3]));
 unary_grad_test!(grad_slice_cols, 2, 5, |t: &mut Tape, x| t
@@ -196,6 +198,37 @@ proptest! {
             reduce(t, y)
         });
         prop_assert!(res.within(TOL), "{:?}", res);
+    }
+
+    #[test]
+    fn grad_mul_col_broadcast_lhs(a in matrix(3, 2)) {
+        let res = check_gradient(&a, EPS, |t, x| {
+            let s = t.leaf(Matrix::from_vec(3, 1, vec![0.6, -0.9, 1.3]));
+            let y = t.mul_col_broadcast(x, s);
+            reduce(t, y)
+        });
+        prop_assert!(res.within(TOL), "{:?}", res);
+    }
+
+    #[test]
+    fn grad_mul_col_broadcast_gate(s in matrix(3, 1)) {
+        let res = check_gradient(&s, EPS, |t, x| {
+            let a = t.leaf(Matrix::from_vec(3, 2, vec![0.4, -0.2, 0.8, 1.1, -0.5, 0.3]));
+            let y = t.mul_col_broadcast(a, x);
+            reduce(t, y)
+        });
+        prop_assert!(res.within(TOL), "{:?}", res);
+    }
+
+    #[test]
+    fn cum_mean_last_row_matches_mean_rows(m in matrix(4, 3)) {
+        // The causal gate reads the last cumulative-mean row where the
+        // full-sequence mean used to be — they must agree bitwise.
+        let mut t = Tape::new();
+        let x = t.leaf(m);
+        let cum = t.cum_mean_rows(x);
+        let mean = t.mean_rows(x);
+        prop_assert_eq!(t.value(cum).row(3), t.value(mean).row(0));
     }
 
     #[test]

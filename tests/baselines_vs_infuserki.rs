@@ -11,13 +11,12 @@ use infuserki::baselines::{train_patched, VisitTrainable};
 use infuserki::core::dataset::KiDataset;
 use infuserki::core::detect::detect_unknown;
 use infuserki::eval::evaluate_method;
-use infuserki::eval::world::{build_world, Domain, World, WorldConfig};
+use infuserki::eval::world::{build_world_in, Domain, World, WorldConfig};
 use infuserki::nn::{LayerHook, NoHook};
 
 fn tiny_world(seed: u64) -> World {
     let dir = std::env::temp_dir().join(format!("infuserki_bvi_{}_{seed}", std::process::id()));
-    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
-    build_world(&WorldConfig::tiny(Domain::MetaQa, seed))
+    build_world_in(&WorldConfig::tiny(Domain::MetaQa, seed), &dir)
 }
 
 #[test]

@@ -5,13 +5,12 @@ use infuserki::core::dataset::KiDataset;
 use infuserki::core::detect::detect_unknown;
 use infuserki::core::{train_infuserki, InfuserKiConfig, InfuserKiMethod, TrainConfig};
 use infuserki::eval::evaluate_method;
-use infuserki::eval::world::{build_world, Domain, World, WorldConfig};
+use infuserki::eval::world::{build_world_in, Domain, World, WorldConfig};
 use infuserki::nn::NoHook;
 
 fn tiny_world(seed: u64) -> World {
     let dir = std::env::temp_dir().join(format!("infuserki_e2e_{}_{seed}", std::process::id()));
-    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
-    build_world(&WorldConfig::tiny(Domain::Umls, seed))
+    build_world_in(&WorldConfig::tiny(Domain::Umls, seed), &dir)
 }
 
 fn quick_tc() -> TrainConfig {

@@ -3,7 +3,7 @@
 
 use infuserki::eval::probes::{fig1_layer, hidden_states_for, option_probs};
 use infuserki::eval::projection::{pca, tsne};
-use infuserki::eval::world::{build_world, Domain, WorldConfig};
+use infuserki::eval::world::{build_world_in, Domain, WorldConfig};
 use infuserki::kg::{synth_metaqa, synth_umls, KgStats, MetaQaConfig, UmlsConfig};
 use infuserki::nn::{NoHook, TransformerLm};
 use infuserki::text::{levenshtein, Tokenizer};
@@ -29,8 +29,7 @@ fn facade_reexports_are_usable() {
 #[test]
 fn analysis_paths_work_end_to_end() {
     let dir = std::env::temp_dir().join(format!("infuserki_facade_{}", std::process::id()));
-    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
-    let w = build_world(&WorldConfig::tiny(Domain::Umls, 401));
+    let w = build_world_in(&WorldConfig::tiny(Domain::Umls, 401), &dir);
 
     // Hidden-state capture + projection.
     let layer = fig1_layer(w.base.n_layers());

@@ -12,7 +12,7 @@ use infuserki::core::dataset::KiDataset;
 use infuserki::core::detect::detect_unknown;
 use infuserki::core::{train_infuserki, InfuserKiConfig, InfuserKiMethod, TrainConfig};
 use infuserki::eval::evaluate_method;
-use infuserki::eval::world::{build_world, Domain, WorldConfig};
+use infuserki::eval::world::{build_world_in, Domain, WorldConfig};
 use infuserki::nn::NoHook;
 use infuserki::tensor::kernels;
 
@@ -47,8 +47,7 @@ fn assert_params_bitwise_eq(a: &[(String, Vec<f32>)], b: &[(String, Vec<f32>)], 
 
 fn run_pipeline(seed: u64) -> RunFingerprint {
     let dir = std::env::temp_dir().join(format!("infuserki_golden_{}_{seed}", std::process::id()));
-    std::env::set_var("INFUSERKI_ARTIFACTS", &dir);
-    let w = build_world(&WorldConfig::tiny(Domain::Umls, seed));
+    let w = build_world_in(&WorldConfig::tiny(Domain::Umls, seed), &dir);
     let det = detect_unknown(&w.base, &NoHook, &w.tokenizer, w.bank.template(0));
     let data = KiDataset::build(&w.store, &w.bank, &w.tokenizer, &det.known, &det.unknown, 1);
 
