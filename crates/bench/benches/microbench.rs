@@ -207,6 +207,152 @@ fn bench_mcq_scoring(c: &mut Criterion) {
     });
 }
 
+/// Batched greedy decode throughput: 32 new tokens per sequence from 16-token
+/// prompts at batch sizes 1/4/8/16, plus the loop-of-8 single-sequence
+/// reference. Tokens/sec scales with batch size because the projections and
+/// the LM head amortize the weight traffic over the whole batch; the
+/// acceptance target is ≥2× the looped reference at batch 8.
+fn bench_batched_generation(c: &mut Criterion) {
+    let model = small_model();
+    let prompt_of =
+        |s: usize| -> Vec<usize> { (0..16).map(|i| (i * 5 + s * 11 + 1) % 512).collect() };
+    for batch in [1usize, 4, 8, 16] {
+        let prompts: Vec<Vec<usize>> = (0..batch).map(prompt_of).collect();
+        c.bench_function(&format!("greedy_decode_32_batch{batch}"), |bench| {
+            bench.iter(|| {
+                sampler::greedy_decode_batch(
+                    &model,
+                    &NoHook,
+                    std::hint::black_box(&prompts),
+                    32,
+                    None,
+                )
+            })
+        });
+    }
+    let prompts: Vec<Vec<usize>> = (0..8).map(prompt_of).collect();
+    c.bench_function("greedy_decode_32_loop8_single", |bench| {
+        bench.iter(|| {
+            prompts
+                .iter()
+                .map(|p| sampler::greedy_decode(&model, &NoHook, std::hint::black_box(p), 32, None))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+/// Batched MCQ scoring throughput: questions/sec at batch sizes 1/4/8/16
+/// (32-token prompts, four 2-token options each) vs the loop-of-8
+/// single-question reference. Acceptance target: ≥2× at batch 8.
+fn bench_batched_mcq_scoring(c: &mut Criterion) {
+    let model = small_model();
+    let prompt_of =
+        |q: usize| -> Vec<usize> { (0..32).map(|i| (i * 3 + q * 7 + 2) % 512).collect() };
+    let options: Vec<Vec<usize>> = vec![vec![5, 6], vec![7, 8], vec![9, 10], vec![11, 12]];
+    for batch in [1usize, 4, 8, 16] {
+        let prompts: Vec<Vec<usize>> = (0..batch).map(prompt_of).collect();
+        let per_q: Vec<&[Vec<usize>]> = (0..batch).map(|_| options.as_slice()).collect();
+        c.bench_function(&format!("mcq_score_batch{batch}"), |bench| {
+            bench.iter(|| {
+                sampler::score_options_batch(
+                    &model,
+                    &NoHook,
+                    std::hint::black_box(&prompts),
+                    &per_q,
+                )
+            })
+        });
+    }
+    let prompts: Vec<Vec<usize>> = (0..8).map(prompt_of).collect();
+    // Shared-prefix loop: one `score_options` call per question. Not a
+    // single-sequence baseline — `score_options` already branches the prompt
+    // cache into one sequence per option (the batch engine at batch 4), so
+    // on one core this loop sits at compute parity with `batch8`.
+    c.bench_function("mcq_score_loop8_forked", |bench| {
+        bench.iter(|| {
+            prompts
+                .iter()
+                .map(|p| sampler::score_options(&model, &NoHook, std::hint::black_box(p), &options))
+                .collect::<Vec<_>>()
+        })
+    });
+    // True single-sequence loop: every (prompt ∥ option) pair prefilled as
+    // its own sequence, no cache sharing or branching anywhere — the
+    // strongest scorer expressible without the multi-sequence cache.
+    c.bench_function("mcq_score_loop8_single_seq", |bench| {
+        bench.iter(|| {
+            prompts
+                .iter()
+                .map(|p| {
+                    options
+                        .iter()
+                        .map(|opt| {
+                            let p = std::hint::black_box(p);
+                            let mut seq = p.clone();
+                            seq.extend_from_slice(&opt[..opt.len() - 1]);
+                            let (_cache, logits) = model.prefill(&seq, &NoHook);
+                            let lp = kernels::log_softmax_rows(
+                                &logits.slice_rows(p.len() - 1, seq.len()),
+                            );
+                            opt.iter()
+                                .enumerate()
+                                .map(|(i, &t)| lp.get(i, t))
+                                .sum::<f32>()
+                        })
+                        .collect::<Vec<f32>>()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+/// End-to-end MCQ answering — the knowledge-detection path (§3.2): format
+/// the prompt, greedy-decode an answer, extract the chosen option — over the
+/// real synthetic bank, at batch sizes 1/4/8/16 vs the loop-of-8
+/// single-question reference. Answering is decode-dominated (a handful of
+/// single-token steps per question), so whole-batch decode steps amortize
+/// the per-step cost the loop pays once per sequence per token.
+fn bench_mcq_answering(c: &mut Criterion) {
+    let store = synth_umls(&UmlsConfig::with_triplets(60, 4));
+    let triples = store.triples().to_vec();
+    let bank = infuserki_core::McqBank::build(&store, &triples, 9);
+    let mut lines: Vec<String> = store.entity_names().map(str::to_string).collect();
+    for r in store.relation_names() {
+        lines.extend(infuserki_text::templates::TemplateSet::vocabulary_lines(r));
+    }
+    lines.extend(infuserki_text::prompts::vocabulary_lines());
+    let tok = Tokenizer::build(lines.iter().map(String::as_str));
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let model = TransformerLm::new(
+        ModelConfig {
+            vocab_size: tok.vocab_size(),
+            ..ModelConfig::default()
+        },
+        &mut rng,
+    );
+    let mcqs = bank.template(0);
+    for batch in [1usize, 4, 8, 16] {
+        c.bench_function(&format!("mcq_answer_batch{batch}"), |bench| {
+            bench.iter(|| {
+                infuserki_core::answer_mcq_batch(
+                    &model,
+                    &NoHook,
+                    &tok,
+                    std::hint::black_box(&mcqs[..batch]),
+                )
+            })
+        });
+    }
+    c.bench_function("mcq_answer_loop8_single", |bench| {
+        bench.iter(|| {
+            mcqs[..8]
+                .iter()
+                .map(|m| infuserki_core::answer_mcq(&model, &NoHook, &tok, std::hint::black_box(m)))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
 fn bench_kg_queries(c: &mut Criterion) {
     let store = synth_umls(&UmlsConfig::with_triplets(2500, 3));
     let rel = store.relation_ids()[0];
@@ -262,7 +408,8 @@ criterion_group! {
               bench_forward, bench_forward_backward,
               bench_adapter_overhead, bench_generation_cached_vs_uncached,
               bench_prefill_and_decode_step, bench_mcq_scoring,
-              bench_kg_queries, bench_mcq_generation,
+              bench_batched_generation, bench_batched_mcq_scoring,
+              bench_mcq_answering, bench_kg_queries, bench_mcq_generation,
               bench_quantization, bench_tokenizer
 }
 criterion_main!(benches);

@@ -7,7 +7,7 @@ use infuserki_baselines::lora::{LoraConfig, LoraMethod};
 use infuserki_baselines::{train_patched, FullFineTune};
 use infuserki_core::{train_infuserki, InfuserKiConfig, InfuserKiMethod};
 use infuserki_eval::mcq_eval::answer_template;
-use infuserki_eval::probes::{fig1_layer, gate_profile, hidden_states_for, option_probs};
+use infuserki_eval::probes::{fig1_layer, gate_profile, hidden_states_for, option_probs_many};
 use infuserki_eval::projection::tsne;
 use infuserki_eval::world::{Domain, WorldConfig};
 use infuserki_eval::{evaluate_method, metrics::McqOutcome};
@@ -273,23 +273,38 @@ pub fn fig7(args: Args) -> String {
         })
         .unwrap_or(*p.known.first().unwrap_or(&0));
 
+    let cases = [("(a) injected fact", case_a), ("(b) retained fact", case_b)];
+    // Both case MCQs score in one batched pass per method.
+    let case_mcqs: Vec<_> = cases
+        .iter()
+        .map(|&(_, i)| w.bank.mcq(0, i).clone())
+        .collect();
+    let rows = [
+        (
+            "Vanilla",
+            option_probs_many(&w.base, &NoHook, &w.tokenizer, &case_mcqs),
+        ),
+        (
+            "LoRA",
+            option_probs_many(&w.base, &lora, &w.tokenizer, &case_mcqs),
+        ),
+        (
+            "InfuserKI",
+            option_probs_many(&w.base, &method.hook(), &w.tokenizer, &case_mcqs),
+        ),
+    ];
+
     let mut out = String::new();
     let _ = writeln!(out, "## Fig. 7 — case study (option probabilities)");
-    for (label, idx) in [("(a) injected fact", case_a), ("(b) retained fact", case_b)] {
-        let mcq = w.bank.mcq(0, idx);
+    for (ci, &(label, _)) in cases.iter().enumerate() {
+        let mcq = &case_mcqs[ci];
         let _ = writeln!(out, "\n{label}: {}", mcq.question);
         for (i, opt) in mcq.options.iter().enumerate() {
             let star = if i == mcq.correct { "*" } else { " " };
             let _ = writeln!(out, "  {star}({}) {opt}", (b'a' + i as u8) as char);
         }
-        for (name, probs) in [
-            ("Vanilla", option_probs(&w.base, &NoHook, &w.tokenizer, mcq)),
-            ("LoRA", option_probs(&w.base, &lora, &w.tokenizer, mcq)),
-            (
-                "InfuserKI",
-                option_probs(&w.base, &method.hook(), &w.tokenizer, mcq),
-            ),
-        ] {
+        for (name, probs_all) in &rows {
+            let probs = probs_all[ci];
             let _ = writeln!(
                 out,
                 "  {name:<10} a {:.3}  b {:.3}  c {:.3}  d {:.3}",

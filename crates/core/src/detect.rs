@@ -66,6 +66,48 @@ pub fn answer_mcq(
     infuserki_text::prompts::extract_choice(&text, &mcq.options)
 }
 
+/// Answers a set of MCQs with one batched greedy decode: all prompts prefill
+/// as a ragged batch and every question advances one token per decode step.
+/// Per question identical to [`answer_mcq`] (bitwise logits at one kernel
+/// thread); per-question `max_new` budgets carry through as decode limits.
+pub fn answer_mcq_batch(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    tokenizer: &Tokenizer,
+    mcqs: &[Mcq],
+) -> Vec<Option<usize>> {
+    let prompts: Vec<Vec<usize>> = mcqs
+        .iter()
+        .map(|m| tokenizer.encode_strict(&format_mcq_prompt(m)))
+        .collect();
+    let limits: Vec<usize> = mcqs
+        .iter()
+        .map(|m| {
+            m.options
+                .iter()
+                .map(|o| tokenizer.encode(o).len())
+                .max()
+                .unwrap_or(4)
+                + 2
+        })
+        .collect();
+    let generated = sampler::greedy_decode_batch_limits(
+        model,
+        hook,
+        &prompts,
+        &limits,
+        Some(infuserki_text::tokenizer::EOS),
+    );
+    generated
+        .iter()
+        .zip(mcqs)
+        .map(|(g, m)| {
+            let text = tokenizer.decode(g);
+            infuserki_text::prompts::extract_choice(&text, &m.options)
+        })
+        .collect()
+}
+
 /// True when the model answers `mcq` correctly.
 pub fn answers_correctly(
     model: &TransformerLm,
@@ -76,7 +118,12 @@ pub fn answers_correctly(
     answer_mcq(model, hook, tokenizer, mcq) == Some(mcq.correct)
 }
 
-/// Probes every MCQ in parallel and partitions indices by correctness.
+/// Decode-batch width for MCQ probing: chunks of this many questions run as
+/// one ragged batch, and the chunks themselves spread across the thread pool.
+pub const MCQ_BATCH: usize = 16;
+
+/// Probes every MCQ — batched within chunks, chunks in parallel — and
+/// partitions indices by correctness.
 pub fn detect_unknown(
     model: &TransformerLm,
     hook: &dyn LayerHook,
@@ -84,9 +131,16 @@ pub fn detect_unknown(
     mcqs: &[Mcq],
 ) -> DetectionResult {
     let verdicts: Vec<bool> = mcqs
-        .par_iter()
-        .map(|m| answers_correctly(model, hook, tokenizer, m))
-        .collect();
+        .par_chunks(MCQ_BATCH)
+        .map(|chunk| {
+            answer_mcq_batch(model, hook, tokenizer, chunk)
+                .into_iter()
+                .zip(chunk)
+                .map(|(pred, m)| pred == Some(m.correct))
+                .collect::<Vec<bool>>()
+        })
+        .collect::<Vec<Vec<bool>>>()
+        .concat();
     let mut result = DetectionResult::default();
     for (i, ok) in verdicts.into_iter().enumerate() {
         if ok {

@@ -4,7 +4,7 @@
 
 use infuserki_nn::layers::{Linear, Module};
 use infuserki_nn::{ForwardTrace, HookState, LayerHook, TransformerLm};
-use infuserki_tensor::{infer, init, kernels, Matrix, NodeId, Param, Tape};
+use infuserki_tensor::{infer, init, kernels, Matrix, NodeId, Param, SeqBatch, Tape};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -200,6 +200,69 @@ impl InfuserKiMethod {
         }
     }
 
+    /// Batched counterpart of [`Self::adapt_incremental`] over packed chunks.
+    /// The carry add, adapter forward, infuser MLP, sigmoid and gating are all
+    /// row-local, so they run once over the packed matrix; only the per-state
+    /// bookkeeping (carry slices, cumulative gate sums) dispatches per
+    /// sequence. Per row bitwise-equal (at one kernel thread) to adapting each
+    /// sequence alone — no state leaks across batch members.
+    fn adapt_incremental_batch(
+        &self,
+        layer: usize,
+        sub_in: &Matrix,
+        sub_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        if batch.n_seqs() == 1 {
+            return self.adapt_incremental(layer, sub_in, sub_out, downcast_state(&mut states[0]));
+        }
+        let offset = self.cfg.placement.offset(layer);
+        let mut sts: Vec<&mut InfuserInferState> = states.iter_mut().map(downcast_state).collect();
+        // Eq. 1, packed: each sequence's carry adds into its own row block
+        // (f32 addition commutes, so `sub_in + carry` matches the single
+        // path's `carry + sub_in` bit for bit).
+        let mut h_tilde = sub_in.clone();
+        for (i, rng) in batch.ranges().enumerate() {
+            if let Some(carry) = &sts[i].carry {
+                let mut rows = h_tilde.slice_rows(rng.start, rng.end);
+                rows.add_assign(carry);
+                h_tilde.copy_rows_from(rng.start, &rows);
+            }
+        }
+        // Eq. 2, one packed adapter forward.
+        let h_a = self.adapters[offset].apply(&h_tilde);
+        for (i, rng) in batch.ranges().enumerate() {
+            sts[i].carry = Some(h_a.slice_rows(rng.start, rng.end));
+        }
+        if self.cfg.ablation.use_infuser {
+            // Eq. 4 (causal form — see `adapt`). The cumulative means are the
+            // only token-crossing statistic, so they pool per sequence.
+            let gate_src = match self.cfg.gate_input {
+                GateInput::SublayerIn => sub_in,
+                GateInput::SublayerOut => &sub_out,
+            };
+            let mut pooled = Matrix::zeros(gate_src.rows(), gate_src.cols());
+            for (i, rng) in batch.ranges().enumerate() {
+                let chunk = gate_src.slice_rows(rng.start, rng.end);
+                let (sums, count) = &mut sts[i].gates[offset];
+                let p = infer::cumulative_mean_rows_continue(sums, count, &chunk);
+                pooled.copy_rows_from(rng.start, &p);
+            }
+            let logits = self.infusers[offset].apply(&pooled);
+            let r = logits.map(kernels::sigmoid);
+            // Eq. 6.
+            let mut out = infer::mul_col_broadcast(&h_a, &r);
+            out.add_assign(&sub_out);
+            out
+        } else {
+            // Eq. 3 (w/o-Ro ablation).
+            let mut out = h_a;
+            out.add_assign(&sub_out);
+            out
+        }
+    }
+
     // ---- loss builders -------------------------------------------------------
 
     /// Phase-1 loss (Eq. 5): BCE over every adapted layer's gate logit;
@@ -378,6 +441,30 @@ impl LayerHook for InfuserKiMethod {
         self.hook()
             .infer_attn_output(layer, attn_in, attn_out, state)
     }
+
+    fn infer_ffn_output_batch(
+        &self,
+        layer: usize,
+        ffn_in: &Matrix,
+        ffn_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        self.hook()
+            .infer_ffn_output_batch(layer, ffn_in, ffn_out, batch, states)
+    }
+
+    fn infer_attn_output_batch(
+        &self,
+        layer: usize,
+        attn_in: &Matrix,
+        attn_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        self.hook()
+            .infer_attn_output_batch(layer, attn_in, attn_out, batch, states)
+    }
 }
 
 /// Borrowing [`LayerHook`] view over an [`InfuserKiMethod`].
@@ -452,6 +539,38 @@ impl LayerHook for InfuserKiHook<'_> {
         }
         let st = downcast_state(state);
         self.method.adapt_incremental(layer, attn_in, attn_out, st)
+    }
+
+    fn infer_ffn_output_batch(
+        &self,
+        layer: usize,
+        ffn_in: &Matrix,
+        ffn_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        let p = &self.method.cfg.placement;
+        if p.site != Site::Ffn || !p.contains(layer) {
+            return ffn_out;
+        }
+        self.method
+            .adapt_incremental_batch(layer, ffn_in, ffn_out, batch, states)
+    }
+
+    fn infer_attn_output_batch(
+        &self,
+        layer: usize,
+        attn_in: &Matrix,
+        attn_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        let p = &self.method.cfg.placement;
+        if p.site != Site::Attention || !p.contains(layer) {
+            return attn_out;
+        }
+        self.method
+            .adapt_incremental_batch(layer, attn_in, attn_out, batch, states)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Full MCQ evaluation of one method: NR, RR, per-template F1, F1_Unseen.
 
 use infuserki_core::dataset::McqBank;
-use infuserki_core::detect::answer_mcq;
+use infuserki_core::detect::{answer_mcq_batch, MCQ_BATCH};
 use infuserki_nn::{LayerHook, TransformerLm};
 use infuserki_text::templates::{N_QA_TEMPLATES, UNSEEN_TEMPLATES};
 use infuserki_text::Tokenizer;
@@ -47,7 +47,8 @@ impl MethodEval {
     }
 }
 
-/// Answers every MCQ of one template in parallel.
+/// Answers every MCQ of one template — chunks of [`MCQ_BATCH`] questions run
+/// as one ragged decode batch, and the chunks spread across the thread pool.
 pub fn answer_template(
     model: &TransformerLm,
     hook: &dyn LayerHook,
@@ -56,12 +57,19 @@ pub fn answer_template(
     template: usize,
 ) -> Vec<McqOutcome> {
     bank.template(template)
-        .par_iter()
-        .map(|mcq| McqOutcome {
-            gold: mcq.correct,
-            pred: answer_mcq(model, hook, tokenizer, mcq),
+        .par_chunks(MCQ_BATCH)
+        .map(|chunk| {
+            answer_mcq_batch(model, hook, tokenizer, chunk)
+                .into_iter()
+                .zip(chunk)
+                .map(|(pred, mcq)| McqOutcome {
+                    gold: mcq.correct,
+                    pred,
+                })
+                .collect::<Vec<McqOutcome>>()
         })
-        .collect()
+        .collect::<Vec<Vec<McqOutcome>>>()
+        .concat()
 }
 
 /// Evaluates a method over the bank: NR/RR on the detection template (T1),

@@ -93,17 +93,48 @@ pub fn option_probs(
     tokenizer: &Tokenizer,
     mcq: &Mcq,
 ) -> [f32; 4] {
-    let prompt = tokenizer.encode_strict(&format_mcq_prompt(mcq));
-    let options: Vec<Vec<usize>> = mcq
-        .options
+    option_probs_many(base, hook, tokenizer, std::slice::from_ref(mcq))
+        .pop()
+        .unwrap()
+}
+
+/// [`option_probs`] for a set of MCQs in one batched scoring pass: every
+/// prompt and every option extension runs through
+/// [`sampler::score_options_batch`]'s two ragged forwards instead of
+/// per-question calls. Per question identical to [`option_probs`].
+pub fn option_probs_many(
+    base: &TransformerLm,
+    hook: &dyn LayerHook,
+    tokenizer: &Tokenizer,
+    mcqs: &[Mcq],
+) -> Vec<[f32; 4]> {
+    let prompts: Vec<Vec<usize>> = mcqs
         .iter()
-        .enumerate()
-        .map(|(i, o)| tokenizer.encode_strict(&format!("{} {o}", infuserki_text::option_token(i))))
+        .map(|m| tokenizer.encode_strict(&format_mcq_prompt(m)))
         .collect();
-    let scores = sampler::score_options(base, hook, &prompt, &options);
-    let lens: Vec<usize> = options.iter().map(Vec::len).collect();
-    let probs = sampler::option_probabilities(&scores, &lens);
-    [probs[0], probs[1], probs[2], probs[3]]
+    let options: Vec<Vec<Vec<usize>>> = mcqs
+        .iter()
+        .map(|m| {
+            m.options
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    tokenizer.encode_strict(&format!("{} {o}", infuserki_text::option_token(i)))
+                })
+                .collect()
+        })
+        .collect();
+    let per_q: Vec<&[Vec<usize>]> = options.iter().map(Vec::as_slice).collect();
+    let scores = sampler::score_options_batch(base, hook, &prompts, &per_q);
+    scores
+        .iter()
+        .zip(&options)
+        .map(|(sc, opts)| {
+            let lens: Vec<usize> = opts.iter().map(Vec::len).collect();
+            let probs = sampler::option_probabilities(sc, &lens);
+            [probs[0], probs[1], probs[2], probs[3]]
+        })
+        .collect()
 }
 
 /// Embeds an entity name as the mean-pooled final hidden state of its tokens

@@ -1,7 +1,7 @@
 //! Causal multi-head self-attention with hook points for LoRA deltas and
 //! prefix-tuning key/value rows.
 
-use infuserki_tensor::{infer, kernels, Matrix, NodeId, Param, Tape};
+use infuserki_tensor::{kernels, Matrix, NodeId, Param, SeqBatch, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +89,36 @@ impl CausalSelfAttention {
         hook: &dyn LayerHook,
         kv: &mut LayerKv,
     ) -> Matrix {
+        self.forward_batch(
+            x,
+            &SeqBatch::single(x.rows()),
+            hook,
+            std::slice::from_mut(kv),
+        )
+    }
+
+    /// Batched incremental forward: `x` packs one new chunk per sequence
+    /// (layout in `batch`); `kvs[i]` is sequence `i`'s cache for this layer.
+    ///
+    /// The q/k/v/output projections and the hook's q/v deltas are row-local,
+    /// so they run once over the packed matrix — per-row bitwise-equal (at
+    /// one kernel thread) to projecting each sequence alone. Only the
+    /// score/mask/softmax/AV stage mixes rows, and it runs per sequence
+    /// against that sequence's own cache, so batch members cannot attend to
+    /// each other.
+    pub fn forward_batch(
+        &self,
+        x: &Matrix,
+        batch: &SeqBatch,
+        hook: &dyn LayerHook,
+        kvs: &mut [LayerKv],
+    ) -> Matrix {
+        assert_eq!(
+            batch.n_seqs(),
+            kvs.len(),
+            "forward_batch: cache/batch mismatch"
+        );
+        assert_eq!(batch.total_rows(), x.rows(), "forward_batch: row mismatch");
         let mut q = self.wq.apply(x);
         let k = self.wk.apply(x);
         let mut v = self.wv.apply(x);
@@ -98,28 +128,31 @@ impl CausalSelfAttention {
         if let Some(dv) = hook.infer_attn_v_delta(self.layer, x) {
             v.add_assign(&dv);
         }
-        kv.append(&k, &v);
-
-        let m = x.rows();
-        // Columns visible to the chunk's first row: prefix + previously
-        // cached tokens — the causal-mask offset of these rows in a full
-        // forward.
-        let offset = kv.total_rows() - m;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut merged = Matrix::zeros(m, self.n_heads * self.head_dim);
-        for h in 0..self.n_heads {
-            let lo = h * self.head_dim;
-            let hi = lo + self.head_dim;
-            let qh = q.slice_cols(lo, hi);
-            let kh = kv.k.slice_cols(lo, hi);
-            let vh = kv.v.slice_cols(lo, hi);
-            let mut scores = kernels::matmul_bt(&qh, &kh);
-            scores.scale_assign(scale);
-            infer::causal_mask_in_place(&mut scores, offset);
-            let attn = kernels::softmax_rows(&scores);
-            let head = kernels::matmul(&attn, &vh);
-            for r in 0..m {
-                merged.row_mut(r)[lo..hi].copy_from_slice(head.row(r));
+        let mut merged = Matrix::zeros(x.rows(), self.n_heads * self.head_dim);
+        for (s, kv) in kvs.iter_mut().enumerate() {
+            let rng = batch.range(s);
+            let m = rng.len();
+            kv.append(
+                &k.slice_rows(rng.start, rng.end),
+                &v.slice_rows(rng.start, rng.end),
+            );
+            // Columns visible to this chunk's first row: prefix + previously
+            // cached tokens — the causal-mask offset of these rows in a full
+            // forward over this sequence.
+            let offset = kv.total_rows() - m;
+            // The column-window kernels read each head's slice of packed Q and
+            // of cached K/V in place and write straight into `merged`'s head
+            // window — no per-head copies, and in particular no O(history)
+            // copy of the whole cache per decode step. Bitwise-identical to
+            // slicing first (same ascending fused chain per element).
+            for h in 0..self.n_heads {
+                let lo = h * self.head_dim;
+                let hi = lo + self.head_dim;
+                let mut scores = kernels::matmul_bt_cols(&q, rng.start, rng.end, &kv.k, lo, hi);
+                scores.scale_assign(scale);
+                kernels::softmax_rows_causal_in_place(&mut scores, offset);
+                kernels::matmul_cols_into(&scores, &kv.v, lo, hi, &mut merged, rng.start);
             }
         }
         self.wo.apply(&merged)

@@ -1,6 +1,6 @@
 //! Pre-LN transformer decoder block with hook points on both sublayers.
 
-use infuserki_tensor::{Matrix, NodeId, Param, Tape};
+use infuserki_tensor::{Matrix, NodeId, Param, SeqBatch, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -69,17 +69,39 @@ impl TransformerBlock {
         kv: &mut LayerKv,
         state: &mut Option<Box<dyn HookState>>,
     ) -> Matrix {
+        self.forward_batch(
+            x,
+            &SeqBatch::single(x.rows()),
+            hook,
+            std::slice::from_mut(kv),
+            std::slice::from_mut(state),
+        )
+    }
+
+    /// Batched incremental forward over packed chunks (layout in `batch`):
+    /// LayerNorm, FFN and the residual adds are row-local and run packed;
+    /// attention and the sublayer-output hooks dispatch per sequence through
+    /// [`CausalSelfAttention::forward_batch`] and the hook's `_batch`
+    /// methods. `kvs`/`states` hold one entry per sequence.
+    pub fn forward_batch(
+        &self,
+        x: &Matrix,
+        batch: &SeqBatch,
+        hook: &dyn LayerHook,
+        kvs: &mut [LayerKv],
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
         // Attention sublayer.
         let a_in = self.ln1.apply(x);
-        let a_raw = self.attn.forward_incremental(&a_in, hook, kv);
-        let a_out = hook.infer_attn_output(self.layer, &a_in, a_raw, state);
+        let a_raw = self.attn.forward_batch(&a_in, batch, hook, kvs);
+        let a_out = hook.infer_attn_output_batch(self.layer, &a_in, a_raw, batch, states);
         let mut x = x.clone();
         x.add_assign(&a_out);
 
         // FFN sublayer.
         let f_in = self.ln2.apply(&x);
         let f_raw = self.ffn.apply(&f_in);
-        let f_out = hook.infer_ffn_output(self.layer, &f_in, f_raw, state);
+        let f_out = hook.infer_ffn_output_batch(self.layer, &f_in, f_raw, batch, states);
         x.add_assign(&f_out);
         x
     }

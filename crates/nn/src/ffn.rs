@@ -32,7 +32,10 @@ impl FeedForward {
     }
 
     /// Tape-free `FFN(x)` (KV-cached inference): same projections and the
-    /// same [`kernels::gelu`] map as the tape path.
+    /// same [`kernels::gelu`] map as the tape path. Row-local, so it is
+    /// batch-transparent: applied to a packed multi-sequence matrix, each
+    /// row's output is bitwise (at one kernel thread) what it would be with
+    /// that sequence alone.
     pub fn apply(&self, x: &Matrix) -> Matrix {
         let h = self.w1.apply(x);
         let a = h.map(kernels::gelu);

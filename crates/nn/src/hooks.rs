@@ -8,7 +8,7 @@
 //! interception points on [`crate::TransformerLm`]; the base forward pass is
 //! method-agnostic.
 
-use infuserki_tensor::{Matrix, NodeId, Tape};
+use infuserki_tensor::{Matrix, NodeId, SeqBatch, Tape};
 
 /// Per-forward observations and cross-layer hook state.
 ///
@@ -94,6 +94,22 @@ impl Clone for Box<dyn HookState> {
 /// hooks with cross-layer or cross-chunk state override them natively
 /// (InfuserKI) or opt out of incremental decoding entirely
 /// ([`LayerHook::supports_incremental`], GRACE).
+///
+/// The `infer_*_batch` family extends the sublayer-output hooks to ragged
+/// batches: the input/output matrices pack all sequences row-wise per
+/// [`SeqBatch`], and `states` holds one entry per sequence. The defaults
+/// slice per sequence and delegate to the single-sequence methods — correct
+/// (and bitwise-equal to the looped single path) for *any* hook; stateful
+/// hooks may override with a packed implementation (InfuserKI does, fusing
+/// its adapter/infuser matmuls across the batch while keeping carry and gate
+/// statistics strictly per-sequence).
+///
+/// Batched contract for the *projection* hooks (`infer_attn_q_delta`,
+/// `infer_attn_v_delta`): the batched attention path applies them to the
+/// packed `[total, d]` chunk directly, so they must be row-local — output
+/// row `i` may depend only on input row `i` (true of every LoRA-style
+/// delta). Hooks needing per-sequence projection context must override the
+/// `_batch` output hooks instead.
 pub trait LayerHook: Sync {
     /// Additive delta to the attention **query** projection output at
     /// `layer` (`x` is the attention sublayer input, post-LN). LoRA-style.
@@ -210,13 +226,84 @@ pub trait LayerHook: Sync {
         let r = self.ffn_output(layer, i, o, &mut tape, &mut trace);
         tape.value(r).clone()
     }
+
+    /// Batched counterpart of [`LayerHook::infer_attn_output`] over a packed
+    /// ragged batch. Default: slice per sequence and delegate.
+    fn infer_attn_output_batch(
+        &self,
+        layer: usize,
+        attn_in: &Matrix,
+        attn_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        debug_assert_eq!(batch.n_seqs(), states.len());
+        if batch.n_seqs() == 1 {
+            return self.infer_attn_output(layer, attn_in, attn_out, &mut states[0]);
+        }
+        let mut out = attn_out;
+        for (i, r) in batch.ranges().enumerate() {
+            let sub_in = attn_in.slice_rows(r.start, r.end);
+            let sub_out = out.slice_rows(r.start, r.end);
+            let res = self.infer_attn_output(layer, &sub_in, sub_out, &mut states[i]);
+            out.copy_rows_from(r.start, &res);
+        }
+        out
+    }
+
+    /// Batched counterpart of [`LayerHook::infer_ffn_output`] over a packed
+    /// ragged batch. Default: slice per sequence and delegate.
+    fn infer_ffn_output_batch(
+        &self,
+        layer: usize,
+        ffn_in: &Matrix,
+        ffn_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        debug_assert_eq!(batch.n_seqs(), states.len());
+        if batch.n_seqs() == 1 {
+            return self.infer_ffn_output(layer, ffn_in, ffn_out, &mut states[0]);
+        }
+        let mut out = ffn_out;
+        for (i, r) in batch.ranges().enumerate() {
+            let sub_in = ffn_in.slice_rows(r.start, r.end);
+            let sub_out = out.slice_rows(r.start, r.end);
+            let res = self.infer_ffn_output(layer, &sub_in, sub_out, &mut states[i]);
+            out.copy_rows_from(r.start, &res);
+        }
+        out
+    }
 }
 
 /// The identity hook: runs the unmodified base model.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHook;
 
-impl LayerHook for NoHook {}
+impl LayerHook for NoHook {
+    // Identity fast paths: bit-identical to the scratch-tape defaults (a
+    // tape leaf's value is the input matrix unchanged) but skip three
+    // matrix clones per sublayer — the vanilla model's decode hot path.
+    fn infer_attn_output(
+        &self,
+        _layer: usize,
+        _attn_in: &Matrix,
+        attn_out: Matrix,
+        _state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        attn_out
+    }
+
+    fn infer_ffn_output(
+        &self,
+        _layer: usize,
+        _ffn_in: &Matrix,
+        ffn_out: Matrix,
+        _state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        ffn_out
+    }
+}
 
 #[cfg(test)]
 mod tests {

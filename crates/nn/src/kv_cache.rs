@@ -1,26 +1,34 @@
-//! Per-layer key/value cache for incremental (chunked) decoding.
+//! Per-layer key/value cache for incremental (chunked) decoding of one or
+//! many independent sequences.
 //!
-//! A [`KvCache`] stores, per transformer layer, the full-width projected key
-//! and value rows of every token processed so far — with any hook-provided
-//! prefix-tuning rows written once at the top. Incremental forward passes
-//! ([`crate::TransformerLm::prefill`] / [`crate::TransformerLm::decode_step`])
-//! then attend from only the *new* token rows against the cached history,
-//! turning an O(n²)-per-token generation loop into O(n).
+//! A [`KvCache`] stores, per transformer layer and per batched sequence, the
+//! full-width projected key and value rows of every token processed so far —
+//! with any hook-provided prefix-tuning rows written once at the top.
+//! Incremental forward passes ([`crate::TransformerLm::prefill_batch`] /
+//! [`crate::TransformerLm::decode_step_batch`] and their batch-of-1 wrappers)
+//! then attend from only the *new* token rows against each sequence's cached
+//! history, turning an O(n²)-per-token generation loop into O(n) — and
+//! advancing every sequence of a ragged batch in one call.
 //!
 //! Keys and values are cached at model width (`[prefix + tokens, d_model]`)
 //! rather than per head: per-head column slicing commutes with row
 //! concatenation, so slicing the cached matrix reproduces the tape path's
-//! per-head `concat_rows(prefix_head, k_head)` bitwise.
+//! per-head `concat_rows(prefix_head, k_head)` bitwise. Sequences never share
+//! K/V storage — attention scores, hook state and token counts are all
+//! per-sequence, so batch members cannot leak into each other.
 //!
 //! [`KvCache::fork`] clones the cache (including hook state), which is how
 //! shared-prefix MCQ scoring prefills a question once and scores every
-//! option from its own branch.
+//! option from its own branch; [`KvCache::gather`] is its batched
+//! generalization (select/duplicate sequences into a new cache) and
+//! [`KvCache::retain_indices`] drops finished sequences in place without
+//! copying the survivors.
 
 use infuserki_tensor::Matrix;
 
 use crate::hooks::{HookState, LayerHook};
 
-/// Cached projected K/V rows for one attention layer.
+/// Cached projected K/V rows for one attention layer of one sequence.
 #[derive(Clone)]
 pub struct LayerKv {
     pub(crate) k: Matrix,
@@ -44,21 +52,42 @@ impl LayerKv {
     pub fn prefix_len(&self) -> usize {
         self.prefix_len
     }
+
+    /// Rows the K/V allocations can hold without reallocating.
+    pub fn row_capacity(&self) -> usize {
+        self.k.row_capacity().min(self.v.row_capacity())
+    }
+
+    /// Reserves room for `extra` more rows in both K and V.
+    pub fn reserve_rows(&mut self, extra: usize) {
+        self.k.reserve_rows(extra);
+        self.v.reserve_rows(extra);
+    }
 }
 
-/// A forkable decoding cache: one [`LayerKv`] per layer plus optional
-/// persistent hook state.
+/// A forkable decoding cache over `n_seqs` independent sequences: one
+/// [`LayerKv`] per (layer, sequence) plus optional per-sequence hook state.
+///
+/// Layout is layer-major (`layers[layer][seq]`) because the forward pass
+/// walks layers in the outer loop and sequences in the inner one.
 #[derive(Clone)]
 pub struct KvCache {
-    pub(crate) layers: Vec<LayerKv>,
-    pub(crate) tokens: usize,
-    pub(crate) state: Option<Box<dyn HookState>>,
+    pub(crate) layers: Vec<Vec<LayerKv>>,
+    pub(crate) tokens: Vec<usize>,
+    pub(crate) states: Vec<Option<Box<dyn HookState>>>,
 }
 
 impl KvCache {
-    /// Builds an empty cache for `n_layers` layers, querying the hook for
-    /// per-layer prefix K/V rows and per-cache state.
-    pub(crate) fn new(n_layers: usize, d_model: usize, hook: &dyn LayerHook) -> Self {
+    /// Builds an empty cache for `n_layers` layers and `n_seqs` sequences,
+    /// querying the hook for per-layer prefix K/V rows and per-sequence
+    /// state.
+    pub(crate) fn new(
+        n_layers: usize,
+        d_model: usize,
+        hook: &dyn LayerHook,
+        n_seqs: usize,
+    ) -> Self {
+        assert!(n_seqs > 0, "KvCache: need at least one sequence");
         let layers = (0..n_layers)
             .map(|l| {
                 let (k, v) = hook
@@ -66,19 +95,40 @@ impl KvCache {
                     .unwrap_or_else(|| (Matrix::zeros(0, d_model), Matrix::zeros(0, d_model)));
                 assert_eq!(k.shape(), v.shape(), "prefix K/V shape mismatch");
                 let prefix_len = k.rows();
-                LayerKv { k, v, prefix_len }
+                (0..n_seqs)
+                    .map(|_| LayerKv {
+                        k: k.clone(),
+                        v: v.clone(),
+                        prefix_len,
+                    })
+                    .collect()
             })
             .collect();
         KvCache {
             layers,
-            tokens: 0,
-            state: hook.make_state(),
+            tokens: vec![0; n_seqs],
+            states: (0..n_seqs).map(|_| hook.make_state()).collect(),
         }
     }
 
-    /// Number of token positions already cached (prefix rows excluded).
+    /// Number of batched sequences.
+    pub fn n_seqs(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Token positions already cached (prefix rows excluded) — batch-of-1
+    /// convenience.
+    ///
+    /// # Panics
+    /// Panics on a multi-sequence cache; use [`KvCache::tokens_of`] there.
     pub fn tokens(&self) -> usize {
-        self.tokens
+        assert_eq!(self.n_seqs(), 1, "tokens() on a batched cache");
+        self.tokens[0]
+    }
+
+    /// Token positions already cached for sequence `i`.
+    pub fn tokens_of(&self, i: usize) -> usize {
+        self.tokens[i]
     }
 
     /// An independent copy sharing this cache's history — the branch point
@@ -86,6 +136,76 @@ impl KvCache {
     pub fn fork(&self) -> KvCache {
         self.clone()
     }
+
+    /// A new cache whose sequence `j` is a copy of this cache's sequence
+    /// `indices[j]`. Indices may repeat — scoring four options of one MCQ
+    /// branches its prefilled question into four cache sequences at once.
+    pub fn gather(&self, indices: &[usize]) -> KvCache {
+        assert!(!indices.is_empty(), "gather: empty selection");
+        KvCache {
+            layers: self
+                .layers
+                .iter()
+                .map(|seqs| indices.iter().map(|&i| seqs[i].clone()).collect())
+                .collect(),
+            tokens: indices.iter().map(|&i| self.tokens[i]).collect(),
+            states: indices.iter().map(|&i| self.states[i].clone()).collect(),
+        }
+    }
+
+    /// Drops every sequence not listed in `keep` (strictly ascending
+    /// indices), without copying the survivors' K/V storage. Batched greedy
+    /// decoding retires finished sequences this way.
+    pub fn retain_indices(&mut self, keep: &[usize]) {
+        assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "retain_indices: indices must be strictly ascending"
+        );
+        assert!(!keep.is_empty(), "retain_indices: would empty the cache");
+        assert!(
+            *keep.last().unwrap() < self.n_seqs(),
+            "retain_indices: out of range"
+        );
+        for layer in &mut self.layers {
+            retain_by_index(layer, keep);
+        }
+        retain_by_index(&mut self.tokens, keep);
+        retain_by_index(&mut self.states, keep);
+    }
+
+    /// Reserves room for `extra` more token rows in every (layer, sequence)
+    /// K/V pair, so a decode loop of known length never reallocates.
+    pub fn reserve_rows(&mut self, extra: usize) {
+        for layer in &mut self.layers {
+            for kv in layer {
+                kv.reserve_rows(extra);
+            }
+        }
+    }
+
+    /// Minimum row capacity across every (layer, sequence) K/V pair.
+    pub fn min_row_capacity(&self) -> usize {
+        self.layers
+            .iter()
+            .flatten()
+            .map(LayerKv::row_capacity)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// Keeps `v[i]` exactly for the ascending indices in `keep`.
+fn retain_by_index<T>(v: &mut Vec<T>, keep: &[usize]) {
+    let mut next = 0usize;
+    let mut idx = 0usize;
+    v.retain(|_| {
+        let hit = next < keep.len() && keep[next] == idx;
+        if hit {
+            next += 1;
+        }
+        idx += 1;
+        hit
+    });
 }
 
 #[cfg(test)]
@@ -95,25 +215,90 @@ mod tests {
 
     #[test]
     fn empty_cache_has_no_rows() {
-        let c = KvCache::new(3, 8, &NoHook);
+        let c = KvCache::new(3, 8, &NoHook, 1);
         assert_eq!(c.layers.len(), 3);
+        assert_eq!(c.n_seqs(), 1);
         assert_eq!(c.tokens(), 0);
         for l in &c.layers {
-            assert_eq!(l.total_rows(), 0);
-            assert_eq!(l.prefix_len(), 0);
+            assert_eq!(l[0].total_rows(), 0);
+            assert_eq!(l[0].prefix_len(), 0);
         }
     }
 
     #[test]
     fn append_grows_rows() {
-        let mut c = KvCache::new(1, 4, &NoHook);
+        let mut c = KvCache::new(1, 4, &NoHook, 1);
         let k = Matrix::full(2, 4, 1.0);
         let v = Matrix::full(2, 4, 2.0);
-        c.layers[0].append(&k, &v);
-        assert_eq!(c.layers[0].total_rows(), 2);
+        c.layers[0][0].append(&k, &v);
+        assert_eq!(c.layers[0][0].total_rows(), 2);
         let fork = c.fork();
-        c.layers[0].append(&k, &v);
-        assert_eq!(c.layers[0].total_rows(), 4);
-        assert_eq!(fork.layers[0].total_rows(), 2, "fork is independent");
+        c.layers[0][0].append(&k, &v);
+        assert_eq!(c.layers[0][0].total_rows(), 4);
+        assert_eq!(fork.layers[0][0].total_rows(), 2, "fork is independent");
+    }
+
+    #[test]
+    fn batched_cache_has_independent_sequences() {
+        let mut c = KvCache::new(2, 4, &NoHook, 3);
+        assert_eq!(c.n_seqs(), 3);
+        let k = Matrix::full(1, 4, 1.0);
+        c.layers[0][1].append(&k, &k);
+        assert_eq!(c.layers[0][0].total_rows(), 0);
+        assert_eq!(c.layers[0][1].total_rows(), 1);
+        assert_eq!(c.layers[0][2].total_rows(), 0);
+    }
+
+    #[test]
+    fn gather_selects_and_duplicates() {
+        let mut c = KvCache::new(1, 4, &NoHook, 2);
+        let k = Matrix::full(2, 4, 1.0);
+        c.layers[0][1].append(&k, &k);
+        c.tokens[1] = 2;
+        let g = c.gather(&[1, 1, 0]);
+        assert_eq!(g.n_seqs(), 3);
+        assert_eq!(g.tokens, vec![2, 2, 0]);
+        assert_eq!(g.layers[0][0].total_rows(), 2);
+        assert_eq!(g.layers[0][1].total_rows(), 2);
+        assert_eq!(g.layers[0][2].total_rows(), 0);
+    }
+
+    #[test]
+    fn retain_indices_drops_in_place() {
+        let mut c = KvCache::new(1, 4, &NoHook, 4);
+        for (i, t) in c.tokens.iter_mut().enumerate() {
+            *t = i;
+        }
+        c.retain_indices(&[0, 2]);
+        assert_eq!(c.n_seqs(), 2);
+        assert_eq!(c.tokens, vec![0, 2]);
+        assert_eq!(c.layers[0].len(), 2);
+    }
+
+    #[test]
+    fn reserve_rows_sets_capacity() {
+        let mut c = KvCache::new(2, 4, &NoHook, 2);
+        assert_eq!(c.min_row_capacity(), 0);
+        c.reserve_rows(17);
+        assert!(c.min_row_capacity() >= 17);
+    }
+
+    #[test]
+    fn fork_does_not_inherit_unused_reservation() {
+        // `fork` clones the K/V buffers; Vec::clone allocates for the *live*
+        // rows only, so a parent's spare reservation is not carried over and
+        // decode loops must re-reserve on each branch they extend.
+        let mut c = KvCache::new(1, 4, &NoHook, 1);
+        let k = Matrix::full(2, 4, 1.0);
+        c.layers[0][0].append(&k, &k);
+        c.reserve_rows(64);
+        assert!(c.min_row_capacity() >= 66);
+        let fork = c.fork();
+        assert_eq!(fork.layers[0][0].total_rows(), 2);
+        assert!(
+            fork.min_row_capacity() < 66,
+            "clone should not copy spare capacity (got {})",
+            fork.min_row_capacity()
+        );
     }
 }

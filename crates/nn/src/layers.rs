@@ -70,7 +70,9 @@ impl Linear {
 
     /// Tape-free projection on a plain matrix (KV-cached inference). Shares
     /// its arithmetic with the tape path ([`infer::affine`] / the same matmul
-    /// kernel), so outputs are bitwise identical row for row.
+    /// kernel), so outputs are bitwise identical row for row — and therefore
+    /// batch-transparent: rows of a packed multi-sequence matrix project
+    /// exactly as they would alone.
     pub fn apply(&self, x: &Matrix) -> Matrix {
         match &self.b {
             Some(b) => infer::affine(x, self.w.data(), b.data()),
@@ -193,7 +195,8 @@ impl LayerNorm {
     }
 
     /// Tape-free normalization (KV-cached inference); same arithmetic as the
-    /// tape path via [`infer::layer_norm`].
+    /// tape path via [`infer::layer_norm`]. Normalization statistics are
+    /// per-row, so packed multi-sequence input normalizes batch-transparently.
     pub fn apply(&self, x: &Matrix) -> Matrix {
         infer::layer_norm(x, self.gain.data(), self.bias.data(), self.eps)
     }

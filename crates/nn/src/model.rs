@@ -5,7 +5,7 @@ use std::fs;
 use std::path::Path;
 
 use infuserki_tensor::op::IGNORE_INDEX;
-use infuserki_tensor::{kernels, Matrix, NodeId, Param, Tape};
+use infuserki_tensor::{kernels, Matrix, NodeId, Param, SeqBatch, Tape, TensorError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -108,46 +108,91 @@ impl TransformerLm {
     /// ([`LayerHook::supports_incremental`]); callers that may receive such
     /// hooks should check first and fall back to full recomputation.
     pub fn new_cache(&self, hook: &dyn LayerHook) -> KvCache {
+        self.new_cache_batch(hook, 1)
+    }
+
+    /// Builds an empty KV cache over `n_seqs` independent sequences.
+    ///
+    /// # Panics
+    /// Panics if the hook does not support incremental decoding (see
+    /// [`Self::new_cache`]).
+    pub fn new_cache_batch(&self, hook: &dyn LayerHook, n_seqs: usize) -> KvCache {
         assert!(
             hook.supports_incremental(),
             "hook does not support KV-cached incremental decoding"
         );
-        KvCache::new(self.cfg.n_layers, self.cfg.d_model, hook)
+        KvCache::new(self.cfg.n_layers, self.cfg.d_model, hook, n_seqs)
     }
 
     /// Runs a chunk of `tokens` through the model incrementally, appending
     /// their K/V rows to `cache`. Returns the `[chunk, vocab]` logits of the
     /// new positions — bitwise identical (at one kernel thread) to the
     /// corresponding rows of a full [`Self::forward`] over the whole cached
-    /// sequence.
+    /// sequence. Batch-of-1 wrapper over [`Self::extend_cached_batch`].
     pub fn extend_cached(
         &self,
         tokens: &[usize],
         hook: &dyn LayerHook,
         cache: &mut KvCache,
     ) -> Matrix {
-        assert!(!tokens.is_empty(), "extend_cached: empty chunk");
-        let start = cache.tokens;
-        assert!(
-            start + tokens.len() <= self.cfg.max_seq,
-            "extend_cached: sequence {} exceeds max_seq {}",
-            start + tokens.len(),
-            self.cfg.max_seq
+        assert_eq!(cache.n_seqs(), 1, "extend_cached on a batched cache");
+        self.extend_cached_batch(&[tokens], hook, cache)
+    }
+
+    /// Advances every sequence of a batched cache by its own chunk
+    /// (`chunks[i]` extends sequence `i`; chunks may have different lengths
+    /// but must all be non-empty). Returns the packed
+    /// `[sum(chunk lens), vocab]` logits of the new positions, laid out per
+    /// `SeqBatch::from_lens(chunk lens)` — each sequence's rows bitwise
+    /// identical (at one kernel thread) to extending it alone.
+    pub fn extend_cached_batch<S: AsRef<[usize]>>(
+        &self,
+        chunks: &[S],
+        hook: &dyn LayerHook,
+        cache: &mut KvCache,
+    ) -> Matrix {
+        assert_eq!(
+            chunks.len(),
+            cache.n_seqs(),
+            "extend_cached_batch: {} chunks for a {}-sequence cache",
+            chunks.len(),
+            cache.n_seqs()
         );
-        if let Some(s) = cache.state.as_mut() {
+        assert!(
+            chunks.iter().all(|c| !c.as_ref().is_empty()),
+            "extend_cached: empty chunk"
+        );
+        let lens: Vec<usize> = chunks.iter().map(|c| c.as_ref().len()).collect();
+        let batch = SeqBatch::from_lens(&lens);
+        let mut ids = Vec::with_capacity(batch.total_rows());
+        let mut positions = Vec::with_capacity(batch.total_rows());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let chunk = chunk.as_ref();
+            let start = cache.tokens[i];
+            assert!(
+                start + chunk.len() <= self.cfg.max_seq,
+                "extend_cached: sequence {} exceeds max_seq {}",
+                start + chunk.len(),
+                self.cfg.max_seq
+            );
+            ids.extend_from_slice(chunk);
+            positions.extend(start..start + chunk.len());
+        }
+        for s in cache.states.iter_mut().flatten() {
             s.begin_chunk();
         }
-        let positions: Vec<usize> = (start..start + tokens.len()).collect();
-        let mut x = self.tok_embed.gather(tokens);
+        let mut x = self.tok_embed.gather(&ids);
         x.add_assign(&self.pos_embed.gather(&positions));
         // Split the cache borrows: blocks need the per-layer K/V while the
-        // hook state threads through every sublayer call.
-        let mut state = cache.state.take();
-        for (block, kv) in self.blocks.iter().zip(cache.layers.iter_mut()) {
-            x = block.forward_incremental(&x, hook, kv, &mut state);
+        // per-sequence hook states thread through every sublayer call.
+        let mut states = std::mem::take(&mut cache.states);
+        for (block, kvs) in self.blocks.iter().zip(cache.layers.iter_mut()) {
+            x = block.forward_batch(&x, &batch, hook, kvs, &mut states);
         }
-        cache.state = state;
-        cache.tokens += tokens.len();
+        cache.states = states;
+        for (t, len) in cache.tokens.iter_mut().zip(&lens) {
+            *t += len;
+        }
         let h = self.ln_f.apply(&x);
         kernels::matmul_bt(&h, self.tok_embed.table().data())
     }
@@ -160,10 +205,48 @@ impl TransformerLm {
         (cache, logits)
     }
 
+    /// Prefills a fresh batched cache with one prompt per sequence,
+    /// returning it with the packed prompt logits (layout per
+    /// `SeqBatch::from_lens(prompt lens)`).
+    pub fn prefill_batch<S: AsRef<[usize]>>(
+        &self,
+        prompts: &[S],
+        hook: &dyn LayerHook,
+    ) -> (KvCache, Matrix) {
+        let mut cache = self.new_cache_batch(hook, prompts.len());
+        let logits = self.extend_cached_batch(prompts, hook, &mut cache);
+        (cache, logits)
+    }
+
     /// Decodes one token against the cache, returning its `[1, vocab]`
     /// logits row.
     pub fn decode_step(&self, token: usize, hook: &dyn LayerHook, cache: &mut KvCache) -> Matrix {
         self.extend_cached(&[token], hook, cache)
+    }
+
+    /// Decodes one token per sequence against a batched cache, returning the
+    /// `[n_seqs, vocab]` logits (row `i` for sequence `i`).
+    pub fn decode_step_batch(
+        &self,
+        tokens: &[usize],
+        hook: &dyn LayerHook,
+        cache: &mut KvCache,
+    ) -> Matrix {
+        let chunks: Vec<&[usize]> = tokens.iter().map(std::slice::from_ref).collect();
+        self.extend_cached_batch(&chunks, hook, cache)
+    }
+
+    /// Tape-free full forward over several sequences at once: prefills a
+    /// throwaway batched cache and returns the packed logits. The batched
+    /// counterpart of evaluating [`Self::forward`] per sequence.
+    pub fn forward_batch<S: AsRef<[usize]>>(
+        &self,
+        seqs: &[S],
+        hook: &dyn LayerHook,
+    ) -> (Matrix, SeqBatch) {
+        let lens: Vec<usize> = seqs.iter().map(|s| s.as_ref().len()).collect();
+        let (_, logits) = self.prefill_batch(seqs, hook);
+        (logits, SeqBatch::from_lens(&lens))
     }
 
     /// Next-token cross-entropy over a sequence: position `i` predicts
@@ -236,21 +319,25 @@ impl TransformerLm {
     }
 
     /// Saves the model (config + all parameters) as JSON.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TensorError> {
         let json = serde_json::to_string(self).expect("model serialization cannot fail");
         if let Some(dir) = path.as_ref().parent() {
-            fs::create_dir_all(dir)?;
+            fs::create_dir_all(dir)
+                .map_err(|e| TensorError::Io(format!("create {}: {e}", dir.display())))?;
         }
-        fs::write(path, json)
+        fs::write(&path, json)
+            .map_err(|e| TensorError::Io(format!("write {}: {e}", path.as_ref().display())))
     }
 
-    /// Loads a model saved by [`save`](Self::save).
-    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+    /// Loads a model saved by [`save`](Self::save). Filesystem failures map
+    /// to [`TensorError::Io`], malformed or invalid checkpoints to
+    /// [`TensorError::Corrupt`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TensorError> {
         let json = fs::read_to_string(&path)
-            .map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
-        let model: TransformerLm =
-            serde_json::from_str(&json).map_err(|e| format!("parse checkpoint: {e}"))?;
-        model.cfg.validate()?;
+            .map_err(|e| TensorError::Io(format!("read {}: {e}", path.as_ref().display())))?;
+        let model: TransformerLm = serde_json::from_str(&json)
+            .map_err(|e| TensorError::Corrupt(format!("parse checkpoint: {e}")))?;
+        model.cfg.validate().map_err(TensorError::Corrupt)?;
         Ok(model)
     }
 }
@@ -380,6 +467,42 @@ mod tests {
         let b = loaded.forward(&[1, 2, 3], &NoHook, &mut t2);
         assert_eq!(t1.value(a).data(), t2.value(b).data());
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_missing_path_is_io_error() {
+        let err = TransformerLm::load("/nonexistent/infuserki/model.json").unwrap_err();
+        assert!(matches!(err, TensorError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn load_garbage_is_corrupt_error() {
+        let dir = std::env::temp_dir().join(format!("infuserki_badckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = TransformerLm::load(&path).unwrap_err();
+        assert!(matches!(err, TensorError::Corrupt(_)), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn forward_batch_packs_per_sequence_logits() {
+        let m = model();
+        let (logits, batch) = m.forward_batch(&[vec![1, 2, 3], vec![4, 5]], &NoHook);
+        assert_eq!(batch.n_seqs(), 2);
+        assert_eq!(logits.shape(), (5, 40));
+        assert_eq!(batch.range(1), 3..5);
+    }
+
+    #[test]
+    fn decode_step_batch_returns_one_row_per_sequence() {
+        let m = model();
+        let (mut cache, _) = m.prefill_batch(&[vec![1, 2], vec![3, 4, 5]], &NoHook);
+        let logits = m.decode_step_batch(&[6, 7], &NoHook, &mut cache);
+        assert_eq!(logits.shape(), (2, 40));
+        assert_eq!(cache.tokens_of(0), 3);
+        assert_eq!(cache.tokens_of(1), 4);
     }
 
     #[test]

@@ -5,8 +5,14 @@
 //! reproduction we implement both (a) greedy generation with letter
 //! extraction (matching the paper's protocol) and (b) direct option
 //! log-likelihood scoring (used by the Fig. 7 case-study probability tables).
+//!
+//! Both run batch-first: [`greedy_decode_batch`] advances N prompts per
+//! decode step and [`score_options_batch`] scores every option of every
+//! question of a set in one ragged batch. The single-sequence entry points
+//! are batch-of-1 wrappers, and at one kernel thread the batched paths are
+//! bitwise-equal to looping them (see `tests/batch_equivalence.rs`).
 
-use infuserki_tensor::{kernels, Matrix, Tape};
+use infuserki_tensor::{kernels, Matrix, SeqBatch, Tape};
 
 use crate::hooks::LayerHook;
 use crate::kv_cache::KvCache;
@@ -27,30 +33,106 @@ pub fn greedy_decode(
     max_new: usize,
     eos: Option<usize>,
 ) -> Vec<usize> {
-    if !hook.supports_incremental() {
-        return greedy_decode_uncached(model, hook, prompt, max_new, eos);
-    }
-    let max_seq = model.config().max_seq;
-    if max_new == 0 || prompt.len() >= max_seq {
+    greedy_decode_batch(model, hook, &[prompt], max_new, eos)
+        .pop()
+        .unwrap()
+}
+
+/// Greedy-decodes every prompt of a batch concurrently with a shared
+/// per-prompt token budget. See [`greedy_decode_batch_limits`].
+pub fn greedy_decode_batch<S: AsRef<[usize]>>(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompts: &[S],
+    max_new: usize,
+    eos: Option<usize>,
+) -> Vec<Vec<usize>> {
+    let limits = vec![max_new; prompts.len()];
+    greedy_decode_batch_limits(model, hook, prompts, &limits, eos)
+}
+
+/// Batched greedy decoding: prefills all prompts as one ragged batch, then
+/// advances every still-live sequence by one token per decode step, retiring
+/// sequences as they hit `eos`, their own `max_new[i]` budget, or the model's
+/// context limit. Returns one completion per prompt, each exactly the tokens
+/// [`greedy_decode`] produces for that prompt alone (bitwise logits equality
+/// at one kernel thread). Hooks without incremental support fall back to the
+/// per-prompt uncached path.
+pub fn greedy_decode_batch_limits<S: AsRef<[usize]>>(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompts: &[S],
+    max_new: &[usize],
+    eos: Option<usize>,
+) -> Vec<Vec<usize>> {
+    assert_eq!(
+        prompts.len(),
+        max_new.len(),
+        "greedy_decode_batch: limit/prompt mismatch"
+    );
+    if prompts.is_empty() {
         return Vec::new();
     }
-    let (mut cache, logits) = model.prefill(prompt, hook);
-    let mut next = argmax(logits.row(logits.rows() - 1));
-    let mut out = Vec::with_capacity(max_new);
-    let mut n_tokens = prompt.len();
-    loop {
-        if Some(next) == eos {
-            break;
-        }
-        out.push(next);
-        n_tokens += 1;
-        if out.len() == max_new || n_tokens >= max_seq {
-            break;
-        }
-        let logits = model.decode_step(next, hook, &mut cache);
-        next = argmax(logits.row(0));
+    if !hook.supports_incremental() {
+        return prompts
+            .iter()
+            .zip(max_new)
+            .map(|(p, &l)| greedy_decode_uncached(model, hook, p.as_ref(), l, eos))
+            .collect();
     }
-    out
+    let max_seq = model.config().max_seq;
+    let mut outs: Vec<Vec<usize>> = prompts.iter().map(|_| Vec::new()).collect();
+    // `live` maps cache sequence slots to prompt indices; prompts with no
+    // budget or no room in the context emit nothing, as the single path does.
+    let mut live: Vec<usize> = (0..prompts.len())
+        .filter(|&i| max_new[i] > 0 && prompts[i].as_ref().len() < max_seq)
+        .collect();
+    if live.is_empty() {
+        return outs;
+    }
+    let live_prompts: Vec<&[usize]> = live.iter().map(|&i| prompts[i].as_ref()).collect();
+    let (mut cache, logits) = model.prefill_batch(&live_prompts, hook);
+    // Reserve the whole decode budget once so per-token K/V appends never
+    // reallocate.
+    let budget = live
+        .iter()
+        .map(|&i| max_new[i].min(max_seq - prompts[i].as_ref().len()))
+        .max()
+        .unwrap();
+    cache.reserve_rows(budget);
+    let lens: Vec<usize> = live_prompts.iter().map(|p| p.len()).collect();
+    let batch = SeqBatch::from_lens(&lens);
+    let mut next: Vec<usize> = (0..live.len())
+        .map(|s| argmax(logits.row(batch.last_row(s))))
+        .collect();
+    loop {
+        let mut keep_pos: Vec<usize> = Vec::with_capacity(live.len());
+        let mut step: Vec<usize> = Vec::with_capacity(live.len());
+        for (pos, &i) in live.iter().enumerate() {
+            let tok = next[pos];
+            if Some(tok) == eos {
+                continue;
+            }
+            outs[i].push(tok);
+            let n_tokens = prompts[i].as_ref().len() + outs[i].len();
+            if outs[i].len() == max_new[i] || n_tokens >= max_seq {
+                continue;
+            }
+            keep_pos.push(pos);
+            step.push(tok);
+        }
+        if keep_pos.is_empty() {
+            break;
+        }
+        if keep_pos.len() < live.len() {
+            cache.retain_indices(&keep_pos);
+            let survivors: Vec<usize> = keep_pos.iter().map(|&p| live[p]).collect();
+            live = survivors;
+        }
+        let logits = model.decode_step_batch(&step, hook, &mut cache);
+        next = (0..live.len()).map(|s| argmax(logits.row(s))).collect();
+    }
+    outs
 }
 
 /// The pre-cache greedy decoder: recomputes the full forward pass for every
@@ -95,30 +177,100 @@ pub fn score_options(
     prompt: &[usize],
     options: &[Vec<usize>],
 ) -> Vec<f32> {
-    if !hook.supports_incremental() || prompt.is_empty() {
-        return score_options_uncached(model, hook, prompt, options);
+    score_options_batch(model, hook, &[prompt], &[options])
+        .pop()
+        .unwrap()
+}
+
+/// Batched option scoring: `options[q]` are the candidate completions for
+/// `prompts[q]`. All prompts prefill as one ragged batch, and every
+/// multi-token option across every question extends a branch of its prompt's
+/// cache in one further ragged batch — an MCQ template of N questions pays
+/// two batched forwards instead of N prefill + 4N extension calls. Returns
+/// one score vector per question, each matching [`score_options`] on that
+/// question alone (bitwise at one kernel thread). Questions with empty
+/// prompts, or hooks without incremental support, fall back to the uncached
+/// path exactly as the single-question entry point does.
+pub fn score_options_batch<S: AsRef<[usize]>>(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    prompts: &[S],
+    options: &[&[Vec<usize>]],
+) -> Vec<Vec<f32>> {
+    assert_eq!(
+        prompts.len(),
+        options.len(),
+        "score_options_batch: prompt/option mismatch"
+    );
+    if prompts.is_empty() {
+        return Vec::new();
     }
-    let (cache, logits) = model.prefill(prompt, hook);
-    // The prompt's last row predicts each option's first token; log-softmax
+    if !hook.supports_incremental() {
+        return prompts
+            .iter()
+            .zip(options)
+            .map(|(p, opts)| score_options_uncached(model, hook, p.as_ref(), opts))
+            .collect();
+    }
+    let mut scores: Vec<Vec<f32>> = vec![Vec::new(); prompts.len()];
+    let cached: Vec<usize> = (0..prompts.len())
+        .filter(|&q| !prompts[q].as_ref().is_empty())
+        .collect();
+    for q in 0..prompts.len() {
+        if prompts[q].as_ref().is_empty() {
+            scores[q] = score_options_uncached(model, hook, prompts[q].as_ref(), options[q]);
+        }
+    }
+    if cached.is_empty() {
+        return scores;
+    }
+    let cached_prompts: Vec<&[usize]> = cached.iter().map(|&q| prompts[q].as_ref()).collect();
+    let (cache, logits) = model.prefill_batch(&cached_prompts, hook);
+    let lens: Vec<usize> = cached_prompts.iter().map(|p| p.len()).collect();
+    let pbatch = SeqBatch::from_lens(&lens);
+    // Each prompt's last row predicts its options' first tokens; log-softmax
     // is row-local, so normalizing the extracted row matches the full path.
-    let last_lp =
-        kernels::log_softmax_rows(&Matrix::row_vec(logits.row(logits.rows() - 1).to_vec()));
-    options
-        .iter()
-        .map(|opt| {
-            assert!(!opt.is_empty(), "completion_logprob: empty completion");
-            let mut total = last_lp.get(0, opt[0]);
+    for (bi, &q) in cached.iter().enumerate() {
+        let last_lp =
+            kernels::log_softmax_rows(&Matrix::row_vec(logits.row(pbatch.last_row(bi)).to_vec()));
+        scores[q] = options[q]
+            .iter()
+            .map(|opt| {
+                assert!(!opt.is_empty(), "completion_logprob: empty completion");
+                last_lp.get(0, opt[0])
+            })
+            .collect();
+    }
+    // Multi-token options branch their prompt's cache (`gather` duplicates
+    // the prefilled sequence once per option) and all branches extend
+    // together as one ragged batch.
+    let mut src: Vec<usize> = Vec::new();
+    let mut which: Vec<(usize, usize)> = Vec::new();
+    let mut chunks: Vec<&[usize]> = Vec::new();
+    for (bi, &q) in cached.iter().enumerate() {
+        for (oi, opt) in options[q].iter().enumerate() {
             if opt.len() > 1 {
-                let mut branch = cache.fork();
-                let logits = model.extend_cached(&opt[..opt.len() - 1], hook, &mut branch);
-                let lp = kernels::log_softmax_rows(&logits);
-                for (i, &tok) in opt[1..].iter().enumerate() {
-                    total += lp.get(i, tok);
-                }
+                src.push(bi);
+                which.push((q, oi));
+                chunks.push(&opt[..opt.len() - 1]);
             }
-            total
-        })
-        .collect()
+        }
+    }
+    if !chunks.is_empty() {
+        let mut branches = cache.gather(&src);
+        let blogits = model.extend_cached_batch(&chunks, hook, &mut branches);
+        let blens: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        let bbatch = SeqBatch::from_lens(&blens);
+        for (j, &(q, oi)) in which.iter().enumerate() {
+            let r = bbatch.range(j);
+            let lp = kernels::log_softmax_rows(&blogits.slice_rows(r.start, r.end));
+            let opt = &options[q][oi];
+            for (i, &tok) in opt[1..].iter().enumerate() {
+                scores[q][oi] += lp.get(i, tok);
+            }
+        }
+    }
+    scores
 }
 
 /// The pre-cache option scorer: one full forward per option. Reference

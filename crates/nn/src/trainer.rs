@@ -94,12 +94,17 @@ pub fn train_epoch<T: Trainable>(
 
 /// Computes summed loss and accumulated gradients for one batch without
 /// stepping — exposed for tests and custom loops.
+///
+/// Per-sample losses and gradients are computed in parallel but reduced
+/// sequentially in index order, with the loss summed in f64 — the result is
+/// identical at any thread count, so a training run replays bit-for-bit
+/// regardless of `INFUSERKI_THREADS`.
 pub fn compute_batch_grads<T: Trainable>(
     model: &T,
     samples: &[T::Sample],
     indices: &[usize],
 ) -> (f32, Gradients) {
-    indices
+    let per: Vec<(f32, Gradients)> = indices
         .par_iter()
         .map(|&i| {
             let mut tape = Tape::new();
@@ -108,26 +113,35 @@ pub fn compute_batch_grads<T: Trainable>(
             tape.backward(loss);
             (lv, tape.grads())
         })
-        .reduce(
-            || (0.0f32, Gradients::new()),
-            |(l1, g1), (l2, g2)| (l1 + l2, g1.merge(g2)),
-        )
+        .collect();
+    let mut total = 0.0f64;
+    let mut grads = Gradients::new();
+    for (lv, g) in per {
+        total += lv as f64;
+        grads = grads.merge(g);
+    }
+    (total as f32, grads)
 }
 
 /// Mean loss over samples without updating anything (validation).
+///
+/// Like [`compute_batch_grads`], the reduction is index-ordered and
+/// accumulated in f64, so the reported loss does not depend on how the
+/// parallel map interleaves.
 pub fn eval_loss<T: Trainable>(model: &T, samples: &[T::Sample]) -> f32 {
     if samples.is_empty() {
         return 0.0;
     }
-    let total: f32 = samples
+    let per: Vec<f32> = samples
         .par_iter()
         .map(|s| {
             let mut tape = Tape::new();
             let loss = model.loss(s, &mut tape);
             tape.value(loss).scalar_value()
         })
-        .sum();
-    total / samples.len() as f32
+        .collect();
+    let total: f64 = per.iter().map(|&l| l as f64).sum();
+    (total / samples.len() as f64) as f32
 }
 
 #[cfg(test)]

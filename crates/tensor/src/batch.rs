@@ -1,0 +1,142 @@
+//! Ragged sequence-batch layout: N variable-length sequences packed row-wise
+//! into one `[total, d]` matrix.
+//!
+//! The batch-first runtime never pads. A batch of sequences with lengths
+//! `[3, 1, 5]` is a single 9-row matrix whose rows 0..3 belong to sequence 0,
+//! row 3 to sequence 1 and rows 4..9 to sequence 2; [`SeqBatch`] is the
+//! layout descriptor mapping sequence indices onto packed row ranges.
+//!
+//! Why packing preserves the single-sequence numerics: the blocked kernels
+//! guarantee that every output element of a row-local operation (linear
+//! projections, LayerNorm, GELU, embedding gathers, the LM head, row
+//! softmaxes) is one ascending fused accumulation chain over the inner
+//! dimension, *independent of how many other rows the operand holds* (see
+//! [`crate::infer`]). So running a whole packed batch through those kernels
+//! at one thread produces, row for row, exactly the bits the single-sequence
+//! path produces. Only genuinely per-sequence math — attention score
+//! matrices, causal masks, cumulative prefix statistics — must be computed
+//! per [`SeqBatch::range`], which is what the batched attention and hook
+//! paths in `infuserki-nn` do.
+
+use std::ops::Range;
+
+/// Row layout of a ragged batch: per-sequence lengths as prefix-summed
+/// offsets into the packed `[total, d]` matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqBatch {
+    /// `n_seqs + 1` ascending offsets; sequence `i` owns rows
+    /// `offsets[i]..offsets[i+1]`.
+    offsets: Vec<usize>,
+}
+
+impl SeqBatch {
+    /// Builds the layout for sequences of the given lengths.
+    ///
+    /// # Panics
+    /// Panics if `lens` is empty or any length is zero — an empty chunk has
+    /// no rows to pack and callers must filter such sequences out first.
+    pub fn from_lens(lens: &[usize]) -> Self {
+        assert!(!lens.is_empty(), "SeqBatch: empty batch");
+        let mut offsets = Vec::with_capacity(lens.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for (i, &len) in lens.iter().enumerate() {
+            assert!(len > 0, "SeqBatch: sequence {i} has zero length");
+            total += len;
+            offsets.push(total);
+        }
+        SeqBatch { offsets }
+    }
+
+    /// The batch-of-1 layout over `n` rows.
+    pub fn single(n: usize) -> Self {
+        SeqBatch::from_lens(&[n])
+    }
+
+    /// Number of sequences.
+    #[inline]
+    pub fn n_seqs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total packed rows across all sequences.
+    #[inline]
+    pub fn total_rows(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Length of sequence `i`.
+    #[inline]
+    pub fn len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// True when the batch holds a single sequence (batches are never empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First packed row of sequence `i`.
+    #[inline]
+    pub fn start(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Packed row range of sequence `i`.
+    #[inline]
+    pub fn range(&self, i: usize) -> Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Packed row index of sequence `i`'s last row.
+    #[inline]
+    pub fn last_row(&self, i: usize) -> usize {
+        self.offsets[i + 1] - 1
+    }
+
+    /// Iterates the per-sequence packed row ranges in order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        self.offsets.windows(2).map(|w| w[0]..w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ragged_layout_round_trip() {
+        let b = SeqBatch::from_lens(&[3, 1, 5]);
+        assert_eq!(b.n_seqs(), 3);
+        assert_eq!(b.total_rows(), 9);
+        assert_eq!(b.len(0), 3);
+        assert_eq!(b.len(1), 1);
+        assert_eq!(b.range(2), 4..9);
+        assert_eq!(b.start(1), 3);
+        assert_eq!(b.last_row(0), 2);
+        assert_eq!(b.last_row(2), 8);
+        let ranges: Vec<_> = b.ranges().collect();
+        assert_eq!(ranges, vec![0..3, 3..4, 4..9]);
+    }
+
+    #[test]
+    fn single_is_batch_of_one() {
+        let b = SeqBatch::single(7);
+        assert_eq!(b.n_seqs(), 1);
+        assert_eq!(b.total_rows(), 7);
+        assert_eq!(b.range(0), 0..7);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero length")]
+    fn zero_length_sequence_rejected() {
+        SeqBatch::from_lens(&[2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        SeqBatch::from_lens(&[]);
+    }
+}

@@ -30,6 +30,15 @@ pub enum TensorError {
     },
     /// Serialized data failed validation (e.g. element count != rows*cols).
     Corrupt(String),
+    /// A filesystem operation on a checkpoint failed. Stored as the rendered
+    /// message (not `std::io::Error`) so the enum stays `Clone + PartialEq`.
+    Io(String),
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -49,6 +58,7 @@ impl fmt::Display for TensorError {
                 len,
             } => write!(f, "{context}: index {index} out of bounds for length {len}"),
             TensorError::Corrupt(msg) => write!(f, "corrupt tensor data: {msg}"),
+            TensorError::Io(msg) => write!(f, "checkpoint io error: {msg}"),
         }
     }
 }
@@ -85,5 +95,12 @@ mod tests {
     fn display_corrupt() {
         let e = TensorError::Corrupt("bad len".into());
         assert!(e.to_string().contains("bad len"));
+    }
+
+    #[test]
+    fn io_from_std_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "no such checkpoint");
+        let e: TensorError = io.into();
+        assert!(e.to_string().contains("no such checkpoint"));
     }
 }

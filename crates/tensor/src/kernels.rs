@@ -10,12 +10,13 @@
 //!    `std::thread::scope`. Bands write disjoint `out` slices (via
 //!    `split_at_mut`), so no synchronization is needed beyond the join.
 //! 2. **Register tiling.** Inside a band, outputs are computed in `MR×NR`
-//!    tiles ([`matmul_into`]/[`matmul_at_into`]: 4 output rows × 8 columns;
-//!    [`matmul_bt_into`]: 4×4 dot-product tiles). Each tile's accumulators
-//!    live in registers across the entire inner dimension, so per-`p` traffic
-//!    is loads only — the seed kernel re-read and re-wrote the output row on
-//!    every step of the inner dimension. Tile edges fall back to scalar
-//!    loops.
+//!    tiles ([`matmul_into`]/[`matmul_at_into`]: 8 output rows × 16 columns,
+//!    sized for one-ZMM-wide column strips under AVX-512, with 4- and 2-row
+//!    fallback tiles for row remainders; [`matmul_bt_into`]: 4×4 dot-product
+//!    tiles). Each tile's accumulators live in registers across the entire
+//!    inner dimension, so per-`p` traffic is loads only — the seed kernel
+//!    re-read and re-wrote the output row on every step of the inner
+//!    dimension. Remaining edges fall back to scalar loops.
 //! 3. **Serial fast path.** Products smaller than [`PAR_MIN_FLOPS`] run on
 //!    the calling thread even when more threads are configured: band spawn
 //!    costs ~10µs, which swamps sub-millisecond products. The threshold was
@@ -56,9 +57,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Output-row tile height of the register micro-kernel.
-const MR: usize = 4;
+const MR: usize = 8;
 /// Output-column tile width of the register micro-kernel.
-const NR: usize = 8;
+const NR: usize = 16;
 
 /// Products below this many FLOPs (`2·m·n·k`) stay on the calling thread.
 ///
@@ -250,48 +251,96 @@ fn matmul_band(
     accumulate: bool,
 ) {
     let mb = rows.len();
-    let i_main = mb - mb % MR;
-    let j_main = n - n % NR;
     // O(k·MR) packing scratch, reused across the band's row tiles.
     let mut apack = vec![0.0f32; k * MR];
-    for ib in (0..i_main).step_by(MR) {
-        for (p, ap) in apack.chunks_exact_mut(MR).enumerate() {
-            for (r, slot) in ap.iter_mut().enumerate() {
-                *slot = load_a(p, rows.start + ib + r);
-            }
-        }
-        for jb in (0..j_main).step_by(NR) {
-            let mut acc = [[0.0f32; NR]; MR];
-            for (ap, brow) in apack.chunks_exact(MR).zip(bd.chunks_exact(n)) {
-                let bs: &[f32; NR] = brow[jb..jb + NR].try_into().expect("NR block");
-                for (r, acc_row) in acc.iter_mut().enumerate() {
-                    let av = ap[r];
-                    for (c, s) in acc_row.iter_mut().enumerate() {
-                        *s = fmadd(av, bs[c], *s);
-                    }
-                }
-            }
-            for (r, acc_row) in acc.iter().enumerate() {
-                let orow = &mut chunk[(ib + r) * n + jb..(ib + r) * n + jb + NR];
-                if accumulate {
-                    for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
-                        *o += v;
-                    }
-                } else {
-                    orow.copy_from_slice(acc_row);
-                }
-            }
-        }
-        // Column tail of the MR-row block.
-        for r in 0..MR {
-            let i = rows.start + ib + r;
-            scalar_row_tail(&load_a, bd, i, ib + r, chunk, k, n, j_main, n, accumulate);
+    let mut ib = 0;
+    // Largest-first row blocks: full MR tiles, then one 4- and one 2-row
+    // tile for the remainder, then scalar rows. Small batched-decode chunks
+    // (4–7 packed rows) would otherwise miss register tiling entirely.
+    while mb - ib >= MR {
+        tile_rows::<MR>(
+            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack,
+        );
+        ib += MR;
+    }
+    if mb - ib >= 4 {
+        tile_rows::<4>(
+            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack,
+        );
+        ib += 4;
+    }
+    if mb - ib >= 2 {
+        tile_rows::<2>(
+            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack,
+        );
+        ib += 2;
+    }
+    for li in ib..mb {
+        scalar_row_tail(
+            &load_a,
+            bd,
+            rows.start + li,
+            li,
+            chunk,
+            k,
+            n,
+            0,
+            n,
+            accumulate,
+        );
+    }
+}
+
+/// One `R×NR`-tiled row block of [`matmul_band`]: packs `R` rows of A,
+/// sweeps `NR`-wide column tiles with register accumulators, and finishes
+/// the column tail through [`scalar_row_tail`]. Per output element the
+/// accumulation is the same single ascending-`p` [`fmadd`] chain for every
+/// `R`, so the tile-height fallback ladder never changes a result bit.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_rows<const R: usize>(
+    load_a: &impl Fn(usize, usize) -> f32,
+    bd: &[f32],
+    row0: usize,
+    ib: usize,
+    chunk: &mut [f32],
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    apack: &mut [f32],
+) {
+    let j_main = n - n % NR;
+    let apack = &mut apack[..k * R];
+    for (p, ap) in apack.chunks_exact_mut(R).enumerate() {
+        for (r, slot) in ap.iter_mut().enumerate() {
+            *slot = load_a(p, row0 + ib + r);
         }
     }
-    // Remaining rows: full scalar rows.
-    for li in i_main..mb {
-        let i = rows.start + li;
-        scalar_row_tail(&load_a, bd, i, li, chunk, k, n, 0, n, accumulate);
+    for jb in (0..j_main).step_by(NR) {
+        let mut acc = [[0.0f32; NR]; R];
+        for (ap, brow) in apack.chunks_exact(R).zip(bd.chunks_exact(n)) {
+            let bs: &[f32; NR] = brow[jb..jb + NR].try_into().expect("NR block");
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = ap[r];
+                for (c, s) in acc_row.iter_mut().enumerate() {
+                    *s = fmadd(av, bs[c], *s);
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let orow = &mut chunk[(ib + r) * n + jb..(ib + r) * n + jb + NR];
+            if accumulate {
+                for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
+                    *o += v;
+                }
+            } else {
+                orow.copy_from_slice(acc_row);
+            }
+        }
+    }
+    for r in 0..R {
+        let i = row0 + ib + r;
+        scalar_row_tail(load_a, bd, i, ib + r, chunk, k, n, j_main, n, accumulate);
     }
 }
 
@@ -444,6 +493,121 @@ fn dot_seq(x: &[f32], y: &[f32]) -> f32 {
     s
 }
 
+// ---- column-window kernels (per-head attention over cached K/V) ------------
+
+/// `out = a[r0..r1, lo..hi] @ (b[:, lo..hi])ᵀ` — per-head attention scores
+/// against cached K, reading both operands through the column window
+/// `lo..hi` in place. Replaces the `slice_rows`/`slice_cols` copies the
+/// attention head loop would otherwise make of packed Q and of the *entire*
+/// cached K every call (an O(history) copy per head per decode step).
+///
+/// Bitwise contract: every output element is the single ascending-`p`
+/// [`fmadd`] chain shared by all matmul kernels in this module, so the result
+/// is bit-for-bit what
+/// `matmul_bt(&a.slice_rows(r0, r1).slice_cols(lo, hi), &b.slice_cols(lo, hi))`
+/// returns, at any thread count. Runs serial — per-head score blocks sit far
+/// below the parallel threshold.
+pub fn matmul_bt_cols(
+    a: &Matrix,
+    r0: usize,
+    r1: usize,
+    b: &Matrix,
+    lo: usize,
+    hi: usize,
+) -> Matrix {
+    assert!(r0 <= r1 && r1 <= a.rows(), "matmul_bt_cols: row window");
+    assert!(
+        lo <= hi && hi <= a.cols() && hi <= b.cols(),
+        "matmul_bt_cols: column window"
+    );
+    let m = r1 - r0;
+    let n = b.rows();
+    let (ka, kb) = (a.cols(), b.cols());
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = Matrix::zeros(m, n);
+    let od = out.data_mut();
+    // A row's column window is a contiguous slice, so the TR×TR dot-product
+    // tiling of `matmul_bt_band` carries over unchanged.
+    let arow = |i: usize| &ad[(r0 + i) * ka + lo..(r0 + i) * ka + hi];
+    let brow = |j: usize| &bd[j * kb + lo..j * kb + hi];
+    let i_main = m - m % TR;
+    let j_main = n - n % TR;
+    for ib in (0..i_main).step_by(TR) {
+        let ar: [&[f32]; TR] = std::array::from_fn(|r| arow(ib + r));
+        for jb in (0..j_main).step_by(TR) {
+            let br: [&[f32]; TR] = std::array::from_fn(|c| brow(jb + c));
+            let mut acc = [[0.0f32; TR]; TR];
+            for p in 0..hi - lo {
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = ar[r][p];
+                    for (c, s) in acc_row.iter_mut().enumerate() {
+                        *s = fmadd(av, br[c][p], *s);
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                od[(ib + r) * n + jb..(ib + r) * n + jb + TR].copy_from_slice(acc_row);
+            }
+        }
+        for (r, ar_row) in ar.iter().enumerate() {
+            for j in j_main..n {
+                od[(ib + r) * n + j] = dot_seq(ar_row, brow(j));
+            }
+        }
+    }
+    for i in i_main..m {
+        for j in 0..n {
+            od[i * n + j] = dot_seq(arow(i), brow(j));
+        }
+    }
+    out
+}
+
+/// `out[row0.., lo..hi] = a @ b[:, lo..hi]` — the per-head attention·V
+/// product written straight into the merged-heads matrix's column window,
+/// reading cached V in place (no `slice_cols` copy of the history, no
+/// per-head output temporary).
+///
+/// Bitwise contract: per output element one ascending-`p` [`fmadd`] chain —
+/// identical to [`matmul`] over a materialized `b.slice_cols(lo, hi)`, and
+/// deliberately *without* the seed kernel's zero-skip branch (skipping
+/// `av == 0.0` turns `-0.0 + 0.0·x` into `-0.0` where the chain produces
+/// `+0.0`). Serial, like [`matmul_bt_cols`].
+pub fn matmul_cols_into(
+    a: &Matrix,
+    b: &Matrix,
+    lo: usize,
+    hi: usize,
+    out: &mut Matrix,
+    row0: usize,
+) {
+    let (m, kk) = a.shape();
+    assert_eq!(b.rows(), kk, "matmul_cols_into: inner dims");
+    assert!(
+        lo <= hi && hi <= b.cols(),
+        "matmul_cols_into: column window"
+    );
+    assert!(
+        row0 + m <= out.rows() && hi <= out.cols(),
+        "matmul_cols_into: out window"
+    );
+    let on = out.cols();
+    let bn = b.cols();
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let orow = &mut od[(row0 + i) * on + lo..(row0 + i) * on + hi];
+        orow.fill(0.0);
+        for p in 0..kk {
+            let av = ad[i * kk + p];
+            let brow = &bd[p * bn + lo..p * bn + hi];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o = fmadd(av, bv, *o);
+            }
+        }
+    }
+}
+
 /// Dot product of two equal-length slices (unrolled by 4 for the vectorizer).
 ///
 /// Note: the 4-lane split changes summation order vs [`dot_seq`]; it is used
@@ -566,6 +730,36 @@ pub fn softmax_rows_in_place(out: &mut Matrix) {
     }
 }
 
+/// In-place row-wise softmax under a causal mask: row `r` softmaxes its
+/// first `offset + r + 1` entries (its causally visible prefix) and writes
+/// exact zeros over the tail, without reading the tail at all.
+///
+/// Bitwise-identical to masking the tail to `-∞` and running full-row
+/// [`softmax_rows_in_place`]: masked entries never win the row max, their
+/// `exp(-∞) = +0.0` terms extend the sum's accumulation chain only with
+/// exact-zero additions (which cannot change any accumulated bit — the sum
+/// is never `-0.0`), and `+0.0 × inv` is `+0.0`. Skipping them drops half
+/// the `exp` calls of a square prefill score block and the masking pass.
+pub fn softmax_rows_causal_in_place(out: &mut Matrix, offset: usize) {
+    let n = out.cols();
+    for r in 0..out.rows() {
+        let valid = (offset + r + 1).min(n);
+        let row = out.row_mut(r);
+        let (head, tail) = row.split_at_mut(valid);
+        let max = head.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in head.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in head.iter_mut() {
+            *v *= inv;
+        }
+        tail.fill(0.0);
+    }
+}
+
 /// Row-wise log-softmax (numerically stable log-sum-exp form).
 pub fn log_softmax_rows(x: &Matrix) -> Matrix {
     let mut out = x.clone();
@@ -591,19 +785,53 @@ pub fn sigmoid(v: f32) -> f32 {
     }
 }
 
-/// tanh-approximation GELU (the variant used by GPT-style models).
+/// Branch-free rational tanh (odd `x·P(x²)/Q(x²)`, saturating clamp at
+/// ±7.905 where f32 tanh rounds to ±1), accurate to a few ulp — the
+/// polynomial Eigen and XNNPACK use for their vectorized tanh.
+///
+/// The libm `tanhf` call it replaces is a scalar black box the
+/// auto-vectorizer cannot touch, which made [`gelu`] the single largest
+/// cost of a prefill (more than all its GEMMs combined). This form is pure
+/// clamped polynomial arithmetic, so an elementwise map over a matrix
+/// compiles to SIMD. Like every kernel here it is exactly reproducible:
+/// same input, same bits, on every path that calls it.
+#[inline]
+pub fn tanh_fast(x: f32) -> f32 {
+    const CLAMP: f32 = 7.905_311;
+    let x = x.clamp(-CLAMP, CLAMP);
+    let x2 = x * x;
+    const A1: f32 = 4.893_525_6e-3;
+    const A3: f32 = 6.372_619_3e-4;
+    const A5: f32 = 1.485_722_4e-5;
+    const A7: f32 = 5.122_297_1e-8;
+    const A9: f32 = -8.604_672e-11;
+    const A11: f32 = 2.000_188e-13;
+    const A13: f32 = -2.760_768_5e-16;
+    const B0: f32 = 4.893_525e-3;
+    const B2: f32 = 2.268_434_6e-3;
+    const B4: f32 = 1.185_347_1e-4;
+    const B6: f32 = 1.198_258_4e-6;
+    let p = ((((((A13 * x2 + A11) * x2 + A9) * x2 + A7) * x2 + A5) * x2 + A3) * x2 + A1) * x;
+    let q = ((B6 * x2 + B4) * x2 + B2) * x2 + B0;
+    p / q
+}
+
+/// tanh-approximation GELU (the variant used by GPT-style models), with the
+/// inner tanh computed by [`tanh_fast`] so the map vectorizes. The tape
+/// forward and the KV-cached inference path both route through this one
+/// function, so their outputs stay bitwise identical to each other.
 #[inline]
 pub fn gelu(v: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * v * (1.0 + (C * (v + 0.044_715 * v * v * v)).tanh())
+    0.5 * v * (1.0 + tanh_fast(C * (v + 0.044_715 * v * v * v)))
 }
 
-/// Derivative of [`gelu`].
+/// Derivative of [`gelu`] (same [`tanh_fast`] inner tanh).
 #[inline]
 pub fn gelu_grad(v: f32) -> f32 {
     const C: f32 = 0.797_884_6;
     let u = C * (v + 0.044_715 * v * v * v);
-    let t = u.tanh();
+    let t = tanh_fast(u);
     let du = C * (1.0 + 3.0 * 0.044_715 * v * v);
     0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du
 }
@@ -808,5 +1036,130 @@ mod tests {
         let y = vec![1.0f32; 7];
         assert_eq!(dot(&x, &y), 21.0);
         assert_eq!(dot_seq(&x, &y), 21.0);
+    }
+
+    #[test]
+    fn matmul_bt_cols_bitwise_matches_sliced_matmul_bt() {
+        // Window shapes spanning tile boundaries on both axes, including the
+        // single-query decode shape and ragged histories.
+        for &(ra, hist, d, lo, hi) in &[
+            (1usize, 1usize, 8usize, 0usize, 4usize),
+            (1, 23, 12, 4, 8),
+            (5, 9, 16, 8, 16),
+            (7, 17, 16, 0, 16),
+            (4, 4, 6, 2, 6),
+        ] {
+            let a = Matrix::from_vec(
+                ra + 2,
+                d,
+                ((0..(ra + 2) * d).map(|i| (i as f32 * 0.31).sin())).collect(),
+            );
+            let b = Matrix::from_vec(
+                hist,
+                d,
+                ((0..hist * d).map(|i| (i as f32 * 0.57).cos())).collect(),
+            );
+            let strided = matmul_bt_cols(&a, 1, 1 + ra, &b, lo, hi);
+            let sliced = matmul_bt(
+                &a.slice_rows(1, 1 + ra).slice_cols(lo, hi),
+                &b.slice_cols(lo, hi),
+            );
+            assert_eq!(strided.shape(), sliced.shape(), "{ra}x{hist} w={lo}..{hi}");
+            for (x, y) in strided.data().iter().zip(sliced.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ra}x{hist} w={lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_cols_into_bitwise_matches_sliced_matmul() {
+        for &(ra, hist, d, lo, hi) in &[
+            (1usize, 1usize, 8usize, 0usize, 4usize),
+            (1, 23, 12, 4, 8),
+            (5, 9, 16, 8, 16),
+            (7, 17, 16, 0, 16),
+        ] {
+            let attn = Matrix::from_vec(
+                ra,
+                hist,
+                ((0..ra * hist).map(|i| (i as f32 * 0.41).sin())).collect(),
+            );
+            let v = Matrix::from_vec(
+                hist,
+                d,
+                ((0..hist * d).map(|i| (i as f32 * 0.23).cos())).collect(),
+            );
+            // Pre-fill the sink with garbage: the kernel must overwrite its
+            // window and leave everything else alone.
+            let mut merged = Matrix::full(ra + 1, d, 7.5);
+            matmul_cols_into(&attn, &v, lo, hi, &mut merged, 1);
+            let sliced = matmul(&attn, &v.slice_cols(lo, hi));
+            for r in 0..ra {
+                for (c, y) in sliced.row(r).iter().enumerate() {
+                    let x = merged.get(1 + r, lo + c);
+                    assert_eq!(x.to_bits(), y.to_bits(), "{ra}x{hist} w={lo}..{hi}");
+                }
+            }
+            assert!(merged.row(0).iter().all(|&x| x == 7.5));
+            for c in 0..d {
+                if !(lo..hi).contains(&c) {
+                    assert_eq!(merged.get(1, c), 7.5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn causal_softmax_bitwise_matches_mask_then_full_softmax() {
+        for &(rows, cols, offset) in &[(1usize, 1usize, 0usize), (5, 5, 0), (4, 7, 3), (7, 9, 2)] {
+            let x = Matrix::from_vec(
+                rows,
+                cols,
+                (0..rows * cols)
+                    .map(|i| (i as f32 * 0.63).sin() * 3.0)
+                    .collect(),
+            );
+            let mut masked = x.clone();
+            crate::infer::causal_mask_in_place(&mut masked, offset);
+            softmax_rows_in_place(&mut masked);
+            let mut causal = x.clone();
+            softmax_rows_causal_in_place(&mut causal, offset);
+            for (r, (a, b)) in masked.data().iter().zip(causal.data()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{rows}x{cols} off {offset} elem {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_fast_tracks_libm_tanh() {
+        let mut worst = 0.0f32;
+        for i in -4000..=4000 {
+            let x = i as f32 * 0.004; // spans ±16, well past the clamp
+            let d = (tanh_fast(x) - x.tanh()).abs();
+            worst = worst.max(d);
+        }
+        assert!(worst <= 5e-7, "max abs error {worst}");
+        assert_eq!(tanh_fast(0.0), 0.0);
+        assert_eq!(tanh_fast(100.0), 1.0);
+        assert_eq!(tanh_fast(-100.0), -1.0);
+        assert!(tanh_fast(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn matmul_cols_into_keeps_signed_zero_of_the_chain() {
+        // Signed zeros are where accumulation-order shortcuts (like the seed
+        // kernel's zero-skip branch) diverge from the fused chain; the
+        // strided kernel must track the blocked kernel bit-for-bit here too.
+        let attn = m(1, 2, &[0.0, 1.0]);
+        let mut v = m(2, 1, &[5.0, 0.0]);
+        v.set(1, 0, -0.0);
+        let mut out = Matrix::zeros(1, 1);
+        matmul_cols_into(&attn, &v, 0, 1, &mut out, 0);
+        let dense = matmul(&attn, &v);
+        assert_eq!(out.get(0, 0).to_bits(), dense.get(0, 0).to_bits());
     }
 }

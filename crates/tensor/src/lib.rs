@@ -22,6 +22,7 @@
 //! differences (see `tests/` and [`check`]).
 
 mod backward;
+pub mod batch;
 pub mod check;
 pub mod error;
 pub mod infer;
@@ -32,6 +33,7 @@ pub mod op;
 pub mod param;
 pub mod tape;
 
+pub use batch::SeqBatch;
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use op::Op;

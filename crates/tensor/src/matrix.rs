@@ -192,6 +192,54 @@ impl Matrix {
         self.rows += other.rows;
     }
 
+    /// Owned row slice `[start..end, ..)` — how the batched runtime peels one
+    /// sequence out of a packed ragged batch.
+    ///
+    /// # Panics
+    /// Panics on an empty or out-of-bounds range.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start < end && end <= self.rows, "slice_rows: bad range");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Overwrites rows `start..start + src.rows()` with `src` — the repacking
+    /// half of per-sequence batched processing.
+    ///
+    /// # Panics
+    /// Panics on column mismatch or if the rows don't fit.
+    pub fn copy_rows_from(&mut self, start: usize, src: &Matrix) {
+        assert_eq!(self.cols, src.cols, "copy_rows_from: col mismatch");
+        assert!(
+            start + src.rows <= self.rows,
+            "copy_rows_from: rows {}..{} out of bounds for {}",
+            start,
+            start + src.rows,
+            self.rows
+        );
+        self.data[start * self.cols..(start + src.rows) * self.cols].copy_from_slice(&src.data);
+    }
+
+    /// Reserves capacity for at least `extra` more rows, so subsequent
+    /// [`Matrix::append_rows`] calls (KV-cache growth during decoding) do not
+    /// reallocate.
+    pub fn reserve_rows(&mut self, extra: usize) {
+        self.data.reserve(extra * self.cols);
+    }
+
+    /// Rows the current allocation can hold without reallocating (equals
+    /// [`Matrix::rows`] at minimum). Zero-column matrices report their row
+    /// count. Exposed so tests can pin KV-cache reservation behavior.
+    pub fn row_capacity(&self) -> usize {
+        self.data
+            .capacity()
+            .checked_div(self.cols)
+            .unwrap_or(self.rows)
+    }
+
     /// Owned column slice `[.., start..end)`.
     ///
     /// # Panics
@@ -326,6 +374,42 @@ mod tests {
         assert!(m.all_finite());
         m.set(0, 1, f32::NAN);
         assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn slice_and_copy_rows_round_trip() {
+        let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let mid = m.slice_rows(1, 3);
+        assert_eq!(mid.shape(), (2, 2));
+        assert_eq!(mid.data(), &[3., 4., 5., 6.]);
+        let mut out = Matrix::zeros(3, 2);
+        out.copy_rows_from(1, &mid);
+        assert_eq!(out.row(0), &[0., 0.]);
+        assert_eq!(out.row(1), &[3., 4.]);
+        assert_eq!(out.row(2), &[5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn slice_rows_rejects_bad_range() {
+        Matrix::zeros(2, 2).slice_rows(1, 4);
+    }
+
+    #[test]
+    fn reserve_rows_prevents_reallocation_on_append() {
+        let mut m = Matrix::zeros(1, 4);
+        m.reserve_rows(10);
+        assert!(m.row_capacity() >= 11);
+        let ptr = m.data().as_ptr();
+        for _ in 0..10 {
+            m.append_rows(&Matrix::full(1, 4, 1.0));
+        }
+        assert_eq!(m.rows(), 11);
+        assert_eq!(
+            m.data().as_ptr(),
+            ptr,
+            "append within reserve must not move"
+        );
     }
 
     #[test]

@@ -143,6 +143,34 @@ where
     }
 }
 
+/// Parallel view over contiguous sub-slices of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn run(self) -> Vec<&'a [T]> {
+        self.slice.chunks(self.size).collect()
+    }
+}
+
+/// Slice-specific parallel entry points (rayon-compatible shape).
+pub trait ParallelSlice<T: Sync> {
+    /// Starts a pipeline over contiguous chunks of `size` elements (the last
+    /// chunk may be shorter), preserving slice order.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "par_chunks: chunk size must be non-zero");
+        ParChunks { slice: self, size }
+    }
+}
+
 /// `&collection → par_iter()` entry point (rayon-compatible shape).
 pub trait IntoParallelRefIterator<'a> {
     /// Borrowed element type.
@@ -174,7 +202,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 
 pub mod prelude {
     //! Glob-import surface mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{IntoParallelRefIterator, ParallelIterator, ParallelSlice};
 }
 
 #[cfg(test)]
@@ -204,6 +232,13 @@ mod tests {
             .reduce(|| (0.0, 0), |(a, n), (b, m)| (a + b, n + m));
         assert_eq!(count, 3);
         assert!((total - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn par_chunks_preserves_order_and_raggedness() {
+        let v: Vec<i32> = (0..10).collect();
+        let sums: Vec<i32> = v.par_chunks(4).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![1 + 2 + 3, 4 + 5 + 6 + 7, 8 + 9]);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Cross-crate differential suite for the ragged-batch runtime: every *real*
+//! knowledge-integration method (LoRA, prefix tuning, InfuserKI — with
+//! non-trivially nudged weights) must produce, through the batched samplers
+//! and batched model entry points, exactly what looping the single-sequence
+//! path produces — bitwise with serial kernels, within 1e-5 with parallel
+//! row-banded kernels. GRACE declares itself incompatible and the batched
+//! entry points fall back to per-sequence full recomputation.
+//!
+//! The InfuserKI cases are the sharpest: its hook carries per-sequence state
+//! (the cross-layer adapter carry and the cumulative gate sums), so any
+//! cross-batch leak shows up as a bitwise divergence here.
+//!
+//! The kernel thread override is process-global; this file serializes every
+//! test behind one lock.
+
+use std::sync::Mutex;
+
+use infuserki::baselines::grace::{Grace, GraceConfig};
+use infuserki::baselines::lora::{LoraConfig, LoraMethod};
+use infuserki::baselines::prefix::{PrefixConfig, PrefixTuning};
+use infuserki::baselines::VisitTrainable;
+use infuserki::core::{InfuserKiConfig, InfuserKiMethod};
+use infuserki::nn::{sampler, LayerHook, LmSample, ModelConfig, TransformerLm};
+use infuserki::tensor::kernels;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const VOCAB: usize = 40;
+
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn base() -> TransformerLm {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    TransformerLm::new(ModelConfig::tiny(VOCAB), &mut rng)
+}
+
+/// Deterministic nonzero nudge so zero-initialized up-projections don't make
+/// the method a trivial identity.
+fn nudge(p: &mut infuserki::tensor::Param) {
+    for (i, w) in p.data_mut().data_mut().iter_mut().enumerate() {
+        *w += 0.01 * ((i % 7) as f32 - 3.0);
+    }
+}
+
+fn lora(b: &TransformerLm) -> LoraMethod {
+    let mut m = LoraMethod::new(LoraConfig::default(), b);
+    m.visit_trainable_params(&mut nudge);
+    m
+}
+
+fn prefix(b: &TransformerLm) -> PrefixTuning {
+    PrefixTuning::new(PrefixConfig::default(), b)
+}
+
+fn infuserki(b: &TransformerLm) -> InfuserKiMethod {
+    let mut c = InfuserKiConfig::for_model(b.n_layers());
+    c.bottleneck = 4;
+    c.infuser_hidden = 4;
+    c.rc_dim = 8;
+    let mut m = InfuserKiMethod::new(c, b, 5);
+    m.visit_adapters_mut(&mut nudge);
+    m
+}
+
+/// A ragged batch of prompts (lengths 6, 9, 1, 4) with distinct contents.
+fn prompts() -> Vec<Vec<usize>> {
+    vec![
+        vec![3, 10, 17, 24, 31, 2],
+        vec![5, 12, 19, 26, 33, 1, 8, 15, 22],
+        vec![7],
+        vec![9, 16, 23, 30],
+    ]
+}
+
+/// Per-question option sets, ragged in count and token length.
+fn options() -> Vec<Vec<Vec<usize>>> {
+    vec![
+        vec![vec![1], vec![2, 3], vec![4, 5, 6], vec![7, 8]],
+        vec![vec![9, 10, 11], vec![12]],
+        vec![vec![13, 14], vec![15, 16], vec![17]],
+        vec![vec![18, 19, 20, 21], vec![22, 23]],
+    ]
+}
+
+/// Batched sampler outputs must equal looping the single-sequence samplers.
+fn assert_batched_matches_looped(b: &TransformerLm, hook: &dyn LayerHook, name: &str) {
+    let ps = prompts();
+    let opts = options();
+    let per_q: Vec<&[Vec<usize>]> = opts.iter().map(Vec::as_slice).collect();
+
+    let batched = sampler::score_options_batch(b, hook, &ps, &per_q);
+    for (q, p) in ps.iter().enumerate() {
+        let single = sampler::score_options(b, hook, p, &opts[q]);
+        for (oi, (x, y)) in batched[q].iter().zip(&single).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{name}: q {q} option {oi} score {x} vs {y}"
+            );
+        }
+    }
+
+    let g_batched = sampler::greedy_decode_batch(b, hook, &ps, 12, Some(0));
+    for (i, p) in ps.iter().enumerate() {
+        let g_single = sampler::greedy_decode(b, hook, p, 12, Some(0));
+        assert_eq!(g_batched[i], g_single, "{name}: greedy divergence, seq {i}");
+    }
+}
+
+#[test]
+fn lora_batched_sampling_is_bitwise_identical() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let m = lora(&b);
+    assert!(m.supports_incremental());
+    assert_batched_matches_looped(&b, &m, "lora");
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn prefix_batched_sampling_is_bitwise_identical() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let m = prefix(&b);
+    assert!(m.supports_incremental());
+    assert_batched_matches_looped(&b, &m, "prefix");
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn infuserki_batched_sampling_is_bitwise_identical() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let m = infuserki(&b);
+    let hook = m.hook();
+    assert!(hook.supports_incremental());
+    assert_batched_matches_looped(&b, &hook, "infuserki hook");
+    // The method doubles as a hook itself; both views must share the path.
+    assert_batched_matches_looped(&b, &m, "infuserki method");
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn infuserki_batched_prefill_isolates_per_sequence_state() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let m = infuserki(&b);
+    let hook = m.hook();
+    let ps = prompts();
+    // Packed batched forward vs each sequence alone: the gate statistics and
+    // adapter carry must pool within one sequence only.
+    let (packed, batch) = b.forward_batch(&ps, &hook);
+    for (i, p) in ps.iter().enumerate() {
+        let (_, single) = b.prefill(p, &hook);
+        let rng = batch.range(i);
+        let got = packed.slice_rows(rng.start, rng.end);
+        assert_eq!(single.shape(), got.shape(), "seq {i}");
+        for (e, (x, y)) in single.data().iter().zip(got.data()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "seq {i}, element {e}: {x} vs {y}"
+            );
+        }
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn infuserki_batched_sampling_close_with_parallel_kernels() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(4);
+    let b = base();
+    let m = infuserki(&b);
+    let hook = m.hook();
+    let ps = prompts();
+    let opts = options();
+    let per_q: Vec<&[Vec<usize>]> = opts.iter().map(Vec::as_slice).collect();
+    let batched = sampler::score_options_batch(&b, &hook, &ps, &per_q);
+    for (q, p) in ps.iter().enumerate() {
+        let single = sampler::score_options(&b, &hook, p, &opts[q]);
+        for (oi, (x, y)) in batched[q].iter().zip(&single).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-5,
+                "q {q} option {oi}: {x} vs {y} (threads 4)"
+            );
+        }
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn grace_opts_out_and_batched_entry_points_fall_back() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let mut g = Grace::new(GraceConfig::for_model(b.n_layers()), &b);
+    let sample = LmSample::from_completion(&[3, 10, 17], &[24, 31]);
+    g.apply_edit(&b, &sample);
+    assert!(!g.supports_incremental());
+    // Batched entry points must route to the uncached per-sequence path and
+    // still agree with the single-question calls.
+    assert_batched_matches_looped(&b, &g, "grace");
+    kernels::set_num_threads(0);
+}
