@@ -1,0 +1,95 @@
+//! Serving load series: drives the continuous-batching scheduler at a sweep
+//! of offered concurrency levels and reports time-to-first-token percentiles
+//! and decode throughput — the numbers quoted in the README's Serving
+//! section (not a paper artifact).
+//!
+//! Closed-loop load: each level keeps exactly `load` requests in flight —
+//! every completion immediately submits the next request — until the total
+//! request count drains. A fresh scheduler (and metrics reservoir) serves
+//! each level.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use infuserki_serve::{demo_model, spawn_scheduler, Outcome, ServeConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const VOCAB: usize = 64;
+
+fn main() {
+    let mut total = 128usize;
+    let mut loads: Vec<usize> = vec![1, 4, 16, 64];
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--total" => {
+                i += 1;
+                total = argv[i].parse().unwrap();
+            }
+            "--loads" => {
+                i += 1;
+                loads = argv[i].split(',').map(|s| s.parse().unwrap()).collect();
+            }
+            other => panic!("unknown arg {other}"),
+        }
+        i += 1;
+    }
+
+    println!("serve load series: demo model, {total} requests per level, greedy max_new 16");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "load", "p50 TTFT ms", "p99 TTFT ms", "wall tok/s", "occupancy", "wall s"
+    );
+    for &load in &loads {
+        let (p50, p99, toks, occ, wall) = run_level(load, total);
+        println!("{load:>6} {p50:>12.2} {p99:>12.2} {toks:>12.1} {occ:>10.2} {wall:>10.2}");
+    }
+}
+
+/// Runs one closed-loop level; returns (p50 TTFT ms, p99 TTFT ms,
+/// wall-clock decode tokens/sec, mean lane occupancy, wall seconds).
+fn run_level(load: usize, total: usize) -> (f64, f64, f64, f64, f64) {
+    let (client, handle) =
+        spawn_scheduler(demo_model(), infuserki_nn::NoHook, ServeConfig::default())
+            .expect("scheduler spawns");
+    let mut rng = ChaCha8Rng::seed_from_u64(9000 + load as u64);
+    let submit = |rng: &mut ChaCha8Rng| {
+        let plen = rng.gen_range(4usize..24);
+        let prompt: Vec<usize> = (0..plen).map(|_| rng.gen_range(0..VOCAB)).collect();
+        client.generate(prompt, 16, None).expect("submit accepted")
+    };
+
+    let started = Instant::now();
+    let mut in_flight = VecDeque::new();
+    let mut submitted = 0usize;
+    while submitted < total.min(load) {
+        in_flight.push_back(submit(&mut rng));
+        submitted += 1;
+    }
+    let mut completed_tokens = 0u64;
+    while let Some(h) = in_flight.pop_front() {
+        match h.wait().expect("scheduler alive") {
+            Outcome::Generated { tokens } => completed_tokens += tokens.len() as u64,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        if submitted < total {
+            in_flight.push_back(submit(&mut rng));
+            submitted += 1;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    // Join the scheduler thread before reading its counters: the final
+    // response is delivered a hair before the step's metrics update.
+    handle.shutdown();
+    let snap = client.metrics();
+    assert_eq!(snap.completed as usize, total);
+    (
+        snap.ttft_p50_ms,
+        snap.ttft_p99_ms,
+        completed_tokens as f64 / wall,
+        snap.avg_occupancy,
+        wall,
+    )
+}

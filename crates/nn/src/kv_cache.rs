@@ -63,6 +63,12 @@ impl LayerKv {
         self.k.reserve_rows(extra);
         self.v.reserve_rows(extra);
     }
+
+    /// Returns spare row capacity to the allocator.
+    pub(crate) fn shrink_to_fit(&mut self) {
+        self.k.shrink_to_fit();
+        self.v.shrink_to_fit();
+    }
 }
 
 /// A forkable decoding cache over `n_seqs` independent sequences: one
@@ -192,6 +198,61 @@ impl KvCache {
             .min()
             .unwrap_or(0)
     }
+
+    /// Live K/V rows this cache holds (prefix + tokens, summed over
+    /// sequences), reported as the maximum over layers — hooks may prepend
+    /// different prefix lengths per layer, and the widest layer is the one
+    /// that bounds memory. The serving scheduler budgets admissions against
+    /// this number.
+    pub fn rows_used(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|seqs| seqs.iter().map(LayerKv::total_rows).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Rows the current allocations can hold without reallocating (summed
+    /// over sequences, maximum over layers). `rows_capacity() - rows_used()`
+    /// is spare reservation that [`KvCache::compact`] can reclaim.
+    pub fn rows_capacity(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|seqs| seqs.iter().map(LayerKv::row_capacity).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Releases every sequence's spare K/V reservation back to the
+    /// allocator. [`KvCache::retain_indices`] drops retired sequences'
+    /// storage but leaves survivors' decode reservations in place; a
+    /// scheduler that retires and back-fills continuously calls this so
+    /// freed rows are actually reclaimed rather than accumulating as
+    /// per-sequence slack.
+    pub fn compact(&mut self) {
+        for layer in &mut self.layers {
+            for kv in layer {
+                kv.shrink_to_fit();
+            }
+        }
+    }
+
+    /// Appends every sequence of `other` (same layer count and model width)
+    /// after this cache's sequences, moving the K/V storage without copying.
+    /// The serving scheduler prefills newcomers into a fresh cache and
+    /// absorbs them into the live decode batch this way.
+    pub fn absorb(&mut self, other: KvCache) {
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "absorb: layer count mismatch"
+        );
+        for (dst, src) in self.layers.iter_mut().zip(other.layers) {
+            dst.extend(src);
+        }
+        self.tokens.extend(other.tokens);
+        self.states.extend(other.states);
+    }
 }
 
 /// Keeps `v[i]` exactly for the ascending indices in `keep`.
@@ -281,6 +342,64 @@ mod tests {
         assert_eq!(c.min_row_capacity(), 0);
         c.reserve_rows(17);
         assert!(c.min_row_capacity() >= 17);
+    }
+
+    #[test]
+    fn row_accounting_tracks_live_and_allocated_rows() {
+        let mut c = KvCache::new(2, 4, &NoHook, 3);
+        assert_eq!(c.rows_used(), 0);
+        let k = Matrix::full(2, 4, 1.0);
+        c.layers[0][0].append(&k, &k);
+        c.layers[0][2].append(&k, &k);
+        c.layers[1][0].append(&k, &k);
+        // Layer 0 holds 4 rows across its sequences, layer 1 only 2; the
+        // accounting reports the widest layer.
+        assert_eq!(c.rows_used(), 4);
+        assert!(c.rows_capacity() >= c.rows_used());
+        c.reserve_rows(8);
+        assert!(c.rows_capacity() >= c.rows_used() + 8);
+    }
+
+    #[test]
+    fn retire_then_compact_reclaims_freed_rows() {
+        let mut c = KvCache::new(2, 4, &NoHook, 3);
+        let k = Matrix::full(4, 4, 1.0);
+        for layer in 0..2 {
+            for seq in 0..3 {
+                c.layers[layer][seq].append(&k, &k);
+            }
+        }
+        c.reserve_rows(64);
+        assert!(c.rows_capacity() >= 3 * (4 + 64));
+        c.retain_indices(&[1]);
+        // The retired sequences' storage is gone with them, but the
+        // survivor still carries its decode reservation until compaction.
+        assert_eq!(c.rows_used(), 4);
+        c.compact();
+        assert_eq!(c.rows_capacity(), c.rows_used());
+        assert_eq!(c.layers[0][0].total_rows(), 4, "live rows survive compact");
+    }
+
+    #[test]
+    fn absorb_appends_sequences_in_order() {
+        let mut a = KvCache::new(1, 4, &NoHook, 2);
+        let mut b = KvCache::new(1, 4, &NoHook, 1);
+        let k = Matrix::full(3, 4, 7.0);
+        b.layers[0][0].append(&k, &k);
+        b.tokens[0] = 3;
+        a.tokens[1] = 1;
+        a.absorb(b);
+        assert_eq!(a.n_seqs(), 3);
+        assert_eq!(a.tokens, vec![0, 1, 3]);
+        assert_eq!(a.layers[0][2].total_rows(), 3);
+        assert_eq!(a.rows_used(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn absorb_rejects_layer_mismatch() {
+        let mut a = KvCache::new(2, 4, &NoHook, 1);
+        a.absorb(KvCache::new(1, 4, &NoHook, 1));
     }
 
     #[test]

@@ -124,6 +124,17 @@ impl TransformerLm {
         KvCache::new(self.cfg.n_layers, self.cfg.d_model, hook, n_seqs)
     }
 
+    /// Widest per-layer prefix-tuning K/V block `hook` prepends to a
+    /// sequence's cache (0 for hooks without prefixes). Admission control
+    /// adds this to a request's prompt + decode budget when charging it
+    /// against a KV-row budget, since every cached sequence pays it.
+    pub fn max_prefix_rows(&self, hook: &dyn LayerHook) -> usize {
+        (0..self.cfg.n_layers)
+            .filter_map(|l| hook.infer_prefix_kv(l).map(|(k, _)| k.rows()))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Runs a chunk of `tokens` through the model incrementally, appending
     /// their K/V rows to `cache`. Returns the `[chunk, vocab]` logits of the
     /// new positions — bitwise identical (at one kernel thread) to the

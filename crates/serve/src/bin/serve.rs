@@ -1,0 +1,153 @@
+//! `serve` — the JSONL serving front-end.
+//!
+//! ```text
+//! serve --demo --port 0
+//! serve --model model.bin --port 7878 --budget 4096 --batch 16 --chunk 32
+//! ```
+//!
+//! Binds a `TcpListener`, spawns the continuous-batching scheduler, prints
+//! `LISTENING <addr>` on stdout (port 0 binds an ephemeral port — parse the
+//! line to find it), then serves newline-delimited JSON until a peer sends
+//! `{"op":"shutdown"}`. See the crate docs and README "Serving" for the
+//! wire format.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use infuserki_nn::{NoHook, TransformerLm};
+use infuserki_serve::{demo_model, server, spawn_scheduler, ServeConfig};
+
+struct Args {
+    host: String,
+    port: u16,
+    model: Option<String>,
+    demo: bool,
+    cfg: ServeConfig,
+}
+
+fn usage() -> &'static str {
+    "usage: serve (--demo | --model PATH) [--host H] [--port P] \
+     [--budget ROWS] [--batch N] [--chunk N] [--queue N] [--threads N]\n\
+     --port 0 binds an ephemeral port; the chosen address is printed as\n\
+     `LISTENING <addr>` on stdout."
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        host: "127.0.0.1".to_string(),
+        port: 7878,
+        model: None,
+        demo: false,
+        cfg: ServeConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--demo" => args.demo = true,
+            "--model" => args.model = Some(value("--model")?),
+            "--host" => args.host = value("--host")?,
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|_| "--port needs a 16-bit integer".to_string())?;
+            }
+            "--budget" => args.cfg.kv_budget_rows = parse_count(&value("--budget")?, "--budget")?,
+            "--batch" => args.cfg.max_batch = parse_count(&value("--batch")?, "--batch")?,
+            "--chunk" => args.cfg.prefill_chunk = parse_count(&value("--chunk")?, "--chunk")?,
+            "--queue" => args.cfg.queue_capacity = parse_count(&value("--queue")?, "--queue")?,
+            "--threads" => {
+                args.cfg.threads = Some(parse_count(&value("--threads")?, "--threads")?);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if args.demo == args.model.is_some() {
+        return Err(format!(
+            "pass exactly one of --demo or --model PATH\n{}",
+            usage()
+        ));
+    }
+    Ok(args)
+}
+
+fn parse_count(raw: &str, flag: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!("{flag} must be at least 1")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{flag} needs a positive integer, got `{raw}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Resolve the thread knob before anything binds so a mistyped
+    // INFUSERKI_THREADS fails loudly here, not inside a kernel.
+    let threads = match args.cfg.apply_threads() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let model = if args.demo {
+        demo_model()
+    } else {
+        let path = args.model.as_deref().expect("parse_args enforces --model");
+        match TransformerLm::load(path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("serve: failed to load model `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let (client, sched) = match spawn_scheduler(model, NoHook, args.cfg.clone()) {
+        Ok(cs) => cs,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind((args.host.as_str(), args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: failed to bind {}:{}: {e}", args.host, args.port);
+            return ExitCode::from(1);
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("LISTENING {addr}");
+    eprintln!(
+        "serve: {} threads, budget {} rows, batch {}, chunk {}, queue {}",
+        threads,
+        args.cfg.kv_budget_rows,
+        args.cfg.max_batch,
+        args.cfg.prefill_chunk,
+        args.cfg.queue_capacity
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Err(e) = server::run(listener, client, stop) {
+        eprintln!("serve: accept loop failed: {e}");
+        sched.shutdown();
+        return ExitCode::from(1);
+    }
+    sched.shutdown();
+    ExitCode::SUCCESS
+}

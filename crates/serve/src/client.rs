@@ -1,0 +1,346 @@
+//! In-process client: the scheduler on its own thread behind std `mpsc`.
+//!
+//! [`spawn_scheduler`] moves the model + hook into a scheduler thread and
+//! returns a cloneable [`Client`]. Submission is non-blocking: the client
+//! validates synchronously against the shared [`EngineLimits`] (so
+//! impossible requests fail fast with [`SubmitError`]), then hands the
+//! request to the scheduler, which delivers exactly one [`Response`] on the
+//! returned [`ResponseHandle`]'s channel. The scheduler thread steps while
+//! work exists and blocks on its inbox when idle — no spinning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use infuserki_nn::{LayerHook, TransformerLm};
+
+use crate::config::ServeConfig;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::request::{
+    CancelToken, GenerateSpec, McqSpec, Outcome, Request, RequestId, RequestKind, Response,
+    SubmitError,
+};
+use crate::scheduler::{EngineLimits, Scheduler};
+
+/// Inbox messages of the scheduler thread.
+enum Msg {
+    Request(Request),
+    Shutdown,
+}
+
+/// Awaits the single terminal [`Response`] of one submitted request, and
+/// carries its cancellation token.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    /// The submitted request's id.
+    pub id: RequestId,
+    rx: Receiver<Response>,
+    cancel: CancelToken,
+}
+
+impl ResponseHandle {
+    /// Requests cancellation; the scheduler responds [`Outcome::Cancelled`]
+    /// at its next step unless the request already finished.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The cancellation token (cloneable, usable from other threads).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<Outcome, SubmitError> {
+        self.rx
+            .recv()
+            .map(|r| r.outcome)
+            .map_err(|_| SubmitError::Disconnected)
+    }
+
+    /// Non-blocking poll: `Ok(Some)` once finished, `Ok(None)` while
+    /// pending.
+    pub fn try_wait(&self) -> Result<Option<Outcome>, SubmitError> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(Some(r.outcome)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(SubmitError::Disconnected),
+        }
+    }
+
+    /// Blocks up to `timeout`; `Ok(None)` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Option<Outcome>, SubmitError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Ok(Some(r.outcome)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(SubmitError::Disconnected),
+        }
+    }
+}
+
+/// Options attached to a submission (priority, deadline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOpts {
+    /// Higher runs first; ties run in arrival order.
+    pub priority: i32,
+    /// Hard deadline; past it the request expires wherever it is.
+    pub deadline: Option<Instant>,
+}
+
+/// Cloneable handle submitting requests to a running scheduler thread.
+#[derive(Clone)]
+pub struct Client {
+    tx: Sender<Msg>,
+    limits: EngineLimits,
+    metrics: Arc<Mutex<ServeMetrics>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl Client {
+    /// The scheduler's admission limits.
+    pub fn limits(&self) -> &EngineLimits {
+        &self.limits
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.lock().unwrap().snapshot()
+    }
+
+    /// Submits a request kind, validating synchronously first. The returned
+    /// handle receives exactly one terminal outcome.
+    pub fn submit(
+        &self,
+        kind: RequestKind,
+        opts: SubmitOpts,
+    ) -> Result<ResponseHandle, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = self.submit_with_sender(id, kind, opts, tx)?;
+        Ok(ResponseHandle { id, rx, cancel })
+    }
+
+    /// Submission for callers that own the response channel (the TCP server
+    /// funnels every request of a connection into one sender). Returns the
+    /// cancellation token. `id` is the caller's, echoed on the response.
+    pub fn submit_with_sender(
+        &self,
+        id: RequestId,
+        kind: RequestKind,
+        opts: SubmitOpts,
+        tx: Sender<Response>,
+    ) -> Result<CancelToken, SubmitError> {
+        self.limits.validate(&kind).map_err(SubmitError::Rejected)?;
+        let mut req = Request::new(id, kind, tx).with_priority(opts.priority);
+        if let Some(d) = opts.deadline {
+            req = req.with_deadline(d);
+        }
+        let cancel = req.cancel.clone();
+        self.tx
+            .send(Msg::Request(req))
+            .map_err(|_| SubmitError::Disconnected)?;
+        Ok(cancel)
+    }
+
+    /// Greedy generation convenience wrapper.
+    pub fn generate(
+        &self,
+        prompt: Vec<usize>,
+        max_new: usize,
+        eos: Option<usize>,
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.submit(
+            RequestKind::Generate(GenerateSpec::greedy(prompt, max_new, eos)),
+            SubmitOpts::default(),
+        )
+    }
+
+    /// MCQ option-scoring convenience wrapper.
+    pub fn mcq(
+        &self,
+        prompt: Vec<usize>,
+        options: Vec<Vec<usize>>,
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.submit(
+            RequestKind::Mcq(McqSpec { prompt, options }),
+            SubmitOpts::default(),
+        )
+    }
+}
+
+/// Owns the scheduler thread. Dropping without [`SchedulerHandle::shutdown`]
+/// detaches the thread (it exits once every client is dropped).
+pub struct SchedulerHandle {
+    tx: Sender<Msg>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl SchedulerHandle {
+    /// Begins drain: in-flight requests finish, queued requests are
+    /// rejected [`crate::RejectReason::ShuttingDown`], then the thread
+    /// exits. Blocks until it does.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for SchedulerHandle {
+    fn drop(&mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawns the scheduler thread over an owned model + hook and returns the
+/// submission client plus the thread handle.
+///
+/// The thread loop: drain the inbox without blocking, step while work
+/// exists, block on the inbox when idle. On shutdown it finishes in-flight
+/// work, rejects the remaining queue and exits.
+pub fn spawn_scheduler<H>(
+    model: TransformerLm,
+    hook: H,
+    cfg: ServeConfig,
+) -> Result<(Client, SchedulerHandle), String>
+where
+    H: LayerHook + Send + 'static,
+{
+    cfg.validate()?;
+    // Build a probe scheduler to surface construction errors (incremental
+    // support, limits) before spawning.
+    let limits = {
+        let probe = Scheduler::new(&model, &hook, cfg.clone())?;
+        probe.limits().clone()
+    };
+    let (tx, rx) = mpsc::channel::<Msg>();
+    let (metrics_tx, metrics_rx) = mpsc::channel();
+    let join = std::thread::Builder::new()
+        .name("infuserki-serve".into())
+        .spawn(move || {
+            let mut sched =
+                Scheduler::new(&model, &hook, cfg).expect("probe scheduler validated this config");
+            let _ = metrics_tx.send(sched.metrics());
+            let mut draining = false;
+            loop {
+                // Drain the inbox without blocking while work is live.
+                loop {
+                    match rx.try_recv() {
+                        Ok(Msg::Request(r)) => sched.enqueue(r),
+                        Ok(Msg::Shutdown) => {
+                            draining = true;
+                            sched.begin_drain();
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            draining = true;
+                            sched.begin_drain();
+                            break;
+                        }
+                    }
+                }
+                if draining {
+                    sched.reject_queued_for_shutdown();
+                    while sched.has_work() {
+                        sched.step();
+                    }
+                    return;
+                }
+                if sched.has_work() {
+                    sched.step();
+                    continue;
+                }
+                // Idle: block until something arrives.
+                match rx.recv() {
+                    Ok(Msg::Request(r)) => sched.enqueue(r),
+                    Ok(Msg::Shutdown) | Err(_) => {
+                        draining = true;
+                        sched.begin_drain();
+                    }
+                }
+            }
+        })
+        .map_err(|e| format!("serve: failed to spawn scheduler thread: {e}"))?;
+    let metrics = metrics_rx
+        .recv()
+        .map_err(|_| "serve: scheduler thread died during startup".to_string())?;
+    let client = Client {
+        tx: tx.clone(),
+        limits,
+        metrics,
+        next_id: Arc::new(AtomicU64::new(0)),
+    };
+    let handle = SchedulerHandle {
+        tx,
+        join: Some(join),
+    };
+    Ok((client, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo_model;
+    use infuserki_nn::sampler;
+    use infuserki_nn::NoHook;
+    use infuserki_tensor::kernels;
+
+    #[test]
+    fn client_round_trips_generate_and_mcq() {
+        kernels::set_num_threads(1);
+        let model = demo_model();
+        let reference = demo_model();
+        let (client, handle) = spawn_scheduler(model, NoHook, ServeConfig::default()).unwrap();
+        let g = client.generate(vec![1, 2, 3], 5, None).unwrap();
+        let m = client.mcq(vec![4, 5], vec![vec![6], vec![7, 8]]).unwrap();
+        match g.wait().unwrap() {
+            Outcome::Generated { tokens } => {
+                assert_eq!(
+                    tokens,
+                    sampler::greedy_decode(&reference, &NoHook, &[1, 2, 3], 5, None)
+                );
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        match m.wait().unwrap() {
+            Outcome::McqScored { scores, .. } => assert_eq!(scores.len(), 2),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn invalid_submission_fails_synchronously() {
+        let (client, handle) =
+            spawn_scheduler(demo_model(), NoHook, ServeConfig::default()).unwrap();
+        let err = client.generate(Vec::new(), 4, None).unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Rejected(crate::RejectReason::Invalid(_))
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_completes_in_flight_work() {
+        kernels::set_num_threads(1);
+        let (client, handle) =
+            spawn_scheduler(demo_model(), NoHook, ServeConfig::default()).unwrap();
+        let g = client.generate(vec![2, 3], 4, None).unwrap();
+        handle.shutdown();
+        // The response was delivered before the thread exited (drain
+        // finishes live work) — or the request never started and was
+        // rejected; both are terminal.
+        let outcome = g.wait().unwrap();
+        assert!(matches!(
+            outcome,
+            Outcome::Generated { .. } | Outcome::Rejected(crate::RejectReason::ShuttingDown)
+        ));
+    }
+}

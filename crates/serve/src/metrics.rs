@@ -1,0 +1,223 @@
+//! Serving metrics: counters the scheduler updates every step, and a
+//! derived [`MetricsSnapshot`] serialized to JSON for the `metrics` wire op.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Cap on retained TTFT samples; beyond it the reservoir stops growing
+/// (enough for stable p50/p99 without unbounded memory).
+const TTFT_SAMPLE_CAP: usize = 4096;
+
+/// Raw counters, owned by the scheduler behind a mutex so clients can
+/// snapshot concurrently.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests handed to the scheduler (accepted into the queue).
+    pub submitted: u64,
+    /// Requests admitted into the running batch.
+    pub admitted: u64,
+    /// Requests that finished with a successful outcome.
+    pub completed: u64,
+    /// Requests cancelled via their token.
+    pub cancelled: u64,
+    /// Requests whose deadline passed before completion.
+    pub expired: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Submissions rejected because they exceed the whole KV budget.
+    pub rejected_budget: u64,
+    /// Submissions rejected as invalid.
+    pub rejected_invalid: u64,
+    /// Submissions rejected during shutdown drain.
+    pub rejected_shutdown: u64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Request slots currently active in the batch.
+    pub active_requests: usize,
+    /// Cache lanes (sequences) currently live — MCQ branches count each.
+    pub active_lanes: usize,
+    /// KV rows currently reserved by admitted requests.
+    pub reserved_rows: usize,
+    /// KV rows currently materialized in the cache.
+    pub kv_rows_used: usize,
+    /// High-water mark of materialized KV rows.
+    pub kv_rows_peak: usize,
+    /// Scheduler steps that ran a forward pass.
+    pub steps: u64,
+    /// Scheduler steps with nothing to do.
+    pub idle_steps: u64,
+    /// Prompt/option tokens fed through prefill lanes.
+    pub prefill_tokens: u64,
+    /// Tokens emitted by decode lanes.
+    pub decode_tokens: u64,
+    /// Σ over non-idle steps of lanes advanced that step (occupancy).
+    pub occupancy_lane_steps: u64,
+    /// Wall time spent inside non-idle steps.
+    pub busy: Duration,
+    /// Time-to-first-token samples, milliseconds (bounded reservoir).
+    pub ttft_ms: Vec<f64>,
+}
+
+impl ServeMetrics {
+    /// Records one TTFT observation (dropped once the reservoir is full).
+    pub fn record_ttft(&mut self, d: Duration) {
+        if self.ttft_ms.len() < TTFT_SAMPLE_CAP {
+            self.ttft_ms.push(d.as_secs_f64() * 1e3);
+        }
+    }
+
+    /// Derives the exported snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut sorted = self.ttft_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        let busy_s = self.busy.as_secs_f64();
+        MetricsSnapshot {
+            submitted: self.submitted,
+            admitted: self.admitted,
+            completed: self.completed,
+            cancelled: self.cancelled,
+            expired: self.expired,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_budget: self.rejected_budget,
+            rejected_invalid: self.rejected_invalid,
+            rejected_shutdown: self.rejected_shutdown,
+            queue_depth: self.queue_depth,
+            active_requests: self.active_requests,
+            active_lanes: self.active_lanes,
+            reserved_rows: self.reserved_rows,
+            kv_rows_used: self.kv_rows_used,
+            kv_rows_peak: self.kv_rows_peak,
+            steps: self.steps,
+            idle_steps: self.idle_steps,
+            prefill_tokens: self.prefill_tokens,
+            decode_tokens: self.decode_tokens,
+            avg_occupancy: if self.steps == 0 {
+                0.0
+            } else {
+                self.occupancy_lane_steps as f64 / self.steps as f64
+            },
+            decode_tokens_per_sec: if busy_s > 0.0 {
+                self.decode_tokens as f64 / busy_s
+            } else {
+                0.0
+            },
+            ttft_p50_ms: pct(0.50),
+            ttft_p99_ms: pct(0.99),
+            ttft_samples: sorted.len(),
+        }
+    }
+}
+
+/// Point-in-time metrics view, serializable for the wire `metrics` op.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// See [`ServeMetrics::submitted`].
+    pub submitted: u64,
+    /// See [`ServeMetrics::admitted`].
+    pub admitted: u64,
+    /// See [`ServeMetrics::completed`].
+    pub completed: u64,
+    /// See [`ServeMetrics::cancelled`].
+    pub cancelled: u64,
+    /// See [`ServeMetrics::expired`].
+    pub expired: u64,
+    /// See [`ServeMetrics::rejected_queue_full`].
+    pub rejected_queue_full: u64,
+    /// See [`ServeMetrics::rejected_budget`].
+    pub rejected_budget: u64,
+    /// See [`ServeMetrics::rejected_invalid`].
+    pub rejected_invalid: u64,
+    /// See [`ServeMetrics::rejected_shutdown`].
+    pub rejected_shutdown: u64,
+    /// See [`ServeMetrics::queue_depth`].
+    pub queue_depth: usize,
+    /// See [`ServeMetrics::active_requests`].
+    pub active_requests: usize,
+    /// See [`ServeMetrics::active_lanes`].
+    pub active_lanes: usize,
+    /// See [`ServeMetrics::reserved_rows`].
+    pub reserved_rows: usize,
+    /// See [`ServeMetrics::kv_rows_used`].
+    pub kv_rows_used: usize,
+    /// See [`ServeMetrics::kv_rows_peak`].
+    pub kv_rows_peak: usize,
+    /// See [`ServeMetrics::steps`].
+    pub steps: u64,
+    /// See [`ServeMetrics::idle_steps`].
+    pub idle_steps: u64,
+    /// See [`ServeMetrics::prefill_tokens`].
+    pub prefill_tokens: u64,
+    /// See [`ServeMetrics::decode_tokens`].
+    pub decode_tokens: u64,
+    /// Mean lanes advanced per non-idle step.
+    pub avg_occupancy: f64,
+    /// Decode tokens per second of busy scheduler time.
+    pub decode_tokens_per_sec: f64,
+    /// Median time-to-first-token, milliseconds.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile time-to-first-token, milliseconds.
+    pub ttft_p99_ms: f64,
+    /// How many TTFT samples back the percentiles.
+    pub ttft_samples: usize,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a single JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metrics snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_percentiles_and_rates() {
+        let mut m = ServeMetrics::default();
+        for ms in [1.0_f64, 2.0, 3.0, 4.0, 100.0] {
+            m.ttft_ms.push(ms);
+        }
+        m.decode_tokens = 200;
+        m.busy = Duration::from_secs(2);
+        m.steps = 10;
+        m.occupancy_lane_steps = 25;
+        let s = m.snapshot();
+        assert_eq!(s.ttft_p50_ms, 3.0);
+        assert_eq!(s.ttft_p99_ms, 100.0);
+        assert_eq!(s.ttft_samples, 5);
+        assert!((s.decode_tokens_per_sec - 100.0).abs() < 1e-9);
+        assert!((s.avg_occupancy - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let s = ServeMetrics::default().snapshot();
+        assert_eq!(s.ttft_p50_ms, 0.0);
+        assert_eq!(s.decode_tokens_per_sec, 0.0);
+        assert_eq!(s.avg_occupancy, 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json_object() {
+        let j = ServeMetrics::default().snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"decode_tokens_per_sec\""));
+    }
+
+    #[test]
+    fn ttft_reservoir_is_bounded() {
+        let mut m = ServeMetrics::default();
+        for _ in 0..(TTFT_SAMPLE_CAP + 100) {
+            m.record_ttft(Duration::from_millis(1));
+        }
+        assert_eq!(m.ttft_ms.len(), TTFT_SAMPLE_CAP);
+    }
+}

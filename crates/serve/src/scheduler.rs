@@ -1,0 +1,1077 @@
+//! The continuous-batching scheduler core.
+//!
+//! One [`Scheduler`] owns one ragged KV cache holding every live *lane* (a
+//! cache sequence: a generate request mid-prefill or mid-decode, an MCQ
+//! prompt mid-prefill, or one MCQ option branch). Each [`Scheduler::step`]:
+//!
+//! 1. **Sweeps** cancelled and deadline-expired requests out of the batch
+//!    ([`infuserki_nn::KvCache::retain_indices`]).
+//! 2. **Admits** queued requests — highest priority first, FIFO on ties —
+//!    while the batch has request slots free *and* the head's worst-case
+//!    KV-row reservation fits the budget. Admission is strictly in queue
+//!    order (no bypass), so a large head waits for rows rather than being
+//!    starved by small late arrivals.
+//! 3. Builds one chunk per lane — up to [`crate::ServeConfig::prefill_chunk`]
+//!    prompt tokens for prefilling lanes, exactly one token for decode
+//!    lanes — and advances them all with a single
+//!    [`infuserki_nn::TransformerLm::extend_cached_batch`] call. Chunked
+//!    prefill means a newcomer with a long prompt joins the batch gradually
+//!    while every live decode lane still produces its token each step.
+//! 4. Retires finished lanes, spawns MCQ option branches (gathered from the
+//!    prompt's cache *before* the prompt lane is dropped), back-fills the
+//!    cache, and responds to finished requests.
+//!
+//! # Equivalence
+//!
+//! The per-lane math replicates, float-op for float-op, the single-request
+//! paths in [`infuserki_nn::sampler`]: greedy lanes reproduce the candidate /
+//! eos-check / push / limit-check order of `greedy_decode`, and MCQ lanes
+//! reproduce `score_options`' first-token log-softmax plus ascending
+//! per-position accumulation over each option branch. Combined with the
+//! runtime's batch- and chunking-equivalence guarantees this gives the crown
+//! property: at one kernel thread, every response is bitwise identical to
+//! running that request alone, regardless of batch composition (proved by
+//! `tests/serve_differential.rs` under randomized arrival/cancel schedules).
+//!
+//! Beam requests (`beam_width > 1`) maintain `beam_width` forked caches with
+//! their own pruning schedule; interleaving that with the continuous batch
+//! buys little and complicates retirement, so they run atomically on the
+//! single-request [`infuserki_nn::sampler::beam_search`] path at admission —
+//! trivially equivalent, at the cost of stalling the batch for their
+//! duration.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use infuserki_nn::sampler::{argmax, beam_search, option_probabilities};
+use infuserki_nn::{KvCache, LayerHook, TransformerLm};
+use infuserki_tensor::{kernels, Matrix, SeqBatch};
+
+use crate::config::ServeConfig;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::queue::RequestQueue;
+use crate::request::{GenerateSpec, McqSpec, Outcome, RejectReason, Request, RequestKind};
+
+/// Model-derived admission limits, computed once at scheduler construction
+/// and shared with clients so they can reject impossible requests
+/// synchronously.
+#[derive(Debug, Clone)]
+pub struct EngineLimits {
+    /// Vocabulary size; every token id must be below it.
+    pub vocab_size: usize,
+    /// Model context length.
+    pub max_seq: usize,
+    /// Widest per-layer prefix-tuning K/V block the hook prepends to every
+    /// cached sequence ([`TransformerLm::max_prefix_rows`]).
+    pub prefix_rows: usize,
+    /// Total KV-row budget ([`ServeConfig::kv_budget_rows`]).
+    pub kv_budget_rows: usize,
+    /// Queue capacity ([`ServeConfig::queue_capacity`]).
+    pub queue_capacity: usize,
+}
+
+impl EngineLimits {
+    /// Worst-case KV rows `kind` can ever occupy: prefix + prompt + decode
+    /// budget per sequence it owns. MCQ requests pay for the prompt lane
+    /// plus every multi-token option branch; beam requests pay per beam.
+    pub fn cost(&self, kind: &RequestKind) -> usize {
+        match kind {
+            RequestKind::Generate(g) => {
+                let per_seq = self.prefix_rows + (g.prompt.len() + g.max_new).min(self.max_seq);
+                per_seq * g.beam_width.max(1)
+            }
+            RequestKind::Mcq(m) => {
+                let prompt_lane = self.prefix_rows + m.prompt.len();
+                let branches: usize = m
+                    .options
+                    .iter()
+                    .filter(|o| o.len() > 1)
+                    .map(|o| self.prefix_rows + m.prompt.len() + o.len() - 1)
+                    .sum();
+                prompt_lane + branches
+            }
+        }
+    }
+
+    /// Validates `kind`, returning its KV-row cost on success.
+    pub fn validate(&self, kind: &RequestKind) -> Result<usize, RejectReason> {
+        let invalid = |msg: &str| Err(RejectReason::Invalid(msg.into()));
+        let check_tokens = |toks: &[usize]| -> Result<(), RejectReason> {
+            match toks.iter().find(|&&t| t >= self.vocab_size) {
+                Some(&t) => Err(RejectReason::Invalid(format!(
+                    "token {t} out of range for vocab {}",
+                    self.vocab_size
+                ))),
+                None => Ok(()),
+            }
+        };
+        match kind {
+            RequestKind::Generate(g) => {
+                if g.prompt.is_empty() {
+                    return invalid("empty prompt");
+                }
+                if g.beam_width == 0 {
+                    return invalid("beam_width must be at least 1");
+                }
+                check_tokens(&g.prompt)?;
+            }
+            RequestKind::Mcq(m) => {
+                if m.prompt.is_empty() {
+                    return invalid("empty prompt");
+                }
+                if m.options.is_empty() {
+                    return invalid("MCQ request with no options");
+                }
+                if m.options.iter().any(|o| o.is_empty()) {
+                    return invalid("empty option");
+                }
+                check_tokens(&m.prompt)?;
+                for o in &m.options {
+                    check_tokens(o)?;
+                }
+                let longest = m.options.iter().map(|o| o.len()).max().unwrap();
+                if m.prompt.len() + longest - 1 > self.max_seq {
+                    return invalid("prompt plus option exceeds the model context");
+                }
+            }
+        }
+        let cost = self.cost(kind);
+        if cost > self.kv_budget_rows {
+            return Err(RejectReason::BudgetExceeded {
+                cost,
+                budget: self.kv_budget_rows,
+            });
+        }
+        Ok(cost)
+    }
+}
+
+/// What one lane (cache sequence) is doing.
+#[derive(Debug, Clone, Copy)]
+enum LaneRole {
+    /// Feeding a generate request's prompt, `fed` tokens in.
+    GenPrefill { fed: usize },
+    /// Decoding: `pending` is the token about to be fed (already pushed to
+    /// the output, exactly as the single-path loop carries it).
+    GenDecode { pending: usize },
+    /// Feeding an MCQ request's prompt.
+    McqPrefill { fed: usize },
+    /// Extending option `opt`'s branch with its score script
+    /// (`option[..len-1]`), `fed` tokens in.
+    McqBranch { opt: usize, fed: usize },
+}
+
+/// A live cache sequence: which request slot it serves and its role.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    slot: usize,
+    role: LaneRole,
+}
+
+/// Per-admitted-request state.
+#[derive(Debug)]
+struct InFlight {
+    req: Request,
+    /// KV rows reserved at admission, released when the slot frees.
+    cost: usize,
+    /// Generated tokens (generate requests).
+    out: Vec<usize>,
+    /// Per-option accumulated log-likelihood (MCQ requests).
+    scores: Vec<f32>,
+    /// Option branches still extending (MCQ requests).
+    branches_left: usize,
+}
+
+/// What one [`Scheduler::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// Whether a batched forward ran (false = idle step).
+    pub ran_forward: bool,
+    /// Requests admitted this step (including ones answered inline).
+    pub admitted: usize,
+    /// Requests that reached a terminal outcome this step.
+    pub finished: usize,
+    /// Lanes live after the step.
+    pub active_lanes: usize,
+    /// Queue depth after the step.
+    pub queue_depth: usize,
+}
+
+/// The continuous-batching scheduler. Single-threaded by design: drive it
+/// directly for deterministic tests, or hand it to [`crate::spawn_scheduler`]
+/// to run on its own thread behind a [`crate::Client`].
+pub struct Scheduler<'a> {
+    model: &'a TransformerLm,
+    hook: &'a dyn LayerHook,
+    cfg: ServeConfig,
+    limits: EngineLimits,
+    queue: RequestQueue,
+    /// The live ragged cache; `None` iff no lanes are live.
+    cache: Option<KvCache>,
+    /// Lane `i` is cache sequence `i` — the vec mirrors cache order exactly.
+    lanes: Vec<Lane>,
+    slots: Vec<Option<InFlight>>,
+    free_slots: Vec<usize>,
+    reserved_rows: usize,
+    metrics: Arc<Mutex<ServeMetrics>>,
+    draining: bool,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Builds a scheduler over `model` + `hook` (which must support
+    /// incremental decoding). Fails on invalid config.
+    pub fn new(
+        model: &'a TransformerLm,
+        hook: &'a dyn LayerHook,
+        cfg: ServeConfig,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if !hook.supports_incremental() {
+            return Err("serve: hook does not support KV-cached incremental decoding".into());
+        }
+        let limits = EngineLimits {
+            vocab_size: model.config().vocab_size,
+            max_seq: model.config().max_seq,
+            prefix_rows: model.max_prefix_rows(hook),
+            kv_budget_rows: cfg.kv_budget_rows,
+            queue_capacity: cfg.queue_capacity,
+        };
+        let slots = (0..cfg.max_batch).map(|_| None).collect::<Vec<_>>();
+        let free_slots = (0..cfg.max_batch).rev().collect();
+        Ok(Scheduler {
+            model,
+            hook,
+            queue: RequestQueue::new(cfg.queue_capacity),
+            limits,
+            cfg,
+            cache: None,
+            lanes: Vec::new(),
+            slots,
+            free_slots,
+            reserved_rows: 0,
+            metrics: Arc::new(Mutex::new(ServeMetrics::default())),
+            draining: false,
+        })
+    }
+
+    /// The model-derived admission limits.
+    pub fn limits(&self) -> &EngineLimits {
+        &self.limits
+    }
+
+    /// Shared handle to the raw metrics.
+    pub fn metrics(&self) -> Arc<Mutex<ServeMetrics>> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.lock().unwrap().snapshot()
+    }
+
+    /// Whether stepping would make progress (queued or live work exists).
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty() || !self.lanes.is_empty()
+    }
+
+    /// Stops accepting new requests; in-flight and queued work still runs.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Rejects everything still queued with
+    /// [`RejectReason::ShuttingDown`] (bounded shutdown: live lanes finish,
+    /// queued work does not start).
+    pub fn reject_queued_for_shutdown(&mut self) {
+        let entries = self.queue.drain();
+        let n = entries.len() as u64;
+        for e in entries {
+            e.request
+                .respond(Outcome::Rejected(RejectReason::ShuttingDown));
+        }
+        let mut m = self.metrics.lock().unwrap();
+        m.rejected_shutdown += n;
+        m.queue_depth = 0;
+    }
+
+    /// Validates and enqueues a request. Every outcome — including
+    /// rejection — is delivered on the request's response channel, so this
+    /// never fails synchronously.
+    pub fn enqueue(&mut self, req: Request) {
+        if self.draining {
+            req.respond(Outcome::Rejected(RejectReason::ShuttingDown));
+            self.metrics.lock().unwrap().rejected_shutdown += 1;
+            return;
+        }
+        let cost = match self.limits.validate(&req.kind) {
+            Ok(c) => c,
+            Err(reason) => {
+                {
+                    let mut m = self.metrics.lock().unwrap();
+                    match reason {
+                        RejectReason::BudgetExceeded { .. } => m.rejected_budget += 1,
+                        _ => m.rejected_invalid += 1,
+                    }
+                }
+                req.respond(Outcome::Rejected(reason));
+                return;
+            }
+        };
+        match self.queue.try_push(req, cost) {
+            Ok(()) => {
+                let mut m = self.metrics.lock().unwrap();
+                m.submitted += 1;
+                m.queue_depth = self.queue.len();
+            }
+            Err(req) => {
+                self.metrics.lock().unwrap().rejected_queue_full += 1;
+                req.respond(Outcome::Rejected(RejectReason::QueueFull {
+                    capacity: self.queue.capacity(),
+                }));
+            }
+        }
+    }
+
+    /// Runs one scheduling step (sweep, admit, forward, retire).
+    pub fn step(&mut self) -> StepReport {
+        let now = Instant::now();
+        self.sweep_dead(now);
+        let admitted = self.admit(now);
+        if self.lanes.is_empty() {
+            let mut m = self.metrics.lock().unwrap();
+            m.idle_steps += 1;
+            m.queue_depth = self.queue.len();
+            m.active_lanes = 0;
+            m.active_requests = 0;
+            m.reserved_rows = self.reserved_rows;
+            return StepReport {
+                ran_forward: false,
+                admitted,
+                finished: 0,
+                active_lanes: 0,
+                queue_depth: self.queue.len(),
+            };
+        }
+        let finished = self.advance_lanes();
+        let report = StepReport {
+            ran_forward: true,
+            admitted,
+            finished,
+            active_lanes: self.lanes.len(),
+            queue_depth: self.queue.len(),
+        };
+        let mut m = self.metrics.lock().unwrap();
+        m.queue_depth = self.queue.len();
+        m.active_lanes = self.lanes.len();
+        m.active_requests = self.slots.iter().filter(|s| s.is_some()).count();
+        m.reserved_rows = self.reserved_rows;
+        let used = self.cache.as_ref().map_or(0, KvCache::rows_used);
+        m.kv_rows_used = used;
+        m.kv_rows_peak = m.kv_rows_peak.max(used);
+        report
+    }
+
+    /// Steps until neither queued nor live work remains; returns the number
+    /// of steps run. Terminates because every queued request's reservation
+    /// fits the whole budget (validated at enqueue), so once the batch
+    /// drains the head is always admissible.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut steps = 0;
+        while self.has_work() {
+            self.step();
+            steps += 1;
+        }
+        steps
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    /// Retires every lane whose request was cancelled or deadline-expired,
+    /// responding accordingly.
+    fn sweep_dead(&mut self, now: Instant) {
+        if self.lanes.is_empty() {
+            return;
+        }
+        let mut any_dead = false;
+        for slot in 0..self.slots.len() {
+            let Some(inf) = &self.slots[slot] else {
+                continue;
+            };
+            let outcome = if inf.req.cancel.is_cancelled() {
+                Some(Outcome::Cancelled)
+            } else if inf.req.expired_at(now) {
+                Some(Outcome::Expired)
+            } else {
+                None
+            };
+            if let Some(outcome) = outcome {
+                {
+                    let mut m = self.metrics.lock().unwrap();
+                    match outcome {
+                        Outcome::Cancelled => m.cancelled += 1,
+                        _ => m.expired += 1,
+                    }
+                }
+                self.finish_slot(slot, outcome);
+                any_dead = true;
+            }
+        }
+        if !any_dead {
+            return;
+        }
+        let keep: Vec<usize> = (0..self.lanes.len())
+            .filter(|&i| self.slots[self.lanes[i].slot].is_some())
+            .collect();
+        if keep.is_empty() {
+            self.cache = None;
+            self.lanes.clear();
+        } else {
+            self.cache
+                .as_mut()
+                .expect("lanes imply a cache")
+                .retain_indices(&keep);
+            self.lanes = keep.iter().map(|&i| self.lanes[i]).collect();
+            if self.cfg.compact_after_retire {
+                self.cache.as_mut().unwrap().compact();
+            }
+        }
+    }
+
+    /// Admits queue heads while slots and budget allow. Returns how many
+    /// requests were admitted or answered inline.
+    fn admit(&mut self, now: Instant) -> usize {
+        let mut admitted = 0;
+        while let Some(head) = self.queue.peek() {
+            // Dead queue entries are dropped regardless of capacity.
+            if head.request.cancel.is_cancelled() {
+                let e = self.queue.pop().unwrap();
+                e.request.respond(Outcome::Cancelled);
+                self.metrics.lock().unwrap().cancelled += 1;
+                continue;
+            }
+            if head.request.expired_at(now) {
+                let e = self.queue.pop().unwrap();
+                e.request.respond(Outcome::Expired);
+                self.metrics.lock().unwrap().expired += 1;
+                continue;
+            }
+            if self.free_slots.is_empty() {
+                break;
+            }
+            // Strict queue order: a head that doesn't fit the remaining
+            // budget blocks later (smaller) entries, so it cannot starve.
+            if self.reserved_rows + head.cost > self.limits.kv_budget_rows {
+                break;
+            }
+            let entry = self.queue.pop().unwrap();
+            self.admit_one(entry.request, entry.cost);
+            admitted += 1;
+        }
+        admitted
+    }
+
+    /// Admits one request: answers trivial and beam requests inline,
+    /// otherwise reserves rows and opens a prefill lane.
+    fn admit_one(&mut self, req: Request, cost: usize) {
+        self.metrics.lock().unwrap().admitted += 1;
+        match &req.kind {
+            RequestKind::Generate(g) => {
+                if g.max_new == 0 || g.prompt.len() >= self.limits.max_seq {
+                    // Single-path parity: no budget or no context room emits
+                    // nothing (`greedy_decode_batch_limits` filters these
+                    // before prefilling).
+                    self.record_ttft(&req);
+                    req.respond(Outcome::Generated { tokens: Vec::new() });
+                    self.metrics.lock().unwrap().completed += 1;
+                    return;
+                }
+                if g.beam_width > 1 {
+                    let tokens = beam_search(
+                        self.model,
+                        self.hook,
+                        &g.prompt,
+                        g.max_new,
+                        g.beam_width,
+                        g.eos,
+                    );
+                    self.record_ttft(&req);
+                    req.respond(Outcome::Generated { tokens });
+                    self.metrics.lock().unwrap().completed += 1;
+                    return;
+                }
+                self.open_lane(req, cost, LaneRole::GenPrefill { fed: 0 });
+            }
+            RequestKind::Mcq(m) => {
+                let scores = vec![0.0; m.options.len()];
+                self.open_lane_with(req, cost, LaneRole::McqPrefill { fed: 0 }, scores);
+            }
+        }
+    }
+
+    fn open_lane(&mut self, req: Request, cost: usize, role: LaneRole) {
+        self.open_lane_with(req, cost, role, Vec::new());
+    }
+
+    fn open_lane_with(&mut self, req: Request, cost: usize, role: LaneRole, scores: Vec<f32>) {
+        let slot = self.free_slots.pop().expect("admit checked a slot is free");
+        self.slots[slot] = Some(InFlight {
+            req,
+            cost,
+            out: Vec::new(),
+            scores,
+            branches_left: 0,
+        });
+        self.reserved_rows += cost;
+        let fresh = self.model.new_cache(self.hook);
+        match self.cache.as_mut() {
+            Some(c) => c.absorb(fresh),
+            None => self.cache = Some(fresh),
+        }
+        self.lanes.push(Lane { slot, role });
+    }
+
+    /// The tokens lane `lane` feeds this step (always non-empty).
+    fn lane_chunk(&self, lane: &Lane) -> Vec<usize> {
+        let inf = self.slots[lane.slot]
+            .as_ref()
+            .expect("lane has a live slot");
+        let chunk = self.cfg.prefill_chunk;
+        match lane.role {
+            LaneRole::GenPrefill { fed } => {
+                let p = &gen_spec(&inf.req).prompt;
+                p[fed..(fed + chunk).min(p.len())].to_vec()
+            }
+            LaneRole::GenDecode { pending } => vec![pending],
+            LaneRole::McqPrefill { fed } => {
+                let p = &mcq_spec(&inf.req).prompt;
+                p[fed..(fed + chunk).min(p.len())].to_vec()
+            }
+            LaneRole::McqBranch { opt, fed } => {
+                let o = &mcq_spec(&inf.req).options[opt];
+                let script = &o[..o.len() - 1];
+                script[fed..(fed + chunk).min(script.len())].to_vec()
+            }
+        }
+    }
+
+    /// One batched forward over every lane, then per-lane bookkeeping.
+    /// Returns the number of requests finished.
+    fn advance_lanes(&mut self) -> usize {
+        let t0 = Instant::now();
+        let chunks: Vec<Vec<usize>> = self.lanes.iter().map(|l| self.lane_chunk(l)).collect();
+        let lens: Vec<usize> = chunks.iter().map(Vec::len).collect();
+        let mut cache = self.cache.take().expect("lanes imply a cache");
+        let logits = self
+            .model
+            .extend_cached_batch(&chunks, self.hook, &mut cache);
+        let batch = SeqBatch::from_lens(&lens);
+
+        let lanes = std::mem::take(&mut self.lanes);
+        let n_before = lanes.len();
+        let mut new_lanes: Vec<Lane> = Vec::with_capacity(n_before);
+        let mut keep: Vec<usize> = Vec::with_capacity(n_before);
+        // (source lane, slot, option) for every branch spawned this step.
+        let mut spawns: Vec<(usize, usize, usize)> = Vec::new();
+        let mut finished = 0usize;
+        let mut prefill_toks = 0u64;
+        let mut decode_toks = 0u64;
+        let max_seq = self.limits.max_seq;
+
+        for (i, lane) in lanes.iter().enumerate() {
+            let chunk_len = lens[i];
+            match lane.role {
+                LaneRole::GenPrefill { fed } => {
+                    prefill_toks += chunk_len as u64;
+                    let plen = {
+                        let inf = self.slots[lane.slot].as_ref().unwrap();
+                        gen_spec(&inf.req).prompt.len()
+                    };
+                    if fed + chunk_len < plen {
+                        keep.push(i);
+                        new_lanes.push(Lane {
+                            slot: lane.slot,
+                            role: LaneRole::GenPrefill {
+                                fed: fed + chunk_len,
+                            },
+                        });
+                        continue;
+                    }
+                    // Prefill complete: the last chunk row predicts the
+                    // first candidate, exactly as the single path's prefill.
+                    {
+                        let inf = self.slots[lane.slot].as_ref().unwrap();
+                        self.record_ttft(&inf.req);
+                    }
+                    let tok = argmax(logits.row(batch.last_row(i)));
+                    match self.greedy_advance(lane.slot, tok, max_seq) {
+                        Advance::Finished { emitted } => {
+                            decode_toks += emitted as u64;
+                            self.finish_gen(lane.slot);
+                            finished += 1;
+                        }
+                        Advance::Continue => {
+                            decode_toks += 1;
+                            keep.push(i);
+                            new_lanes.push(Lane {
+                                slot: lane.slot,
+                                role: LaneRole::GenDecode { pending: tok },
+                            });
+                        }
+                    }
+                }
+                LaneRole::GenDecode { .. } => {
+                    let tok = argmax(logits.row(batch.last_row(i)));
+                    match self.greedy_advance(lane.slot, tok, max_seq) {
+                        Advance::Finished { emitted } => {
+                            decode_toks += emitted as u64;
+                            self.finish_gen(lane.slot);
+                            finished += 1;
+                        }
+                        Advance::Continue => {
+                            decode_toks += 1;
+                            keep.push(i);
+                            new_lanes.push(Lane {
+                                slot: lane.slot,
+                                role: LaneRole::GenDecode { pending: tok },
+                            });
+                        }
+                    }
+                }
+                LaneRole::McqPrefill { fed } => {
+                    prefill_toks += chunk_len as u64;
+                    let plen = {
+                        let inf = self.slots[lane.slot].as_ref().unwrap();
+                        mcq_spec(&inf.req).prompt.len()
+                    };
+                    if fed + chunk_len < plen {
+                        keep.push(i);
+                        new_lanes.push(Lane {
+                            slot: lane.slot,
+                            role: LaneRole::McqPrefill {
+                                fed: fed + chunk_len,
+                            },
+                        });
+                        continue;
+                    }
+                    // Prompt prefilled: the last row scores every option's
+                    // first token (log-softmax is row-local, so normalizing
+                    // the extracted row matches `score_options` exactly).
+                    let last_lp = kernels::log_softmax_rows(&Matrix::row_vec(
+                        logits.row(batch.last_row(i)).to_vec(),
+                    ));
+                    let inf = self.slots[lane.slot].as_mut().unwrap();
+                    let multis: Vec<usize> = {
+                        let spec = mcq_spec(&inf.req);
+                        for (oi, opt) in spec.options.iter().enumerate() {
+                            inf.scores[oi] = last_lp.get(0, opt[0]);
+                        }
+                        spec.options
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, o)| o.len() > 1)
+                            .map(|(oi, _)| oi)
+                            .collect()
+                    };
+                    inf.branches_left = multis.len();
+                    {
+                        let inf = self.slots[lane.slot].as_ref().unwrap();
+                        self.record_ttft(&inf.req);
+                    }
+                    if multis.is_empty() {
+                        self.finish_mcq(lane.slot);
+                        finished += 1;
+                    } else {
+                        // The prompt lane retires; its branches are gathered
+                        // from the cache (below) before it is dropped.
+                        for oi in multis {
+                            spawns.push((i, lane.slot, oi));
+                        }
+                    }
+                }
+                LaneRole::McqBranch { opt, fed } => {
+                    prefill_toks += chunk_len as u64;
+                    let r = batch.range(i);
+                    let lp = kernels::log_softmax_rows(&logits.slice_rows(r.start, r.end));
+                    let inf = self.slots[lane.slot].as_mut().unwrap();
+                    let script_len = {
+                        let spec = mcq_spec(&inf.req);
+                        let option = &spec.options[opt];
+                        // Row j of this chunk predicts option[fed + j + 1];
+                        // accumulate in ascending position order so the f32
+                        // sum replays `score_options` bit for bit.
+                        for j in 0..chunk_len {
+                            inf.scores[opt] += lp.get(j, option[fed + j + 1]);
+                        }
+                        option.len() - 1
+                    };
+                    if fed + chunk_len < script_len {
+                        keep.push(i);
+                        new_lanes.push(Lane {
+                            slot: lane.slot,
+                            role: LaneRole::McqBranch {
+                                opt,
+                                fed: fed + chunk_len,
+                            },
+                        });
+                        continue;
+                    }
+                    inf.branches_left -= 1;
+                    if inf.branches_left == 0 {
+                        self.finish_mcq(lane.slot);
+                        finished += 1;
+                    }
+                }
+            }
+        }
+
+        // Cache surgery: gather branch sources before retiring anything, so
+        // the branches copy the freshly prefilled prompt rows.
+        let branch_cache = if spawns.is_empty() {
+            None
+        } else {
+            let srcs: Vec<usize> = spawns.iter().map(|&(src, _, _)| src).collect();
+            Some(cache.gather(&srcs))
+        };
+        self.cache = if keep.is_empty() {
+            None
+        } else {
+            if keep.len() < n_before {
+                cache.retain_indices(&keep);
+            }
+            Some(cache)
+        };
+        if let Some(b) = branch_cache {
+            match self.cache.as_mut() {
+                Some(c) => c.absorb(b),
+                None => self.cache = Some(b),
+            }
+        }
+        let retired_any = keep.len() < n_before;
+        if retired_any && self.cfg.compact_after_retire {
+            if let Some(c) = self.cache.as_mut() {
+                c.compact();
+            }
+        }
+        for &(_, slot, oi) in &spawns {
+            new_lanes.push(Lane {
+                slot,
+                role: LaneRole::McqBranch { opt: oi, fed: 0 },
+            });
+        }
+        self.lanes = new_lanes;
+        debug_assert_eq!(
+            self.lanes.len(),
+            self.cache.as_ref().map_or(0, KvCache::n_seqs),
+            "lane list must mirror cache sequences"
+        );
+
+        let mut m = self.metrics.lock().unwrap();
+        m.steps += 1;
+        m.occupancy_lane_steps += n_before as u64;
+        m.prefill_tokens += prefill_toks;
+        m.decode_tokens += decode_toks;
+        m.busy += t0.elapsed();
+        m.completed += finished as u64;
+        finished
+    }
+
+    /// Replays one iteration of the single-path greedy loop for `tok`, the
+    /// candidate just produced: stop on eos (without emitting), else emit,
+    /// then stop when the budget or the context fills.
+    fn greedy_advance(&mut self, slot: usize, tok: usize, max_seq: usize) -> Advance {
+        let inf = self.slots[slot].as_mut().expect("advancing a live slot");
+        let (eos, max_new, plen) = {
+            let g = gen_spec(&inf.req);
+            (g.eos, g.max_new, g.prompt.len())
+        };
+        if Some(tok) == eos {
+            return Advance::Finished { emitted: 0 };
+        }
+        inf.out.push(tok);
+        if inf.out.len() == max_new || plen + inf.out.len() >= max_seq {
+            return Advance::Finished { emitted: 1 };
+        }
+        Advance::Continue
+    }
+
+    fn finish_gen(&mut self, slot: usize) {
+        let tokens = self.slots[slot]
+            .as_mut()
+            .map(|inf| std::mem::take(&mut inf.out))
+            .expect("finishing a live slot");
+        self.finish_slot(slot, Outcome::Generated { tokens });
+    }
+
+    fn finish_mcq(&mut self, slot: usize) {
+        let outcome = {
+            let inf = self.slots[slot].as_ref().expect("finishing a live slot");
+            let spec = mcq_spec(&inf.req);
+            let lens: Vec<usize> = spec.options.iter().map(Vec::len).collect();
+            let probabilities = option_probabilities(&inf.scores, &lens);
+            let best = argmax(&probabilities);
+            Outcome::McqScored {
+                scores: inf.scores.clone(),
+                probabilities,
+                best,
+            }
+        };
+        self.finish_slot(slot, outcome);
+    }
+
+    /// Responds, releases the reservation and frees the slot. Lanes are the
+    /// caller's responsibility.
+    fn finish_slot(&mut self, slot: usize, outcome: Outcome) {
+        let inf = self.slots[slot].take().expect("finishing a live slot");
+        inf.req.respond(outcome);
+        self.reserved_rows -= inf.cost;
+        self.free_slots.push(slot);
+    }
+
+    fn record_ttft(&self, req: &Request) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .record_ttft(req.submitted_at.elapsed());
+    }
+}
+
+/// Result of one greedy-loop iteration.
+enum Advance {
+    /// The request is done; `emitted` tokens were pushed this iteration.
+    Finished { emitted: usize },
+    /// The lane keeps decoding.
+    Continue,
+}
+
+fn gen_spec(req: &Request) -> &GenerateSpec {
+    match &req.kind {
+        RequestKind::Generate(g) => g,
+        RequestKind::Mcq(_) => unreachable!("generate lane on an MCQ request"),
+    }
+}
+
+fn mcq_spec(req: &Request) -> &McqSpec {
+    match &req.kind {
+        RequestKind::Mcq(m) => m,
+        RequestKind::Generate(_) => unreachable!("MCQ lane on a generate request"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Response;
+    use infuserki_nn::sampler;
+    use infuserki_nn::{ModelConfig, NoHook, TransformerLm};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::mpsc;
+
+    fn model() -> TransformerLm {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        TransformerLm::new(ModelConfig::tiny(30), &mut rng)
+    }
+
+    fn submit(sched: &mut Scheduler<'_>, id: u64, kind: RequestKind) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        sched.enqueue(Request::new(id, kind, tx));
+        rx
+    }
+
+    #[test]
+    fn generate_matches_single_path_sampler() {
+        kernels::set_num_threads(1);
+        let m = model();
+        let cfg = ServeConfig {
+            prefill_chunk: 2,
+            kv_budget_rows: 256,
+            ..ServeConfig::default()
+        };
+        let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+        let prompts: Vec<Vec<usize>> = vec![vec![1, 2, 3], vec![4], vec![5, 6, 7, 8, 9]];
+        let rxs: Vec<_> = prompts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                submit(
+                    &mut sched,
+                    i as u64,
+                    RequestKind::Generate(GenerateSpec::greedy(p.clone(), 6, Some(3))),
+                )
+            })
+            .collect();
+        sched.run_until_idle();
+        for (p, rx) in prompts.iter().zip(&rxs) {
+            let got = match rx.try_recv().unwrap().outcome {
+                Outcome::Generated { tokens } => tokens,
+                other => panic!("unexpected outcome {other:?}"),
+            };
+            let want = sampler::greedy_decode(&m, &NoHook, p, 6, Some(3));
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn mcq_matches_single_path_scores_bitwise() {
+        kernels::set_num_threads(1);
+        let m = model();
+        let cfg = ServeConfig {
+            prefill_chunk: 3,
+            kv_budget_rows: 512,
+            ..ServeConfig::default()
+        };
+        let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+        let prompt = vec![1, 2, 3, 4, 5];
+        let options = vec![vec![6], vec![7, 8], vec![9, 10, 11, 12]];
+        let rx = submit(
+            &mut sched,
+            0,
+            RequestKind::Mcq(McqSpec {
+                prompt: prompt.clone(),
+                options: options.clone(),
+            }),
+        );
+        sched.run_until_idle();
+        let (scores, probabilities, best) = match rx.try_recv().unwrap().outcome {
+            Outcome::McqScored {
+                scores,
+                probabilities,
+                best,
+            } => (scores, probabilities, best),
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        let want = sampler::score_options(&m, &NoHook, &prompt, &options);
+        let want_bits: Vec<u32> = want.iter().map(|s| s.to_bits()).collect();
+        let got_bits: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(got_bits, want_bits, "scores must be bitwise identical");
+        let lens: Vec<usize> = options.iter().map(Vec::len).collect();
+        let want_p = option_probabilities(&want, &lens);
+        assert_eq!(probabilities, want_p);
+        assert_eq!(best, argmax(&want_p));
+    }
+
+    #[test]
+    fn beam_requests_run_inline_and_match() {
+        kernels::set_num_threads(1);
+        let m = model();
+        let mut sched = Scheduler::new(&m, &NoHook, ServeConfig::default()).unwrap();
+        let rx = submit(
+            &mut sched,
+            0,
+            RequestKind::Generate(GenerateSpec {
+                prompt: vec![3],
+                max_new: 3,
+                eos: None,
+                beam_width: 3,
+            }),
+        );
+        sched.run_until_idle();
+        let got = match rx.try_recv().unwrap().outcome {
+            Outcome::Generated { tokens } => tokens,
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        assert_eq!(got, sampler::beam_search(&m, &NoHook, &[3], 3, 3, None));
+    }
+
+    #[test]
+    fn zero_budget_and_overlong_prompts_emit_nothing() {
+        kernels::set_num_threads(1);
+        let m = model();
+        let max_seq = m.config().max_seq;
+        let mut sched = Scheduler::new(&m, &NoHook, ServeConfig::default()).unwrap();
+        let rx0 = submit(
+            &mut sched,
+            0,
+            RequestKind::Generate(GenerateSpec::greedy(vec![1, 2], 0, None)),
+        );
+        let rx1 = submit(
+            &mut sched,
+            1,
+            RequestKind::Generate(GenerateSpec::greedy(vec![1; max_seq], 4, None)),
+        );
+        sched.run_until_idle();
+        for rx in [rx0, rx1] {
+            assert_eq!(
+                rx.try_recv().unwrap().outcome,
+                Outcome::Generated { tokens: Vec::new() }
+            );
+        }
+    }
+
+    #[test]
+    fn budget_reservation_serializes_large_requests() {
+        kernels::set_num_threads(1);
+        let m = model();
+        // Budget fits exactly one request at a time; both must still finish.
+        let cfg = ServeConfig {
+            kv_budget_rows: 10,
+            prefill_chunk: 4,
+            ..ServeConfig::default()
+        };
+        let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+        let rx0 = submit(
+            &mut sched,
+            0,
+            RequestKind::Generate(GenerateSpec::greedy(vec![1, 2, 3], 5, None)),
+        );
+        let rx1 = submit(
+            &mut sched,
+            1,
+            RequestKind::Generate(GenerateSpec::greedy(vec![4, 5, 6], 5, None)),
+        );
+        let report = sched.step();
+        assert_eq!(report.admitted, 1, "second request must wait for rows");
+        sched.run_until_idle();
+        for (rx, p) in [(rx0, vec![1, 2, 3]), (rx1, vec![4, 5, 6])] {
+            let got = match rx.try_recv().unwrap().outcome {
+                Outcome::Generated { tokens } => tokens,
+                other => panic!("unexpected outcome {other:?}"),
+            };
+            assert_eq!(got, sampler::greedy_decode(&m, &NoHook, &p, 5, None));
+        }
+    }
+
+    #[test]
+    fn invalid_requests_get_typed_rejections() {
+        let m = model();
+        let mut sched = Scheduler::new(&m, &NoHook, ServeConfig::default()).unwrap();
+        let rx = submit(
+            &mut sched,
+            0,
+            RequestKind::Generate(GenerateSpec::greedy(Vec::new(), 4, None)),
+        );
+        match rx.try_recv().unwrap().outcome {
+            Outcome::Rejected(RejectReason::Invalid(msg)) => {
+                assert!(msg.contains("empty prompt"));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let rx = submit(
+            &mut sched,
+            1,
+            RequestKind::Generate(GenerateSpec::greedy(vec![999], 4, None)),
+        );
+        assert!(matches!(
+            rx.try_recv().unwrap().outcome,
+            Outcome::Rejected(RejectReason::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn kv_rows_return_to_zero_after_drain() {
+        kernels::set_num_threads(1);
+        let m = model();
+        let mut sched = Scheduler::new(&m, &NoHook, ServeConfig::default()).unwrap();
+        let _rx = submit(
+            &mut sched,
+            0,
+            RequestKind::Generate(GenerateSpec::greedy(vec![1, 2], 4, None)),
+        );
+        sched.run_until_idle();
+        assert_eq!(sched.reserved_rows, 0);
+        assert!(sched.cache.is_none(), "drained scheduler holds no cache");
+        let snap = sched.snapshot();
+        assert_eq!(snap.completed, 1);
+        assert!(snap.kv_rows_peak > 0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Newline-delimited JSON front-end over `std::net::TcpListener`.
+//!
+//! One JSON object per line in each direction. Requests:
+//!
+//! ```json
+//! {"op":"generate","id":1,"prompt":[1,2,3],"max_new":8,"eos":3,"beam":1,"priority":0,"timeout_ms":500}
+//! {"op":"mcq","id":2,"prompt":[4,5],"options":[[6],[7,8]]}
+//! {"op":"cancel","id":1}
+//! {"op":"metrics"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses (in completion order, not request order — match on `id`):
+//!
+//! ```json
+//! {"id":1,"status":"ok","tokens":[9,10]}
+//! {"id":2,"status":"ok","scores":[-1.5,-2.0],"probabilities":[0.62,0.38],"best":0}
+//! {"id":3,"status":"rejected","reason":"queue_full","detail":"queue full (capacity 256)"}
+//! {"id":1,"status":"cancelled"}
+//! {"id":4,"status":"expired"}
+//! {"status":"error","detail":"line 7: missing field `prompt`"}
+//! ```
+//!
+//! `cancel` acks with `{"id":N,"status":"cancel_requested"}`; the request
+//! itself still terminates with its own response. `metrics` replies
+//! `{"status":"metrics","metrics":{...}}` (a [`crate::MetricsSnapshot`]).
+//! `shutdown` acks `{"status":"shutting_down"}` and stops the accept loop;
+//! the binary then drains the scheduler.
+//!
+//! The front-end adds no protocol state beyond a per-connection id→cancel
+//! map: every submission funnels into the scheduler through the same
+//! in-process [`Client`] the library offers, so wire requests and
+//! in-process requests share one queue, one budget and one batch.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use crate::client::{Client, SubmitOpts};
+use crate::request::{
+    CancelToken, GenerateSpec, McqSpec, Outcome, RejectReason, RequestKind, Response, SubmitError,
+};
+
+/// Serializes a `Value` tree as one line (no trailing newline).
+fn json_line(v: &Value) -> String {
+    serde_json::to_string(v).expect("value serializes")
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(n: f64) -> Value {
+    Value::Num(n)
+}
+
+fn str_v(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn usize_array(xs: &[usize]) -> Value {
+    Value::Array(xs.iter().map(|&x| num(x as f64)).collect())
+}
+
+fn f32_array(xs: &[f32]) -> Value {
+    Value::Array(xs.iter().map(|&x| num(f64::from(x))).collect())
+}
+
+/// Extracts a non-negative integer from a JSON number (rejecting fractions
+/// and values past 2^53, where f64 loses integer exactness).
+fn as_usize(v: &Value) -> Option<usize> {
+    let n = v.as_f64()?;
+    if n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+        return None;
+    }
+    Some(n as usize)
+}
+
+fn field_usize(v: &Value, key: &str) -> Result<usize, String> {
+    v.get_field(key)
+        .ok_or_else(|| format!("missing field `{key}`"))
+        .and_then(|f| {
+            as_usize(f).ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+        })
+}
+
+fn opt_field_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
+    match v.get_field(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => as_usize(f)
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn field_tokens(v: &Value, key: &str) -> Result<Vec<usize>, String> {
+    match v.get_field(key) {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|t| as_usize(t).ok_or_else(|| format!("field `{key}` must hold token ids")))
+            .collect(),
+        Some(_) => Err(format!("field `{key}` must be an array of token ids")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// Scheduling options shared by both request ops.
+fn parse_opts(v: &Value) -> Result<SubmitOpts, String> {
+    let priority = match v.get_field("priority") {
+        None | Some(Value::Null) => 0,
+        Some(f) => {
+            let n = f
+                .as_f64()
+                .filter(|n| n.fract() == 0.0 && n.abs() <= f64::from(i32::MAX))
+                .ok_or("field `priority` must be an integer")?;
+            n as i32
+        }
+    };
+    let deadline = opt_field_usize(v, "timeout_ms")?
+        .map(|ms| Instant::now() + Duration::from_millis(ms as u64));
+    Ok(SubmitOpts { priority, deadline })
+}
+
+fn parse_generate(v: &Value) -> Result<RequestKind, String> {
+    Ok(RequestKind::Generate(GenerateSpec {
+        prompt: field_tokens(v, "prompt")?,
+        max_new: field_usize(v, "max_new")?,
+        eos: opt_field_usize(v, "eos")?,
+        beam_width: opt_field_usize(v, "beam")?.unwrap_or(1),
+    }))
+}
+
+fn parse_mcq(v: &Value) -> Result<RequestKind, String> {
+    let options = match v.get_field("options") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|o| match o {
+                Value::Array(toks) => toks
+                    .iter()
+                    .map(|t| as_usize(t).ok_or_else(|| "options must hold token ids".to_string()))
+                    .collect::<Result<Vec<usize>, String>>(),
+                _ => Err("field `options` must be an array of token arrays".to_string()),
+            })
+            .collect::<Result<Vec<Vec<usize>>, String>>()?,
+        _ => return Err("field `options` must be an array of token arrays".into()),
+    };
+    Ok(RequestKind::Mcq(McqSpec {
+        prompt: field_tokens(v, "prompt")?,
+        options,
+    }))
+}
+
+fn reject_reason_slug(r: &RejectReason) -> &'static str {
+    match r {
+        RejectReason::QueueFull { .. } => "queue_full",
+        RejectReason::BudgetExceeded { .. } => "budget_exceeded",
+        RejectReason::Invalid(_) => "invalid",
+        RejectReason::ShuttingDown => "shutting_down",
+    }
+}
+
+/// Renders a terminal outcome as its wire line.
+fn outcome_line(id: u64, outcome: &Outcome) -> String {
+    let v = match outcome {
+        Outcome::Generated { tokens } => obj(vec![
+            ("id", num(id as f64)),
+            ("status", str_v("ok")),
+            ("tokens", usize_array(tokens)),
+        ]),
+        Outcome::McqScored {
+            scores,
+            probabilities,
+            best,
+        } => obj(vec![
+            ("id", num(id as f64)),
+            ("status", str_v("ok")),
+            ("scores", f32_array(scores)),
+            ("probabilities", f32_array(probabilities)),
+            ("best", num(*best as f64)),
+        ]),
+        Outcome::Rejected(reason) => obj(vec![
+            ("id", num(id as f64)),
+            ("status", str_v("rejected")),
+            ("reason", str_v(reject_reason_slug(reason))),
+            ("detail", str_v(&reason.to_string())),
+        ]),
+        Outcome::Cancelled => obj(vec![("id", num(id as f64)), ("status", str_v("cancelled"))]),
+        Outcome::Expired => obj(vec![("id", num(id as f64)), ("status", str_v("expired"))]),
+    };
+    json_line(&v)
+}
+
+fn error_line(id: Option<u64>, detail: &str) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", num(id as f64)));
+    }
+    fields.push(("status", str_v("error")));
+    fields.push(("detail", str_v(detail)));
+    json_line(&obj(fields))
+}
+
+/// Writes one line (appending `\n`) under the shared write lock.
+fn send_line(stream: &Arc<Mutex<TcpStream>>, line: &str) -> std::io::Result<()> {
+    let mut s = stream.lock().unwrap();
+    s.write_all(line.as_bytes())?;
+    s.write_all(b"\n")?;
+    s.flush()
+}
+
+/// Serves one connection: reads request lines, submits through `client`,
+/// and writes responses as they complete. Returns `true` if the peer asked
+/// the whole server to shut down.
+fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<bool> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer = Arc::new(Mutex::new(stream));
+    // All of this connection's requests respond through one channel; the
+    // pump thread turns responses into wire lines in completion order.
+    let (tx, rx) = mpsc::channel::<Response>();
+    let pump_writer = Arc::clone(&writer);
+    let pump = std::thread::spawn(move || {
+        while let Ok(resp) = rx.recv() {
+            if send_line(&pump_writer, &outcome_line(resp.id, &resp.outcome)).is_err() {
+                break;
+            }
+        }
+    });
+    let mut cancels: HashMap<u64, CancelToken> = HashMap::new();
+    let mut shutdown_all = false;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx = |msg: String| format!("line {}: {}", line_no + 1, msg);
+        let parsed: Result<Value, _> = serde_json::from_str(&line);
+        let value = match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                send_line(&writer, &error_line(None, &ctx(e.to_string())))?;
+                continue;
+            }
+        };
+        let op = match value.get_field("op").and_then(Value::as_str) {
+            Some(op) => op.to_string(),
+            None => {
+                send_line(
+                    &writer,
+                    &error_line(None, &ctx("missing field `op`".into())),
+                )?;
+                continue;
+            }
+        };
+        match op.as_str() {
+            "generate" | "mcq" => {
+                let id = match field_usize(&value, "id") {
+                    Ok(id) => id as u64,
+                    Err(e) => {
+                        send_line(&writer, &error_line(None, &ctx(e)))?;
+                        continue;
+                    }
+                };
+                let kind = if op == "generate" {
+                    parse_generate(&value)
+                } else {
+                    parse_mcq(&value)
+                };
+                let (kind, opts) = match kind.and_then(|k| Ok((k, parse_opts(&value)?))) {
+                    Ok(ko) => ko,
+                    Err(e) => {
+                        send_line(&writer, &error_line(Some(id), &ctx(e)))?;
+                        continue;
+                    }
+                };
+                match client.submit_with_sender(id, kind, opts, tx.clone()) {
+                    Ok(cancel) => {
+                        cancels.insert(id, cancel);
+                    }
+                    Err(SubmitError::Rejected(reason)) => {
+                        send_line(&writer, &outcome_line(id, &Outcome::Rejected(reason)))?;
+                    }
+                    Err(SubmitError::Disconnected) => {
+                        send_line(&writer, &error_line(Some(id), "scheduler unavailable"))?;
+                    }
+                }
+            }
+            "cancel" => match field_usize(&value, "id") {
+                Ok(id) => {
+                    let id = id as u64;
+                    if let Some(c) = cancels.get(&id) {
+                        c.cancel();
+                    }
+                    let ack = obj(vec![
+                        ("id", num(id as f64)),
+                        ("status", str_v("cancel_requested")),
+                    ]);
+                    send_line(&writer, &json_line(&ack))?;
+                }
+                Err(e) => send_line(&writer, &error_line(None, &ctx(e)))?,
+            },
+            "metrics" => {
+                let snap = client.metrics();
+                let snap_value: Value =
+                    serde_json::from_str(&snap.to_json()).expect("snapshot JSON round-trips");
+                let v = obj(vec![("status", str_v("metrics")), ("metrics", snap_value)]);
+                send_line(&writer, &json_line(&v))?;
+            }
+            "shutdown" => {
+                send_line(
+                    &writer,
+                    &json_line(&obj(vec![("status", str_v("shutting_down"))])),
+                )?;
+                shutdown_all = true;
+                break;
+            }
+            other => {
+                send_line(
+                    &writer,
+                    &error_line(None, &ctx(format!("unknown op `{other}`"))),
+                )?;
+            }
+        }
+    }
+    drop(tx);
+    let _ = pump.join();
+    Ok(shutdown_all)
+}
+
+/// Accept loop: serves connections until a peer sends `shutdown` (or
+/// `stop` is set externally and the listener is woken by a connection).
+/// Connections are handled on their own threads; in-flight connections keep
+/// running after the loop returns and end when their peers disconnect.
+pub fn run(listener: TcpListener, client: Client, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let client = client.clone();
+        let stop_flag = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            if let Ok(true) = handle_connection(stream, &client) {
+                stop_flag.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_lines_render_expected_shapes() {
+        let ok = outcome_line(3, &Outcome::Generated { tokens: vec![7, 8] });
+        assert_eq!(ok, r#"{"id":3,"status":"ok","tokens":[7,8]}"#);
+        let rej = outcome_line(
+            4,
+            &Outcome::Rejected(RejectReason::QueueFull { capacity: 2 }),
+        );
+        assert!(rej.contains(r#""status":"rejected""#));
+        assert!(rej.contains(r#""reason":"queue_full""#));
+        let mcq = outcome_line(
+            5,
+            &Outcome::McqScored {
+                scores: vec![-1.5],
+                probabilities: vec![1.0],
+                best: 0,
+            },
+        );
+        assert!(mcq.contains(r#""best":0"#));
+    }
+
+    #[test]
+    fn request_parsing_validates_shapes() {
+        let v: Value =
+            serde_json::from_str(r#"{"op":"generate","id":1,"prompt":[1,2],"max_new":4,"eos":3}"#)
+                .unwrap();
+        match parse_generate(&v).unwrap() {
+            RequestKind::Generate(g) => {
+                assert_eq!(g.prompt, vec![1, 2]);
+                assert_eq!(g.max_new, 4);
+                assert_eq!(g.eos, Some(3));
+                assert_eq!(g.beam_width, 1);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        let v: Value =
+            serde_json::from_str(r#"{"op":"mcq","id":2,"prompt":[1],"options":[[2],[3,4]]}"#)
+                .unwrap();
+        match parse_mcq(&v).unwrap() {
+            RequestKind::Mcq(m) => assert_eq!(m.options, vec![vec![2], vec![3, 4]]),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        let bad: Value = serde_json::from_str(r#"{"op":"generate","id":1,"max_new":4}"#).unwrap();
+        assert!(parse_generate(&bad).unwrap_err().contains("prompt"));
+        let frac: Value =
+            serde_json::from_str(r#"{"op":"generate","id":1,"prompt":[1.5],"max_new":4}"#).unwrap();
+        assert!(parse_generate(&frac).is_err());
+    }
+
+    #[test]
+    fn parse_opts_reads_priority_and_deadline() {
+        let v: Value = serde_json::from_str(r#"{"priority":-2,"timeout_ms":50}"#).unwrap();
+        let opts = parse_opts(&v).unwrap();
+        assert_eq!(opts.priority, -2);
+        assert!(opts.deadline.is_some());
+        let none: Value = serde_json::from_str(r#"{}"#).unwrap();
+        let opts = parse_opts(&none).unwrap();
+        assert_eq!(opts.priority, 0);
+        assert!(opts.deadline.is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Loopback smoke test of the `serve` binary: spawn it on an ephemeral
+//! port, round-trip one generate and one MCQ request over the JSONL wire
+//! protocol, verify the generate tokens against the in-process
+//! single-sequence sampler, then shut the server down cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use infuserki_nn::{sampler, NoHook};
+use infuserki_serve::demo_model;
+use infuserki_tensor::kernels;
+use serde::Value;
+
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn as_usize_vec(v: &Value) -> Vec<usize> {
+    match v {
+        Value::Array(items) => items
+            .iter()
+            .map(|x| x.as_f64().expect("token is a number") as usize)
+            .collect(),
+        other => panic!("expected array, got {other:?}"),
+    }
+}
+
+#[test]
+fn loopback_generate_and_mcq_round_trip() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--demo", "--port", "0", "--threads", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve binary spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut guard = ServerGuard(child);
+
+    // The binary prints `LISTENING <addr>` once the port is bound.
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before listening")
+            .expect("stdout readable");
+        if let Some(rest) = line.strip_prefix("LISTENING ") {
+            break rest.trim().to_string();
+        }
+    };
+
+    let stream = TcpStream::connect(&addr).expect("loopback connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    writer
+        .write_all(
+            b"{\"op\":\"generate\",\"id\":1,\"prompt\":[1,2,3],\"max_new\":6}\n\
+              {\"op\":\"mcq\",\"id\":2,\"prompt\":[4,5],\"options\":[[6],[7,8],[9,10,11]]}\n",
+        )
+        .unwrap();
+    writer.flush().unwrap();
+
+    // Responses arrive in completion order; match on id.
+    let mut generate_tokens = None;
+    let mut mcq_best = None;
+    while generate_tokens.is_none() || mcq_best.is_none() {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        let v: Value = serde_json::from_str(line.trim()).expect("response parses");
+        assert_eq!(
+            v.get_field("status").and_then(Value::as_str),
+            Some("ok"),
+            "unexpected response: {line}"
+        );
+        match v
+            .get_field("id")
+            .and_then(Value::as_f64)
+            .map(|id| id as u64)
+        {
+            Some(1) => {
+                generate_tokens = Some(as_usize_vec(v.get_field("tokens").unwrap()));
+            }
+            Some(2) => {
+                let probs = v.get_field("probabilities").expect("probabilities field");
+                let n = match probs {
+                    Value::Array(items) => items.len(),
+                    _ => 0,
+                };
+                assert_eq!(n, 3);
+                mcq_best = Some(v.get_field("best").unwrap().as_f64().unwrap() as usize);
+            }
+            other => panic!("unexpected response id {other:?} in {line}"),
+        }
+    }
+
+    // The served tokens must equal the single-sequence sampler on the same
+    // deterministic demo model (the binary ran with one kernel thread).
+    kernels::set_num_threads(1);
+    let model = demo_model();
+    let want = sampler::greedy_decode(&model, &NoHook, &[1, 2, 3], 6, None);
+    assert_eq!(generate_tokens.unwrap(), want);
+    let scores = sampler::score_options(
+        &model,
+        &NoHook,
+        &[4, 5],
+        &[vec![6], vec![7, 8], vec![9, 10, 11]],
+    );
+    let probs = sampler::option_probabilities(&scores, &[1, 2, 3]);
+    assert_eq!(mcq_best.unwrap(), sampler::argmax(&probs));
+
+    // Metrics op answers with a snapshot object.
+    writer.write_all(b"{\"op\":\"metrics\"}\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(
+        v.get_field("status").and_then(Value::as_str),
+        Some("metrics")
+    );
+    let completed = v
+        .get_field("metrics")
+        .and_then(|m| m.get_field("completed"))
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert!(completed >= 2.0, "both requests completed, got {completed}");
+
+    // Clean shutdown: ack line, then the process exits on its own.
+    writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(
+        v.get_field("status").and_then(Value::as_str),
+        Some("shutting_down")
+    );
+    drop(writer);
+    drop(reader);
+
+    let status = wait_with_timeout(&mut guard.0, Duration::from_secs(30))
+        .expect("serve exits after shutdown");
+    assert!(status.success(), "serve exited with {status}");
+}
+
+fn wait_with_timeout(child: &mut Child, timeout: Duration) -> Option<std::process::ExitStatus> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if let Ok(Some(status)) = child.try_wait() {
+            return Some(status);
+        }
+        if std::time::Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

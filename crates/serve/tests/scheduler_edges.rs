@@ -1,0 +1,235 @@
+//! Scheduler edge cases: idle steps, budget rejections, cancellation
+//! mid-decode, deadline expiry during chunked prefill, queue backpressure,
+//! and priority ordering.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use infuserki_nn::{ModelConfig, NoHook, TransformerLm};
+use infuserki_serve::{
+    GenerateSpec, McqSpec, Outcome, RejectReason, Request, RequestKind, Response, Scheduler,
+    ServeConfig,
+};
+use infuserki_tensor::kernels;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn model() -> TransformerLm {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    TransformerLm::new(ModelConfig::tiny(30), &mut rng)
+}
+
+fn gen(prompt: Vec<usize>, max_new: usize) -> RequestKind {
+    RequestKind::Generate(GenerateSpec::greedy(prompt, max_new, None))
+}
+
+fn submit(sched: &mut Scheduler<'_>, id: u64, kind: RequestKind) -> mpsc::Receiver<Response> {
+    let (tx, rx) = mpsc::channel();
+    sched.enqueue(Request::new(id, kind, tx));
+    rx
+}
+
+#[test]
+fn empty_queue_step_is_an_idle_no_op() {
+    let m = model();
+    let mut sched = Scheduler::new(&m, &NoHook, ServeConfig::default()).unwrap();
+    for _ in 0..3 {
+        let report = sched.step();
+        assert!(!report.ran_forward);
+        assert_eq!(report.active_lanes, 0);
+        assert_eq!(report.queue_depth, 0);
+    }
+    assert!(!sched.has_work());
+    assert_eq!(sched.snapshot().idle_steps, 3);
+}
+
+#[test]
+fn request_larger_than_whole_budget_is_rejected_not_hung() {
+    let m = model();
+    let cfg = ServeConfig {
+        kv_budget_rows: 4,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+    // Needs min(3 + 10, 32) = 13 rows against a 4-row budget.
+    let rx = submit(&mut sched, 0, gen(vec![1, 2, 3], 10));
+    match rx.try_recv().unwrap().outcome {
+        Outcome::Rejected(RejectReason::BudgetExceeded { cost, budget }) => {
+            assert_eq!(cost, 13);
+            assert_eq!(budget, 4);
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    // The scheduler stays healthy: an admissible request still runs.
+    let rx = submit(&mut sched, 1, gen(vec![1], 2));
+    sched.run_until_idle();
+    assert!(matches!(
+        rx.try_recv().unwrap().outcome,
+        Outcome::Generated { .. }
+    ));
+}
+
+#[test]
+fn oversized_mcq_is_rejected_with_budget_breakdown() {
+    let m = model();
+    let cfg = ServeConfig {
+        kv_budget_rows: 8,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+    // Prompt lane 4 rows + two branches of 4+2-1=5 rows = 14 > 8.
+    let rx = submit(
+        &mut sched,
+        0,
+        RequestKind::Mcq(McqSpec {
+            prompt: vec![1, 2, 3, 4],
+            options: vec![vec![5, 6], vec![7, 8]],
+        }),
+    );
+    assert!(matches!(
+        rx.try_recv().unwrap().outcome,
+        Outcome::Rejected(RejectReason::BudgetExceeded {
+            cost: 14,
+            budget: 8
+        })
+    ));
+}
+
+#[test]
+fn cancellation_mid_decode_retires_the_lane() {
+    kernels::set_num_threads(1);
+    let m = model();
+    let mut sched = Scheduler::new(&m, &NoHook, ServeConfig::default()).unwrap();
+    let (tx, rx) = mpsc::channel();
+    let req = Request::new(0, gen(vec![1, 2], 20), tx);
+    let cancel = req.cancel.clone();
+    sched.enqueue(req);
+    // Admit + prefill, then at least one decode step.
+    sched.step();
+    sched.step();
+    assert!(rx.try_recv().is_err(), "request should still be running");
+    cancel.cancel();
+    sched.step();
+    assert_eq!(rx.try_recv().unwrap().outcome, Outcome::Cancelled);
+    assert!(!sched.has_work(), "cancelled lane must leave the batch");
+    assert_eq!(sched.snapshot().cancelled, 1);
+}
+
+#[test]
+fn cancellation_while_queued_never_runs() {
+    let m = model();
+    let cfg = ServeConfig {
+        max_batch: 1,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+    let _rx0 = submit(&mut sched, 0, gen(vec![1], 3));
+    let (tx, rx1) = mpsc::channel();
+    let req = Request::new(1, gen(vec![2], 3), tx);
+    let cancel = req.cancel.clone();
+    sched.enqueue(req);
+    cancel.cancel();
+    sched.run_until_idle();
+    assert_eq!(rx1.try_recv().unwrap().outcome, Outcome::Cancelled);
+}
+
+#[test]
+fn deadline_expiry_during_chunked_prefill() {
+    kernels::set_num_threads(1);
+    let m = model();
+    // One-token chunks: a 12-token prompt needs 12 prefill steps, so the
+    // deadline trips while the request is still mid-prefill.
+    let cfg = ServeConfig {
+        prefill_chunk: 1,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+    let (tx, rx) = mpsc::channel();
+    let prompt: Vec<usize> = (1..13).collect();
+    let req = Request::new(0, gen(prompt, 4), tx)
+        .with_deadline(Instant::now() + Duration::from_millis(5));
+    sched.enqueue(req);
+    sched.step(); // admit + first prefill chunk
+    assert!(sched.has_work());
+    std::thread::sleep(Duration::from_millis(10));
+    sched.step(); // sweep sees the expired deadline
+    assert_eq!(rx.try_recv().unwrap().outcome, Outcome::Expired);
+    assert!(!sched.has_work());
+    assert_eq!(sched.snapshot().expired, 1);
+}
+
+#[test]
+fn queue_full_is_typed_backpressure() {
+    let m = model();
+    let cfg = ServeConfig {
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+    let _rx0 = submit(&mut sched, 0, gen(vec![1], 2));
+    let rx1 = submit(&mut sched, 1, gen(vec![2], 2));
+    assert!(matches!(
+        rx1.try_recv().unwrap().outcome,
+        Outcome::Rejected(RejectReason::QueueFull { capacity: 1 })
+    ));
+}
+
+#[test]
+fn priority_beats_arrival_order() {
+    kernels::set_num_threads(1);
+    let m = model();
+    let cfg = ServeConfig {
+        max_batch: 1,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+    let (tx0, rx0) = mpsc::channel();
+    sched.enqueue(Request::new(0, gen(vec![1], 2), tx0));
+    let (tx1, rx1) = mpsc::channel();
+    sched.enqueue(Request::new(1, gen(vec![2], 2), tx1).with_priority(5));
+    // One slot: the high-priority late arrival must finish first.
+    let mut finish_order = Vec::new();
+    while sched.has_work() {
+        sched.step();
+        if finish_order.len() < 2 {
+            if !finish_order.contains(&1) && rx1.try_recv().is_ok() {
+                finish_order.push(1);
+            }
+            if !finish_order.contains(&0) && rx0.try_recv().is_ok() {
+                finish_order.push(0);
+            }
+        }
+    }
+    assert_eq!(finish_order, vec![1, 0]);
+}
+
+#[test]
+fn drain_rejects_queued_but_finishes_running() {
+    kernels::set_num_threads(1);
+    let m = model();
+    let cfg = ServeConfig {
+        max_batch: 1,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+    let rx0 = submit(&mut sched, 0, gen(vec![1], 2));
+    let rx1 = submit(&mut sched, 1, gen(vec![2], 2));
+    sched.step(); // request 0 admitted, request 1 queued
+    sched.begin_drain();
+    sched.reject_queued_for_shutdown();
+    sched.run_until_idle();
+    assert!(matches!(
+        rx0.try_recv().unwrap().outcome,
+        Outcome::Generated { .. }
+    ));
+    assert!(matches!(
+        rx1.try_recv().unwrap().outcome,
+        Outcome::Rejected(RejectReason::ShuttingDown)
+    ));
+    // New submissions during drain are turned away.
+    let rx2 = submit(&mut sched, 2, gen(vec![3], 2));
+    assert!(matches!(
+        rx2.try_recv().unwrap().outcome,
+        Outcome::Rejected(RejectReason::ShuttingDown)
+    ));
+}

@@ -46,6 +46,10 @@
 //! `INFUSERKI_THREADS` env var → `std::thread::available_parallelism()`.
 //! Set either to `1` for strictly single-threaded execution; results are
 //! identical either way (see above), so the knob only trades wall-clock.
+//! The env knob is parsed strictly ([`parse_thread_count`]): `0`, empty and
+//! non-numeric values abort with a clear error instead of silently falling
+//! back, and [`env_thread_count`] is the shared helper the serving config
+//! resolves the same knob through.
 //!
 //! The pre-blocking seed kernels are preserved in [`reference`] as the
 //! correctness oracle for the property-test suite and the before/after
@@ -80,20 +84,61 @@ pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
+/// Environment variable holding the worker-thread count for the matrix
+/// kernels (and, via [`env_thread_count`], the serving subsystem).
+pub const THREADS_ENV: &str = "INFUSERKI_THREADS";
+
+/// Parses a thread-count string as the [`THREADS_ENV`] knob accepts it:
+/// a positive integer. `0`, empty strings and garbage are rejected with a
+/// descriptive error rather than silently falling back — a mistyped knob
+/// should fail loudly, not quietly run on a surprise thread count.
+pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return Err(format!(
+            "{THREADS_ENV} is set but empty; expected a positive integer"
+        ));
+    }
+    match t.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{THREADS_ENV} must be at least 1 (0 worker threads cannot run anything); got `{raw}`"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{THREADS_ENV} must be a positive integer; got `{raw}`"
+        )),
+    }
+}
+
+/// Reads and validates the [`THREADS_ENV`] environment knob: `Ok(None)` when
+/// unset, `Ok(Some(n))` for a valid positive integer, `Err` (with a clear
+/// message) for anything else. The single source of truth shared by the
+/// kernel thread pool and the serve config.
+pub fn env_thread_count() -> Result<Option<usize>, String> {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => parse_thread_count(&v).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!(
+            "{THREADS_ENV} is set to a non-UTF-8 value; expected a positive integer"
+        )),
+    }
+}
+
 /// Worker threads the matrix kernels will use for large products.
+///
+/// # Panics
+/// Panics (once, with a clear message) if [`THREADS_ENV`] is set to `0` or
+/// to anything that is not a positive integer.
 pub fn num_threads() -> usize {
     let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if o != 0 {
         return o;
     }
     static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        if let Ok(v) = std::env::var("INFUSERKI_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.max(1);
-            }
-        }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+    *DEFAULT.get_or_init(|| match env_thread_count() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(e) => panic!("{e}"),
     })
 }
 
@@ -1147,6 +1192,19 @@ mod tests {
         assert_eq!(tanh_fast(100.0), 1.0);
         assert_eq!(tanh_fast(-100.0), -1.0);
         assert!(tanh_fast(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn thread_count_parsing_rejects_zero_and_garbage() {
+        assert_eq!(parse_thread_count("4"), Ok(4));
+        assert_eq!(parse_thread_count(" 16 "), Ok(16));
+        for bad in ["0", "", "  ", "garbage", "-3", "1.5", "1e3", "0x4"] {
+            let err = parse_thread_count(bad).unwrap_err();
+            assert!(
+                err.contains(THREADS_ENV),
+                "error for {bad:?} must name the knob: {err}"
+            );
+        }
     }
 
     #[test]

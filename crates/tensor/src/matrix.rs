@@ -240,6 +240,14 @@ impl Matrix {
             .unwrap_or(self.rows)
     }
 
+    /// Releases spare row capacity, shrinking the allocation to the live
+    /// rows. The KV cache calls this when compacting after retiring
+    /// sequences, so unused decode reservations are actually returned to the
+    /// allocator.
+    pub fn shrink_to_fit(&mut self) {
+        self.data.shrink_to_fit();
+    }
+
     /// Owned column slice `[.., start..end)`.
     ///
     /// # Panics
@@ -410,6 +418,16 @@ mod tests {
             ptr,
             "append within reserve must not move"
         );
+    }
+
+    #[test]
+    fn shrink_to_fit_releases_reservation() {
+        let mut m = Matrix::full(3, 4, 1.0);
+        m.reserve_rows(32);
+        assert!(m.row_capacity() >= 35);
+        m.shrink_to_fit();
+        assert_eq!(m.row_capacity(), 3);
+        assert_eq!(m.row(2), &[1.0; 4]);
     }
 
     #[test]

@@ -8,5 +8,6 @@ pub use infuserki_core as core;
 pub use infuserki_eval as eval;
 pub use infuserki_kg as kg;
 pub use infuserki_nn as nn;
+pub use infuserki_serve as serve;
 pub use infuserki_tensor as tensor;
 pub use infuserki_text as text;

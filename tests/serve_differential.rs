@@ -1,0 +1,305 @@
+//! Differential suite for the continuous-batching serving subsystem: under
+//! randomized arrival, priority, and cancellation schedules — with chunked
+//! prefill and mid-stream admissions/retirements scrambling the batch
+//! composition every step — every completed response must equal running
+//! that request *alone* on the single-sequence sampler path. Bitwise with
+//! serial kernels; MCQ scores within 1e-5 with parallel row-banded kernels
+//! (the same convention as `tests/batch_differential.rs`).
+//!
+//! Hooks with per-sequence state (InfuserKI) and per-layer cache prefixes
+//! (prefix tuning, which makes the KV-row cost accounting nontrivial) are
+//! exercised alongside the bare model.
+//!
+//! The kernel thread override is process-global; this file serializes every
+//! test behind one lock.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Mutex;
+
+use infuserki::baselines::prefix::{PrefixConfig, PrefixTuning};
+use infuserki::core::{InfuserKiConfig, InfuserKiMethod};
+use infuserki::nn::{sampler, LayerHook, ModelConfig, TransformerLm};
+use infuserki::serve::{
+    CancelToken, GenerateSpec, McqSpec, Outcome, Request, RequestKind, Response, Scheduler,
+    ServeConfig,
+};
+use infuserki::tensor::kernels;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const VOCAB: usize = 40;
+
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn base() -> TransformerLm {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    TransformerLm::new(ModelConfig::tiny(VOCAB), &mut rng)
+}
+
+/// Deterministic nonzero nudge so zero-initialized up-projections don't make
+/// the hook a trivial identity.
+fn nudge(p: &mut infuserki::tensor::Param) {
+    for (i, w) in p.data_mut().data_mut().iter_mut().enumerate() {
+        *w += 0.01 * ((i % 7) as f32 - 3.0);
+    }
+}
+
+fn infuserki_hook(b: &TransformerLm) -> InfuserKiMethod {
+    let mut c = InfuserKiConfig::for_model(b.n_layers());
+    c.bottleneck = 4;
+    c.infuser_hidden = 4;
+    c.rc_dim = 8;
+    let mut m = InfuserKiMethod::new(c, b, 5);
+    m.visit_adapters_mut(&mut nudge);
+    m
+}
+
+fn prefix_hook(b: &TransformerLm) -> PrefixTuning {
+    PrefixTuning::new(PrefixConfig::default(), b)
+}
+
+/// One randomized request mix: mostly generates, a third MCQs.
+fn random_kind(rng: &mut ChaCha8Rng) -> RequestKind {
+    if rng.gen_range(0..3) < 2 {
+        let plen = rng.gen_range(1..9);
+        let prompt: Vec<usize> = (0..plen).map(|_| rng.gen_range(0..VOCAB)).collect();
+        let eos = if rng.gen_range(0..3) == 0 {
+            Some(0)
+        } else {
+            None
+        };
+        RequestKind::Generate(GenerateSpec::greedy(prompt, rng.gen_range(1..9), eos))
+    } else {
+        let plen = rng.gen_range(1..7);
+        let prompt: Vec<usize> = (0..plen).map(|_| rng.gen_range(0..VOCAB)).collect();
+        let n_opts = rng.gen_range(2..5);
+        let options: Vec<Vec<usize>> = (0..n_opts)
+            .map(|_| {
+                let olen = rng.gen_range(1..5);
+                (0..olen).map(|_| rng.gen_range(0..VOCAB)).collect()
+            })
+            .collect();
+        RequestKind::Mcq(McqSpec { prompt, options })
+    }
+}
+
+struct ScheduleResult {
+    kinds: Vec<RequestKind>,
+    outcomes: Vec<Outcome>,
+    cancelled_ids: Vec<usize>,
+}
+
+/// Drives one randomized arrival/cancellation schedule to completion.
+///
+/// Requests trickle in over many steps (so the batch composition keeps
+/// changing), carry random priorities, and a few get cancelled at
+/// predetermined steps — some while queued, some mid-flight.
+fn run_schedule(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    seed: u64,
+    cfg: ServeConfig,
+    n_requests: usize,
+) -> ScheduleResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let kinds: Vec<RequestKind> = (0..n_requests).map(|_| random_kind(&mut rng)).collect();
+
+    // Each request arrives at a random step; a few are cancelled a couple
+    // of steps after arrival.
+    let arrivals: Vec<usize> = (0..n_requests).map(|_| rng.gen_range(0..12)).collect();
+    let mut cancels: HashMap<usize, usize> = HashMap::new();
+    let mut cancelled_ids = Vec::new();
+    for (id, &arrival) in arrivals.iter().enumerate() {
+        if rng.gen_range(0..5) == 0 {
+            cancels.insert(id, arrival + rng.gen_range(1usize..4));
+            cancelled_ids.push(id);
+        }
+    }
+    let priorities: Vec<i32> = (0..n_requests).map(|_| rng.gen_range(-2..3)).collect();
+
+    let mut sched = Scheduler::new(model, hook, cfg).unwrap();
+    let mut rxs: Vec<Option<Receiver<Response>>> = (0..n_requests).map(|_| None).collect();
+    let mut tokens: Vec<Option<CancelToken>> = (0..n_requests).map(|_| None).collect();
+    let last_arrival = arrivals.iter().copied().max().unwrap();
+    let last_cancel = cancels.values().copied().max().unwrap_or(0);
+    for step in 0..=last_arrival.max(last_cancel) {
+        for (id, &arrival) in arrivals.iter().enumerate() {
+            if arrival == step {
+                let (tx, rx) = std::sync::mpsc::channel();
+                let req =
+                    Request::new(id as u64, kinds[id].clone(), tx).with_priority(priorities[id]);
+                tokens[id] = Some(req.cancel.clone());
+                rxs[id] = Some(rx);
+                sched.enqueue(req);
+            }
+            if cancels.get(&id) == Some(&step) {
+                if let Some(t) = &tokens[id] {
+                    t.cancel();
+                }
+            }
+        }
+        sched.step();
+    }
+    sched.run_until_idle();
+
+    let outcomes: Vec<Outcome> = rxs
+        .into_iter()
+        .enumerate()
+        .map(
+            |(id, rx)| match rx.expect("every request arrived").try_recv() {
+                Ok(resp) => {
+                    assert_eq!(resp.id, id as u64);
+                    resp.outcome
+                }
+                Err(TryRecvError::Empty) => panic!("request {id} never got a response"),
+                Err(TryRecvError::Disconnected) => panic!("request {id} channel died"),
+            },
+        )
+        .collect();
+    ScheduleResult {
+        kinds,
+        outcomes,
+        cancelled_ids,
+    }
+}
+
+/// Every completed outcome must match the single-request sampler path;
+/// cancelled requests may only be Cancelled (or have legitimately finished
+/// before their cancel step fired).
+fn verify(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    result: &ScheduleResult,
+    bitwise: bool,
+    name: &str,
+) {
+    let mut completed = 0usize;
+    for (id, (kind, outcome)) in result.kinds.iter().zip(&result.outcomes).enumerate() {
+        match outcome {
+            Outcome::Generated { tokens } => {
+                completed += 1;
+                let g = match kind {
+                    RequestKind::Generate(g) => g,
+                    _ => panic!("{name}: request {id} kind/outcome mismatch"),
+                };
+                let want = sampler::greedy_decode(model, hook, &g.prompt, g.max_new, g.eos);
+                assert_eq!(*tokens, want, "{name}: request {id} token divergence");
+            }
+            Outcome::McqScored { scores, .. } => {
+                completed += 1;
+                let m = match kind {
+                    RequestKind::Mcq(m) => m,
+                    _ => panic!("{name}: request {id} kind/outcome mismatch"),
+                };
+                let want = sampler::score_options(model, hook, &m.prompt, &m.options);
+                for (oi, (x, y)) in scores.iter().zip(&want).enumerate() {
+                    if bitwise {
+                        assert!(
+                            x.to_bits() == y.to_bits(),
+                            "{name}: request {id} option {oi}: {x} vs {y} (bitwise)"
+                        );
+                    } else {
+                        assert!(
+                            (x - y).abs() <= 1e-5,
+                            "{name}: request {id} option {oi}: {x} vs {y} (1e-5)"
+                        );
+                    }
+                }
+            }
+            Outcome::Cancelled => {
+                assert!(
+                    result.cancelled_ids.contains(&id),
+                    "{name}: request {id} cancelled without a cancel schedule"
+                );
+            }
+            other => panic!("{name}: request {id} unexpected outcome {other:?}"),
+        }
+    }
+    assert!(
+        completed >= result.kinds.len() / 2,
+        "{name}: only {completed}/{} requests completed",
+        result.kinds.len()
+    );
+}
+
+/// Small-knob configs that force chunked prefill, slot contention and
+/// (for the tight-budget variant) head-of-line budget waits.
+fn tight_cfg(prefill_chunk: usize, max_batch: usize, kv_budget_rows: usize) -> ServeConfig {
+    ServeConfig {
+        prefill_chunk,
+        max_batch,
+        kv_budget_rows,
+        queue_capacity: 64,
+        compact_after_retire: true,
+        threads: None,
+    }
+}
+
+#[test]
+fn scheduler_is_bitwise_under_randomized_schedules() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    // Three seeds, three batch shapes — one with a budget tight enough that
+    // admissions must wait for retirements.
+    for (seed, cfg) in [
+        (101u64, tight_cfg(2, 3, 256)),
+        (202, tight_cfg(1, 2, 48)),
+        (303, tight_cfg(5, 4, 256)),
+    ] {
+        let result = run_schedule(&b, &infuserki::nn::NoHook, seed, cfg, 12);
+        verify(&b, &infuserki::nn::NoHook, &result, true, "nohook");
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn scheduler_is_bitwise_with_infuserki_hook_state() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let m = infuserki_hook(&b);
+    let hook = m.hook();
+    // Per-sequence adapter carry + gate statistics: any cross-lane leak in
+    // the continuous batch shows up as a bitwise divergence here.
+    let result = run_schedule(&b, &hook, 404, tight_cfg(3, 3, 256), 10);
+    verify(&b, &hook, &result, true, "infuserki");
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn scheduler_is_bitwise_with_prefix_rows_in_the_budget() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let m = prefix_hook(&b);
+    // Prefix tuning prepends 8 K/V rows to every cached sequence, so the
+    // admission cost accounting (and the tight budget) must include them.
+    let result = run_schedule(&b, &m, 505, tight_cfg(2, 3, 160), 10);
+    verify(&b, &m, &result, true, "prefix");
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn scheduler_scores_close_with_parallel_kernels() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(4);
+    let b = base();
+    let result = run_schedule(&b, &infuserki::nn::NoHook, 606, tight_cfg(2, 3, 256), 10);
+    // At four threads only the MCQ score comparison is meaningful (the
+    // row-banded kernels reassociate sums); greedy token streams are
+    // checked in the serial tests above.
+    for (id, (kind, outcome)) in result.kinds.iter().zip(&result.outcomes).enumerate() {
+        if let (RequestKind::Mcq(m), Outcome::McqScored { scores, .. }) = (kind, outcome) {
+            let want = sampler::score_options(&b, &infuserki::nn::NoHook, &m.prompt, &m.options);
+            for (oi, (x, y)) in scores.iter().zip(&want).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-5,
+                    "request {id} option {oi}: {x} vs {y} (threads 4)"
+                );
+            }
+        }
+    }
+    kernels::set_num_threads(0);
+}
