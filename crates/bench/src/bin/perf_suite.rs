@@ -1,0 +1,243 @@
+//! `perf_suite` — the pinned-size benchmark suite behind CI's
+//! bench-regression gate.
+//!
+//! Three benches, sizes fixed so runs are comparable across commits:
+//!
+//! * `matmul_256` — 256³ parallel blocked matmul, GFLOP/s (best of 5);
+//! * `cached_decode` — single-sequence KV-cached greedy decode on the demo
+//!   model, tokens/s (best of 3);
+//! * `serve_closed_loop` — the continuous-batching scheduler under a
+//!   closed loop of 16 in-flight generate requests, decode tokens/s.
+//!
+//! ```text
+//! perf_suite --write results/bench_baseline.json   # (re-)baseline
+//! perf_suite --check results/bench_baseline.json   # gate: exit 1 on >25% drop
+//! perf_suite --check baseline.json --threshold 0.4
+//! ```
+//!
+//! `--check` fails when any higher-is-better metric falls more than
+//! `threshold` (default 0.25) below the committed baseline. Best-of-N
+//! timing plus a generous threshold keeps the gate usable on noisy shared
+//! CI runners while still catching real order-of-magnitude regressions.
+//! Records are emitted through `infuserki_obs::PerfSuite` (the
+//! machine-readable `BENCH_*.json` hook).
+
+use std::collections::VecDeque;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use infuserki_nn::{sampler, NoHook};
+use infuserki_obs::{PerfRecord, PerfSuite};
+use infuserki_serve::{demo_model, spawn_scheduler, Outcome, ServeConfig};
+use infuserki_tensor::{init, kernels, Matrix};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Value;
+
+fn usage() -> &'static str {
+    "usage: perf_suite (--write PATH | --check BASELINE [--threshold FRAC])"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut write: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut threshold = 0.25f64;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--write" => write = it.next().cloned(),
+            "--check" => check = it.next().cloned(),
+            "--threshold" => {
+                threshold = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--threshold needs a fraction like 0.25");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => {
+                eprintln!("{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if write.is_some() == check.is_some() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let suite = run_suite();
+    println!("{}", suite.to_json());
+
+    if let Some(path) = write {
+        if let Err(e) = suite.write(&path) {
+            eprintln!("perf_suite: failed to write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("perf_suite: baseline written to {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let path = check.expect("one mode is set");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf_suite: cannot read baseline {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match gate(&suite, &baseline, threshold) {
+        Ok(lines) => {
+            for l in lines {
+                eprintln!("{l}");
+            }
+            eprintln!("perf_suite: no regression beyond {:.0}%", threshold * 100.0);
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            for f in failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_suite() -> PerfSuite {
+    let mut suite = PerfSuite::new("perf_suite");
+    suite.push(bench_matmul());
+    suite.push(bench_cached_decode());
+    suite.push(bench_serve_closed_loop());
+    suite
+}
+
+/// 256³ product on the default thread count — the parallel kernel path.
+fn bench_matmul() -> PerfRecord {
+    const N: usize = 256;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let a = init::normal(N, N, 0.5, &mut rng);
+    let b = init::normal(N, N, 0.5, &mut rng);
+    let mut out = Matrix::zeros(N, N);
+    kernels::matmul_into(&a, &b, &mut out, false); // warm-up
+    let flops = (2 * N * N * N) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        kernels::matmul_into(&a, &b, &mut out, false);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(out.get(0, 0));
+    PerfRecord::new("matmul_256")
+        .metric("gflops", flops / best / 1e9)
+        .metric("wall_ms", best * 1e3)
+}
+
+/// Single-sequence KV-cached greedy decode on the demo model.
+fn bench_cached_decode() -> PerfRecord {
+    let model = demo_model();
+    let prompt: Vec<usize> = (1..9).collect();
+    let max_new = 48;
+    sampler::greedy_decode(&model, &NoHook, &prompt, max_new, None); // warm-up
+    let mut best = f64::INFINITY;
+    let mut emitted = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let out = sampler::greedy_decode(&model, &NoHook, &prompt, max_new, None);
+        best = best.min(t0.elapsed().as_secs_f64());
+        emitted = out.len();
+    }
+    PerfRecord::new("cached_decode")
+        .metric("tok_per_s", emitted as f64 / best)
+        .metric("wall_ms", best * 1e3)
+}
+
+/// Closed-loop serving: 16 in-flight greedy requests over 64 total.
+fn bench_serve_closed_loop() -> PerfRecord {
+    const VOCAB: usize = 64;
+    let (load, total) = (16usize, 64usize);
+    let (client, handle) =
+        spawn_scheduler(demo_model(), NoHook, ServeConfig::default()).expect("scheduler spawns");
+    let mut rng = ChaCha8Rng::seed_from_u64(9016);
+    let submit = |rng: &mut ChaCha8Rng| {
+        let plen = rng.gen_range(4usize..24);
+        let prompt: Vec<usize> = (0..plen).map(|_| rng.gen_range(0..VOCAB)).collect();
+        client.generate(prompt, 16, None).expect("submit accepted")
+    };
+    let started = Instant::now();
+    let mut in_flight = VecDeque::new();
+    let mut submitted = 0usize;
+    while submitted < load {
+        in_flight.push_back(submit(&mut rng));
+        submitted += 1;
+    }
+    let mut tokens = 0u64;
+    while let Some(h) = in_flight.pop_front() {
+        match h.wait().expect("scheduler alive") {
+            Outcome::Generated { tokens: t } => tokens += t.len() as u64,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        if submitted < total {
+            in_flight.push_back(submit(&mut rng));
+            submitted += 1;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    handle.shutdown();
+    let snap = client.metrics();
+    PerfRecord::new("serve_closed_loop")
+        .metric("tok_per_s", tokens as f64 / wall)
+        .metric("ttft_p50_ms", snap.ttft_p50_ms)
+        .metric("wall_ms", wall * 1e3)
+}
+
+/// Metrics the gate compares (higher is better). Latency-flavored metrics
+/// in the records are informational only.
+const GATED: &[(&str, &str)] = &[
+    ("matmul_256", "gflops"),
+    ("cached_decode", "tok_per_s"),
+    ("serve_closed_loop", "tok_per_s"),
+];
+
+/// Compares `fresh` against the baseline JSON. `Ok` carries status lines;
+/// `Err` carries one line per regressed metric.
+fn gate(
+    fresh: &PerfSuite,
+    baseline_json: &str,
+    threshold: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let v: Value = match serde_json::from_str(baseline_json) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("baseline does not parse: {e:?}")]),
+    };
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for &(bench, metric) in GATED {
+        let base = v
+            .get_field("benches")
+            .and_then(|b| b.get_field(bench))
+            .and_then(|m| m.get_field(metric))
+            .and_then(Value::as_f64);
+        let Some(base) = base else {
+            bad.push(format!("baseline is missing {bench}.{metric}"));
+            continue;
+        };
+        let Some(now) = fresh.get(bench).and_then(|r| r.get(metric)) else {
+            bad.push(format!("fresh run is missing {bench}.{metric}"));
+            continue;
+        };
+        let floor = base * (1.0 - threshold);
+        let line = format!("{bench}.{metric}: baseline {base:.1}, now {now:.1} (floor {floor:.1})");
+        if now < floor {
+            bad.push(line);
+        } else {
+            ok.push(line);
+        }
+    }
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad)
+    }
+}

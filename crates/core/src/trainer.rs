@@ -8,6 +8,7 @@
 
 use infuserki_nn::optim::{AdamW, AdamWConfig};
 use infuserki_nn::{train_epoch, LmSample, Trainable, TransformerLm};
+use infuserki_obs as obs;
 use infuserki_tensor::{NodeId, Param, Tape};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -109,6 +110,9 @@ pub fn train_infuserki(
 
     // Phase 1: infuser tuning (Eq. 5).
     if ablation.use_infuser && ablation.infuser_pretrain && !data.infuser.is_empty() {
+        obs::set_phase("infuser");
+        let _sp = obs::enabled().then(|| obs::span("train.phase.infuser"));
+        let epoch_loss = obs::global().histogram_with("train.infuser.epoch_loss", loss_buckets);
         let mut opt = AdamW::new(AdamWConfig {
             lr: tc.lr_infuser,
             ..opt_cfg
@@ -116,12 +120,16 @@ pub fn train_infuserki(
         let mut phase = InfuserPhase { base, method };
         for _ in 0..tc.epochs_infuser {
             let loss = train_epoch(&mut phase, &data.infuser, tc.batch, &mut opt, &mut rng);
+            epoch_loss.record(loss as f64);
             report.infuser_losses.push(loss);
         }
     }
 
     // Phase 2: QA training (Eq. 8).
     if !data.qa.is_empty() {
+        obs::set_phase("qa");
+        let _sp = obs::enabled().then(|| obs::span("train.phase.qa"));
+        let epoch_loss = obs::global().histogram_with("train.qa.epoch_loss", loss_buckets);
         let mut opt = AdamW::new(opt_cfg);
         let mut phase = QaPhase {
             base,
@@ -130,21 +138,33 @@ pub fn train_infuserki(
         };
         for _ in 0..tc.epochs_qa {
             let loss = train_epoch(&mut phase, &data.qa, tc.batch, &mut opt, &mut rng);
+            epoch_loss.record(loss as f64);
             report.qa_losses.push(loss);
         }
     }
 
     // Phase 3: RC training (Eq. 9–10).
     if !data.rc.is_empty() && tc.epochs_rc > 0 {
+        obs::set_phase("rc");
+        let _sp = obs::enabled().then(|| obs::span("train.phase.rc"));
+        let epoch_loss = obs::global().histogram_with("train.rc.epoch_loss", loss_buckets);
         let mut opt = AdamW::new(opt_cfg);
         let mut phase = RcPhase { base, method };
         for _ in 0..tc.epochs_rc {
             let loss = train_epoch(&mut phase, &data.rc, tc.batch, &mut opt, &mut rng);
+            epoch_loss.record(loss as f64);
             report.rc_losses.push(loss);
         }
     }
+    obs::set_phase("");
 
     report
+}
+
+/// Loss-value histogram buckets: losses live on a much wider dynamic range
+/// than latencies, so span 1e-4 … ~50k in ×2 steps.
+fn loss_buckets() -> obs::Histogram {
+    obs::Histogram::exponential(1e-4, 2.0, 30)
 }
 
 #[cfg(test)]

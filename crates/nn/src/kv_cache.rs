@@ -24,9 +24,18 @@
 //! [`KvCache::retain_indices`] drops finished sequences in place without
 //! copying the survivors.
 
+use infuserki_obs as obs;
 use infuserki_tensor::Matrix;
 
 use crate::hooks::{HookState, LayerHook};
+
+/// Counts cache branch points (`fork` + `gather`) in the global registry —
+/// one cheap `fetch_add` per branch, so MCQ option-scoring fan-out is
+/// visible in snapshots.
+fn fork_counter() -> &'static std::sync::Arc<obs::Counter> {
+    static C: std::sync::OnceLock<std::sync::Arc<obs::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::global().counter("engine.cache_forks"))
+}
 
 /// Cached projected K/V rows for one attention layer of one sequence.
 #[derive(Clone)]
@@ -140,6 +149,7 @@ impl KvCache {
     /// An independent copy sharing this cache's history — the branch point
     /// for shared-prefix option scoring and beam search.
     pub fn fork(&self) -> KvCache {
+        fork_counter().inc();
         self.clone()
     }
 
@@ -148,6 +158,7 @@ impl KvCache {
     /// branches its prefilled question into four cache sequences at once.
     pub fn gather(&self, indices: &[usize]) -> KvCache {
         assert!(!indices.is_empty(), "gather: empty selection");
+        fork_counter().inc();
         KvCache {
             layers: self
                 .layers

@@ -4,6 +4,7 @@
 use std::fs;
 use std::path::Path;
 
+use infuserki_obs as obs;
 use infuserki_tensor::op::IGNORE_INDEX;
 use infuserki_tensor::{kernels, Matrix, NodeId, Param, SeqBatch, Tape, TensorError};
 use rand::Rng;
@@ -14,6 +15,35 @@ use crate::hooks::{ForwardTrace, LayerHook};
 use crate::kv_cache::KvCache;
 use crate::layers::{Embedding, LayerNorm, Module};
 use crate::ModelConfig;
+
+/// Cached global-registry handles for the incremental engine: every
+/// prefill/decode funnels through [`TransformerLm::extend_cached_batch`],
+/// so this is the one place engine latency and KV occupancy are measured.
+struct EngineMetrics {
+    prefill_ms: std::sync::Arc<obs::Histogram>,
+    decode_ms: std::sync::Arc<obs::Histogram>,
+    prefill_tokens: std::sync::Arc<obs::Counter>,
+    decode_tokens: std::sync::Arc<obs::Counter>,
+    /// Live K/V rows of the most recently advanced cache.
+    kv_rows_live: std::sync::Arc<obs::Gauge>,
+    /// High-water mark of `kv_rows_live` over the process lifetime.
+    kv_rows_peak: std::sync::Arc<obs::Gauge>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static M: std::sync::OnceLock<EngineMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let g = obs::global();
+        EngineMetrics {
+            prefill_ms: g.histogram("engine.prefill_ms"),
+            decode_ms: g.histogram("engine.decode_ms"),
+            prefill_tokens: g.counter("engine.prefill_tokens"),
+            decode_tokens: g.counter("engine.decode_tokens"),
+            kv_rows_live: g.gauge("engine.kv_rows_live"),
+            kv_rows_peak: g.gauge("engine.kv_rows_peak"),
+        }
+    })
+}
 
 /// Decoder-only transformer LM ("SmolLM" in the reproduction's DESIGN.md).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -174,6 +204,16 @@ impl TransformerLm {
             "extend_cached: empty chunk"
         );
         let lens: Vec<usize> = chunks.iter().map(|c| c.as_ref().len()).collect();
+        // One token per sequence = a decode step; anything longer is prefill.
+        let is_decode = lens.iter().all(|&l| l == 1);
+        let _sp = obs::enabled().then(|| {
+            obs::span(if is_decode {
+                "engine.decode_step"
+            } else {
+                "engine.prefill_chunk"
+            })
+        });
+        let t0 = std::time::Instant::now();
         let batch = SeqBatch::from_lens(&lens);
         let mut ids = Vec::with_capacity(batch.total_rows());
         let mut positions = Vec::with_capacity(batch.total_rows());
@@ -205,7 +245,20 @@ impl TransformerLm {
             *t += len;
         }
         let h = self.ln_f.apply(&x);
-        kernels::matmul_bt(&h, self.tok_embed.table().data())
+        let logits = kernels::matmul_bt(&h, self.tok_embed.table().data());
+        let em = engine_metrics();
+        let new_tokens: usize = lens.iter().sum();
+        if is_decode {
+            em.decode_ms.record_duration(t0.elapsed());
+            em.decode_tokens.add(new_tokens as u64);
+        } else {
+            em.prefill_ms.record_duration(t0.elapsed());
+            em.prefill_tokens.add(new_tokens as u64);
+        }
+        let rows = cache.rows_used() as i64;
+        em.kv_rows_live.set(rows);
+        em.kv_rows_peak.set_max(rows);
+        logits
     }
 
     /// Prefills a fresh cache with `tokens` and returns it together with the

@@ -7,6 +7,7 @@
 //! tape, and [`infuserki_tensor::Gradients`] merge by parameter id), and
 //! applies AdamW.
 
+use infuserki_obs as obs;
 use infuserki_tensor::op::IGNORE_INDEX;
 use infuserki_tensor::{Gradients, NodeId, Param, Tape};
 use rand::seq::SliceRandom;
@@ -14,6 +15,33 @@ use rand::Rng;
 use rayon::prelude::*;
 
 use crate::optim::AdamW;
+
+/// Per-step telemetry into the global registry, namespaced by the current
+/// [`obs::phase`] label — `train.qa.step_ms` while the QA phase runs,
+/// `train.step_ms` outside any phase. The post-scale gradient norm is only
+/// computed (an extra pass over every gradient) while tracing is enabled.
+fn record_step(loss: f32, grads: &Gradients, elapsed: std::time::Duration) {
+    let phase = obs::phase();
+    let prefix = if phase.is_empty() {
+        "train".to_string()
+    } else {
+        format!("train.{phase}")
+    };
+    let g = obs::global();
+    g.counter(format!("{prefix}.steps").as_str()).inc();
+    g.histogram(format!("{prefix}.step_ms").as_str())
+        .record_duration(elapsed);
+    g.histogram_with(format!("{prefix}.loss").as_str(), || {
+        obs::Histogram::exponential(1e-4, 2.0, 30)
+    })
+    .record(loss as f64);
+    if obs::enabled() {
+        g.histogram_with(format!("{prefix}.grad_norm").as_str(), || {
+            obs::Histogram::exponential(1e-4, 2.0, 30)
+        })
+        .record(grads.global_norm() as f64);
+    }
+}
 
 /// A model (or model + patch-module combination) that can be trained on
 /// samples of type `Sample`.
@@ -79,9 +107,12 @@ pub fn train_epoch<T: Trainable>(
     let mut total_loss = 0.0f64;
     let mut count = 0usize;
     for chunk in order.chunks(batch_size) {
+        let _sp = obs::enabled().then(|| obs::span("train.step"));
+        let t0 = std::time::Instant::now();
         let (loss_sum, mut grads) = compute_batch_grads(model, samples, chunk);
         grads.scale(1.0 / chunk.len() as f32);
         opt.step(&grads, |f| model.visit_trainable(f));
+        record_step(loss_sum / chunk.len() as f32, &grads, t0.elapsed());
         total_loss += loss_sum as f64;
         count += chunk.len();
     }

@@ -1,0 +1,294 @@
+//! RAII tracing spans recorded into per-thread ring buffers, exported as
+//! Chrome trace-event JSON (loadable in `chrome://tracing` / Perfetto).
+//!
+//! The enable flag is the whole disabled-path cost: [`span`] loads one
+//! relaxed `AtomicBool` and, when tracing is off, returns a guard whose
+//! `Drop` is a no-op — no timestamp, no allocation, no lock. When tracing
+//! is on, each completed span pushes a fixed-size record into its thread's
+//! ring buffer (a bounded, wrapping `Vec`), so long traces keep the most
+//! recent events instead of growing without bound.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json_string;
+
+/// Events kept per thread before the ring wraps (newest win).
+const RING_CAPACITY: usize = 16_384;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether spans are currently being recorded.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The instant all trace timestamps are measured from. Initialised lazily
+/// by the first span so every recorded `ts` is non-negative.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SpanEvent {
+    name: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: Vec<SpanEvent>,
+    /// Next write position; total pushes mod capacity once full.
+    head: usize,
+    wrapped: bool,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            events: Vec::new(),
+            head: 0,
+            wrapped: false,
+        }
+    }
+
+    fn push(&mut self, ev: SpanEvent) {
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(ev);
+            self.head = self.events.len() % RING_CAPACITY;
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.wrapped = true;
+        }
+    }
+
+    /// Events in recording order (oldest surviving first).
+    fn ordered(&self) -> Vec<SpanEvent> {
+        if !self.wrapped {
+            self.events.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.events.len());
+            out.extend_from_slice(&self.events[self.head..]);
+            out.extend_from_slice(&self.events[..self.head]);
+            out
+        }
+    }
+
+    fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.wrapped = false;
+    }
+}
+
+#[derive(Debug)]
+struct ThreadRing {
+    tid: u64,
+    name: String,
+    ring: Mutex<Ring>,
+}
+
+/// Every thread that ever recorded a span registers its ring here, so the
+/// exporter sees rings of threads that have since exited.
+fn all_rings() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_RING: Arc<ThreadRing> = {
+        let mut all = all_rings().lock().unwrap();
+        let tid = all.len() as u64 + 1;
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        let tr = Arc::new(ThreadRing {
+            tid,
+            name,
+            ring: Mutex::new(Ring::new()),
+        });
+        all.push(Arc::clone(&tr));
+        tr
+    };
+}
+
+/// RAII span timer: created by [`span`], records its duration into the
+/// current thread's ring buffer when dropped (if tracing was enabled at
+/// creation).
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `None` when tracing was disabled at creation — drop is then free.
+    start: Option<Instant>,
+}
+
+/// Starts a span named `name`. When tracing is disabled this is one
+/// relaxed atomic load and the returned guard does nothing on drop.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, start: None };
+    }
+    // Touch the epoch before reading the clock so start >= epoch.
+    epoch();
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+        let ev = SpanEvent {
+            name: self.name,
+            start_ns,
+            dur_ns,
+        };
+        LOCAL_RING.with(|tr| tr.ring.lock().unwrap().push(ev));
+    }
+}
+
+/// Discards all recorded spans (rings stay registered).
+pub fn clear_trace() {
+    for tr in all_rings().lock().unwrap().iter() {
+        tr.ring.lock().unwrap().clear();
+    }
+}
+
+/// Renders everything recorded so far as Chrome trace-event JSON:
+/// `{"traceEvents": [...]}` with complete (`"ph":"X"`) events in
+/// microseconds plus a `thread_name` metadata event per thread.
+pub fn chrome_trace_json() -> String {
+    let rings: Vec<Arc<ThreadRing>> = all_rings().lock().unwrap().clone();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push_str(&s);
+        *first = false;
+    };
+    for tr in &rings {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                tr.tid,
+                json_string(&tr.name)
+            ),
+            &mut first,
+        );
+    }
+    let mut events: Vec<(u64, SpanEvent)> = Vec::new();
+    for tr in &rings {
+        for ev in tr.ring.lock().unwrap().ordered() {
+            events.push((tr.tid, ev));
+        }
+    }
+    events.sort_by_key(|(_, ev)| ev.start_ns);
+    for (tid, ev) in events {
+        push(
+            format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":{},\"ts\":{},\"dur\":{}}}",
+                tid,
+                json_string(ev.name),
+                ev.start_ns / 1_000,
+                // Never emit dur 0: chrome://tracing drops zero-width slices.
+                (ev.dur_ns / 1_000).max(1),
+            ),
+            &mut first,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`, creating parent directories.
+pub fn write_chrome_trace(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, chrome_trace_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share process-global state (ENABLED + the rings), so they
+    // serialise on one mutex.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static M: Mutex<()> = Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = guard();
+        clear_trace();
+        set_enabled(false);
+        {
+            let _s = span("invisible");
+        }
+        assert!(!chrome_trace_json().contains("invisible"));
+    }
+
+    #[test]
+    fn enabled_span_appears_in_trace() {
+        let _g = guard();
+        clear_trace();
+        set_enabled(true);
+        {
+            let _s = span("visible.work");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_enabled(false);
+        let json = chrome_trace_json();
+        assert!(json.contains("\"name\":\"visible.work\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        let mut r = Ring::new();
+        for i in 0..(RING_CAPACITY + 10) {
+            r.push(SpanEvent {
+                name: "x",
+                start_ns: i as u64,
+                dur_ns: 1,
+            });
+        }
+        let ord = r.ordered();
+        assert_eq!(ord.len(), RING_CAPACITY);
+        assert_eq!(ord[0].start_ns, 10);
+        assert_eq!(ord.last().unwrap().start_ns, (RING_CAPACITY + 9) as u64);
+    }
+
+    #[test]
+    fn clear_trace_empties_rings() {
+        let _g = guard();
+        set_enabled(true);
+        {
+            let _s = span("to.clear");
+        }
+        set_enabled(false);
+        clear_trace();
+        assert!(!chrome_trace_json().contains("to.clear"));
+    }
+}

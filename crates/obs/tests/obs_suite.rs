@@ -1,0 +1,177 @@
+//! Integration suite for the observability crate: histogram bucket and
+//! quantile correctness, concurrent counter increments, snapshot JSON, and
+//! Chrome-trace well-formedness (parsed with the workspace serde_json
+//! shim — the same parser the serve wire protocol uses).
+
+use std::sync::Arc;
+use std::thread;
+
+use infuserki_obs as obs;
+use serde::Value;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let reg = obs::Registry::new();
+    let c = reg.counter("hammered");
+    let threads = 8;
+    let per_thread = 10_000u64;
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let c = Arc::clone(&c);
+        handles.push(thread::spawn(move || {
+            for _ in 0..per_thread {
+                c.inc();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.get(), threads * per_thread);
+}
+
+#[test]
+fn concurrent_histogram_records_are_lossless() {
+    let reg = obs::Registry::new();
+    let h = reg.histogram_with("lat", || {
+        obs::Histogram::with_bounds(vec![1.0, 2.0, 4.0, 8.0])
+    });
+    let threads = 4;
+    let per_thread = 5_000;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let h = Arc::clone(&h);
+        handles.push(thread::spawn(move || {
+            for i in 0..per_thread {
+                h.record(((t * per_thread + i) % 10) as f64);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = h.summary();
+    assert_eq!(s.count, (threads * per_thread) as u64);
+    // Each thread recorded 0..=9 cyclically: sum = 45 per 10 samples.
+    let expect_sum = (threads * per_thread / 10 * 45) as f64;
+    assert!(
+        (s.sum - expect_sum).abs() < 1e-6,
+        "CAS sum lost updates: {} vs {expect_sum}",
+        s.sum
+    );
+    assert_eq!(s.min, 0.0);
+    assert_eq!(s.max, 9.0);
+}
+
+#[test]
+fn quantiles_track_a_known_distribution() {
+    let h = obs::Histogram::exponential(1.0, 2.0, 12);
+    // 1000 samples uniform on (0, 100]: quantile estimates must land
+    // within the owning power-of-two bucket of the exact value.
+    for i in 1..=1000 {
+        h.record(i as f64 / 10.0);
+    }
+    let p50 = h.quantile(0.5);
+    assert!((32.0..=64.0).contains(&p50), "p50 = {p50}");
+    let p99 = h.quantile(0.99);
+    assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+    assert!(h.quantile(1.0) <= 100.0);
+    assert!(h.quantile(0.0) >= 0.1);
+}
+
+#[test]
+fn snapshot_json_parses_with_workspace_serde() {
+    let reg = obs::Registry::new();
+    reg.counter("serve.completed").add(3);
+    reg.gauge("serve.queue_depth").set(2);
+    reg.histogram("serve.ttft_ms").record(12.5);
+    let json = reg.snapshot().to_json();
+    let v: Value = serde_json::from_str(&json).expect("snapshot JSON parses");
+    assert_eq!(
+        v.get_field("serve.completed").and_then(Value::as_f64),
+        Some(3.0)
+    );
+    assert_eq!(
+        v.get_field("serve.queue_depth").and_then(Value::as_f64),
+        Some(2.0)
+    );
+    let h = v.get_field("serve.ttft_ms").expect("histogram object");
+    assert_eq!(h.get_field("count").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(h.get_field("p50").and_then(Value::as_f64), Some(12.5));
+}
+
+#[test]
+fn chrome_trace_is_well_formed_json() {
+    obs::clear_trace();
+    obs::set_enabled(true);
+    {
+        let _outer = obs::span("suite.outer");
+        for _ in 0..3 {
+            let _inner = obs::span("suite.inner");
+            std::hint::black_box(0u64);
+        }
+    }
+    obs::set_enabled(false);
+    let json = obs::chrome_trace_json();
+    let v: Value = serde_json::from_str(&json).expect("trace JSON parses");
+    let events = match v.get_field("traceEvents") {
+        Some(Value::Array(items)) => items,
+        other => panic!("traceEvents missing/not array: {other:?}"),
+    };
+    let mut slices = 0;
+    let mut metas = 0;
+    for ev in events {
+        match ev.get_field("ph").and_then(Value::as_str) {
+            Some("X") => {
+                slices += 1;
+                // Complete events need ts + dur in µs; dur must be >= 1
+                // so chrome://tracing renders the slice.
+                assert!(ev.get_field("ts").and_then(Value::as_f64).is_some());
+                assert!(ev.get_field("dur").and_then(Value::as_f64).unwrap() >= 1.0);
+                assert!(ev.get_field("name").and_then(Value::as_str).is_some());
+                assert_eq!(ev.get_field("pid").and_then(Value::as_f64), Some(1.0));
+            }
+            Some("M") => {
+                metas += 1;
+                assert_eq!(
+                    ev.get_field("name").and_then(Value::as_str),
+                    Some("thread_name")
+                );
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(slices >= 4, "outer + 3 inner spans, got {slices}");
+    assert!(metas >= 1, "at least this thread's name event");
+}
+
+#[test]
+fn disabled_spans_cost_no_events() {
+    obs::clear_trace();
+    obs::set_enabled(false);
+    for _ in 0..100 {
+        let _s = obs::span("never.recorded");
+    }
+    assert!(!obs::chrome_trace_json().contains("never.recorded"));
+}
+
+#[test]
+fn perf_suite_round_trips_through_serde() {
+    let mut suite = obs::PerfSuite::new("perf_suite");
+    suite.push(
+        obs::PerfRecord::new("matmul_256")
+            .metric("gflops", 42.5)
+            .metric("wall_ms", 1.25),
+    );
+    let v: Value = serde_json::from_str(&suite.to_json()).expect("suite JSON parses");
+    assert_eq!(
+        v.get_field("suite").and_then(Value::as_str),
+        Some("perf_suite")
+    );
+    let gflops = v
+        .get_field("benches")
+        .and_then(|b| b.get_field("matmul_256"))
+        .and_then(|m| m.get_field("gflops"))
+        .and_then(Value::as_f64);
+    assert_eq!(gflops, Some(42.5));
+}

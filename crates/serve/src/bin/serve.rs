@@ -17,6 +17,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use infuserki_nn::{NoHook, TransformerLm};
+use infuserki_obs as obs;
 use infuserki_serve::{demo_model, server, spawn_scheduler, ServeConfig};
 
 struct Args {
@@ -25,13 +26,17 @@ struct Args {
     model: Option<String>,
     demo: bool,
     cfg: ServeConfig,
+    /// Enable tracing spans and write a Chrome trace here at shutdown.
+    trace_out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: serve (--demo | --model PATH) [--host H] [--port P] \
-     [--budget ROWS] [--batch N] [--chunk N] [--queue N] [--threads N]\n\
+     [--budget ROWS] [--batch N] [--chunk N] [--queue N] [--threads N] \
+     [--trace-out PATH]\n\
      --port 0 binds an ephemeral port; the chosen address is printed as\n\
-     `LISTENING <addr>` on stdout."
+     `LISTENING <addr>` on stdout. --trace-out enables tracing spans and\n\
+     writes a chrome://tracing-loadable JSON trace to PATH at shutdown."
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -41,6 +46,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         model: None,
         demo: false,
         cfg: ServeConfig::default(),
+        trace_out: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -65,6 +71,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threads" => {
                 args.cfg.threads = Some(parse_count(&value("--threads")?, "--threads")?);
             }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -95,6 +102,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Spans stay off (one relaxed load per would-be span) unless asked
+    // for — by flag or by INFUSERKI_TRACE in the environment.
+    obs::init_from_env();
+    if args.trace_out.is_some() {
+        obs::set_enabled(true);
+    }
     // Resolve the thread knob before anything binds so a mistyped
     // INFUSERKI_THREADS fails loudly here, not inside a kernel.
     let threads = match args.cfg.apply_threads() {
@@ -149,5 +162,11 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
     sched.shutdown();
+    if let Some(path) = &args.trace_out {
+        match obs::write_chrome_trace(path) {
+            Ok(()) => eprintln!("serve: wrote trace to {path}"),
+            Err(e) => eprintln!("serve: failed to write trace {path}: {e}"),
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -94,7 +94,7 @@ pub struct SubmitOpts {
 pub struct Client {
     tx: Sender<Msg>,
     limits: EngineLimits,
-    metrics: Arc<Mutex<ServeMetrics>>,
+    metrics: Arc<ServeMetrics>,
     next_id: Arc<AtomicU64>,
 }
 
@@ -104,9 +104,14 @@ impl Client {
         &self.limits
     }
 
-    /// Point-in-time metrics snapshot.
+    /// Point-in-time metrics snapshot (lock-free: the handles are atomic).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.lock().unwrap().snapshot()
+        self.metrics.snapshot()
+    }
+
+    /// Shared handle to the scheduler's registry-backed metrics.
+    pub fn metrics_handle(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Submits a request kind, validating synchronously first. The returned

@@ -1,117 +1,183 @@
-//! Serving metrics: counters the scheduler updates every step, and a
-//! derived [`MetricsSnapshot`] serialized to JSON for the `metrics` wire op.
+//! Serving metrics, backed by the shared observability registry
+//! (`infuserki_obs`).
+//!
+//! Every field is an atomic registry handle, so the scheduler updates them
+//! lock-free mid-step and clients snapshot concurrently without a mutex.
+//! Each [`ServeMetrics`] owns its *own* [`obs::Registry`] instance rather
+//! than the process-global one: test suites run many schedulers at once,
+//! and instance registries keep their counters from interleaving. The
+//! wire-facing [`MetricsSnapshot`] keeps its flat JSON shape (the `metrics`
+//! op's contract), now derived from registry values — TTFT/TBT percentiles
+//! come from fixed-bucket histograms instead of a sample reservoir.
 
-use serde::Serialize;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Cap on retained TTFT samples; beyond it the reservoir stops growing
-/// (enough for stable p50/p99 without unbounded memory).
-const TTFT_SAMPLE_CAP: usize = 4096;
+use infuserki_obs as obs;
+use serde::Serialize;
 
-/// Raw counters, owned by the scheduler behind a mutex so clients can
-/// snapshot concurrently.
-#[derive(Debug, Default)]
+/// Registry-backed serving counters, updated by the scheduler and read by
+/// any number of clients. All handles are atomics; no lock is ever taken
+/// on the request path.
+#[derive(Debug)]
 pub struct ServeMetrics {
+    registry: obs::Registry,
     /// Requests handed to the scheduler (accepted into the queue).
-    pub submitted: u64,
+    pub submitted: Arc<obs::Counter>,
     /// Requests admitted into the running batch.
-    pub admitted: u64,
+    pub admitted: Arc<obs::Counter>,
     /// Requests that finished with a successful outcome.
-    pub completed: u64,
-    /// Requests cancelled via their token.
-    pub cancelled: u64,
-    /// Requests whose deadline passed before completion.
-    pub expired: u64,
+    pub completed: Arc<obs::Counter>,
+    /// Requests cancelled after admission (mid-prefill or mid-decode).
+    pub cancelled: Arc<obs::Counter>,
+    /// Requests whose deadline passed after admission.
+    pub expired: Arc<obs::Counter>,
+    /// Requests cancelled while still queued — they never touched the
+    /// batch, so they are counted apart from in-flight cancellations.
+    pub cancelled_queued: Arc<obs::Counter>,
+    /// Requests that expired while still queued (never admitted).
+    pub expired_queued: Arc<obs::Counter>,
     /// Submissions rejected because the queue was full.
-    pub rejected_queue_full: u64,
+    pub rejected_queue_full: Arc<obs::Counter>,
     /// Submissions rejected because they exceed the whole KV budget.
-    pub rejected_budget: u64,
+    pub rejected_budget: Arc<obs::Counter>,
     /// Submissions rejected as invalid.
-    pub rejected_invalid: u64,
+    pub rejected_invalid: Arc<obs::Counter>,
     /// Submissions rejected during shutdown drain.
-    pub rejected_shutdown: u64,
+    pub rejected_shutdown: Arc<obs::Counter>,
     /// Current queue depth.
-    pub queue_depth: usize,
+    pub queue_depth: Arc<obs::Gauge>,
     /// Request slots currently active in the batch.
-    pub active_requests: usize,
+    pub active_requests: Arc<obs::Gauge>,
     /// Cache lanes (sequences) currently live — MCQ branches count each.
-    pub active_lanes: usize,
+    pub active_lanes: Arc<obs::Gauge>,
     /// KV rows currently reserved by admitted requests.
-    pub reserved_rows: usize,
+    pub reserved_rows: Arc<obs::Gauge>,
     /// KV rows currently materialized in the cache.
-    pub kv_rows_used: usize,
+    pub kv_rows_used: Arc<obs::Gauge>,
     /// High-water mark of materialized KV rows.
-    pub kv_rows_peak: usize,
+    pub kv_rows_peak: Arc<obs::Gauge>,
     /// Scheduler steps that ran a forward pass.
-    pub steps: u64,
+    pub steps: Arc<obs::Counter>,
     /// Scheduler steps with nothing to do.
-    pub idle_steps: u64,
+    pub idle_steps: Arc<obs::Counter>,
     /// Prompt/option tokens fed through prefill lanes.
-    pub prefill_tokens: u64,
+    pub prefill_tokens: Arc<obs::Counter>,
     /// Tokens emitted by decode lanes.
-    pub decode_tokens: u64,
+    pub decode_tokens: Arc<obs::Counter>,
     /// Σ over non-idle steps of lanes advanced that step (occupancy).
-    pub occupancy_lane_steps: u64,
-    /// Wall time spent inside non-idle steps.
-    pub busy: Duration,
-    /// Time-to-first-token samples, milliseconds (bounded reservoir).
-    pub ttft_ms: Vec<f64>,
+    pub occupancy_lane_steps: Arc<obs::Counter>,
+    /// Nanoseconds spent inside non-idle steps.
+    pub busy_ns: Arc<obs::Counter>,
+    /// Time-to-first-token distribution, milliseconds.
+    pub ttft_ms: Arc<obs::Histogram>,
+    /// Time-between-tokens distribution, milliseconds: the wall time of
+    /// each scheduler step that advanced at least one decode lane (every
+    /// decode lane emits exactly one token per such step).
+    pub tbt_ms: Arc<obs::Histogram>,
+    /// Per-step wall time (non-idle steps), milliseconds.
+    pub step_ms: Arc<obs::Histogram>,
 }
 
 impl ServeMetrics {
-    /// Records one TTFT observation (dropped once the reservoir is full).
-    pub fn record_ttft(&mut self, d: Duration) {
-        if self.ttft_ms.len() < TTFT_SAMPLE_CAP {
-            self.ttft_ms.push(d.as_secs_f64() * 1e3);
+    /// Builds a fresh instance registry and resolves every handle.
+    pub fn new() -> Self {
+        let registry = obs::Registry::new();
+        let c = |n: &str| registry.counter(n);
+        let g = |n: &str| registry.gauge(n);
+        let h = |n: &str| registry.histogram(n);
+        ServeMetrics {
+            submitted: c("serve.submitted"),
+            admitted: c("serve.admitted"),
+            completed: c("serve.completed"),
+            cancelled: c("serve.cancelled"),
+            expired: c("serve.expired"),
+            cancelled_queued: c("serve.cancelled_queued"),
+            expired_queued: c("serve.expired_queued"),
+            rejected_queue_full: c("serve.rejected.queue_full"),
+            rejected_budget: c("serve.rejected.budget"),
+            rejected_invalid: c("serve.rejected.invalid"),
+            rejected_shutdown: c("serve.rejected.shutdown"),
+            queue_depth: g("serve.queue_depth"),
+            active_requests: g("serve.active_requests"),
+            active_lanes: g("serve.active_lanes"),
+            reserved_rows: g("serve.reserved_rows"),
+            kv_rows_used: g("serve.kv_rows_used"),
+            kv_rows_peak: g("serve.kv_rows_peak"),
+            steps: c("serve.steps"),
+            idle_steps: c("serve.idle_steps"),
+            prefill_tokens: c("serve.prefill_tokens"),
+            decode_tokens: c("serve.decode_tokens"),
+            occupancy_lane_steps: c("serve.occupancy_lane_steps"),
+            busy_ns: c("serve.busy_ns"),
+            ttft_ms: h("serve.ttft_ms"),
+            tbt_ms: h("serve.tbt_ms"),
+            step_ms: h("serve.step_ms"),
+            registry,
         }
+    }
+
+    /// The backing registry (for full-snapshot export, e.g. JSONL dumps).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
+    /// Records one TTFT observation.
+    pub fn record_ttft(&self, d: Duration) {
+        self.ttft_ms.record_duration(d);
     }
 
     /// Derives the exported snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut sorted = self.ttft_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let pct = |p: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
-            }
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
-        };
-        let busy_s = self.busy.as_secs_f64();
+        let ttft = self.ttft_ms.summary();
+        let tbt = self.tbt_ms.summary();
+        let steps = self.steps.get();
+        let busy_s = self.busy_ns.get() as f64 / 1e9;
+        let decode_tokens = self.decode_tokens.get();
         MetricsSnapshot {
-            submitted: self.submitted,
-            admitted: self.admitted,
-            completed: self.completed,
-            cancelled: self.cancelled,
-            expired: self.expired,
-            rejected_queue_full: self.rejected_queue_full,
-            rejected_budget: self.rejected_budget,
-            rejected_invalid: self.rejected_invalid,
-            rejected_shutdown: self.rejected_shutdown,
-            queue_depth: self.queue_depth,
-            active_requests: self.active_requests,
-            active_lanes: self.active_lanes,
-            reserved_rows: self.reserved_rows,
-            kv_rows_used: self.kv_rows_used,
-            kv_rows_peak: self.kv_rows_peak,
-            steps: self.steps,
-            idle_steps: self.idle_steps,
-            prefill_tokens: self.prefill_tokens,
-            decode_tokens: self.decode_tokens,
-            avg_occupancy: if self.steps == 0 {
+            submitted: self.submitted.get(),
+            admitted: self.admitted.get(),
+            completed: self.completed.get(),
+            cancelled: self.cancelled.get(),
+            expired: self.expired.get(),
+            cancelled_queued: self.cancelled_queued.get(),
+            expired_queued: self.expired_queued.get(),
+            rejected_queue_full: self.rejected_queue_full.get(),
+            rejected_budget: self.rejected_budget.get(),
+            rejected_invalid: self.rejected_invalid.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            queue_depth: self.queue_depth.get().max(0) as usize,
+            active_requests: self.active_requests.get().max(0) as usize,
+            active_lanes: self.active_lanes.get().max(0) as usize,
+            reserved_rows: self.reserved_rows.get().max(0) as usize,
+            kv_rows_used: self.kv_rows_used.get().max(0) as usize,
+            kv_rows_peak: self.kv_rows_peak.get().max(0) as usize,
+            steps,
+            idle_steps: self.idle_steps.get(),
+            prefill_tokens: self.prefill_tokens.get(),
+            decode_tokens,
+            avg_occupancy: if steps == 0 {
                 0.0
             } else {
-                self.occupancy_lane_steps as f64 / self.steps as f64
+                self.occupancy_lane_steps.get() as f64 / steps as f64
             },
             decode_tokens_per_sec: if busy_s > 0.0 {
-                self.decode_tokens as f64 / busy_s
+                decode_tokens as f64 / busy_s
             } else {
                 0.0
             },
-            ttft_p50_ms: pct(0.50),
-            ttft_p99_ms: pct(0.99),
-            ttft_samples: sorted.len(),
+            ttft_p50_ms: ttft.p50,
+            ttft_p99_ms: ttft.p99,
+            ttft_samples: ttft.count as usize,
+            tbt_p50_ms: tbt.p50,
+            tbt_p99_ms: tbt.p99,
         }
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
     }
 }
 
@@ -128,6 +194,10 @@ pub struct MetricsSnapshot {
     pub cancelled: u64,
     /// See [`ServeMetrics::expired`].
     pub expired: u64,
+    /// See [`ServeMetrics::cancelled_queued`].
+    pub cancelled_queued: u64,
+    /// See [`ServeMetrics::expired_queued`].
+    pub expired_queued: u64,
     /// See [`ServeMetrics::rejected_queue_full`].
     pub rejected_queue_full: u64,
     /// See [`ServeMetrics::rejected_budget`].
@@ -166,6 +236,10 @@ pub struct MetricsSnapshot {
     pub ttft_p99_ms: f64,
     /// How many TTFT samples back the percentiles.
     pub ttft_samples: usize,
+    /// Median time-between-tokens, milliseconds.
+    pub tbt_p50_ms: f64,
+    /// 99th-percentile time-between-tokens, milliseconds.
+    pub tbt_p99_ms: f64,
 }
 
 impl MetricsSnapshot {
@@ -181,17 +255,28 @@ mod tests {
 
     #[test]
     fn snapshot_derives_percentiles_and_rates() {
-        let mut m = ServeMetrics::default();
+        let m = ServeMetrics::new();
         for ms in [1.0_f64, 2.0, 3.0, 4.0, 100.0] {
-            m.ttft_ms.push(ms);
+            m.ttft_ms.record(ms);
         }
-        m.decode_tokens = 200;
-        m.busy = Duration::from_secs(2);
-        m.steps = 10;
-        m.occupancy_lane_steps = 25;
+        m.decode_tokens.add(200);
+        m.busy_ns.add(2_000_000_000);
+        m.steps.add(10);
+        m.occupancy_lane_steps.add(25);
         let s = m.snapshot();
-        assert_eq!(s.ttft_p50_ms, 3.0);
-        assert_eq!(s.ttft_p99_ms, 100.0);
+        // Histogram quantiles are bucket estimates, not exact order
+        // statistics: p50 must land near the middle samples, p99 near the
+        // outlier.
+        assert!(
+            s.ttft_p50_ms >= 1.0 && s.ttft_p50_ms <= 10.0,
+            "{}",
+            s.ttft_p50_ms
+        );
+        assert!(
+            s.ttft_p99_ms > 10.0 && s.ttft_p99_ms <= 100.0,
+            "{}",
+            s.ttft_p99_ms
+        );
         assert_eq!(s.ttft_samples, 5);
         assert!((s.decode_tokens_per_sec - 100.0).abs() < 1e-9);
         assert!((s.avg_occupancy - 2.5).abs() < 1e-12);
@@ -199,25 +284,47 @@ mod tests {
 
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let s = ServeMetrics::default().snapshot();
+        let s = ServeMetrics::new().snapshot();
         assert_eq!(s.ttft_p50_ms, 0.0);
         assert_eq!(s.decode_tokens_per_sec, 0.0);
         assert_eq!(s.avg_occupancy, 0.0);
+        assert_eq!(s.cancelled_queued, 0);
+        assert_eq!(s.expired_queued, 0);
     }
 
     #[test]
     fn snapshot_serializes_to_json_object() {
-        let j = ServeMetrics::default().snapshot().to_json();
+        let j = ServeMetrics::new().snapshot().to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"decode_tokens_per_sec\""));
+        assert!(j.contains("\"cancelled_queued\""));
+        assert!(j.contains("\"tbt_p50_ms\""));
     }
 
     #[test]
-    fn ttft_reservoir_is_bounded() {
-        let mut m = ServeMetrics::default();
-        for _ in 0..(TTFT_SAMPLE_CAP + 100) {
-            m.record_ttft(Duration::from_millis(1));
-        }
-        assert_eq!(m.ttft_ms.len(), TTFT_SAMPLE_CAP);
+    fn registry_snapshot_carries_the_same_values() {
+        let m = ServeMetrics::new();
+        m.completed.add(3);
+        m.queue_depth.set(2);
+        let snap = m.registry().snapshot();
+        assert_eq!(
+            snap.get("serve.completed"),
+            Some(&obs::MetricValue::Counter(3))
+        );
+        assert_eq!(
+            snap.get("serve.queue_depth"),
+            Some(&obs::MetricValue::Gauge(2))
+        );
+    }
+
+    #[test]
+    fn queued_deaths_are_distinct_from_in_flight_ones() {
+        let m = ServeMetrics::new();
+        m.cancelled.inc();
+        m.cancelled_queued.inc();
+        m.cancelled_queued.inc();
+        let s = m.snapshot();
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.cancelled_queued, 2);
     }
 }

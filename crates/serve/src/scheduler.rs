@@ -40,8 +40,10 @@
 //! trivially equivalent, at the cost of stalling the batch for their
 //! duration.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
+
+use infuserki_obs as obs;
 
 use infuserki_nn::sampler::{argmax, beam_search, option_probabilities};
 use infuserki_nn::{KvCache, LayerHook, TransformerLm};
@@ -213,7 +215,7 @@ pub struct Scheduler<'a> {
     slots: Vec<Option<InFlight>>,
     free_slots: Vec<usize>,
     reserved_rows: usize,
-    metrics: Arc<Mutex<ServeMetrics>>,
+    metrics: Arc<ServeMetrics>,
     draining: bool,
 }
 
@@ -249,7 +251,7 @@ impl<'a> Scheduler<'a> {
             slots,
             free_slots,
             reserved_rows: 0,
-            metrics: Arc::new(Mutex::new(ServeMetrics::default())),
+            metrics: Arc::new(ServeMetrics::new()),
             draining: false,
         })
     }
@@ -259,14 +261,14 @@ impl<'a> Scheduler<'a> {
         &self.limits
     }
 
-    /// Shared handle to the raw metrics.
-    pub fn metrics(&self) -> Arc<Mutex<ServeMetrics>> {
+    /// Shared handle to the raw metrics (all-atomic: no lock to take).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
         Arc::clone(&self.metrics)
     }
 
     /// Point-in-time metrics snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics.lock().unwrap().snapshot()
+        self.metrics.snapshot()
     }
 
     /// Whether stepping would make progress (queued or live work exists).
@@ -289,9 +291,8 @@ impl<'a> Scheduler<'a> {
             e.request
                 .respond(Outcome::Rejected(RejectReason::ShuttingDown));
         }
-        let mut m = self.metrics.lock().unwrap();
-        m.rejected_shutdown += n;
-        m.queue_depth = 0;
+        self.metrics.rejected_shutdown.add(n);
+        self.metrics.queue_depth.set(0);
     }
 
     /// Validates and enqueues a request. Every outcome — including
@@ -300,18 +301,15 @@ impl<'a> Scheduler<'a> {
     pub fn enqueue(&mut self, req: Request) {
         if self.draining {
             req.respond(Outcome::Rejected(RejectReason::ShuttingDown));
-            self.metrics.lock().unwrap().rejected_shutdown += 1;
+            self.metrics.rejected_shutdown.inc();
             return;
         }
         let cost = match self.limits.validate(&req.kind) {
             Ok(c) => c,
             Err(reason) => {
-                {
-                    let mut m = self.metrics.lock().unwrap();
-                    match reason {
-                        RejectReason::BudgetExceeded { .. } => m.rejected_budget += 1,
-                        _ => m.rejected_invalid += 1,
-                    }
+                match reason {
+                    RejectReason::BudgetExceeded { .. } => self.metrics.rejected_budget.inc(),
+                    _ => self.metrics.rejected_invalid.inc(),
                 }
                 req.respond(Outcome::Rejected(reason));
                 return;
@@ -319,12 +317,11 @@ impl<'a> Scheduler<'a> {
         };
         match self.queue.try_push(req, cost) {
             Ok(()) => {
-                let mut m = self.metrics.lock().unwrap();
-                m.submitted += 1;
-                m.queue_depth = self.queue.len();
+                self.metrics.submitted.inc();
+                self.metrics.queue_depth.set(self.queue.len() as i64);
             }
             Err(req) => {
-                self.metrics.lock().unwrap().rejected_queue_full += 1;
+                self.metrics.rejected_queue_full.inc();
                 req.respond(Outcome::Rejected(RejectReason::QueueFull {
                     capacity: self.queue.capacity(),
                 }));
@@ -334,16 +331,17 @@ impl<'a> Scheduler<'a> {
 
     /// Runs one scheduling step (sweep, admit, forward, retire).
     pub fn step(&mut self) -> StepReport {
+        let _sp = obs::enabled().then(|| obs::span("serve.step"));
         let now = Instant::now();
         self.sweep_dead(now);
         let admitted = self.admit(now);
         if self.lanes.is_empty() {
-            let mut m = self.metrics.lock().unwrap();
-            m.idle_steps += 1;
-            m.queue_depth = self.queue.len();
-            m.active_lanes = 0;
-            m.active_requests = 0;
-            m.reserved_rows = self.reserved_rows;
+            let m = &self.metrics;
+            m.idle_steps.inc();
+            m.queue_depth.set(self.queue.len() as i64);
+            m.active_lanes.set(0);
+            m.active_requests.set(0);
+            m.reserved_rows.set(self.reserved_rows as i64);
             return StepReport {
                 ran_forward: false,
                 admitted,
@@ -360,14 +358,15 @@ impl<'a> Scheduler<'a> {
             active_lanes: self.lanes.len(),
             queue_depth: self.queue.len(),
         };
-        let mut m = self.metrics.lock().unwrap();
-        m.queue_depth = self.queue.len();
-        m.active_lanes = self.lanes.len();
-        m.active_requests = self.slots.iter().filter(|s| s.is_some()).count();
-        m.reserved_rows = self.reserved_rows;
-        let used = self.cache.as_ref().map_or(0, KvCache::rows_used);
-        m.kv_rows_used = used;
-        m.kv_rows_peak = m.kv_rows_peak.max(used);
+        let m = &self.metrics;
+        m.queue_depth.set(self.queue.len() as i64);
+        m.active_lanes.set(self.lanes.len() as i64);
+        m.active_requests
+            .set(self.slots.iter().filter(|s| s.is_some()).count() as i64);
+        m.reserved_rows.set(self.reserved_rows as i64);
+        let used = self.cache.as_ref().map_or(0, KvCache::rows_used) as i64;
+        m.kv_rows_used.set(used);
+        m.kv_rows_peak.set_max(used);
         report
     }
 
@@ -405,12 +404,9 @@ impl<'a> Scheduler<'a> {
                 None
             };
             if let Some(outcome) = outcome {
-                {
-                    let mut m = self.metrics.lock().unwrap();
-                    match outcome {
-                        Outcome::Cancelled => m.cancelled += 1,
-                        _ => m.expired += 1,
-                    }
+                match outcome {
+                    Outcome::Cancelled => self.metrics.cancelled.inc(),
+                    _ => self.metrics.expired.inc(),
                 }
                 self.finish_slot(slot, outcome);
                 any_dead = true;
@@ -446,13 +442,15 @@ impl<'a> Scheduler<'a> {
             if head.request.cancel.is_cancelled() {
                 let e = self.queue.pop().unwrap();
                 e.request.respond(Outcome::Cancelled);
-                self.metrics.lock().unwrap().cancelled += 1;
+                // Never touched the batch: counted apart from in-flight
+                // cancellations so queue churn is visible on its own.
+                self.metrics.cancelled_queued.inc();
                 continue;
             }
             if head.request.expired_at(now) {
                 let e = self.queue.pop().unwrap();
                 e.request.respond(Outcome::Expired);
-                self.metrics.lock().unwrap().expired += 1;
+                self.metrics.expired_queued.inc();
                 continue;
             }
             if self.free_slots.is_empty() {
@@ -473,7 +471,7 @@ impl<'a> Scheduler<'a> {
     /// Admits one request: answers trivial and beam requests inline,
     /// otherwise reserves rows and opens a prefill lane.
     fn admit_one(&mut self, req: Request, cost: usize) {
-        self.metrics.lock().unwrap().admitted += 1;
+        self.metrics.admitted.inc();
         match &req.kind {
             RequestKind::Generate(g) => {
                 if g.max_new == 0 || g.prompt.len() >= self.limits.max_seq {
@@ -482,7 +480,7 @@ impl<'a> Scheduler<'a> {
                     // before prefilling).
                     self.record_ttft(&req);
                     req.respond(Outcome::Generated { tokens: Vec::new() });
-                    self.metrics.lock().unwrap().completed += 1;
+                    self.metrics.completed.inc();
                     return;
                 }
                 if g.beam_width > 1 {
@@ -496,7 +494,7 @@ impl<'a> Scheduler<'a> {
                     );
                     self.record_ttft(&req);
                     req.respond(Outcome::Generated { tokens });
-                    self.metrics.lock().unwrap().completed += 1;
+                    self.metrics.completed.inc();
                     return;
                 }
                 self.open_lane(req, cost, LaneRole::GenPrefill { fed: 0 });
@@ -557,6 +555,7 @@ impl<'a> Scheduler<'a> {
     /// One batched forward over every lane, then per-lane bookkeeping.
     /// Returns the number of requests finished.
     fn advance_lanes(&mut self) -> usize {
+        let _sp = obs::enabled().then(|| obs::span("serve.advance_lanes"));
         let t0 = Instant::now();
         let chunks: Vec<Vec<usize>> = self.lanes.iter().map(|l| self.lane_chunk(l)).collect();
         let lens: Vec<usize> = chunks.iter().map(Vec::len).collect();
@@ -765,13 +764,20 @@ impl<'a> Scheduler<'a> {
             "lane list must mirror cache sequences"
         );
 
-        let mut m = self.metrics.lock().unwrap();
-        m.steps += 1;
-        m.occupancy_lane_steps += n_before as u64;
-        m.prefill_tokens += prefill_toks;
-        m.decode_tokens += decode_toks;
-        m.busy += t0.elapsed();
-        m.completed += finished as u64;
+        let m = &self.metrics;
+        let elapsed = t0.elapsed();
+        m.steps.inc();
+        m.occupancy_lane_steps.add(n_before as u64);
+        m.prefill_tokens.add(prefill_toks);
+        m.decode_tokens.add(decode_toks);
+        m.busy_ns.add(elapsed.as_nanos() as u64);
+        m.step_ms.record_duration(elapsed);
+        // Each decode lane emits exactly one token per step it advances,
+        // so the step's wall time is one time-between-tokens observation.
+        if decode_toks > 0 {
+            m.tbt_ms.record_duration(elapsed);
+        }
+        m.completed.add(finished as u64);
         finished
     }
 
@@ -828,10 +834,7 @@ impl<'a> Scheduler<'a> {
     }
 
     fn record_ttft(&self, req: &Request) {
-        self.metrics
-            .lock()
-            .unwrap()
-            .record_ttft(req.submitted_at.elapsed());
+        self.metrics.record_ttft(req.submitted_at.elapsed());
     }
 }
 

@@ -128,12 +128,26 @@ fn loopback_generate_and_mcq_round_trip() {
         v.get_field("status").and_then(Value::as_str),
         Some("metrics")
     );
-    let completed = v
-        .get_field("metrics")
-        .and_then(|m| m.get_field("completed"))
-        .and_then(Value::as_f64)
-        .unwrap();
+    let metrics = v.get_field("metrics").expect("metrics object");
+    let field = |name: &str| -> f64 {
+        metrics
+            .get_field(name)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("metrics field {name} missing in {line}"))
+    };
+    let completed = field("completed");
     assert!(completed >= 2.0, "both requests completed, got {completed}");
+    // Registry-backed values: TTFT percentiles come from the scheduler's
+    // histogram (one sample per finished request) and queue depth from its
+    // gauge — the queue must be empty again after both responses arrived.
+    assert!(
+        field("ttft_samples") >= 2.0,
+        "each request records one TTFT sample"
+    );
+    assert!(field("ttft_p50_ms") > 0.0, "TTFT median must be positive");
+    assert!(field("ttft_p99_ms") >= field("ttft_p50_ms"));
+    assert_eq!(field("queue_depth"), 0.0, "queue drained");
+    assert_eq!(field("cancelled_queued"), 0.0);
 
     // Clean shutdown: ack line, then the process exits on its own.
     writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();

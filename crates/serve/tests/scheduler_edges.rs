@@ -131,6 +131,36 @@ fn cancellation_while_queued_never_runs() {
     cancel.cancel();
     sched.run_until_idle();
     assert_eq!(rx1.try_recv().unwrap().outcome, Outcome::Cancelled);
+    // A queued death is its own metric: the request never touched the
+    // batch, so the generic in-flight counter must stay untouched.
+    let snap = sched.snapshot();
+    assert_eq!(snap.cancelled_queued, 1);
+    assert_eq!(snap.cancelled, 0);
+}
+
+#[test]
+fn expiry_while_queued_counts_apart_from_in_flight_expiry() {
+    kernels::set_num_threads(1);
+    let m = model();
+    let cfg = ServeConfig {
+        max_batch: 1,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
+    // Request 0 occupies the single slot; request 1 waits in the queue
+    // with a deadline that trips before a slot frees.
+    let _rx0 = submit(&mut sched, 0, gen(vec![1], 6));
+    let (tx, rx1) = mpsc::channel();
+    let req = Request::new(1, gen(vec![2], 3), tx)
+        .with_deadline(Instant::now() + Duration::from_millis(1));
+    sched.enqueue(req);
+    std::thread::sleep(Duration::from_millis(5));
+    sched.run_until_idle();
+    assert_eq!(rx1.try_recv().unwrap().outcome, Outcome::Expired);
+    let snap = sched.snapshot();
+    assert_eq!(snap.expired_queued, 1, "died in the queue, not in flight");
+    assert_eq!(snap.expired, 0);
+    assert_eq!(snap.completed, 1, "the running request still finished");
 }
 
 #[test]

@@ -56,6 +56,7 @@
 //! microbenches.
 
 use crate::matrix::Matrix;
+use infuserki_obs as obs;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -166,29 +167,92 @@ fn effective_threads(flops: usize, out_rows: usize) -> usize {
     }
 }
 
+/// Cached handles into the global metrics registry for the dispatch path.
+///
+/// Resolved once (the registry's get-or-create takes a lock); after that
+/// every update is a single relaxed `fetch_add`, cheap enough to keep on
+/// even in the serial fast path.
+struct DispatchMetrics {
+    /// Dispatches that ran on the calling thread (serial fast path).
+    serial: std::sync::Arc<obs::Counter>,
+    /// Dispatches that spawned a banded thread scope.
+    banded: std::sync::Arc<obs::Counter>,
+    /// Band tasks spawned across all banded dispatches.
+    band_tasks: std::sync::Arc<obs::Counter>,
+    /// Σ band busy nanoseconds (only advanced while tracing is enabled).
+    busy_ns: std::sync::Arc<obs::Counter>,
+    /// Σ idle nanoseconds: `threads·wall − Σbusy`, the time worker slots
+    /// spent waiting on the slowest band (only while tracing is enabled).
+    idle_ns: std::sync::Arc<obs::Counter>,
+}
+
+fn dispatch_metrics() -> &'static DispatchMetrics {
+    static M: OnceLock<DispatchMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let g = obs::global();
+        DispatchMetrics {
+            serial: g.counter("kernels.dispatch.serial"),
+            banded: g.counter("kernels.dispatch.banded"),
+            band_tasks: g.counter("kernels.band_tasks"),
+            busy_ns: g.counter("kernels.band_busy_ns"),
+            idle_ns: g.counter("kernels.band_idle_ns"),
+        }
+    })
+}
+
 /// Runs `band_fn(rows, out_band)` over row bands, threaded when worthwhile.
 ///
 /// `out` is the full output buffer (`out_rows × n`, row-major); each band
 /// receives the disjoint slice holding exactly its rows.
+///
+/// Dispatch counts always feed the global metrics registry (one relaxed
+/// `fetch_add` per call); per-band busy/idle timing and the dispatch span
+/// are gated on [`obs::enabled`] so the tracing-off path never reads the
+/// clock.
 fn run_banded<F>(out: &mut [f32], out_rows: usize, n: usize, flops: usize, band_fn: F)
 where
     F: Fn(Range<usize>, &mut [f32]) + Sync,
 {
+    let m = dispatch_metrics();
     let threads = effective_threads(flops, out_rows);
     if threads <= 1 {
+        m.serial.inc();
         band_fn(0..out_rows, out);
         return;
     }
+    m.banded.inc();
     let bands = row_bands(out_rows, threads);
+    m.band_tasks.add(bands.len() as u64);
+    let traced = obs::enabled();
+    let _sp = traced.then(|| obs::span("kernels.banded_dispatch"));
+    let t0 = traced.then(std::time::Instant::now);
+    let busy_ns = std::sync::atomic::AtomicU64::new(0);
+    let n_bands = bands.len();
     std::thread::scope(|scope| {
         let mut rest = out;
         let band_fn = &band_fn;
+        let busy_ns = &busy_ns;
         for band in bands {
             let (chunk, tail) = rest.split_at_mut(band.len() * n);
             rest = tail;
-            scope.spawn(move || band_fn(band, chunk));
+            scope.spawn(move || {
+                if traced {
+                    let b0 = std::time::Instant::now();
+                    band_fn(band, chunk);
+                    busy_ns.fetch_add(b0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                } else {
+                    band_fn(band, chunk);
+                }
+            });
         }
     });
+    if let Some(t0) = t0 {
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let busy = busy_ns.load(Ordering::Relaxed);
+        m.busy_ns.add(busy);
+        m.idle_ns
+            .add((wall_ns * n_bands as u64).saturating_sub(busy));
+    }
 }
 
 // ---- a @ b -----------------------------------------------------------------
