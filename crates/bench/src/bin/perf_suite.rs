@@ -7,7 +7,10 @@
 //! * `cached_decode` — single-sequence KV-cached greedy decode on the demo
 //!   model, tokens/s (best of 3);
 //! * `serve_closed_loop` — the continuous-batching scheduler under a
-//!   closed loop of 16 in-flight generate requests, decode tokens/s.
+//!   closed loop of 16 in-flight generate requests, decode tokens/s;
+//! * `prefix_sweep` — the same closed loop with every prompt cut from three
+//!   shared 40-token templates, so most prefills adopt paged-KV blocks from
+//!   the radix prefix cache instead of recomputing them, tokens/s.
 //!
 //! ```text
 //! perf_suite --write results/bench_baseline.json   # (re-)baseline
@@ -110,6 +113,7 @@ fn run_suite() -> PerfSuite {
     suite.push(bench_matmul());
     suite.push(bench_cached_decode());
     suite.push(bench_serve_closed_loop());
+    suite.push(bench_prefix_sweep());
     suite
 }
 
@@ -192,12 +196,62 @@ fn bench_serve_closed_loop() -> PerfRecord {
         .metric("wall_ms", wall * 1e3)
 }
 
+/// Closed-loop serving over shared prompt templates: 8 in flight, 48 total,
+/// every prompt a 40-token template plus a short unique suffix. Throughput
+/// here rides on the prefix cache — losing block adoption (or re-prefilling
+/// full templates) tanks tok/s well past the gate threshold.
+fn bench_prefix_sweep() -> PerfRecord {
+    const VOCAB: usize = 64;
+    let (load, total) = (8usize, 48usize);
+    let (client, handle) =
+        spawn_scheduler(demo_model(), NoHook, ServeConfig::default()).expect("scheduler spawns");
+    let mut rng = ChaCha8Rng::seed_from_u64(9017);
+    let templates: Vec<Vec<usize>> = (0..3)
+        .map(|_| (0..40).map(|_| rng.gen_range(0..VOCAB)).collect())
+        .collect();
+    let submit = |rng: &mut ChaCha8Rng| {
+        let mut prompt = templates[rng.gen_range(0..templates.len())].clone();
+        for _ in 0..rng.gen_range(1..5) {
+            prompt.push(rng.gen_range(0..VOCAB));
+        }
+        client.generate(prompt, 8, None).expect("submit accepted")
+    };
+    let started = Instant::now();
+    let mut in_flight = VecDeque::new();
+    let mut submitted = 0usize;
+    while submitted < load {
+        in_flight.push_back(submit(&mut rng));
+        submitted += 1;
+    }
+    let mut tokens = 0u64;
+    while let Some(h) = in_flight.pop_front() {
+        match h.wait().expect("scheduler alive") {
+            Outcome::Generated { tokens: t } => tokens += t.len() as u64,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        if submitted < total {
+            in_flight.push_back(submit(&mut rng));
+            submitted += 1;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    handle.shutdown();
+    let snap = client.metrics();
+    let eligible = (snap.prefix_hits + snap.prefix_misses).max(1);
+    PerfRecord::new("prefix_sweep")
+        .metric("tok_per_s", tokens as f64 / wall)
+        .metric("hit_rate", snap.prefix_hits as f64 / eligible as f64)
+        .metric("ttft_p50_ms", snap.ttft_p50_ms)
+        .metric("wall_ms", wall * 1e3)
+}
+
 /// Metrics the gate compares (higher is better). Latency-flavored metrics
 /// in the records are informational only.
 const GATED: &[(&str, &str)] = &[
     ("matmul_256", "gflops"),
     ("cached_decode", "tok_per_s"),
     ("serve_closed_loop", "tok_per_s"),
+    ("prefix_sweep", "tok_per_s"),
 ];
 
 /// Compares `fresh` against the baseline JSON. `Ok` carries status lines;

@@ -1,0 +1,138 @@
+//! Prefix-cache sweep: serving throughput and time-to-first-token as a
+//! function of how much of the offered load shares prompt templates — the
+//! regime the paged-KV radix cache is built for (not a paper artifact).
+//!
+//! Each level draws a fraction of its prompts from a small pool of long
+//! shared templates (plus a short random suffix, so requests are distinct
+//! but block-aligned prefixes collide); the rest are fully random prompts
+//! that never hit. Closed-loop load as in `serve_load`: a fresh scheduler
+//! per level, completions immediately resubmit until the total drains.
+//!
+//! ```text
+//! prefix_sweep                       # default: 0,25,50,75,100% shared
+//! prefix_sweep --total 96 --load 8 --shares 0,50,100
+//! prefix_sweep --no-cache           # same sweep, prefix_cache off (control)
+//! ```
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use infuserki_serve::{demo_model, spawn_scheduler, Outcome, ServeConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const VOCAB: usize = 64;
+const TEMPLATE_LEN: usize = 40;
+const N_TEMPLATES: usize = 3;
+const MAX_NEW: usize = 16;
+
+fn main() {
+    let mut total = 96usize;
+    let mut load = 8usize;
+    let mut shares: Vec<u32> = vec![0, 25, 50, 75, 100];
+    let mut cache = true;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--total" => {
+                i += 1;
+                total = argv[i].parse().unwrap();
+            }
+            "--load" => {
+                i += 1;
+                load = argv[i].parse().unwrap();
+            }
+            "--shares" => {
+                i += 1;
+                shares = argv[i].split(',').map(|s| s.parse().unwrap()).collect();
+            }
+            "--no-cache" => cache = false,
+            other => panic!("unknown arg {other}"),
+        }
+        i += 1;
+    }
+
+    println!(
+        "prefix sweep: demo model, {total} requests per level, load {load}, \
+         {N_TEMPLATES} templates x {TEMPLATE_LEN} tokens, greedy max_new {MAX_NEW}, \
+         prefix_cache {}",
+        if cache { "on" } else { "off" }
+    );
+    println!(
+        "{:>7} {:>9} {:>9} {:>8} {:>12} {:>12} {:>12}",
+        "share%", "hit rate", "hit toks", "evicted", "p50 TTFT ms", "p99 TTFT ms", "wall tok/s"
+    );
+    for &share in &shares {
+        let (hit_rate, hit_tokens, evicted, p50, p99, toks) = run_level(share, total, load, cache);
+        println!(
+            "{share:>7} {hit_rate:>9.2} {hit_tokens:>9} {evicted:>8} {p50:>12.2} {p99:>12.2} {toks:>12.1}"
+        );
+    }
+}
+
+/// Runs one closed-loop level with `share`% of prompts template-derived;
+/// returns (hit rate, hit tokens, blocks evicted, p50 TTFT ms, p99 TTFT ms,
+/// wall tokens/sec).
+fn run_level(share: u32, total: usize, load: usize, cache: bool) -> (f64, u64, u64, f64, f64, f64) {
+    let cfg = ServeConfig {
+        prefix_cache: cache,
+        ..ServeConfig::default()
+    };
+    let (client, handle) =
+        spawn_scheduler(demo_model(), infuserki_nn::NoHook, cfg).expect("scheduler spawns");
+    let mut rng = ChaCha8Rng::seed_from_u64(9100 + share as u64);
+    let templates: Vec<Vec<usize>> = (0..N_TEMPLATES)
+        .map(|_| (0..TEMPLATE_LEN).map(|_| rng.gen_range(0..VOCAB)).collect())
+        .collect();
+    let submit = |rng: &mut ChaCha8Rng| {
+        let mut prompt: Vec<usize> = if rng.gen_range(0u32..100) < share {
+            templates[rng.gen_range(0..N_TEMPLATES)].clone()
+        } else {
+            let plen = rng.gen_range(20..TEMPLATE_LEN + 4);
+            (0..plen).map(|_| rng.gen_range(0..VOCAB)).collect()
+        };
+        for _ in 0..rng.gen_range(1..6) {
+            prompt.push(rng.gen_range(0..VOCAB));
+        }
+        client
+            .generate(prompt, MAX_NEW, None)
+            .expect("submit accepted")
+    };
+
+    let started = Instant::now();
+    let mut in_flight = VecDeque::new();
+    let mut submitted = 0usize;
+    while submitted < total.min(load) {
+        in_flight.push_back(submit(&mut rng));
+        submitted += 1;
+    }
+    let mut completed_tokens = 0u64;
+    while let Some(h) = in_flight.pop_front() {
+        match h.wait().expect("scheduler alive") {
+            Outcome::Generated { tokens } => completed_tokens += tokens.len() as u64,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        if submitted < total {
+            in_flight.push_back(submit(&mut rng));
+            submitted += 1;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    handle.shutdown();
+    let snap = client.metrics();
+    let eligible = snap.prefix_hits + snap.prefix_misses;
+    let hit_rate = if eligible > 0 {
+        snap.prefix_hits as f64 / eligible as f64
+    } else {
+        0.0
+    };
+    (
+        hit_rate,
+        snap.prefix_hit_tokens,
+        snap.blocks_evicted,
+        snap.ttft_p50_ms,
+        snap.ttft_p99_ms,
+        completed_tokens as f64 / wall,
+    )
+}

@@ -421,6 +421,10 @@ impl LayerHook for InfuserKiMethod {
         self.hook().make_state()
     }
 
+    fn prefix_cache_safe(&self) -> bool {
+        self.hook().prefix_cache_safe()
+    }
+
     fn infer_ffn_output(
         &self,
         layer: usize,
@@ -509,6 +513,14 @@ impl LayerHook for InfuserKiHook<'_> {
             m.adapters.len(),
             m.adapters[0].d_model(),
         )))
+    }
+
+    // The infuser state is a pure function of the token prefix: the carry
+    // resets at every `begin_chunk` and the cumulative gate sums depend only
+    // on the tokens already fed, so a snapshot taken after a prefix can be
+    // adopted by any request sharing that prefix.
+    fn prefix_cache_safe(&self) -> bool {
+        true
     }
 
     fn infer_ffn_output(

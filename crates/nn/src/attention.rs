@@ -5,7 +5,8 @@ use infuserki_tensor::{kernels, Matrix, NodeId, Param, SeqBatch, Tape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::kv_cache::LayerKv;
+use crate::block_alloc::BlockPool;
+use crate::kv_cache::SeqKv;
 use crate::layers::{Linear, Module};
 use crate::LayerHook;
 
@@ -77,45 +78,37 @@ impl CausalSelfAttention {
         self.wo.forward(merged, tape)
     }
 
-    /// Incremental tape-free forward: projects only the new chunk `x`
-    /// (`[m, d_model]`), appends its K/V rows to the cache, and attends the
-    /// new queries against the full cached history. With every kernel
-    /// accumulating ascending over the inner dimension and masked scores
-    /// softmaxing to exact zeros, the returned rows are bitwise identical to
-    /// the corresponding rows of a full-sequence tape forward.
-    pub fn forward_incremental(
-        &self,
-        x: &Matrix,
-        hook: &dyn LayerHook,
-        kv: &mut LayerKv,
-    ) -> Matrix {
-        self.forward_batch(
-            x,
-            &SeqBatch::single(x.rows()),
-            hook,
-            std::slice::from_mut(kv),
-        )
-    }
-
-    /// Batched incremental forward: `x` packs one new chunk per sequence
-    /// (layout in `batch`); `kvs[i]` is sequence `i`'s cache for this layer.
+    /// Batched incremental forward over the paged KV pool: `x` packs one new
+    /// chunk per sequence (layout in `batch`); `seqs[i]` is sequence `i`'s
+    /// block table, with the span for this chunk already made writable
+    /// (`SeqKv::prepare_append`); `prefix` is this layer's shared virtual
+    /// prefix K/V panel (empty matrices when the hook provides none).
     ///
     /// The q/k/v/output projections and the hook's q/v deltas are row-local,
     /// so they run once over the packed matrix — per-row bitwise-equal (at
     /// one kernel thread) to projecting each sequence alone. Only the
     /// score/mask/softmax/AV stage mixes rows, and it runs per sequence
-    /// against that sequence's own cache, so batch members cannot attend to
-    /// each other.
+    /// against that sequence's own cached history, so batch members cannot
+    /// attend to each other.
+    ///
+    /// Bitwise contract: scores are assembled panel-per-block
+    /// ([`kernels::matmul_bt_cols_panel`] — each element depends on one Q row
+    /// and one K row only) and the attention·V product folds prefix-then-
+    /// blocks in ascending order through one continued accumulation chain
+    /// ([`kernels::matmul_cols_seg_into`]), so the output rows are
+    /// bit-for-bit what the contiguous-cache kernels produced.
     pub fn forward_batch(
         &self,
         x: &Matrix,
         batch: &SeqBatch,
         hook: &dyn LayerHook,
-        kvs: &mut [LayerKv],
+        pool: &mut BlockPool,
+        seqs: &[SeqKv],
+        prefix: &(Matrix, Matrix),
     ) -> Matrix {
         assert_eq!(
             batch.n_seqs(),
-            kvs.len(),
+            seqs.len(),
             "forward_batch: cache/batch mismatch"
         );
         assert_eq!(batch.total_rows(), x.rows(), "forward_batch: row mismatch");
@@ -128,31 +121,93 @@ impl CausalSelfAttention {
         if let Some(dv) = hook.infer_attn_v_delta(self.layer, x) {
             v.add_assign(&dv);
         }
+        let (pk, pv) = prefix;
+        let prefix_len = pk.rows();
+        let b_rows = pool.block_rows();
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let mut merged = Matrix::zeros(x.rows(), self.n_heads * self.head_dim);
-        for (s, kv) in kvs.iter_mut().enumerate() {
+        for (s, seq) in seqs.iter().enumerate() {
             let rng = batch.range(s);
             let m = rng.len();
-            kv.append(
-                &k.slice_rows(rng.start, rng.end),
-                &v.slice_rows(rng.start, rng.end),
-            );
+            seq.write_chunk(pool, self.layer, &k, &v, rng.start, m);
+            let tokens_after = seq.tokens + m;
             // Columns visible to this chunk's first row: prefix + previously
             // cached tokens — the causal-mask offset of these rows in a full
             // forward over this sequence.
-            let offset = kv.total_rows() - m;
-            // The column-window kernels read each head's slice of packed Q and
-            // of cached K/V in place and write straight into `merged`'s head
-            // window — no per-head copies, and in particular no O(history)
-            // copy of the whole cache per decode step. Bitwise-identical to
-            // slicing first (same ascending fused chain per element).
+            let offset = prefix_len + seq.tokens;
             for h in 0..self.n_heads {
                 let lo = h * self.head_dim;
                 let hi = lo + self.head_dim;
-                let mut scores = kernels::matmul_bt_cols(&q, rng.start, rng.end, &kv.k, lo, hi);
+                let mut scores = Matrix::zeros(m, prefix_len + tokens_after);
+                if prefix_len > 0 {
+                    kernels::matmul_bt_cols_panel(
+                        &q,
+                        rng.start,
+                        rng.end,
+                        pk,
+                        prefix_len,
+                        lo,
+                        hi,
+                        &mut scores,
+                        0,
+                    );
+                }
+                let mut col = prefix_len;
+                for (j, &id) in seq.table.iter().enumerate() {
+                    let filled = b_rows.min(tokens_after - j * b_rows);
+                    let data = pool.block(id);
+                    kernels::matmul_bt_cols_panel(
+                        &q,
+                        rng.start,
+                        rng.end,
+                        &data.k[self.layer],
+                        filled,
+                        lo,
+                        hi,
+                        &mut scores,
+                        col,
+                    );
+                    col += filled;
+                }
                 scores.scale_assign(scale);
                 kernels::softmax_rows_causal_in_place(&mut scores, offset);
-                kernels::matmul_cols_into(&scores, &kv.v, lo, hi, &mut merged, rng.start);
+                // Fold the AV product prefix-then-blocks in ascending order;
+                // the first segment resets `merged`'s head window, the rest
+                // continue the same chain. `m >= 1` guarantees at least one
+                // block, so the reset always fires.
+                let mut accumulate = false;
+                if prefix_len > 0 {
+                    kernels::matmul_cols_seg_into(
+                        &scores,
+                        0,
+                        prefix_len,
+                        pv,
+                        lo,
+                        hi,
+                        &mut merged,
+                        rng.start,
+                        false,
+                    );
+                    accumulate = true;
+                }
+                let mut col = prefix_len;
+                for (j, &id) in seq.table.iter().enumerate() {
+                    let filled = b_rows.min(tokens_after - j * b_rows);
+                    let data = pool.block(id);
+                    kernels::matmul_cols_seg_into(
+                        &scores,
+                        col,
+                        col + filled,
+                        &data.v[self.layer],
+                        lo,
+                        hi,
+                        &mut merged,
+                        rng.start,
+                        accumulate,
+                    );
+                    accumulate = true;
+                    col += filled;
+                }
             }
         }
         self.wo.apply(&merged)

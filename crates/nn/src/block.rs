@@ -5,9 +5,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::attention::CausalSelfAttention;
+use crate::block_alloc::BlockPool;
 use crate::ffn::FeedForward;
 use crate::hooks::{ForwardTrace, HookState, LayerHook};
-use crate::kv_cache::LayerKv;
+use crate::kv_cache::SeqKv;
 use crate::layers::{LayerNorm, Module};
 use crate::ModelConfig;
 
@@ -59,41 +60,29 @@ impl TransformerBlock {
         x
     }
 
-    /// Incremental tape-free forward over a new chunk `x` (`[m, d_model]`),
-    /// reading and extending this layer's KV cache. Mirrors [`Self::forward`]
-    /// operation for operation.
-    pub fn forward_incremental(
-        &self,
-        x: &Matrix,
-        hook: &dyn LayerHook,
-        kv: &mut LayerKv,
-        state: &mut Option<Box<dyn HookState>>,
-    ) -> Matrix {
-        self.forward_batch(
-            x,
-            &SeqBatch::single(x.rows()),
-            hook,
-            std::slice::from_mut(kv),
-            std::slice::from_mut(state),
-        )
-    }
-
     /// Batched incremental forward over packed chunks (layout in `batch`):
     /// LayerNorm, FFN and the residual adds are row-local and run packed;
     /// attention and the sublayer-output hooks dispatch per sequence through
     /// [`CausalSelfAttention::forward_batch`] and the hook's `_batch`
-    /// methods. `kvs`/`states` hold one entry per sequence.
+    /// methods. `seqs`/`states` hold one entry per sequence; `pool` is the
+    /// block pool their tables point into, and `prefix` this layer's shared
+    /// virtual prefix K/V panel.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward_batch(
         &self,
         x: &Matrix,
         batch: &SeqBatch,
         hook: &dyn LayerHook,
-        kvs: &mut [LayerKv],
+        pool: &mut BlockPool,
+        seqs: &[SeqKv],
+        prefix: &(Matrix, Matrix),
         states: &mut [Option<Box<dyn HookState>>],
     ) -> Matrix {
         // Attention sublayer.
         let a_in = self.ln1.apply(x);
-        let a_raw = self.attn.forward_batch(&a_in, batch, hook, kvs);
+        let a_raw = self
+            .attn
+            .forward_batch(&a_in, batch, hook, pool, seqs, prefix);
         let a_out = hook.infer_attn_output_batch(self.layer, &a_in, a_raw, batch, states);
         let mut x = x.clone();
         x.add_assign(&a_out);

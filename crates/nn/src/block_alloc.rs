@@ -1,0 +1,389 @@
+//! Paged KV storage: a pool of fixed-size, ref-counted K/V row blocks.
+//!
+//! [`BlockPool`] owns every KV block in an engine instance. A block spans
+//! `block_rows` token positions across *all* layers at once (`k[layer]` /
+//! `v[layer]`, each `[block_rows, d_model]`), so one [`BlockId`] is the unit
+//! of sharing, refcounting and budget accounting for a token range. Sequences
+//! reference blocks through per-sequence tables ([`crate::KvCache`]); the
+//! radix prefix index ([`crate::PrefixIndex`]) pins full blocks for reuse by
+//! later requests with a matching token prefix.
+//!
+//! Sharing rules, enforced here:
+//!
+//! - a block with more than one reference is immutable — [`BlockPool::block_mut`]
+//!   panics unless `refs == 1`, so every writer must copy-on-write first
+//!   ([`BlockPool::copy_block`]);
+//! - freed blocks keep their storage on a freelist and are handed back by
+//!   [`BlockPool::alloc`] without reallocating (a decode step never touches
+//!   the system allocator once the pool is warm); [`BlockPool::compact`]
+//!   returns freelist storage to the allocator.
+//!
+//! The pool is shared across a scheduler's caches through [`PoolHandle`]
+//! (`Arc<Mutex<_>>`); the engine locks it once per forward pass, so the
+//! mutex is uncontended in practice.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use infuserki_tensor::Matrix;
+
+/// Handle to one pooled KV block. Plain index; only meaningful together with
+/// the pool that issued it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Raw slot index (stable for the block's lifetime).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One block's storage: per-layer K and V panels, each `[block_rows, d_model]`
+/// with only the first `filled` rows valid (fill is tracked by the owning
+/// sequence's token count, not here — every sequence sharing a block agrees
+/// on its fill by construction).
+pub struct BlockData {
+    pub k: Vec<Matrix>,
+    pub v: Vec<Matrix>,
+}
+
+struct Slot {
+    refs: u32,
+    /// `None` while the slot sits on the freelist *after* a [`BlockPool::compact`]
+    /// dropped its storage; re-allocated lazily on reuse.
+    data: Option<BlockData>,
+}
+
+/// Ref-counted pool of fixed-size KV blocks with freelist reuse.
+pub struct BlockPool {
+    n_layers: usize,
+    d_model: usize,
+    block_rows: usize,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live_blocks: usize,
+    peak_blocks: usize,
+}
+
+impl BlockPool {
+    pub fn new(n_layers: usize, d_model: usize, block_rows: usize) -> Self {
+        assert!(block_rows > 0, "BlockPool: block_rows must be nonzero");
+        assert!(n_layers > 0, "BlockPool: need at least one layer");
+        BlockPool {
+            n_layers,
+            d_model,
+            block_rows,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live_blocks: 0,
+            peak_blocks: 0,
+        }
+    }
+
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    fn fresh_data(&self) -> BlockData {
+        BlockData {
+            k: (0..self.n_layers)
+                .map(|_| Matrix::zeros(self.block_rows, self.d_model))
+                .collect(),
+            v: (0..self.n_layers)
+                .map(|_| Matrix::zeros(self.block_rows, self.d_model))
+                .collect(),
+        }
+    }
+
+    /// Allocates a block with `refs == 1`, reusing freelist storage when
+    /// available.
+    pub fn alloc(&mut self) -> BlockId {
+        let id = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("BlockPool: slot overflow");
+                self.slots.push(Slot {
+                    refs: 0,
+                    data: None,
+                });
+                i
+            }
+        };
+        debug_assert_eq!(
+            self.slots[id as usize].refs, 0,
+            "alloc handed out a referenced block"
+        );
+        self.slots[id as usize].refs = 1;
+        if self.slots[id as usize].data.is_none() {
+            let data = self.fresh_data();
+            self.slots[id as usize].data = Some(data);
+        }
+        self.live_blocks += 1;
+        self.peak_blocks = self.peak_blocks.max(self.live_blocks);
+        BlockId(id)
+    }
+
+    /// Adds a reference — how caches share a block on fork/gather and how
+    /// the prefix index pins one.
+    pub fn retain(&mut self, id: BlockId) {
+        let slot = &mut self.slots[id.index()];
+        assert!(slot.refs > 0, "retain of a freed block");
+        slot.refs += 1;
+    }
+
+    /// Drops a reference; at zero the block goes back on the freelist (its
+    /// storage is kept for reuse until [`BlockPool::compact`]).
+    pub fn release(&mut self, id: BlockId) {
+        let slot = &mut self.slots[id.index()];
+        assert!(slot.refs > 0, "release of a freed block (double free)");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            self.free.push(id.0);
+            self.live_blocks -= 1;
+        }
+    }
+
+    /// Current reference count (0 for freed slots).
+    pub fn refs(&self, id: BlockId) -> usize {
+        self.slots[id.index()].refs as usize
+    }
+
+    /// Read access to a live block's panels.
+    pub fn block(&self, id: BlockId) -> &BlockData {
+        let slot = &self.slots[id.index()];
+        assert!(slot.refs > 0, "read of a freed block");
+        slot.data.as_ref().expect("live block lost its storage")
+    }
+
+    /// Write access — exclusively-owned blocks only. Shared blocks are
+    /// immutable by contract; writers copy-on-write via
+    /// [`BlockPool::copy_block`] first.
+    ///
+    /// # Panics
+    /// Panics if `refs != 1`.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BlockData {
+        let slot = &mut self.slots[id.index()];
+        assert!(
+            slot.refs == 1,
+            "mutable access to a block with {} references",
+            slot.refs
+        );
+        slot.data.as_mut().expect("live block lost its storage")
+    }
+
+    /// Copy-on-write: allocates a fresh block and copies `filled` rows of
+    /// every layer's K/V panel from `src`. The source's refcount is
+    /// untouched — the caller swaps its table entry and releases its own
+    /// reference.
+    pub fn copy_block(&mut self, src: BlockId, filled: usize) -> BlockId {
+        assert!(filled <= self.block_rows, "copy_block: fill out of range");
+        assert!(self.refs(src) > 0, "copy_block: source is freed");
+        let dst = self.alloc();
+        if filled > 0 {
+            // Split-borrow via index math: src and dst are distinct slots
+            // (alloc never returns a live id).
+            debug_assert_ne!(src, dst);
+            let (s, d) = if src.index() < dst.index() {
+                let (a, b) = self.slots.split_at_mut(dst.index());
+                (&a[src.index()], &mut b[0])
+            } else {
+                let (a, b) = self.slots.split_at_mut(src.index());
+                (&b[0], &mut a[dst.index()])
+            };
+            let sd = s.data.as_ref().expect("live block lost its storage");
+            let dd = d.data.as_mut().expect("live block lost its storage");
+            for l in 0..self.n_layers {
+                dd.k[l].copy_rows_from(0, &sd.k[l].slice_rows(0, filled));
+                dd.v[l].copy_rows_from(0, &sd.v[l].slice_rows(0, filled));
+            }
+        }
+        dst
+    }
+
+    /// Blocks currently referenced at least once.
+    pub fn live_blocks(&self) -> usize {
+        self.live_blocks
+    }
+
+    /// High-water mark of [`BlockPool::live_blocks`].
+    pub fn peak_blocks(&self) -> usize {
+        self.peak_blocks
+    }
+
+    /// Token rows held by live blocks (capacity-granular: fill is tracked by
+    /// owners).
+    pub fn live_rows(&self) -> usize {
+        self.live_blocks * self.block_rows
+    }
+
+    /// Rows available from the freelist without touching the system
+    /// allocator (freed slots that still hold storage).
+    pub fn free_rows(&self) -> usize {
+        self.free
+            .iter()
+            .filter(|&&i| self.slots[i as usize].data.is_some())
+            .count()
+            * self.block_rows
+    }
+
+    /// Ensures at least `n` freelist blocks have storage ready, so a decode
+    /// loop of known length never reallocates mid-flight.
+    pub fn reserve_free_blocks(&mut self, n: usize) {
+        for i in 0..self.free.len() {
+            let idx = self.free[i] as usize;
+            if self.slots[idx].data.is_none() {
+                self.slots[idx].data = Some(self.fresh_data());
+            }
+        }
+        while self.free.len() < n {
+            let i = u32::try_from(self.slots.len()).expect("BlockPool: slot overflow");
+            self.slots.push(Slot {
+                refs: 0,
+                data: Some(self.fresh_data()),
+            });
+            self.free.push(i);
+        }
+    }
+
+    /// Returns freelist storage to the system allocator (live blocks are
+    /// untouched).
+    pub fn compact(&mut self) {
+        for &i in &self.free {
+            self.slots[i as usize].data = None;
+        }
+    }
+
+    /// Rows the pool's allocations can hold without new system allocation —
+    /// live blocks plus storage-bearing freelist blocks.
+    pub fn allocated_rows(&self) -> usize {
+        self.live_rows() + self.free_rows()
+    }
+}
+
+/// Shared, lockable handle to a [`BlockPool`]. One pool per scheduler (all
+/// its caches and the prefix index share blocks); standalone sampler entry
+/// points get a private pool per cache.
+#[derive(Clone)]
+pub struct PoolHandle {
+    inner: Arc<Mutex<BlockPool>>,
+}
+
+impl PoolHandle {
+    pub fn new(n_layers: usize, d_model: usize, block_rows: usize) -> Self {
+        PoolHandle {
+            inner: Arc::new(Mutex::new(BlockPool::new(n_layers, d_model, block_rows))),
+        }
+    }
+
+    /// Locks the pool. Poisoning is ignored: the pool's invariants are
+    /// maintained per-operation, and cache `Drop` must be able to release
+    /// blocks during unwinding.
+    pub fn lock(&self) -> MutexGuard<'_, BlockPool> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Whether two handles refer to the same pool (block ids are only
+    /// transferable between caches when this holds).
+    pub fn same_pool(&self, other: &PoolHandle) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_reuses_freelist_storage() {
+        let mut p = BlockPool::new(2, 4, 8);
+        let a = p.alloc();
+        let b = p.alloc();
+        assert_eq!(p.live_blocks(), 2);
+        assert_eq!(p.peak_blocks(), 2);
+        p.release(a);
+        assert_eq!(p.live_blocks(), 1);
+        assert_eq!(p.free_rows(), 8);
+        let c = p.alloc();
+        assert_eq!(c, a, "freelist should hand the slot back");
+        assert_eq!(p.live_blocks(), 2);
+        assert_eq!(p.peak_blocks(), 2, "reuse does not raise the peak");
+        p.release(b);
+        p.release(c);
+        assert_eq!(p.live_blocks(), 0);
+    }
+
+    #[test]
+    fn shared_blocks_refuse_mutable_access() {
+        let mut p = BlockPool::new(1, 4, 4);
+        let a = p.alloc();
+        p.retain(a);
+        assert_eq!(p.refs(a), 2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = p.block_mut(a);
+        }));
+        assert!(caught.is_err(), "block_mut must panic on a shared block");
+        p.release(a);
+        p.block_mut(a).k[0].set(0, 0, 1.0);
+        p.release(a);
+    }
+
+    #[test]
+    fn copy_block_copies_filled_rows_only() {
+        let mut p = BlockPool::new(2, 3, 4);
+        let a = p.alloc();
+        for l in 0..2 {
+            let d = p.block_mut(a);
+            d.k[l].set(0, 1, 5.0);
+            d.v[l].set(1, 2, -3.0);
+        }
+        p.retain(a); // simulate a second owner forcing COW
+        let b = p.copy_block(a, 2);
+        assert_eq!(p.refs(a), 2, "copy_block leaves the source refcount alone");
+        assert_eq!(p.refs(b), 1);
+        for l in 0..2 {
+            assert_eq!(p.block(b).k[l].get(0, 1), 5.0);
+            assert_eq!(p.block(b).v[l].get(1, 2), -3.0);
+        }
+        p.release(a);
+        p.release(a);
+        p.release(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_release_panics() {
+        let mut p = BlockPool::new(1, 2, 2);
+        let a = p.alloc();
+        p.release(a);
+        p.release(a);
+    }
+
+    #[test]
+    fn compact_drops_freelist_storage_and_reserve_restores_it() {
+        let mut p = BlockPool::new(1, 4, 8);
+        let a = p.alloc();
+        let b = p.alloc();
+        p.release(a);
+        p.release(b);
+        assert_eq!(p.free_rows(), 16);
+        p.compact();
+        assert_eq!(p.free_rows(), 0);
+        assert_eq!(p.allocated_rows(), 0);
+        p.reserve_free_blocks(3);
+        assert_eq!(p.free_rows(), 24);
+        let c = p.alloc();
+        assert_eq!(p.block(c).k[0].rows(), 8, "reused slot has storage again");
+        p.release(c);
+    }
+}

@@ -170,6 +170,21 @@ pub trait LayerHook: Sync {
         None
     }
 
+    /// Whether cached KV blocks *and hook-state snapshots* taken at a token
+    /// boundary may be adopted by a different request with the same token
+    /// prefix (the serving prefix cache). Safe exactly when the per-sequence
+    /// state after feeding a prefix is a pure function of that prefix — no
+    /// dependence on wall clock, request identity, or cross-sequence
+    /// statistics. Stateless hooks are trivially safe; stateful hooks must
+    /// opt in explicitly after checking that rule (InfuserKI's cross-layer
+    /// carry qualifies: the per-chunk carry resets at `begin_chunk` and the
+    /// cumulative gate statistics are prefix-determined). When this returns
+    /// `false` the scheduler disables cross-request sharing rather than risk
+    /// divergence.
+    fn prefix_cache_safe(&self) -> bool {
+        self.make_state().is_none()
+    }
+
     /// Tape-free counterpart of [`LayerHook::attn_q_delta`].
     fn infer_attn_q_delta(&self, layer: usize, x: &Matrix) -> Option<Matrix> {
         let mut tape = Tape::new();

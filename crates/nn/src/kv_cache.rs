@@ -1,32 +1,35 @@
-//! Per-layer key/value cache for incremental (chunked) decoding of one or
-//! many independent sequences.
+//! Per-sequence block tables over the paged KV pool — the cache handed to
+//! incremental (chunked) decoding of one or many independent sequences.
 //!
-//! A [`KvCache`] stores, per transformer layer and per batched sequence, the
-//! full-width projected key and value rows of every token processed so far —
-//! with any hook-provided prefix-tuning rows written once at the top.
-//! Incremental forward passes ([`crate::TransformerLm::prefill_batch`] /
-//! [`crate::TransformerLm::decode_step_batch`] and their batch-of-1 wrappers)
-//! then attend from only the *new* token rows against each sequence's cached
-//! history, turning an O(n²)-per-token generation loop into O(n) — and
-//! advancing every sequence of a ragged batch in one call.
+//! A [`KvCache`] stores, per batched sequence, a table of [`BlockId`]s into a
+//! shared [`BlockPool`]: block `j` holds the full-width projected K/V rows of
+//! token positions `[j·B, (j+1)·B)` for *every* layer (`B = block_rows`).
+//! Hook-provided prefix-tuning rows are not copied per sequence any more:
+//! they live once in an `Arc` and attention reads them as a virtual panel in
+//! front of every sequence's blocks.
 //!
-//! Keys and values are cached at model width (`[prefix + tokens, d_model]`)
-//! rather than per head: per-head column slicing commutes with row
-//! concatenation, so slicing the cached matrix reproduces the tape path's
-//! per-head `concat_rows(prefix_head, k_head)` bitwise. Sequences never share
-//! K/V storage — attention scores, hook state and token counts are all
-//! per-sequence, so batch members cannot leak into each other.
+//! Sharing is ref-counted at block granularity. [`KvCache::fork`] /
+//! [`KvCache::gather`] add references instead of copying rows, so an MCQ
+//! fan-out shares its prompt's blocks across branches; a branch that appends
+//! into a *partial* shared block copies-on-write first
+//! (`SeqKv::prepare_append`), while *full* shared blocks are immutable and
+//! shared for their lifetime. The serving scheduler's radix prefix index
+//! pins full blocks the same way, which is what lets a new request adopt a
+//! cached prefix and skip its prefill.
 //!
-//! [`KvCache::fork`] clones the cache (including hook state), which is how
-//! shared-prefix MCQ scoring prefills a question once and scores every
-//! option from its own branch; [`KvCache::gather`] is its batched
-//! generalization (select/duplicate sequences into a new cache) and
-//! [`KvCache::retain_indices`] drops finished sequences in place without
-//! copying the survivors.
+//! Bitwise contract: the per-head kernels assemble scores and the attention·V
+//! product block-by-block through single ascending accumulation chains
+//! (`matmul_bt_cols_panel` / `matmul_cols_seg_into`), so a sequence read
+//! through its block table produces bit-for-bit the rows a contiguous cache
+//! produced — sharing changes storage, never arithmetic.
+
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use infuserki_obs as obs;
 use infuserki_tensor::Matrix;
 
+use crate::block_alloc::{BlockId, BlockPool, PoolHandle};
 use crate::hooks::{HookState, LayerHook};
 
 /// Counts cache branch points (`fork` + `gather`) in the global registry —
@@ -37,98 +40,146 @@ fn fork_counter() -> &'static std::sync::Arc<obs::Counter> {
     C.get_or_init(|| obs::global().counter("engine.cache_forks"))
 }
 
-/// Cached projected K/V rows for one attention layer of one sequence.
-#[derive(Clone)]
-pub struct LayerKv {
-    pub(crate) k: Matrix,
-    pub(crate) v: Matrix,
-    pub(crate) prefix_len: usize,
-}
-
-impl LayerKv {
-    /// Appends freshly projected K/V rows for a new chunk of tokens.
-    pub(crate) fn append(&mut self, k_new: &Matrix, v_new: &Matrix) {
-        self.k.append_rows(k_new);
-        self.v.append_rows(v_new);
-    }
-
-    /// Total cached rows (prefix + tokens).
-    pub fn total_rows(&self) -> usize {
-        self.k.rows()
-    }
-
-    /// Number of always-visible prefix-tuning rows at the top.
-    pub fn prefix_len(&self) -> usize {
-        self.prefix_len
-    }
-
-    /// Rows the K/V allocations can hold without reallocating.
-    pub fn row_capacity(&self) -> usize {
-        self.k.row_capacity().min(self.v.row_capacity())
-    }
-
-    /// Reserves room for `extra` more rows in both K and V.
-    pub fn reserve_rows(&mut self, extra: usize) {
-        self.k.reserve_rows(extra);
-        self.v.reserve_rows(extra);
-    }
-
-    /// Returns spare row capacity to the allocator.
-    pub(crate) fn shrink_to_fit(&mut self) {
-        self.k.shrink_to_fit();
-        self.v.shrink_to_fit();
-    }
-}
-
-/// A forkable decoding cache over `n_seqs` independent sequences: one
-/// [`LayerKv`] per (layer, sequence) plus optional per-sequence hook state.
+/// One sequence's view into the pool: its block table and token count.
+/// Block `j` covers token positions `[j·B, (j+1)·B)`; the last block is
+/// partially filled unless `tokens` is a multiple of `B`. Invariant:
+/// `table.len() == ceil(tokens / B)` between forward passes (during a pass,
+/// `prepare_append` extends the table ahead of the writes).
 ///
-/// Layout is layer-major (`layers[layer][seq]`) because the forward pass
-/// walks layers in the outer loop and sequences in the inner one.
+/// Public only because the per-layer forward passes take slices of these;
+/// construction and mutation stay inside the crate.
 #[derive(Clone)]
+pub struct SeqKv {
+    pub(crate) table: Vec<BlockId>,
+    pub(crate) tokens: usize,
+}
+
+impl SeqKv {
+    /// Makes the next `extra` token rows writable: copies-on-write a shared
+    /// partial tail block and allocates fresh blocks to cover
+    /// `tokens + extra`. Full shared blocks are left shared — they are never
+    /// written again.
+    pub(crate) fn prepare_append(&mut self, pool: &mut BlockPool, extra: usize) {
+        if extra == 0 {
+            return;
+        }
+        let b = pool.block_rows();
+        let fill = self.tokens % b;
+        if fill != 0 {
+            let last = *self.table.last().expect("partial fill implies a block");
+            if pool.refs(last) > 1 {
+                let fresh = pool.copy_block(last, fill);
+                pool.release(last);
+                *self.table.last_mut().unwrap() = fresh;
+            }
+        }
+        let need = (self.tokens + extra).div_ceil(b);
+        while self.table.len() < need {
+            let id = pool.alloc();
+            self.table.push(id);
+        }
+    }
+
+    /// Writes `m` freshly projected rows (`src[src0 .. src0+m]` of the packed
+    /// per-chunk K/V) into this sequence's tail blocks for one layer. The
+    /// span must have been made writable by `prepare_append`; `tokens` is
+    /// advanced by the caller once all layers are written.
+    pub(crate) fn write_chunk(
+        &self,
+        pool: &mut BlockPool,
+        layer: usize,
+        k: &Matrix,
+        v: &Matrix,
+        src0: usize,
+        m: usize,
+    ) {
+        let b = pool.block_rows();
+        let mut t = 0usize;
+        while t < m {
+            let g = self.tokens + t;
+            let j = g / b;
+            let r0 = g % b;
+            let n = (b - r0).min(m - t);
+            let data = pool.block_mut(self.table[j]);
+            for i in 0..n {
+                data.k[layer]
+                    .row_mut(r0 + i)
+                    .copy_from_slice(k.row(src0 + t + i));
+                data.v[layer]
+                    .row_mut(r0 + i)
+                    .copy_from_slice(v.row(src0 + t + i));
+            }
+            t += n;
+        }
+    }
+}
+
+/// A forkable decoding cache over `n_seqs` independent sequences: block
+/// tables into a shared [`BlockPool`] plus optional per-sequence hook state.
 pub struct KvCache {
-    pub(crate) layers: Vec<Vec<LayerKv>>,
-    pub(crate) tokens: Vec<usize>,
+    pub(crate) pool: PoolHandle,
+    /// Per-layer hook prefix K/V panels (`[prefix_len, d_model]` each; empty
+    /// matrices when the hook provides none). Shared, never mutated.
+    pub(crate) prefix: Arc<Vec<(Matrix, Matrix)>>,
+    pub(crate) seqs: Vec<SeqKv>,
     pub(crate) states: Vec<Option<Box<dyn HookState>>>,
+    block_rows: usize,
 }
 
 impl KvCache {
-    /// Builds an empty cache for `n_layers` layers and `n_seqs` sequences,
-    /// querying the hook for per-layer prefix K/V rows and per-sequence
-    /// state.
+    /// Builds an empty cache for `n_seqs` sequences over `pool`, querying
+    /// the hook for per-layer prefix K/V rows and per-sequence state.
     pub(crate) fn new(
         n_layers: usize,
         d_model: usize,
         hook: &dyn LayerHook,
         n_seqs: usize,
+        pool: PoolHandle,
     ) -> Self {
         assert!(n_seqs > 0, "KvCache: need at least one sequence");
-        let layers = (0..n_layers)
+        let block_rows = {
+            let p = pool.lock();
+            assert_eq!(p.n_layers(), n_layers, "KvCache: pool layer mismatch");
+            assert_eq!(p.d_model(), d_model, "KvCache: pool width mismatch");
+            p.block_rows()
+        };
+        let prefix = (0..n_layers)
             .map(|l| {
                 let (k, v) = hook
                     .infer_prefix_kv(l)
                     .unwrap_or_else(|| (Matrix::zeros(0, d_model), Matrix::zeros(0, d_model)));
                 assert_eq!(k.shape(), v.shape(), "prefix K/V shape mismatch");
-                let prefix_len = k.rows();
-                (0..n_seqs)
-                    .map(|_| LayerKv {
-                        k: k.clone(),
-                        v: v.clone(),
-                        prefix_len,
-                    })
-                    .collect()
+                (k, v)
             })
             .collect();
         KvCache {
-            layers,
-            tokens: vec![0; n_seqs],
+            pool,
+            prefix: Arc::new(prefix),
+            seqs: (0..n_seqs)
+                .map(|_| SeqKv {
+                    table: Vec::new(),
+                    tokens: 0,
+                })
+                .collect(),
             states: (0..n_seqs).map(|_| hook.make_state()).collect(),
+            block_rows,
         }
     }
 
     /// Number of batched sequences.
     pub fn n_seqs(&self) -> usize {
-        self.tokens.len()
+        self.seqs.len()
+    }
+
+    /// Rows each KV block spans.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// The pool this cache allocates from (shared with every cache absorbed
+    /// into or gathered out of it).
+    pub fn pool_handle(&self) -> PoolHandle {
+        self.pool.clone()
     }
 
     /// Token positions already cached (prefix rows excluded) — batch-of-1
@@ -138,41 +189,89 @@ impl KvCache {
     /// Panics on a multi-sequence cache; use [`KvCache::tokens_of`] there.
     pub fn tokens(&self) -> usize {
         assert_eq!(self.n_seqs(), 1, "tokens() on a batched cache");
-        self.tokens[0]
+        self.seqs[0].tokens
     }
 
     /// Token positions already cached for sequence `i`.
     pub fn tokens_of(&self, i: usize) -> usize {
-        self.tokens[i]
+        self.seqs[i].tokens
+    }
+
+    /// Sequence `i`'s block table, in token order. The serving scheduler
+    /// snapshots full blocks from here into the prefix index.
+    pub fn seq_table(&self, i: usize) -> &[BlockId] {
+        &self.seqs[i].table
+    }
+
+    /// A clone of sequence `i`'s hook state (the prefix index stores these
+    /// alongside cached blocks so stateful hooks can resume mid-sequence).
+    pub fn clone_state(&self, i: usize) -> Option<Box<dyn HookState>> {
+        self.states[i].clone()
+    }
+
+    /// Seeds empty sequence `i` with a cached prefix: `blocks` (full blocks
+    /// covering exactly `tokens` positions) are adopted by reference and the
+    /// hook state snapshot restored. This is the serving-side prefix-cache
+    /// hit: the adopted positions are never re-prefilled.
+    pub fn adopt_prefix(
+        &mut self,
+        i: usize,
+        blocks: &[BlockId],
+        tokens: usize,
+        state: Option<Box<dyn HookState>>,
+    ) {
+        let seq = &mut self.seqs[i];
+        assert_eq!(seq.tokens, 0, "adopt_prefix: sequence already has tokens");
+        assert!(seq.table.is_empty(), "adopt_prefix: sequence has blocks");
+        assert_eq!(
+            tokens,
+            blocks.len() * self.block_rows,
+            "adopt_prefix: only whole blocks can be adopted"
+        );
+        let mut pool = self.pool.lock();
+        for &id in blocks {
+            pool.retain(id);
+        }
+        drop(pool);
+        seq.table.extend_from_slice(blocks);
+        seq.tokens = tokens;
+        self.states[i] = state;
     }
 
     /// An independent copy sharing this cache's history — the branch point
-    /// for shared-prefix option scoring and beam search.
+    /// for shared-prefix option scoring and beam search. Blocks are shared
+    /// by reference (copy-on-write on the next append into a partial tail).
     pub fn fork(&self) -> KvCache {
         fork_counter().inc();
         self.clone()
     }
 
-    /// A new cache whose sequence `j` is a copy of this cache's sequence
+    /// A new cache whose sequence `j` shares this cache's sequence
     /// `indices[j]`. Indices may repeat — scoring four options of one MCQ
-    /// branches its prefilled question into four cache sequences at once.
+    /// branches its prefilled question into four cache sequences at once,
+    /// all referencing the same prompt blocks.
     pub fn gather(&self, indices: &[usize]) -> KvCache {
         assert!(!indices.is_empty(), "gather: empty selection");
         fork_counter().inc();
+        let mut pool = self.pool.lock();
+        for &i in indices {
+            for &id in &self.seqs[i].table {
+                pool.retain(id);
+            }
+        }
+        drop(pool);
         KvCache {
-            layers: self
-                .layers
-                .iter()
-                .map(|seqs| indices.iter().map(|&i| seqs[i].clone()).collect())
-                .collect(),
-            tokens: indices.iter().map(|&i| self.tokens[i]).collect(),
+            pool: self.pool.clone(),
+            prefix: self.prefix.clone(),
+            seqs: indices.iter().map(|&i| self.seqs[i].clone()).collect(),
             states: indices.iter().map(|&i| self.states[i].clone()).collect(),
+            block_rows: self.block_rows,
         }
     }
 
     /// Drops every sequence not listed in `keep` (strictly ascending
-    /// indices), without copying the survivors' K/V storage. Batched greedy
-    /// decoding retires finished sequences this way.
+    /// indices), releasing the dropped sequences' block references. Batched
+    /// greedy decoding retires finished sequences this way.
     pub fn retain_indices(&mut self, keep: &[usize]) {
         assert!(
             keep.windows(2).all(|w| w[0] < w[1]),
@@ -183,86 +282,121 @@ impl KvCache {
             *keep.last().unwrap() < self.n_seqs(),
             "retain_indices: out of range"
         );
-        for layer in &mut self.layers {
-            retain_by_index(layer, keep);
+        let mut pool = self.pool.lock();
+        let mut next = 0usize;
+        for (i, seq) in self.seqs.iter().enumerate() {
+            if next < keep.len() && keep[next] == i {
+                next += 1;
+            } else {
+                for &id in &seq.table {
+                    pool.release(id);
+                }
+            }
         }
-        retain_by_index(&mut self.tokens, keep);
+        drop(pool);
+        retain_by_index(&mut self.seqs, keep);
         retain_by_index(&mut self.states, keep);
     }
 
-    /// Reserves room for `extra` more token rows in every (layer, sequence)
-    /// K/V pair, so a decode loop of known length never reallocates.
+    /// Pre-allocates pool blocks for `extra` more token rows on every
+    /// sequence, so a decode loop of known length never touches the system
+    /// allocator mid-flight.
     pub fn reserve_rows(&mut self, extra: usize) {
-        for layer in &mut self.layers {
-            for kv in layer {
-                kv.reserve_rows(extra);
-            }
-        }
+        let blocks = extra.div_ceil(self.block_rows) * self.n_seqs();
+        self.pool.lock().reserve_free_blocks(blocks);
     }
 
-    /// Minimum row capacity across every (layer, sequence) K/V pair.
+    /// Rows any one sequence could append without new system allocation:
+    /// slack in its tail block plus the pool's ready freelist (minimum over
+    /// sequences).
     pub fn min_row_capacity(&self) -> usize {
-        self.layers
+        let free = self.pool.lock().free_rows();
+        self.seqs
             .iter()
-            .flatten()
-            .map(LayerKv::row_capacity)
+            .map(|s| s.table.len() * self.block_rows - s.tokens + free)
             .min()
             .unwrap_or(0)
     }
 
-    /// Live K/V rows this cache holds (prefix + tokens, summed over
-    /// sequences), reported as the maximum over layers — hooks may prepend
-    /// different prefix lengths per layer, and the widest layer is the one
-    /// that bounds memory. The serving scheduler budgets admissions against
-    /// this number.
+    /// Live K/V rows this cache holds: block-granular (distinct referenced
+    /// blocks × block size — shared blocks count once) plus the widest
+    /// layer's virtual prefix rows per sequence, matching what the serving
+    /// admission accounting charges. The gauge the scheduler exports.
     pub fn rows_used(&self) -> usize {
-        self.layers
+        let max_prefix = self.prefix.iter().map(|(k, _)| k.rows()).max().unwrap_or(0);
+        let distinct: HashSet<BlockId> = self
+            .seqs
             .iter()
-            .map(|seqs| seqs.iter().map(LayerKv::total_rows).sum())
-            .max()
-            .unwrap_or(0)
+            .flat_map(|s| s.table.iter().copied())
+            .collect();
+        distinct.len() * self.block_rows + self.n_seqs() * max_prefix
     }
 
-    /// Rows the current allocations can hold without reallocating (summed
-    /// over sequences, maximum over layers). `rows_capacity() - rows_used()`
-    /// is spare reservation that [`KvCache::compact`] can reclaim.
+    /// Rows the pool's allocations can hold without new system allocation
+    /// (live blocks plus storage-bearing freelist blocks).
+    /// `rows_capacity() - rows_used()` over a private pool is spare
+    /// reservation that [`KvCache::compact`] can reclaim.
     pub fn rows_capacity(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|seqs| seqs.iter().map(LayerKv::row_capacity).sum())
-            .max()
-            .unwrap_or(0)
+        self.pool.lock().allocated_rows()
     }
 
-    /// Releases every sequence's spare K/V reservation back to the
-    /// allocator. [`KvCache::retain_indices`] drops retired sequences'
-    /// storage but leaves survivors' decode reservations in place; a
-    /// scheduler that retires and back-fills continuously calls this so
-    /// freed rows are actually reclaimed rather than accumulating as
-    /// per-sequence slack.
+    /// Returns the pool freelist's storage to the allocator.
+    /// [`KvCache::retain_indices`] frees retired sequences' blocks onto the
+    /// freelist but keeps their storage for reuse; a scheduler that retires
+    /// and back-fills continuously calls this so freed rows are actually
+    /// reclaimed rather than accumulating as freelist slack.
     pub fn compact(&mut self) {
-        for layer in &mut self.layers {
-            for kv in layer {
-                kv.shrink_to_fit();
-            }
-        }
+        self.pool.lock().compact();
     }
 
-    /// Appends every sequence of `other` (same layer count and model width)
-    /// after this cache's sequences, moving the K/V storage without copying.
+    /// Appends every sequence of `other` (same pool, same layer count) after
+    /// this cache's sequences, moving block references without copying rows.
     /// The serving scheduler prefills newcomers into a fresh cache and
     /// absorbs them into the live decode batch this way.
-    pub fn absorb(&mut self, other: KvCache) {
+    pub fn absorb(&mut self, mut other: KvCache) {
+        assert!(
+            self.pool.same_pool(&other.pool),
+            "absorb: caches must share one block pool"
+        );
         assert_eq!(
-            self.layers.len(),
-            other.layers.len(),
+            self.prefix.len(),
+            other.prefix.len(),
             "absorb: layer count mismatch"
         );
-        for (dst, src) in self.layers.iter_mut().zip(other.layers) {
-            dst.extend(src);
+        // Move the references over; `other` drops with empty tables, so the
+        // refcounts transfer rather than decrement.
+        self.seqs.append(&mut other.seqs);
+        self.states.append(&mut other.states);
+    }
+}
+
+impl Clone for KvCache {
+    fn clone(&self) -> Self {
+        let mut pool = self.pool.lock();
+        for seq in &self.seqs {
+            for &id in &seq.table {
+                pool.retain(id);
+            }
         }
-        self.tokens.extend(other.tokens);
-        self.states.extend(other.states);
+        drop(pool);
+        KvCache {
+            pool: self.pool.clone(),
+            prefix: self.prefix.clone(),
+            seqs: self.seqs.clone(),
+            states: self.states.clone(),
+            block_rows: self.block_rows,
+        }
+    }
+}
+
+impl Drop for KvCache {
+    fn drop(&mut self) {
+        let mut pool = self.pool.lock();
+        for seq in &self.seqs {
+            for &id in &seq.table {
+                pool.release(id);
+            }
+        }
     }
 }
 
@@ -285,150 +419,196 @@ mod tests {
     use super::*;
     use crate::hooks::NoHook;
 
-    #[test]
-    fn empty_cache_has_no_rows() {
-        let c = KvCache::new(3, 8, &NoHook, 1);
-        assert_eq!(c.layers.len(), 3);
-        assert_eq!(c.n_seqs(), 1);
-        assert_eq!(c.tokens(), 0);
-        for l in &c.layers {
-            assert_eq!(l[0].total_rows(), 0);
-            assert_eq!(l[0].prefix_len(), 0);
+    fn cache(n_layers: usize, d_model: usize, block_rows: usize, n_seqs: usize) -> KvCache {
+        let pool = PoolHandle::new(n_layers, d_model, block_rows);
+        KvCache::new(n_layers, d_model, &NoHook, n_seqs, pool)
+    }
+
+    /// Appends `m` synthetic token rows to sequence `i` the way a forward
+    /// pass does: prepare, write every layer, advance the token count.
+    fn append(c: &mut KvCache, i: usize, m: usize, fill: f32) {
+        let n_layers = c.prefix.len();
+        let d = {
+            let p = c.pool.lock();
+            p.d_model()
+        };
+        let k = Matrix::full(m, d, fill);
+        let v = Matrix::full(m, d, -fill);
+        let pool = c.pool.clone();
+        let mut pool = pool.lock();
+        c.seqs[i].prepare_append(&mut pool, m);
+        for l in 0..n_layers {
+            c.seqs[i].write_chunk(&mut pool, l, &k, &v, 0, m);
         }
+        drop(pool);
+        c.seqs[i].tokens += m;
     }
 
     #[test]
-    fn append_grows_rows() {
-        let mut c = KvCache::new(1, 4, &NoHook, 1);
-        let k = Matrix::full(2, 4, 1.0);
-        let v = Matrix::full(2, 4, 2.0);
-        c.layers[0][0].append(&k, &v);
-        assert_eq!(c.layers[0][0].total_rows(), 2);
+    fn empty_cache_has_no_rows() {
+        let c = cache(3, 8, 4, 1);
+        assert_eq!(c.n_seqs(), 1);
+        assert_eq!(c.tokens(), 0);
+        assert_eq!(c.rows_used(), 0);
+        assert!(c.seq_table(0).is_empty());
+    }
+
+    #[test]
+    fn append_fills_blocks_and_fork_shares_them() {
+        let mut c = cache(1, 4, 2, 1);
+        append(&mut c, 0, 3, 1.0);
+        assert_eq!(c.tokens(), 3);
+        assert_eq!(c.seq_table(0).len(), 2, "3 tokens at B=2 span 2 blocks");
         let fork = c.fork();
-        c.layers[0][0].append(&k, &v);
-        assert_eq!(c.layers[0][0].total_rows(), 4);
-        assert_eq!(fork.layers[0][0].total_rows(), 2, "fork is independent");
+        {
+            let pool = c.pool.lock();
+            for &id in c.seq_table(0) {
+                assert_eq!(pool.refs(id), 2, "fork shares, not copies");
+            }
+        }
+        // Appending into the shared partial tail copies-on-write; the full
+        // block stays shared.
+        append(&mut c, 0, 1, 2.0);
+        assert_eq!(c.tokens(), 4);
+        assert_eq!(fork.tokens(), 3, "fork is independent");
+        let pool = c.pool.lock();
+        assert_eq!(pool.refs(c.seq_table(0)[0]), 2, "full block still shared");
+        assert_eq!(pool.refs(c.seq_table(0)[1]), 1, "partial tail was COWed");
+        assert_ne!(c.seq_table(0)[1], fork.seq_table(0)[1]);
+        // The COW copied the old fill before the new row landed.
+        assert_eq!(pool.block(c.seq_table(0)[1]).k[0].get(0, 0), 1.0);
+        assert_eq!(pool.block(c.seq_table(0)[1]).k[0].get(1, 0), 2.0);
+        assert_eq!(pool.block(fork.seq_table(0)[1]).k[0].get(0, 0), 1.0);
     }
 
     #[test]
     fn batched_cache_has_independent_sequences() {
-        let mut c = KvCache::new(2, 4, &NoHook, 3);
-        assert_eq!(c.n_seqs(), 3);
-        let k = Matrix::full(1, 4, 1.0);
-        c.layers[0][1].append(&k, &k);
-        assert_eq!(c.layers[0][0].total_rows(), 0);
-        assert_eq!(c.layers[0][1].total_rows(), 1);
-        assert_eq!(c.layers[0][2].total_rows(), 0);
+        let mut c = cache(2, 4, 4, 3);
+        append(&mut c, 1, 1, 1.0);
+        assert_eq!(c.tokens_of(0), 0);
+        assert_eq!(c.tokens_of(1), 1);
+        assert_eq!(c.tokens_of(2), 0);
+        assert_eq!(c.seq_table(0).len(), 0);
+        assert_eq!(c.seq_table(1).len(), 1);
     }
 
     #[test]
-    fn gather_selects_and_duplicates() {
-        let mut c = KvCache::new(1, 4, &NoHook, 2);
-        let k = Matrix::full(2, 4, 1.0);
-        c.layers[0][1].append(&k, &k);
-        c.tokens[1] = 2;
+    fn gather_selects_and_duplicates_by_reference() {
+        let mut c = cache(1, 4, 2, 2);
+        append(&mut c, 1, 2, 1.0);
         let g = c.gather(&[1, 1, 0]);
         assert_eq!(g.n_seqs(), 3);
-        assert_eq!(g.tokens, vec![2, 2, 0]);
-        assert_eq!(g.layers[0][0].total_rows(), 2);
-        assert_eq!(g.layers[0][1].total_rows(), 2);
-        assert_eq!(g.layers[0][2].total_rows(), 0);
+        assert_eq!(g.tokens_of(0), 2);
+        assert_eq!(g.tokens_of(1), 2);
+        assert_eq!(g.tokens_of(2), 0);
+        let pool = c.pool.lock();
+        assert_eq!(
+            pool.refs(c.seq_table(1)[0]),
+            3,
+            "source + two gathered branches"
+        );
+        assert_eq!(pool.live_blocks(), 1, "no rows were copied");
     }
 
     #[test]
-    fn retain_indices_drops_in_place() {
-        let mut c = KvCache::new(1, 4, &NoHook, 4);
-        for (i, t) in c.tokens.iter_mut().enumerate() {
-            *t = i;
+    fn retain_indices_releases_dropped_sequences() {
+        let mut c = cache(1, 4, 2, 4);
+        for i in 0..4 {
+            append(&mut c, i, 2, i as f32);
         }
+        assert_eq!(c.pool.lock().live_blocks(), 4);
         c.retain_indices(&[0, 2]);
         assert_eq!(c.n_seqs(), 2);
-        assert_eq!(c.tokens, vec![0, 2]);
-        assert_eq!(c.layers[0].len(), 2);
+        assert_eq!(c.tokens_of(1), 2);
+        assert_eq!(c.pool.lock().live_blocks(), 2, "dropped blocks were freed");
     }
 
     #[test]
     fn reserve_rows_sets_capacity() {
-        let mut c = KvCache::new(2, 4, &NoHook, 2);
+        let mut c = cache(2, 4, 4, 2);
         assert_eq!(c.min_row_capacity(), 0);
         c.reserve_rows(17);
         assert!(c.min_row_capacity() >= 17);
     }
 
     #[test]
-    fn row_accounting_tracks_live_and_allocated_rows() {
-        let mut c = KvCache::new(2, 4, &NoHook, 3);
+    fn row_accounting_is_block_granular_and_shares_count_once() {
+        let mut c = cache(2, 4, 2, 3);
         assert_eq!(c.rows_used(), 0);
-        let k = Matrix::full(2, 4, 1.0);
-        c.layers[0][0].append(&k, &k);
-        c.layers[0][2].append(&k, &k);
-        c.layers[1][0].append(&k, &k);
-        // Layer 0 holds 4 rows across its sequences, layer 1 only 2; the
-        // accounting reports the widest layer.
+        append(&mut c, 0, 2, 1.0);
+        append(&mut c, 2, 1, 2.0);
+        // 2 blocks live (one full, one partial) — block-granular accounting
+        // rounds the partial one up.
         assert_eq!(c.rows_used(), 4);
+        let g = c.gather(&[0, 0, 2]);
+        assert_eq!(g.rows_used(), 4, "shared blocks count once");
         assert!(c.rows_capacity() >= c.rows_used());
-        c.reserve_rows(8);
-        assert!(c.rows_capacity() >= c.rows_used() + 8);
     }
 
     #[test]
     fn retire_then_compact_reclaims_freed_rows() {
-        let mut c = KvCache::new(2, 4, &NoHook, 3);
-        let k = Matrix::full(4, 4, 1.0);
-        for layer in 0..2 {
-            for seq in 0..3 {
-                c.layers[layer][seq].append(&k, &k);
-            }
+        let mut c = cache(2, 4, 4, 3);
+        for i in 0..3 {
+            append(&mut c, i, 4, 1.0);
         }
         c.reserve_rows(64);
-        assert!(c.rows_capacity() >= 3 * (4 + 64));
+        assert!(c.rows_capacity() >= 3 * 4 + 64);
         c.retain_indices(&[1]);
-        // The retired sequences' storage is gone with them, but the
-        // survivor still carries its decode reservation until compaction.
+        // The retired sequences' blocks are on the freelist, still holding
+        // storage until compaction.
         assert_eq!(c.rows_used(), 4);
         c.compact();
         assert_eq!(c.rows_capacity(), c.rows_used());
-        assert_eq!(c.layers[0][0].total_rows(), 4, "live rows survive compact");
+        assert_eq!(c.tokens_of(0), 4, "live rows survive compact");
     }
 
     #[test]
-    fn absorb_appends_sequences_in_order() {
-        let mut a = KvCache::new(1, 4, &NoHook, 2);
-        let mut b = KvCache::new(1, 4, &NoHook, 1);
-        let k = Matrix::full(3, 4, 7.0);
-        b.layers[0][0].append(&k, &k);
-        b.tokens[0] = 3;
-        a.tokens[1] = 1;
+    fn absorb_moves_block_references() {
+        let pool = PoolHandle::new(1, 4, 2);
+        let mut a = KvCache::new(1, 4, &NoHook, 2, pool.clone());
+        let mut b = KvCache::new(1, 4, &NoHook, 1, pool.clone());
+        append(&mut b, 0, 3, 7.0);
+        let id = b.seq_table(0)[0];
         a.absorb(b);
         assert_eq!(a.n_seqs(), 3);
-        assert_eq!(a.tokens, vec![0, 1, 3]);
-        assert_eq!(a.layers[0][2].total_rows(), 3);
-        assert_eq!(a.rows_used(), 3);
+        assert_eq!(a.tokens_of(2), 3);
+        assert_eq!(pool.lock().refs(id), 1, "absorb moves, not clones, refs");
     }
 
     #[test]
-    #[should_panic(expected = "layer count mismatch")]
-    fn absorb_rejects_layer_mismatch() {
-        let mut a = KvCache::new(2, 4, &NoHook, 1);
-        a.absorb(KvCache::new(1, 4, &NoHook, 1));
+    #[should_panic(expected = "share one block pool")]
+    fn absorb_rejects_foreign_pool() {
+        let mut a = cache(2, 4, 4, 1);
+        a.absorb(cache(2, 4, 4, 1));
     }
 
     #[test]
-    fn fork_does_not_inherit_unused_reservation() {
-        // `fork` clones the K/V buffers; Vec::clone allocates for the *live*
-        // rows only, so a parent's spare reservation is not carried over and
-        // decode loops must re-reserve on each branch they extend.
-        let mut c = KvCache::new(1, 4, &NoHook, 1);
-        let k = Matrix::full(2, 4, 1.0);
-        c.layers[0][0].append(&k, &k);
-        c.reserve_rows(64);
-        assert!(c.min_row_capacity() >= 66);
-        let fork = c.fork();
-        assert_eq!(fork.layers[0][0].total_rows(), 2);
-        assert!(
-            fork.min_row_capacity() < 66,
-            "clone should not copy spare capacity (got {})",
-            fork.min_row_capacity()
-        );
+    fn drop_releases_every_block() {
+        let pool = PoolHandle::new(1, 4, 2);
+        {
+            let mut c = KvCache::new(1, 4, &NoHook, 2, pool.clone());
+            append(&mut c, 0, 5, 1.0);
+            append(&mut c, 1, 2, 2.0);
+            assert_eq!(pool.lock().live_blocks(), 4);
+            let _fork = c.fork();
+            assert_eq!(pool.lock().live_blocks(), 4, "fork adds refs, not blocks");
+        }
+        assert_eq!(pool.lock().live_blocks(), 0, "all refs released on drop");
+    }
+
+    #[test]
+    fn adopt_prefix_pins_blocks_and_restores_tokens() {
+        let pool = PoolHandle::new(1, 4, 2);
+        let mut donor = KvCache::new(1, 4, &NoHook, 1, pool.clone());
+        append(&mut donor, 0, 4, 3.0);
+        let blocks: Vec<BlockId> = donor.seq_table(0).to_vec();
+        let mut taker = KvCache::new(1, 4, &NoHook, 1, pool.clone());
+        taker.adopt_prefix(0, &blocks, 4, None);
+        assert_eq!(taker.tokens(), 4);
+        assert_eq!(pool.lock().refs(blocks[0]), 2);
+        drop(donor);
+        // The adopted blocks outlive the donor.
+        assert_eq!(pool.lock().refs(blocks[0]), 1);
+        assert_eq!(pool.lock().block(blocks[0]).k[0].get(0, 0), 3.0);
     }
 }

@@ -12,6 +12,7 @@
 
 pub mod attention;
 pub mod block;
+pub mod block_alloc;
 pub mod config;
 pub mod ffn;
 pub mod hooks;
@@ -19,12 +20,15 @@ pub mod kv_cache;
 pub mod layers;
 pub mod model;
 pub mod optim;
+pub mod prefix_index;
 pub mod sampler;
 pub mod trainer;
 
+pub use block_alloc::{BlockId, BlockPool, PoolHandle};
 pub use config::ModelConfig;
 pub use hooks::{ForwardTrace, HookState, LayerHook, NoHook};
 pub use kv_cache::KvCache;
 pub use model::TransformerLm;
 pub use optim::{AdamW, AdamWConfig};
+pub use prefix_index::{PrefixIndex, PrefixMatch};
 pub use trainer::{compute_batch_grads, eval_loss, train_epoch, LmSample, Trainable};

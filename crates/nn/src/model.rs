@@ -11,10 +11,16 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::block::TransformerBlock;
+use crate::block_alloc::PoolHandle;
 use crate::hooks::{ForwardTrace, LayerHook};
 use crate::kv_cache::KvCache;
 use crate::layers::{Embedding, LayerNorm, Module};
 use crate::ModelConfig;
+
+/// Block size for caches created without an explicit pool (standalone
+/// sampler / beam-search paths). Serving chooses its own via
+/// `ServeConfig::block_rows`.
+pub const DEFAULT_BLOCK_ROWS: usize = 32;
 
 /// Cached global-registry handles for the incremental engine: every
 /// prefill/decode funnels through [`TransformerLm::extend_cached_batch`],
@@ -147,11 +153,39 @@ impl TransformerLm {
     /// Panics if the hook does not support incremental decoding (see
     /// [`Self::new_cache`]).
     pub fn new_cache_batch(&self, hook: &dyn LayerHook, n_seqs: usize) -> KvCache {
+        self.new_cache_batch_in(hook, n_seqs, self.new_pool(DEFAULT_BLOCK_ROWS))
+    }
+
+    /// A fresh block pool sized for this model. A serving scheduler creates
+    /// one pool and builds every cache over it so blocks (and therefore
+    /// prefixes) can be shared across requests.
+    pub fn new_pool(&self, block_rows: usize) -> PoolHandle {
+        PoolHandle::new(self.cfg.n_layers, self.cfg.d_model, block_rows)
+    }
+
+    /// Builds an empty cache over an existing (shared) block pool — the
+    /// serving path, where admission, MCQ fan-out and the prefix index all
+    /// trade blocks through one pool.
+    ///
+    /// # Panics
+    /// Panics if the hook does not support incremental decoding (see
+    /// [`Self::new_cache`]).
+    pub fn new_cache_in(&self, hook: &dyn LayerHook, pool: PoolHandle) -> KvCache {
+        self.new_cache_batch_in(hook, 1, pool)
+    }
+
+    /// Batched form of [`Self::new_cache_in`].
+    pub fn new_cache_batch_in(
+        &self,
+        hook: &dyn LayerHook,
+        n_seqs: usize,
+        pool: PoolHandle,
+    ) -> KvCache {
         assert!(
             hook.supports_incremental(),
             "hook does not support KV-cached incremental decoding"
         );
-        KvCache::new(self.cfg.n_layers, self.cfg.d_model, hook, n_seqs)
+        KvCache::new(self.cfg.n_layers, self.cfg.d_model, hook, n_seqs, pool)
     }
 
     /// Widest per-layer prefix-tuning K/V block `hook` prepends to a
@@ -219,7 +253,7 @@ impl TransformerLm {
         let mut positions = Vec::with_capacity(batch.total_rows());
         for (i, chunk) in chunks.iter().enumerate() {
             let chunk = chunk.as_ref();
-            let start = cache.tokens[i];
+            let start = cache.tokens_of(i);
             assert!(
                 start + chunk.len() <= self.cfg.max_seq,
                 "extend_cached: sequence {} exceeds max_seq {}",
@@ -234,15 +268,35 @@ impl TransformerLm {
         }
         let mut x = self.tok_embed.gather(&ids);
         x.add_assign(&self.pos_embed.gather(&positions));
-        // Split the cache borrows: blocks need the per-layer K/V while the
-        // per-sequence hook states thread through every sublayer call.
+        // Split the cache borrows: the layer loop reads the shared prefix
+        // panels and block tables while the per-sequence hook states thread
+        // through every sublayer call.
         let mut states = std::mem::take(&mut cache.states);
-        for (block, kvs) in self.blocks.iter().zip(cache.layers.iter_mut()) {
-            x = block.forward_batch(&x, &batch, hook, kvs, &mut states);
+        let prefix = cache.prefix.clone();
+        {
+            // One pool lock for the whole forward: make every sequence's
+            // append span writable (copy-on-write shared partial tails,
+            // allocate fresh tail blocks), then run the layers.
+            let pool_handle = cache.pool.clone();
+            let mut pool = pool_handle.lock();
+            for (seq, &len) in cache.seqs.iter_mut().zip(&lens) {
+                seq.prepare_append(&mut pool, len);
+            }
+            for (l, block) in self.blocks.iter().enumerate() {
+                x = block.forward_batch(
+                    &x,
+                    &batch,
+                    hook,
+                    &mut pool,
+                    &cache.seqs,
+                    &prefix[l],
+                    &mut states,
+                );
+            }
         }
         cache.states = states;
-        for (t, len) in cache.tokens.iter_mut().zip(&lens) {
-            *t += len;
+        for (seq, len) in cache.seqs.iter_mut().zip(&lens) {
+            seq.tokens += len;
         }
         let h = self.ln_f.apply(&x);
         let logits = kernels::matmul_bt(&h, self.tok_embed.table().data());

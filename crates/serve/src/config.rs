@@ -6,18 +6,29 @@ use infuserki_tensor::kernels;
 ///
 /// The **KV-row budget** is the scheduler's unit of memory admission
 /// control: every admitted request reserves, up front, the worst-case number
-/// of cache rows it can ever occupy (prefix + prompt + decode budget, per
-/// sequence it will own — MCQ requests also pay for each multi-token option
-/// branch). Requests whose reservation cannot fit the whole budget are
-/// rejected with a typed error at submission; requests that fit the budget
-/// but not the *currently free* rows wait in the queue until running
-/// sequences retire. Reservations are charged against the widest cache
-/// layer, matching [`infuserki_nn::KvCache::rows_used`].
+/// of cache rows it can ever occupy, rounded up to whole KV blocks of
+/// `block_rows` (prefix + prompt + decode budget, per sequence it will own —
+/// MCQ requests also pay each multi-token option branch, net of the full
+/// prompt blocks the branches share). Rows held by the cross-request prefix
+/// cache count against the same budget; under pressure the scheduler evicts
+/// cold cached prefixes before making a request wait. Requests whose
+/// reservation cannot fit the whole budget are rejected with a typed error
+/// at submission; requests that fit the budget but not the *currently free*
+/// rows wait in the queue until running sequences retire.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Total KV rows (per layer, summed over live sequences) the scheduler
     /// may reserve at once.
     pub kv_budget_rows: usize,
+    /// Token rows per paged-KV block — the granularity of allocation,
+    /// sharing and prefix-cache reuse. Smaller blocks share shorter common
+    /// prefixes but cost more per-block kernel dispatches.
+    pub block_rows: usize,
+    /// Cross-request prefix cache: index full prompt blocks in a radix tree
+    /// so later requests with a matching token prefix skip that prefill.
+    /// Auto-disabled for hooks whose state is not prefix-determined
+    /// ([`infuserki_nn::LayerHook::prefix_cache_safe`]).
+    pub prefix_cache: bool,
     /// Maximum number of requests admitted into the running batch at once.
     /// MCQ option branches spawned by an already-admitted request do not
     /// count against this cap (their rows were reserved at admission).
@@ -43,6 +54,8 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             kv_budget_rows: 4096,
+            block_rows: 16,
+            prefix_cache: true,
             max_batch: 16,
             prefill_chunk: 32,
             queue_capacity: 256,
@@ -57,6 +70,9 @@ impl ServeConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.kv_budget_rows == 0 {
             return Err("ServeConfig: kv_budget_rows must be at least 1".into());
+        }
+        if self.block_rows == 0 {
+            return Err("ServeConfig: block_rows must be at least 1".into());
         }
         if self.max_batch == 0 {
             return Err("ServeConfig: max_batch must be at least 1".into());
@@ -111,6 +127,7 @@ mod tests {
     fn zero_knobs_are_rejected() {
         for f in [
             |c: &mut ServeConfig| c.kv_budget_rows = 0,
+            |c: &mut ServeConfig| c.block_rows = 0,
             |c: &mut ServeConfig| c.max_batch = 0,
             |c: &mut ServeConfig| c.prefill_chunk = 0,
             |c: &mut ServeConfig| c.queue_capacity = 0,

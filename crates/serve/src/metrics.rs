@@ -65,6 +65,19 @@ pub struct ServeMetrics {
     pub prefill_tokens: Arc<obs::Counter>,
     /// Tokens emitted by decode lanes.
     pub decode_tokens: Arc<obs::Counter>,
+    /// Admissions that adopted a cached prefix (skipping its prefill).
+    pub prefix_hits: Arc<obs::Counter>,
+    /// Prompt tokens skipped thanks to adopted prefixes.
+    pub prefix_hit_tokens: Arc<obs::Counter>,
+    /// Admissions that found no cached prefix (counted only while the
+    /// prefix cache is enabled, so hits + misses = eligible admissions).
+    pub prefix_misses: Arc<obs::Counter>,
+    /// KV blocks currently allocated in the paged pool.
+    pub blocks_live: Arc<obs::Gauge>,
+    /// High-water mark of allocated KV blocks.
+    pub blocks_peak: Arc<obs::Gauge>,
+    /// Cached prefix blocks evicted under KV-budget pressure.
+    pub blocks_evicted: Arc<obs::Counter>,
     /// Σ over non-idle steps of lanes advanced that step (occupancy).
     pub occupancy_lane_steps: Arc<obs::Counter>,
     /// Nanoseconds spent inside non-idle steps.
@@ -108,6 +121,12 @@ impl ServeMetrics {
             idle_steps: c("serve.idle_steps"),
             prefill_tokens: c("serve.prefill_tokens"),
             decode_tokens: c("serve.decode_tokens"),
+            prefix_hits: c("serve.prefix.hits"),
+            prefix_hit_tokens: c("serve.prefix.hit_tokens"),
+            prefix_misses: c("serve.prefix.misses"),
+            blocks_live: g("serve.kv_blocks_live"),
+            blocks_peak: g("serve.kv_blocks_peak"),
+            blocks_evicted: c("serve.kv_blocks_evicted"),
             occupancy_lane_steps: c("serve.occupancy_lane_steps"),
             busy_ns: c("serve.busy_ns"),
             ttft_ms: h("serve.ttft_ms"),
@@ -156,6 +175,12 @@ impl ServeMetrics {
             idle_steps: self.idle_steps.get(),
             prefill_tokens: self.prefill_tokens.get(),
             decode_tokens,
+            prefix_hits: self.prefix_hits.get(),
+            prefix_hit_tokens: self.prefix_hit_tokens.get(),
+            prefix_misses: self.prefix_misses.get(),
+            blocks_live: self.blocks_live.get().max(0) as usize,
+            blocks_peak: self.blocks_peak.get().max(0) as usize,
+            blocks_evicted: self.blocks_evicted.get(),
             avg_occupancy: if steps == 0 {
                 0.0
             } else {
@@ -226,6 +251,18 @@ pub struct MetricsSnapshot {
     pub prefill_tokens: u64,
     /// See [`ServeMetrics::decode_tokens`].
     pub decode_tokens: u64,
+    /// See [`ServeMetrics::prefix_hits`].
+    pub prefix_hits: u64,
+    /// See [`ServeMetrics::prefix_hit_tokens`].
+    pub prefix_hit_tokens: u64,
+    /// See [`ServeMetrics::prefix_misses`].
+    pub prefix_misses: u64,
+    /// See [`ServeMetrics::blocks_live`].
+    pub blocks_live: usize,
+    /// See [`ServeMetrics::blocks_peak`].
+    pub blocks_peak: usize,
+    /// See [`ServeMetrics::blocks_evicted`].
+    pub blocks_evicted: u64,
     /// Mean lanes advanced per non-idle step.
     pub avg_occupancy: f64,
     /// Decode tokens per second of busy scheduler time.
@@ -299,6 +336,8 @@ mod tests {
         assert!(j.contains("\"decode_tokens_per_sec\""));
         assert!(j.contains("\"cancelled_queued\""));
         assert!(j.contains("\"tbt_p50_ms\""));
+        assert!(j.contains("\"prefix_hits\""));
+        assert!(j.contains("\"blocks_evicted\""));
     }
 
     #[test]

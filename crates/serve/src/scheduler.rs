@@ -46,7 +46,7 @@ use std::time::Instant;
 use infuserki_obs as obs;
 
 use infuserki_nn::sampler::{argmax, beam_search, option_probabilities};
-use infuserki_nn::{KvCache, LayerHook, TransformerLm};
+use infuserki_nn::{KvCache, LayerHook, PoolHandle, PrefixIndex, PrefixMatch, TransformerLm};
 use infuserki_tensor::{kernels, Matrix, SeqBatch};
 
 use crate::config::ServeConfig;
@@ -70,27 +70,49 @@ pub struct EngineLimits {
     pub kv_budget_rows: usize,
     /// Queue capacity ([`ServeConfig::queue_capacity`]).
     pub queue_capacity: usize,
+    /// Paged-KV block granularity ([`ServeConfig::block_rows`]); every
+    /// reservation is rounded up to whole blocks.
+    pub block_rows: usize,
 }
 
 impl EngineLimits {
-    /// Worst-case KV rows `kind` can ever occupy: prefix + prompt + decode
-    /// budget per sequence it owns. MCQ requests pay for the prompt lane
-    /// plus every multi-token option branch; beam requests pay per beam.
+    /// `rows` rounded up to whole KV blocks.
+    fn block_span(&self, rows: usize) -> usize {
+        rows.div_ceil(self.block_rows) * self.block_rows
+    }
+
+    /// Worst-case KV rows `kind` can ever occupy at any single moment:
+    /// prefix-tuning virtual rows plus whole-block token rows, per sequence
+    /// it owns. Beam requests pay per beam.
+    ///
+    /// MCQ requests run in two phases that never coexist — the prompt lane
+    /// prefills, retires, and only then do the option branches extend
+    /// copy-on-write forks of its blocks — so the reservation is the *max*
+    /// of the phases, with the prompt's full blocks charged once (branches
+    /// share them by reference). Summing the phases instead (as a naive
+    /// worst-case would) double-counts the prompt rows and the prefix-tuning
+    /// virtual rows of the early-retired prompt lane.
     pub fn cost(&self, kind: &RequestKind) -> usize {
         match kind {
             RequestKind::Generate(g) => {
-                let per_seq = self.prefix_rows + (g.prompt.len() + g.max_new).min(self.max_seq);
+                let per_seq = self.prefix_rows
+                    + self.block_span((g.prompt.len() + g.max_new).min(self.max_seq));
                 per_seq * g.beam_width.max(1)
             }
             RequestKind::Mcq(m) => {
-                let prompt_lane = self.prefix_rows + m.prompt.len();
-                let branches: usize = m
-                    .options
-                    .iter()
-                    .filter(|o| o.len() > 1)
-                    .map(|o| self.prefix_rows + m.prompt.len() + o.len() - 1)
-                    .sum();
-                prompt_lane + branches
+                let prompt_phase = self.prefix_rows + self.block_span(m.prompt.len());
+                // Full prompt blocks every branch shares by reference.
+                let shared = (m.prompt.len() / self.block_rows) * self.block_rows;
+                let branch_phase: usize = shared
+                    + m.options
+                        .iter()
+                        .filter(|o| o.len() > 1)
+                        .map(|o| {
+                            self.prefix_rows + self.block_span(m.prompt.len() + o.len() - 1)
+                                - shared
+                        })
+                        .sum::<usize>();
+                prompt_phase.max(branch_phase)
             }
         }
     }
@@ -210,6 +232,19 @@ pub struct Scheduler<'a> {
     queue: RequestQueue,
     /// The live ragged cache; `None` iff no lanes are live.
     cache: Option<KvCache>,
+    /// The one paged block pool every lane cache (and the prefix index)
+    /// allocates from, so blocks are shareable across requests.
+    pool: PoolHandle,
+    /// Radix index over cached full-block token prefixes; hits fork their
+    /// blocks copy-on-write into the new lane and skip that much prefill.
+    index: PrefixIndex,
+    /// Cross-request prefix sharing is on: the config asked for it *and*
+    /// the hook's state is a pure function of the token prefix.
+    prefix_enabled: bool,
+    /// The hook carries per-sequence state; indexable prefill chunks must
+    /// then end on single block boundaries so each indexed node stores the
+    /// exact state snapshot at its own boundary.
+    hook_stateful: bool,
     /// Lane `i` is cache sequence `i` — the vec mirrors cache order exactly.
     lanes: Vec<Lane>,
     slots: Vec<Option<InFlight>>,
@@ -237,14 +272,20 @@ impl<'a> Scheduler<'a> {
             prefix_rows: model.max_prefix_rows(hook),
             kv_budget_rows: cfg.kv_budget_rows,
             queue_capacity: cfg.queue_capacity,
+            block_rows: cfg.block_rows,
         };
         let slots = (0..cfg.max_batch).map(|_| None).collect::<Vec<_>>();
         let free_slots = (0..cfg.max_batch).rev().collect();
+        let prefix_enabled = cfg.prefix_cache && hook.prefix_cache_safe();
         Ok(Scheduler {
             model,
             hook,
             queue: RequestQueue::new(cfg.queue_capacity),
             limits,
+            pool: model.new_pool(cfg.block_rows),
+            index: PrefixIndex::new(cfg.block_rows),
+            prefix_enabled,
+            hook_stateful: hook.make_state().is_some(),
             cfg,
             cache: None,
             lanes: Vec::new(),
@@ -342,6 +383,7 @@ impl<'a> Scheduler<'a> {
             m.active_lanes.set(0);
             m.active_requests.set(0);
             m.reserved_rows.set(self.reserved_rows as i64);
+            self.set_block_gauges();
             return StepReport {
                 ran_forward: false,
                 admitted,
@@ -367,7 +409,18 @@ impl<'a> Scheduler<'a> {
         let used = self.cache.as_ref().map_or(0, KvCache::rows_used) as i64;
         m.kv_rows_used.set(used);
         m.kv_rows_peak.set_max(used);
+        self.set_block_gauges();
         report
+    }
+
+    /// Publishes the paged-pool occupancy gauges.
+    fn set_block_gauges(&self) {
+        let (live, peak) = {
+            let pool = self.pool.lock();
+            (pool.live_blocks() as i64, pool.peak_blocks() as i64)
+        };
+        self.metrics.blocks_live.set(live);
+        self.metrics.blocks_peak.set_max(peak);
     }
 
     /// Steps until neither queued nor live work remains; returns the number
@@ -458,19 +511,53 @@ impl<'a> Scheduler<'a> {
             }
             // Strict queue order: a head that doesn't fit the remaining
             // budget blocks later (smaller) entries, so it cannot starve.
-            if self.reserved_rows + head.cost > self.limits.kv_budget_rows {
+            // Cached-prefix blocks the head would share are discounted from
+            // its reservation (it adopts them instead of allocating), and
+            // cold cached prefixes are evicted before the head is made to
+            // wait — so pinning rows in the index can never deadlock
+            // admission.
+            let prompt = match &head.request.kind {
+                RequestKind::Generate(g) if g.beam_width <= 1 && g.max_new > 0 => {
+                    Some(g.prompt.as_slice())
+                }
+                RequestKind::Mcq(m) => Some(m.prompt.as_slice()),
+                _ => None,
+            };
+            let cost = head.cost;
+            let hit = loop {
+                // Re-run the lookup after every eviction: the evicted leaf
+                // may have been on the matched path, invalidating its
+                // blocks (they are only pinned at adoption, below).
+                let hit = match prompt {
+                    Some(p) if self.prefix_enabled => self.index.lookup(p),
+                    _ => None,
+                };
+                let discount = hit.as_ref().map_or(0, |m| m.tokens);
+                if self.reserved_rows + self.index.indexed_rows() + cost - discount
+                    <= self.limits.kv_budget_rows
+                {
+                    break Some((hit, discount));
+                }
+                if self.index.evict_lru(&mut self.pool.lock()).is_none() {
+                    break None;
+                }
+                self.metrics.blocks_evicted.inc();
+            };
+            let Some((hit, discount)) = hit else {
                 break;
-            }
+            };
             let entry = self.queue.pop().unwrap();
-            self.admit_one(entry.request, entry.cost);
+            self.admit_one(entry.request, entry.cost - discount, hit);
             admitted += 1;
         }
         admitted
     }
 
     /// Admits one request: answers trivial and beam requests inline,
-    /// otherwise reserves rows and opens a prefill lane.
-    fn admit_one(&mut self, req: Request, cost: usize) {
+    /// otherwise reserves rows and opens a prefill lane. `hit` is the
+    /// cached prefix the admission check matched (already discounted from
+    /// `cost`); it is adopted before any further eviction can free it.
+    fn admit_one(&mut self, req: Request, cost: usize, hit: Option<PrefixMatch>) {
         self.metrics.admitted.inc();
         match &req.kind {
             RequestKind::Generate(g) => {
@@ -497,20 +584,27 @@ impl<'a> Scheduler<'a> {
                     self.metrics.completed.inc();
                     return;
                 }
-                self.open_lane(req, cost, LaneRole::GenPrefill { fed: 0 });
+                self.open_lane(req, cost, hit, LaneRole::GenPrefill { fed: 0 });
             }
             RequestKind::Mcq(m) => {
                 let scores = vec![0.0; m.options.len()];
-                self.open_lane_with(req, cost, LaneRole::McqPrefill { fed: 0 }, scores);
+                self.open_lane_with(req, cost, hit, LaneRole::McqPrefill { fed: 0 }, scores);
             }
         }
     }
 
-    fn open_lane(&mut self, req: Request, cost: usize, role: LaneRole) {
-        self.open_lane_with(req, cost, role, Vec::new());
+    fn open_lane(&mut self, req: Request, cost: usize, hit: Option<PrefixMatch>, role: LaneRole) {
+        self.open_lane_with(req, cost, hit, role, Vec::new());
     }
 
-    fn open_lane_with(&mut self, req: Request, cost: usize, role: LaneRole, scores: Vec<f32>) {
+    fn open_lane_with(
+        &mut self,
+        req: Request,
+        cost: usize,
+        hit: Option<PrefixMatch>,
+        role: LaneRole,
+        scores: Vec<f32>,
+    ) {
         let slot = self.free_slots.pop().expect("admit checked a slot is free");
         self.slots[slot] = Some(InFlight {
             req,
@@ -520,12 +614,57 @@ impl<'a> Scheduler<'a> {
             branches_left: 0,
         });
         self.reserved_rows += cost;
-        let fresh = self.model.new_cache(self.hook);
+        let fresh = self.model.new_cache_in(self.hook, self.pool.clone());
         match self.cache.as_mut() {
             Some(c) => c.absorb(fresh),
             None => self.cache = Some(fresh),
         }
+        // Prefix-cache hit: adopt the matched blocks by reference (pinning
+        // them against eviction) and start prefill past them. The adopted
+        // rows are never re-fed; the skipped forward work is the win.
+        let mut fed = 0;
+        if let Some(m) = hit {
+            let cache = self.cache.as_mut().expect("lane cache just absorbed");
+            let lane_idx = cache.n_seqs() - 1;
+            fed = m.tokens;
+            cache.adopt_prefix(lane_idx, &m.blocks, m.tokens, m.state);
+            self.metrics.prefix_hits.inc();
+            self.metrics.prefix_hit_tokens.add(m.tokens as u64);
+        } else if self.prefix_enabled {
+            self.metrics.prefix_misses.inc();
+        }
+        let role = match role {
+            LaneRole::GenPrefill { .. } => LaneRole::GenPrefill { fed },
+            LaneRole::McqPrefill { .. } => LaneRole::McqPrefill { fed },
+            other => other,
+        };
         self.lanes.push(Lane { slot, role });
+    }
+
+    /// End of the prompt span a lane at `fed` feeds this step: up to
+    /// `prefill_chunk` tokens, cut back to a block boundary when the chunk
+    /// would cross one and the prefix cache is live. A prompt chunk that
+    /// *ends* on a boundary leaves an exact hook-state snapshot there for
+    /// the index; chunking is bitwise-invariant, so the cut changes no
+    /// output — it only splits the prefill across one more step.
+    fn prefill_end(&self, fed: usize, total: usize) -> usize {
+        let mut end = total.min(fed + self.cfg.prefill_chunk);
+        if !self.prefix_enabled {
+            return end;
+        }
+        let b = self.cfg.block_rows;
+        if self.hook_stateful {
+            // One indexable boundary per chunk: a chunk spanning several
+            // boundaries could only snapshot the state at its end, not at
+            // the interior boundaries it would index.
+            end = end.min(fed + (b - fed % b));
+        }
+        let cut = end - end % b;
+        if cut > fed {
+            cut
+        } else {
+            end
+        }
     }
 
     /// The tokens lane `lane` feeds this step (always non-empty).
@@ -537,12 +676,12 @@ impl<'a> Scheduler<'a> {
         match lane.role {
             LaneRole::GenPrefill { fed } => {
                 let p = &gen_spec(&inf.req).prompt;
-                p[fed..(fed + chunk).min(p.len())].to_vec()
+                p[fed..self.prefill_end(fed, p.len())].to_vec()
             }
             LaneRole::GenDecode { pending } => vec![pending],
             LaneRole::McqPrefill { fed } => {
                 let p = &mcq_spec(&inf.req).prompt;
-                p[fed..(fed + chunk).min(p.len())].to_vec()
+                p[fed..self.prefill_end(fed, p.len())].to_vec()
             }
             LaneRole::McqBranch { opt, fed } => {
                 let o = &mcq_spec(&inf.req).options[opt];
@@ -564,6 +703,37 @@ impl<'a> Scheduler<'a> {
             .model
             .extend_cached_batch(&chunks, self.hook, &mut cache);
         let batch = SeqBatch::from_lens(&lens);
+
+        // Index every prompt prefill that just reached a block boundary:
+        // its full blocks (plus the hook-state snapshot at the boundary)
+        // become adoptable by later requests with the same prefix. This
+        // runs before retirement, so even a prompt finishing this step
+        // leaves its prefix behind.
+        if self.prefix_enabled {
+            let b = self.cfg.block_rows;
+            let handle = self.pool.clone();
+            let mut pool = handle.lock();
+            for (i, lane) in self.lanes.iter().enumerate() {
+                let inf = self.slots[lane.slot]
+                    .as_ref()
+                    .expect("lane has a live slot");
+                let (fed, prompt) = match lane.role {
+                    LaneRole::GenPrefill { fed } => (fed, &gen_spec(&inf.req).prompt),
+                    LaneRole::McqPrefill { fed } => (fed, &mcq_spec(&inf.req).prompt),
+                    _ => continue,
+                };
+                let t = fed + lens[i];
+                if t.is_multiple_of(b) {
+                    let state = cache.clone_state(i);
+                    self.index.insert(
+                        &mut pool,
+                        &prompt[..t],
+                        &cache.seq_table(i)[..t / b],
+                        &state,
+                    );
+                }
+            }
+        }
 
         let lanes = std::mem::take(&mut self.lanes);
         let n_before = lanes.len();
@@ -1006,8 +1176,11 @@ mod tests {
         kernels::set_num_threads(1);
         let m = model();
         // Budget fits exactly one request at a time; both must still finish.
+        // Small blocks keep each reservation (ceil(8/2)*2 = 8 rows) under
+        // the 10-row budget while two together still exceed it.
         let cfg = ServeConfig {
             kv_budget_rows: 10,
+            block_rows: 2,
             prefill_chunk: 4,
             ..ServeConfig::default()
         };
@@ -1032,6 +1205,38 @@ mod tests {
             };
             assert_eq!(got, sampler::greedy_decode(&m, &NoHook, &p, 5, None));
         }
+    }
+
+    #[test]
+    fn mcq_cost_counts_shared_prompt_blocks_once() {
+        // Regression: the pre-paged accounting summed the prompt lane and
+        // every branch's full prompt+option span, double-counting the
+        // prompt rows and the prefix-tuning virtual rows of the prompt
+        // lane, which retires before any branch extends. The block-based
+        // model charges max(prompt phase, branch phase) with the shared
+        // full prompt blocks paid once.
+        let lim = EngineLimits {
+            vocab_size: 100,
+            max_seq: 64,
+            prefix_rows: 2,
+            kv_budget_rows: 1000,
+            queue_capacity: 8,
+            block_rows: 4,
+        };
+        let kind = RequestKind::Mcq(McqSpec {
+            prompt: vec![1, 2, 3, 4, 5],
+            options: vec![vec![6, 7, 8], vec![9, 10]],
+        });
+        // Prompt phase: 2 virtual + ceil(5/4)*4 = 10 rows.
+        // Branch phase: 4 shared prompt rows + two branches at
+        // 2 virtual + (ceil(7/4) - 1)*4 = 6 rows each = 16 rows.
+        assert_eq!(lim.cost(&kind), 16);
+        // The old sum-of-phases model would have charged
+        // (2+5) + (2+7) + (2+6) = 24 rows — half again too much.
+
+        // Generate reservations round the token span up to whole blocks.
+        let g = RequestKind::Generate(GenerateSpec::greedy(vec![1, 2, 3], 5, None));
+        assert_eq!(lim.cost(&g), 2 + 8);
     }
 
     #[test]

@@ -48,6 +48,8 @@ fn request_larger_than_whole_budget_is_rejected_not_hung() {
     let m = model();
     let cfg = ServeConfig {
         kv_budget_rows: 4,
+        // Single-row blocks make the reservation exact (no rounding).
+        block_rows: 1,
         ..ServeConfig::default()
     };
     let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
@@ -74,22 +76,25 @@ fn oversized_mcq_is_rejected_with_budget_breakdown() {
     let m = model();
     let cfg = ServeConfig {
         kv_budget_rows: 8,
+        // Single-row blocks make the reservation exact (no rounding).
+        block_rows: 1,
         ..ServeConfig::default()
     };
     let mut sched = Scheduler::new(&m, &NoHook, cfg).unwrap();
-    // Prompt lane 4 rows + two branches of 4+2-1=5 rows = 14 > 8.
+    // Branch phase: 4 shared prompt rows + two branches owning 4 option
+    // rows each (prompt+option-1 = 8 rows, minus the 4 shared) = 12 > 8.
     let rx = submit(
         &mut sched,
         0,
         RequestKind::Mcq(McqSpec {
             prompt: vec![1, 2, 3, 4],
-            options: vec![vec![5, 6], vec![7, 8]],
+            options: vec![vec![5, 6, 7, 8, 9], vec![7, 8, 9, 10, 11]],
         }),
     );
     assert!(matches!(
         rx.try_recv().unwrap().outcome,
         Outcome::Rejected(RejectReason::BudgetExceeded {
-            cost: 14,
+            cost: 12,
             budget: 8
         })
     ));

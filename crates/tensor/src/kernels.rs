@@ -717,6 +717,117 @@ pub fn matmul_cols_into(
     }
 }
 
+/// `out[:, col0..col0+b_rows] = a[r0..r1, lo..hi] @ (b[0..b_rows, lo..hi])ᵀ`
+/// — the score-panel form of [`matmul_bt_cols`] for a *paged* K cache: `b` is
+/// one fixed-size KV block of which only the first `b_rows` rows hold tokens,
+/// and the panel lands at column offset `col0` of a scores matrix assembled
+/// from several blocks.
+///
+/// Bitwise contract: each output element is the single ascending-`p`
+/// [`dot_seq`] chain every matmul kernel here uses, and score elements depend
+/// on exactly one Q row and one K row — so a scores matrix assembled
+/// panel-by-panel from blocks is bit-for-bit the [`matmul_bt_cols`] result
+/// over the same rows stored contiguously. Serial, like the other per-head
+/// kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_bt_cols_panel(
+    a: &Matrix,
+    r0: usize,
+    r1: usize,
+    b: &Matrix,
+    b_rows: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut Matrix,
+    col0: usize,
+) {
+    assert!(
+        r0 <= r1 && r1 <= a.rows(),
+        "matmul_bt_cols_panel: row window"
+    );
+    assert!(
+        lo <= hi && hi <= a.cols() && hi <= b.cols(),
+        "matmul_bt_cols_panel: column window"
+    );
+    assert!(b_rows <= b.rows(), "matmul_bt_cols_panel: b row count");
+    let m = r1 - r0;
+    assert!(
+        m <= out.rows() && col0 + b_rows <= out.cols(),
+        "matmul_bt_cols_panel: out window"
+    );
+    let (ka, kb) = (a.cols(), b.cols());
+    let on = out.cols();
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[(r0 + i) * ka + lo..(r0 + i) * ka + hi];
+        let orow = &mut od[i * on + col0..i * on + col0 + b_rows];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = dot_seq(arow, &bd[j * kb + lo..j * kb + hi]);
+        }
+    }
+}
+
+/// Segment-continuation form of [`matmul_cols_into`] for a *paged* V cache:
+/// folds score columns `a_lo..a_hi` against the first `a_hi - a_lo` rows of
+/// `b` (one KV block, or the virtual-prefix panel) into `out`'s column window
+/// `lo..hi`. With `accumulate == false` the window is zeroed first; with
+/// `true` the chain continues on top of earlier segments.
+///
+/// Bitwise contract: calling this once per segment in ascending column order
+/// (prefix panel first, then each block) extends every output element's
+/// single ascending-`p` [`fmadd`] chain with exactly the terms
+/// [`matmul_cols_into`] would fold over the same history stored contiguously
+/// — so the segmented product is bit-identical. Masked score columns are
+/// exact `+0.0` and must still pass through the chain (same no-zero-skip rule
+/// as [`matmul_cols_into`]).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_cols_seg_into(
+    a: &Matrix,
+    a_lo: usize,
+    a_hi: usize,
+    b: &Matrix,
+    lo: usize,
+    hi: usize,
+    out: &mut Matrix,
+    row0: usize,
+    accumulate: bool,
+) {
+    let m = a.rows();
+    assert!(
+        a_lo <= a_hi && a_hi <= a.cols(),
+        "matmul_cols_seg_into: a window"
+    );
+    let seg = a_hi - a_lo;
+    assert!(seg <= b.rows(), "matmul_cols_seg_into: b row count");
+    assert!(
+        lo <= hi && hi <= b.cols(),
+        "matmul_cols_seg_into: column window"
+    );
+    assert!(
+        row0 + m <= out.rows() && hi <= out.cols(),
+        "matmul_cols_seg_into: out window"
+    );
+    let ka = a.cols();
+    let on = out.cols();
+    let bn = b.cols();
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let orow = &mut od[(row0 + i) * on + lo..(row0 + i) * on + hi];
+        if !accumulate {
+            orow.fill(0.0);
+        }
+        for p in 0..seg {
+            let av = ad[i * ka + a_lo + p];
+            let brow = &bd[p * bn + lo..p * bn + hi];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o = fmadd(av, bv, *o);
+            }
+        }
+    }
+}
+
 /// Dot product of two equal-length slices (unrolled by 4 for the vectorizer).
 ///
 /// Note: the 4-lane split changes summation order vs [`dot_seq`]; it is used
@@ -1215,6 +1326,94 @@ mod tests {
                     assert_eq!(merged.get(1, c), 7.5);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn matmul_bt_cols_panel_assembles_bitwise_scores_from_blocks() {
+        // Split the cached history into fixed-size blocks (last one ragged),
+        // compute one score panel per block, and check the assembled matrix
+        // is bit-for-bit the contiguous-history kernel's output.
+        for &(ra, hist, d, blk, lo, hi) in &[
+            (1usize, 1usize, 8usize, 4usize, 0usize, 4usize),
+            (1, 23, 12, 4, 4, 8),
+            (5, 9, 16, 2, 8, 16),
+            (7, 17, 16, 8, 0, 16),
+        ] {
+            let a = Matrix::from_vec(
+                ra + 2,
+                d,
+                ((0..(ra + 2) * d).map(|i| (i as f32 * 0.31).sin())).collect(),
+            );
+            let k = Matrix::from_vec(
+                hist,
+                d,
+                ((0..hist * d).map(|i| (i as f32 * 0.57).cos())).collect(),
+            );
+            let contiguous = matmul_bt_cols(&a, 1, 1 + ra, &k, lo, hi);
+            let mut paged = Matrix::zeros(ra, hist);
+            let mut col = 0;
+            while col < hist {
+                let filled = blk.min(hist - col);
+                // Blocks are full-size with only `filled` valid rows, like a
+                // partially-written KV block.
+                let mut block = Matrix::full(blk, d, f32::NAN);
+                block.copy_rows_from(0, &k.slice_rows(col, col + filled));
+                matmul_bt_cols_panel(&a, 1, 1 + ra, &block, filled, lo, hi, &mut paged, col);
+                col += filled;
+            }
+            for (x, y) in paged.data().iter().zip(contiguous.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ra}x{hist} b={blk} w={lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_cols_seg_into_continues_the_chain_bitwise() {
+        // Fold the attention·V product segment-by-segment (reset on the
+        // first, accumulate after) and check against the single contiguous
+        // fold — the chain must extend, not restart.
+        for &(ra, hist, d, blk, lo, hi) in &[
+            (1usize, 1usize, 8usize, 4usize, 0usize, 4usize),
+            (1, 23, 12, 4, 4, 8),
+            (5, 9, 16, 2, 8, 16),
+            (7, 17, 16, 8, 0, 16),
+        ] {
+            let attn = Matrix::from_vec(
+                ra,
+                hist,
+                ((0..ra * hist).map(|i| (i as f32 * 0.41).sin())).collect(),
+            );
+            let v = Matrix::from_vec(
+                hist,
+                d,
+                ((0..hist * d).map(|i| (i as f32 * 0.23).cos())).collect(),
+            );
+            let mut contiguous = Matrix::full(ra + 1, d, 7.5);
+            matmul_cols_into(&attn, &v, lo, hi, &mut contiguous, 1);
+            let mut paged = Matrix::full(ra + 1, d, 7.5);
+            let mut col = 0;
+            while col < hist {
+                let filled = blk.min(hist - col);
+                let mut block = Matrix::full(blk, d, f32::NAN);
+                block.copy_rows_from(0, &v.slice_rows(col, col + filled));
+                matmul_cols_seg_into(
+                    &attn,
+                    col,
+                    col + filled,
+                    &block,
+                    lo,
+                    hi,
+                    &mut paged,
+                    1,
+                    col > 0,
+                );
+                col += filled;
+            }
+            for (x, y) in paged.data().iter().zip(contiguous.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ra}x{hist} b={blk} w={lo}..{hi}");
+            }
+            assert!(paged.row(0).iter().all(|&x| x == 7.5));
         }
     }
 

@@ -21,8 +21,8 @@ use infuserki::baselines::prefix::{PrefixConfig, PrefixTuning};
 use infuserki::core::{InfuserKiConfig, InfuserKiMethod};
 use infuserki::nn::{sampler, LayerHook, ModelConfig, TransformerLm};
 use infuserki::serve::{
-    CancelToken, GenerateSpec, McqSpec, Outcome, Request, RequestKind, Response, Scheduler,
-    ServeConfig,
+    CancelToken, GenerateSpec, McqSpec, MetricsSnapshot, Outcome, Request, RequestKind, Response,
+    Scheduler, ServeConfig,
 };
 use infuserki::tensor::kernels;
 use rand::{Rng, SeedableRng};
@@ -88,6 +88,7 @@ struct ScheduleResult {
     kinds: Vec<RequestKind>,
     outcomes: Vec<Outcome>,
     cancelled_ids: Vec<usize>,
+    snapshot: MetricsSnapshot,
 }
 
 /// Drives one randomized arrival/cancellation schedule to completion.
@@ -104,7 +105,19 @@ fn run_schedule(
 ) -> ScheduleResult {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let kinds: Vec<RequestKind> = (0..n_requests).map(|_| random_kind(&mut rng)).collect();
+    run_schedule_with(model, hook, rng, cfg, kinds)
+}
 
+/// Drives a pre-generated request mix through the randomized
+/// arrival/priority/cancellation machinery.
+fn run_schedule_with(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    mut rng: ChaCha8Rng,
+    cfg: ServeConfig,
+    kinds: Vec<RequestKind>,
+) -> ScheduleResult {
+    let n_requests = kinds.len();
     // Each request arrives at a random step; a few are cancelled a couple
     // of steps after arrival.
     let arrivals: Vec<usize> = (0..n_requests).map(|_| rng.gen_range(0..12)).collect();
@@ -142,6 +155,7 @@ fn run_schedule(
         sched.step();
     }
     sched.run_until_idle();
+    let snapshot = sched.snapshot();
 
     let outcomes: Vec<Outcome> = rxs
         .into_iter()
@@ -161,7 +175,51 @@ fn run_schedule(
         kinds,
         outcomes,
         cancelled_ids,
+        snapshot,
     }
+}
+
+/// A few shared prompt templates plus a randomized schedule: most requests
+/// start with a template's tokens (sometimes truncated, sometimes with a
+/// random suffix), so concurrent requests keep hitting the radix prefix
+/// cache mid-flight while arrivals, priorities and cancellations churn the
+/// batch exactly as in `run_schedule`.
+fn run_template_schedule(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    seed: u64,
+    cfg: ServeConfig,
+    n_requests: usize,
+) -> ScheduleResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let templates: Vec<Vec<usize>> = (0..3)
+        .map(|_| {
+            let len = rng.gen_range(9..14);
+            (0..len).map(|_| rng.gen_range(0..VOCAB)).collect()
+        })
+        .collect();
+    let kinds: Vec<RequestKind> = (0..n_requests)
+        .map(|_| {
+            let t = &templates[rng.gen_range(0..templates.len())];
+            let keep = rng.gen_range(t.len() - 3..=t.len());
+            let mut prompt: Vec<usize> = t[..keep].to_vec();
+            for _ in 0..rng.gen_range(0..4) {
+                prompt.push(rng.gen_range(0..VOCAB));
+            }
+            if rng.gen_range(0..3) < 2 {
+                RequestKind::Generate(GenerateSpec::greedy(prompt, rng.gen_range(1..9), None))
+            } else {
+                let options: Vec<Vec<usize>> = (0..rng.gen_range(2..5))
+                    .map(|_| {
+                        let olen = rng.gen_range(1..5);
+                        (0..olen).map(|_| rng.gen_range(0..VOCAB)).collect()
+                    })
+                    .collect();
+                RequestKind::Mcq(McqSpec { prompt, options })
+            }
+        })
+        .collect();
+    run_schedule_with(model, hook, rng, cfg, kinds)
 }
 
 /// Every completed outcome must match the single-request sampler path;
@@ -230,6 +288,11 @@ fn tight_cfg(prefill_chunk: usize, max_batch: usize, kv_budget_rows: usize) -> S
         prefill_chunk,
         max_batch,
         kv_budget_rows,
+        // Small paged-KV blocks so whole-block reservation rounding keeps
+        // even the 48-row schedule admissible, and short shared prefixes
+        // are already indexable.
+        block_rows: 4,
+        prefix_cache: true,
         queue_capacity: 64,
         compact_after_retire: true,
         threads: None,
@@ -278,6 +341,69 @@ fn scheduler_is_bitwise_with_prefix_rows_in_the_budget() {
     // admission cost accounting (and the tight budget) must include them.
     let result = run_schedule(&b, &m, 505, tight_cfg(2, 3, 160), 10);
     verify(&b, &m, &result, true, "prefix");
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn shared_prefix_schedules_are_bitwise_and_hit_the_cache() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    // Many concurrent requests cut from three prompt templates: later
+    // arrivals adopt the cached blocks of earlier ones and skip that
+    // prefill, yet every response must stay bitwise equal to running the
+    // request alone — the cached K/V rows ARE the isolated rows.
+    for (seed, cfg) in [(707u64, tight_cfg(4, 4, 256)), (808, tight_cfg(3, 3, 128))] {
+        let result = run_template_schedule(&b, &infuserki::nn::NoHook, seed, cfg, 14);
+        verify(&b, &infuserki::nn::NoHook, &result, true, "shared-nohook");
+        assert!(
+            result.snapshot.prefix_hits > 0,
+            "seed {seed}: template schedule never hit the prefix cache"
+        );
+        assert!(
+            result.snapshot.prefix_hit_tokens >= result.snapshot.prefix_hits,
+            "every hit skips at least one whole block of prompt tokens"
+        );
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn shared_prefix_schedules_are_bitwise_with_infuserki_state() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let m = infuserki_hook(&b);
+    let hook = m.hook();
+    // The infuser carry/gate state is a pure function of the token prefix,
+    // so adopted snapshots must resume mid-prompt without any divergence.
+    let result = run_template_schedule(&b, &hook, 909, tight_cfg(3, 4, 256), 12);
+    verify(&b, &hook, &result, true, "shared-infuserki");
+    assert!(
+        result.snapshot.prefix_hits > 0,
+        "stateful template schedule never hit the prefix cache"
+    );
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn shared_prefix_scores_close_with_parallel_kernels() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(4);
+    let b = base();
+    let result = run_template_schedule(&b, &infuserki::nn::NoHook, 1010, tight_cfg(4, 4, 256), 12);
+    for (id, (kind, outcome)) in result.kinds.iter().zip(&result.outcomes).enumerate() {
+        if let (RequestKind::Mcq(m), Outcome::McqScored { scores, .. }) = (kind, outcome) {
+            let want = sampler::score_options(&b, &infuserki::nn::NoHook, &m.prompt, &m.options);
+            for (oi, (x, y)) in scores.iter().zip(&want).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-5,
+                    "request {id} option {oi}: {x} vs {y} (threads 4)"
+                );
+            }
+        }
+    }
+    assert!(result.snapshot.prefix_hits > 0);
     kernels::set_num_threads(0);
 }
 
