@@ -25,19 +25,12 @@ impl Default for QuantConfig {
 
 /// Quantizes one buffer blockwise to 4-bit signed levels and dequantizes it
 /// back, in place. Per block: `scale = absmax / 7`, levels in `[-8, 7]`.
+///
+/// The arithmetic is [`infuserki_tensor::quant::quantize_dequantize_levels`]
+/// at the 4-bit levels — the same core the int8 frozen-base inference path
+/// uses at `max_level = 127`, so the two quantizers can never drift apart.
 pub fn quantize_dequantize(data: &mut [f32], block_size: usize) {
-    assert!(block_size > 0, "block_size must be positive");
-    for block in data.chunks_mut(block_size) {
-        let absmax = block.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        if absmax == 0.0 {
-            continue;
-        }
-        let scale = absmax / 7.0;
-        for v in block.iter_mut() {
-            let q = (*v / scale).round().clamp(-8.0, 7.0);
-            *v = q * scale;
-        }
-    }
+    infuserki_tensor::quant::quantize_dequantize_levels(data, block_size, 7.0, -8.0);
 }
 
 /// Worst-case absolute quantization error for a block with the given absmax.
@@ -117,8 +110,49 @@ mod tests {
         assert!(diff < 1.0, "4-bit noise should stay moderate, got {diff}");
     }
 
+    #[test]
+    fn int8_levels_share_the_same_core() {
+        // The int8 path is the same shared core at max_level = 127: finer
+        // grid, strictly smaller error, idempotent like the 4-bit path.
+        let v: Vec<f32> = (0..96).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut q4 = v.clone();
+        quantize_dequantize(&mut q4, 64);
+        let mut q8 = v.clone();
+        infuserki_tensor::quant::quantize_dequantize_levels(&mut q8, 64, 127.0, -127.0);
+        let err = |q: &[f32]| {
+            v.iter()
+                .zip(q)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max)
+        };
+        assert!(
+            err(&q8) < err(&q4),
+            "int8 must be strictly finer than 4-bit"
+        );
+        let snapshot = q8.clone();
+        infuserki_tensor::quant::quantize_dequantize_levels(&mut q8, 64, 127.0, -127.0);
+        assert_eq!(q8, snapshot);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn int8_error_within_bound(v in proptest::collection::vec(-3.0f32..3.0, 1..96)) {
+            use infuserki_tensor::quant;
+            let mut q = v.clone();
+            quant::quantize_dequantize_levels(&mut q, 64, 127.0, -127.0);
+            for block_idx in 0..v.len().div_ceil(64) {
+                let lo = block_idx * 64;
+                let hi = (lo + 64).min(v.len());
+                let absmax = v[lo..hi].iter().fold(0.0f32, |m, x| m.max(x.abs()));
+                let bound = quant::max_abs_error(absmax);
+                for i in lo..hi {
+                    prop_assert!((v[i] - q[i]).abs() <= bound,
+                        "err {} > bound {bound}", (v[i] - q[i]).abs());
+                }
+            }
+        }
 
         #[test]
         fn error_within_half_step(v in proptest::collection::vec(-3.0f32..3.0, 1..96)) {

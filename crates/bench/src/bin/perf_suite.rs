@@ -4,8 +4,12 @@
 //! Three benches, sizes fixed so runs are comparable across commits:
 //!
 //! * `matmul_256` — 256³ parallel blocked matmul, GFLOP/s (best of 5);
+//! * `matmul_256_scalar` — the same product pinned to the scalar ISA tier
+//!   (informational; the SIMD-dispatch speedup is the ratio to `matmul_256`);
 //! * `cached_decode` — single-sequence KV-cached greedy decode on the demo
 //!   model, tokens/s (best of 3);
+//! * `quantized_decode` — the same decode with the frozen base quantized to
+//!   blockwise int8 (the fused dequant-matmul path), tokens/s;
 //! * `serve_closed_loop` — the continuous-batching scheduler under a
 //!   closed loop of 16 in-flight generate requests, decode tokens/s;
 //! * `prefix_sweep` — the same closed loop with every prompt cut from three
@@ -32,7 +36,7 @@ use std::time::Instant;
 use infuserki_nn::{sampler, NoHook};
 use infuserki_obs::{PerfRecord, PerfSuite};
 use infuserki_serve::{demo_model, spawn_scheduler, Outcome, ServeConfig};
-use infuserki_tensor::{init, kernels, Matrix};
+use infuserki_tensor::{init, kernels, Isa, Matrix, QuantSpec};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Value;
@@ -111,7 +115,9 @@ fn main() -> ExitCode {
 fn run_suite() -> PerfSuite {
     let mut suite = PerfSuite::new("perf_suite");
     suite.push(bench_matmul());
+    suite.push(bench_matmul_scalar());
     suite.push(bench_cached_decode());
+    suite.push(bench_quantized_decode());
     suite.push(bench_serve_closed_loop());
     suite.push(bench_prefix_sweep());
     suite
@@ -138,6 +144,31 @@ fn bench_matmul() -> PerfRecord {
         .metric("wall_ms", best * 1e3)
 }
 
+/// The same 256³ product pinned to the scalar ISA tier — the floor the
+/// SIMD tiers are measured against. Informational (not gated): its ratio
+/// to `matmul_256` is the dispatch speedup on this host.
+fn bench_matmul_scalar() -> PerfRecord {
+    const N: usize = 256;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let a = init::normal(N, N, 0.5, &mut rng);
+    let b = init::normal(N, N, 0.5, &mut rng);
+    let mut out = Matrix::zeros(N, N);
+    infuserki_tensor::simd::set_isa(Some(Isa::Scalar));
+    kernels::matmul_into(&a, &b, &mut out, false); // warm-up
+    let flops = (2 * N * N * N) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        kernels::matmul_into(&a, &b, &mut out, false);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    infuserki_tensor::simd::set_isa(None);
+    std::hint::black_box(out.get(0, 0));
+    PerfRecord::new("matmul_256_scalar")
+        .metric("gflops", flops / best / 1e9)
+        .metric("wall_ms", best * 1e3)
+}
+
 /// Single-sequence KV-cached greedy decode on the demo model.
 fn bench_cached_decode() -> PerfRecord {
     let model = demo_model();
@@ -153,6 +184,27 @@ fn bench_cached_decode() -> PerfRecord {
         emitted = out.len();
     }
     PerfRecord::new("cached_decode")
+        .metric("tok_per_s", emitted as f64 / best)
+        .metric("wall_ms", best * 1e3)
+}
+
+/// The same cached greedy decode with the demo model's frozen base
+/// quantized to blockwise int8 — the fused dequant-matmul path end to end.
+fn bench_quantized_decode() -> PerfRecord {
+    let mut model = demo_model();
+    model.quantize_frozen_base(QuantSpec::default());
+    let prompt: Vec<usize> = (1..9).collect();
+    let max_new = 48;
+    sampler::greedy_decode(&model, &NoHook, &prompt, max_new, None); // warm-up
+    let mut best = f64::INFINITY;
+    let mut emitted = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let out = sampler::greedy_decode(&model, &NoHook, &prompt, max_new, None);
+        best = best.min(t0.elapsed().as_secs_f64());
+        emitted = out.len();
+    }
+    PerfRecord::new("quantized_decode")
         .metric("tok_per_s", emitted as f64 / best)
         .metric("wall_ms", best * 1e3)
 }
@@ -250,6 +302,7 @@ fn bench_prefix_sweep() -> PerfRecord {
 const GATED: &[(&str, &str)] = &[
     ("matmul_256", "gflops"),
     ("cached_decode", "tok_per_s"),
+    ("quantized_decode", "tok_per_s"),
     ("serve_closed_loop", "tok_per_s"),
     ("prefix_sweep", "tok_per_s"),
 ];

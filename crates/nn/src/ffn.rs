@@ -32,14 +32,15 @@ impl FeedForward {
     }
 
     /// Tape-free `FFN(x)` (KV-cached inference): same projections and the
-    /// same [`kernels::gelu`] map as the tape path. Row-local, so it is
-    /// batch-transparent: applied to a packed multi-sequence matrix, each
-    /// row's output is bitwise (at one kernel thread) what it would be with
-    /// that sequence alone.
+    /// same [`kernels::gelu_slice`] map as the tape path (in place, SIMD-
+    /// dispatched, bitwise-equal to the scalar [`kernels::gelu`] map in every
+    /// tier). Row-local, so it is batch-transparent: applied to a packed
+    /// multi-sequence matrix, each row's output is bitwise (at one kernel
+    /// thread) what it would be with that sequence alone.
     pub fn apply(&self, x: &Matrix) -> Matrix {
-        let h = self.w1.apply(x);
-        let a = h.map(kernels::gelu);
-        self.w2.apply(&a)
+        let mut h = self.w1.apply(x);
+        kernels::gelu_slice(h.data_mut());
+        self.w2.apply(&h)
     }
 
     /// Inner width (T-Patcher appends neurons logically after this).

@@ -1,6 +1,8 @@
 //! Primitive layers: linear projections, embeddings, layer norm.
 
-use infuserki_tensor::{infer, init, kernels, Matrix, NodeId, Param, Tape};
+use infuserki_tensor::{
+    infer, init, kernels, Matrix, NodeId, Param, QuantSpec, QuantizedMatrix, Tape,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -23,10 +25,19 @@ pub trait Module {
 }
 
 /// Affine projection `y = x W + b`.
+///
+/// A frozen projection can additionally carry packed int8 weights
+/// ([`Linear::quantize_frozen`]): [`Linear::apply`] then runs the fused
+/// dequant-matmul, while `w` holds the *dequantized* f32 values — so the
+/// tape path, checkpoints and any code reading `weight()` see exactly the
+/// numbers inference folds, and the two stay bitwise consistent. The packed
+/// form is rebuilt at load, not serialized (`#[serde(skip)]`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Linear {
     w: Param,
     b: Option<Param>,
+    #[serde(skip)]
+    qw: Option<QuantizedMatrix>,
 }
 
 impl Linear {
@@ -42,6 +53,7 @@ impl Linear {
         Linear {
             w: Param::new(format!("{name}.w"), init::normal(d_in, d_out, std, rng)),
             b: bias.then(|| Param::new(format!("{name}.b"), Matrix::zeros(1, d_out))),
+            qw: None,
         }
     }
 
@@ -51,6 +63,7 @@ impl Linear {
         Linear {
             w: Param::new(format!("{name}.w"), Matrix::zeros(d_in, d_out)),
             b: bias.then(|| Param::new(format!("{name}.b"), Matrix::zeros(1, d_out))),
+            qw: None,
         }
     }
 
@@ -73,11 +86,51 @@ impl Linear {
     /// kernel), so outputs are bitwise identical row for row — and therefore
     /// batch-transparent: rows of a packed multi-sequence matrix project
     /// exactly as they would alone.
+    ///
+    /// A quantized projection routes through the fused int8 dequant-matmul,
+    /// which is bitwise-identical to the dense product over the dequantized
+    /// `w` this layer then holds — so the contract above survives
+    /// quantization unchanged.
     pub fn apply(&self, x: &Matrix) -> Matrix {
+        if let Some(qw) = &self.qw {
+            let mut v = qw.matmul(x);
+            if let Some(b) = &self.b {
+                // Same bias pass as `infer::affine`: one `+=` per element
+                // after the matmul chain.
+                let brow = b.data().row(0).to_vec();
+                for r in 0..v.rows() {
+                    for (o, &bv) in v.row_mut(r).iter_mut().zip(brow.iter()) {
+                        *o += bv;
+                    }
+                }
+            }
+            return v;
+        }
         match &self.b {
             Some(b) => infer::affine(x, self.w.data(), b.data()),
             None => kernels::matmul(x, self.w.data()),
         }
+    }
+
+    /// Quantizes this projection's weights to packed int8 blocks and replaces
+    /// `w` with their dequantized values, so every non-fused reader (tape
+    /// forwards, checkpoints, analysis) sees exactly the numbers the fused
+    /// kernel folds. Inference-only contract: mutating the weights afterwards
+    /// (training) would desync the packed copy — freeze first, quantize last.
+    pub fn quantize_frozen(&mut self, spec: QuantSpec) {
+        let qm = QuantizedMatrix::quantize(self.w.data(), spec);
+        *self.w.data_mut() = qm.dequantize();
+        self.qw = Some(qm);
+    }
+
+    /// The packed int8 weights, when [`Linear::quantize_frozen`] has run.
+    pub fn quantized(&self) -> Option<&QuantizedMatrix> {
+        self.qw.as_ref()
+    }
+
+    /// Whether this projection runs the fused int8 path.
+    pub fn is_quantized(&self) -> bool {
+        self.qw.is_some()
     }
 
     /// Weight parameter.
@@ -85,7 +138,9 @@ impl Linear {
         &self.w
     }
 
-    /// Mutable weight parameter (quantization experiments).
+    /// Mutable weight parameter (quantization experiments). Writing through
+    /// this on a [`Linear::is_quantized`] layer desyncs the packed int8 copy
+    /// — quantization is inference-only, re-quantize after any edit.
     pub fn weight_mut(&mut self) -> &mut Param {
         &mut self.w
     }

@@ -6,7 +6,7 @@ use std::path::Path;
 
 use infuserki_obs as obs;
 use infuserki_tensor::op::IGNORE_INDEX;
-use infuserki_tensor::{kernels, Matrix, NodeId, Param, SeqBatch, Tape, TensorError};
+use infuserki_tensor::{kernels, Matrix, NodeId, Param, QuantSpec, SeqBatch, Tape, TensorError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -457,6 +457,45 @@ impl TransformerLm {
             .map_err(|e| TensorError::Corrupt(format!("parse checkpoint: {e}")))?;
         model.cfg.validate().map_err(TensorError::Corrupt)?;
         Ok(model)
+    }
+
+    /// Loads a model and immediately quantizes its frozen base
+    /// ([`Self::quantize_frozen_base`]) — the int8 inference load path.
+    pub fn load_quantized(path: impl AsRef<Path>, spec: QuantSpec) -> Result<Self, TensorError> {
+        let mut model = Self::load(path)?;
+        model.quantize_frozen_base(spec);
+        Ok(model)
+    }
+
+    /// Quantizes the frozen base's attention and FFN projections to packed
+    /// int8 blocks for fused dequant-matmul inference; embeddings, LayerNorms
+    /// and the tied LM head stay f32 (as in QLoRA), and adapters/gates added
+    /// by hooks are untouched — they are trainable and must remain exact.
+    /// Each projection's `w` is replaced by its dequantized values, so tape
+    /// forwards over this model see the same numbers the fused kernels fold.
+    /// Returns the number of quantized projections. Inference-only contract:
+    /// quantize after all weight mutation (training/loading) is done.
+    pub fn quantize_frozen_base(&mut self, spec: QuantSpec) -> usize {
+        let mut count = 0;
+        for block in self.blocks_mut() {
+            for lin in block.attn_mut().projections_mut() {
+                lin.quantize_frozen(spec);
+                count += 1;
+            }
+            for lin in block.ffn_mut().projections_mut() {
+                lin.quantize_frozen(spec);
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Whether [`Self::quantize_frozen_base`] has run (checks the first
+    /// attention projection — quantization is always all-or-nothing).
+    pub fn is_quantized(&self) -> bool {
+        self.blocks
+            .first()
+            .is_some_and(|b| b.attn().wq().is_quantized())
     }
 }
 

@@ -51,20 +51,34 @@
 //! back, and [`env_thread_count`] is the shared helper the serving config
 //! resolves the same knob through.
 //!
+//! # ISA tiers
+//!
+//! The column-strip loop of the `a@b`/`aᵀ@b` tile path, the attention·V
+//! row fold, GELU and the softmax max/scale passes each dispatch through
+//! [`crate::simd::active_isa`] to an explicit AVX2 or AVX-512 micro-kernel
+//! ([`crate::simd`]) when the CPU (or the `INFUSERKI_ISA` knob) selects one.
+//! Every f32 tier is bitwise-equal to the scalar tier — SIMD lanes only ever
+//! span independent output elements, never an accumulation chain (see the
+//! `simd` module docs for the proof obligations). The dot-shaped kernels
+//! (`a@bᵀ`, score panels, [`dot_seq`]) run this module's scalar path in
+//! every tier: one output element per chain leaves nothing to lane out
+//! without reassociating.
+//!
 //! The pre-blocking seed kernels are preserved in [`reference`] as the
 //! correctness oracle for the property-test suite and the before/after
 //! microbenches.
 
 use crate::matrix::Matrix;
+use crate::simd::{self, Isa};
 use infuserki_obs as obs;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Output-row tile height of the register micro-kernel.
-const MR: usize = 8;
+pub(crate) const MR: usize = 8;
 /// Output-column tile width of the register micro-kernel.
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 
 /// Products below this many FLOPs (`2·m·n·k`) stay on the calling thread.
 ///
@@ -209,7 +223,7 @@ fn dispatch_metrics() -> &'static DispatchMetrics {
 /// `fetch_add` per call); per-band busy/idle timing and the dispatch span
 /// are gated on [`obs::enabled`] so the tracing-off path never reads the
 /// clock.
-fn run_banded<F>(out: &mut [f32], out_rows: usize, n: usize, flops: usize, band_fn: F)
+pub(crate) fn run_banded<F>(out: &mut [f32], out_rows: usize, n: usize, flops: usize, band_fn: F)
 where
     F: Fn(Range<usize>, &mut [f32]) + Sync,
 {
@@ -286,9 +300,10 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, accumulate: bool) {
     assert_eq!(out.shape(), (m, n), "matmul_into: out shape");
     let flops = 2 * m * n * k;
     let (ad, bd) = (a.data(), b.data());
+    let isa = simd::active_isa();
     run_banded(out.data_mut(), m, n, flops, |rows, chunk| {
         // a-value loader: row i0+r of `a`, entry p (row-major, stride k).
-        matmul_band(|p, i| ad[i * k + p], bd, rows, chunk, k, n, accumulate);
+        matmul_band(|p, i| ad[i * k + p], bd, rows, chunk, k, n, accumulate, isa);
     });
 }
 
@@ -316,9 +331,10 @@ pub fn matmul_at_into(a: &Matrix, b: &Matrix, out: &mut Matrix, accumulate: bool
     assert_eq!(out.shape(), (m, n), "matmul_at_into: out shape");
     let flops = 2 * m * n * k;
     let (ad, bd) = (a.data(), b.data());
+    let isa = simd::active_isa();
     run_banded(out.data_mut(), m, n, flops, |rows, chunk| {
         // a-value loader: column i0+r of `a`, entry p (row-major, stride m).
-        matmul_band(|p, i| ad[p * m + i], bd, rows, chunk, k, n, accumulate);
+        matmul_band(|p, i| ad[p * m + i], bd, rows, chunk, k, n, accumulate, isa);
     });
 }
 
@@ -331,7 +347,7 @@ pub fn matmul_at_into(a: &Matrix, b: &Matrix, out: &mut Matrix, accumulate: bool
 /// is fixed at compile time, so within one build every kernel path uses the
 /// same chain and results stay bitwise reproducible.
 #[inline(always)]
-fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+pub(crate) fn fmadd(a: f32, b: f32, c: f32) -> f32 {
     #[cfg(target_feature = "fma")]
     {
         a.mul_add(b, c)
@@ -347,9 +363,11 @@ fn fmadd(a: f32, b: f32, c: f32) -> f32 {
 /// Computes `chunk[i - rows.start][j] (+)= Σ_p load_a(p, i) · b[p][j]` for
 /// `i ∈ rows`, `j ∈ 0..n`, `p` ascending. Main path: `MR×NR` register tiles
 /// over an A panel packed to `[p][r]` layout (contiguous inner-loop reads,
-/// no bounds-checked gather in the hot loop); edges: scalar loops with the
-/// identical per-element accumulation chain.
+/// no bounds-checked gather in the hot loop), with the column-strip inner
+/// loop dispatched to the `isa` tier; edges: scalar loops with the identical
+/// per-element accumulation chain.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 fn matmul_band(
     load_a: impl Fn(usize, usize) -> f32,
     bd: &[f32],
@@ -358,6 +376,7 @@ fn matmul_band(
     k: usize,
     n: usize,
     accumulate: bool,
+    isa: Isa,
 ) {
     let mb = rows.len();
     // O(k·MR) packing scratch, reused across the band's row tiles.
@@ -368,19 +387,19 @@ fn matmul_band(
     // (4–7 packed rows) would otherwise miss register tiling entirely.
     while mb - ib >= MR {
         tile_rows::<MR>(
-            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack,
+            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack, isa,
         );
         ib += MR;
     }
     if mb - ib >= 4 {
         tile_rows::<4>(
-            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack,
+            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack, isa,
         );
         ib += 4;
     }
     if mb - ib >= 2 {
         tile_rows::<2>(
-            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack,
+            &load_a, bd, rows.start, ib, chunk, k, n, accumulate, &mut apack, isa,
         );
         ib += 2;
     }
@@ -417,6 +436,7 @@ fn tile_rows<const R: usize>(
     n: usize,
     accumulate: bool,
     apack: &mut [f32],
+    isa: Isa,
 ) {
     let j_main = n - n % NR;
     let apack = &mut apack[..k * R];
@@ -426,30 +446,84 @@ fn tile_rows<const R: usize>(
         }
     }
     for jb in (0..j_main).step_by(NR) {
-        let mut acc = [[0.0f32; NR]; R];
-        for (ap, brow) in apack.chunks_exact(R).zip(bd.chunks_exact(n)) {
-            let bs: &[f32; NR] = brow[jb..jb + NR].try_into().expect("NR block");
-            for (r, acc_row) in acc.iter_mut().enumerate() {
-                let av = ap[r];
-                for (c, s) in acc_row.iter_mut().enumerate() {
-                    *s = fmadd(av, bs[c], *s);
-                }
-            }
-        }
-        for (r, acc_row) in acc.iter().enumerate() {
-            let orow = &mut chunk[(ib + r) * n + jb..(ib + r) * n + jb + NR];
-            if accumulate {
-                for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
-                    *o += v;
-                }
-            } else {
-                orow.copy_from_slice(acc_row);
-            }
-        }
+        strip16::<R>(apack, bd, jb, k, n, chunk, ib, accumulate, isa);
     }
     for r in 0..R {
         let i = row0 + ib + r;
         scalar_row_tail(load_a, bd, i, ib + r, chunk, k, n, j_main, n, accumulate);
+    }
+}
+
+/// One `R×NR` column strip of [`tile_rows`], dispatched to the `isa` tier.
+/// All tiers compute the identical per-element ascending-`p` [`fmadd`]
+/// chain — the SIMD variants vectorize across the strip's 16 independent
+/// output columns only (see [`crate::simd`]).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn strip16<const R: usize>(
+    apack: &[f32],
+    bd: &[f32],
+    jb: usize,
+    k: usize,
+    n: usize,
+    chunk: &mut [f32],
+    ib: usize,
+    accumulate: bool,
+    isa: Isa,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if isa != Isa::Scalar {
+        // Bounds (checked by the callers' invariants, restated here):
+        // apack holds k·R floats; the deepest B read is
+        // (k-1)·n + jb + 16 ≤ k·n = bd.len(); the deepest out access is
+        // (ib+R-1)·n + jb + 16 ≤ chunk.len() since ib+R ≤ band rows and
+        // jb + 16 ≤ n. CPU support is guaranteed by `active_isa`.
+        unsafe {
+            let out = chunk.as_mut_ptr().add(ib * n + jb);
+            match isa {
+                Isa::Avx2 => simd::x86::strip16_avx2::<R>(
+                    apack.as_ptr(),
+                    bd.as_ptr().add(jb),
+                    n,
+                    k,
+                    out,
+                    n,
+                    accumulate,
+                ),
+                Isa::Avx512 => simd::x86::strip16_avx512::<R>(
+                    apack.as_ptr(),
+                    bd.as_ptr().add(jb),
+                    n,
+                    k,
+                    out,
+                    n,
+                    accumulate,
+                ),
+                Isa::Scalar => unreachable!(),
+            }
+        }
+        return;
+    }
+    let _ = isa;
+    let mut acc = [[0.0f32; NR]; R];
+    for (ap, brow) in apack.chunks_exact(R).zip(bd.chunks_exact(n)) {
+        let bs: &[f32; NR] = brow[jb..jb + NR].try_into().expect("NR block");
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = ap[r];
+            for (c, s) in acc_row.iter_mut().enumerate() {
+                *s = fmadd(av, bs[c], *s);
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let orow = &mut chunk[(ib + r) * n + jb..(ib + r) * n + jb + NR];
+        if accumulate {
+            for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
+                *o += v;
+            }
+        } else {
+            orow.copy_from_slice(acc_row);
+        }
     }
 }
 
@@ -700,21 +774,8 @@ pub fn matmul_cols_into(
         row0 + m <= out.rows() && hi <= out.cols(),
         "matmul_cols_into: out window"
     );
-    let on = out.cols();
-    let bn = b.cols();
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    for i in 0..m {
-        let orow = &mut od[(row0 + i) * on + lo..(row0 + i) * on + hi];
-        orow.fill(0.0);
-        for p in 0..kk {
-            let av = ad[i * kk + p];
-            let brow = &bd[p * bn + lo..p * bn + hi];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o = fmadd(av, bv, *o);
-            }
-        }
-    }
+    // The full product is the single-segment case of the paged fold.
+    matmul_cols_seg_into(a, 0, kk, b, lo, hi, out, row0, false);
 }
 
 /// `out[:, col0..col0+b_rows] = a[r0..r1, lo..hi] @ (b[0..b_rows, lo..hi])ᵀ`
@@ -813,17 +874,73 @@ pub fn matmul_cols_seg_into(
     let bn = b.cols();
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
+    let isa = simd::active_isa();
     for i in 0..m {
-        let orow = &mut od[(row0 + i) * on + lo..(row0 + i) * on + hi];
-        if !accumulate {
-            orow.fill(0.0);
-        }
-        for p in 0..seg {
-            let av = ad[i * ka + a_lo + p];
-            let brow = &bd[p * bn + lo..p * bn + hi];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o = fmadd(av, bv, *o);
+        av_row(
+            &ad[i * ka + a_lo..i * ka + a_hi],
+            bd,
+            lo,
+            bn,
+            &mut od[(row0 + i) * on + lo..(row0 + i) * on + hi],
+            accumulate,
+            isa,
+        );
+    }
+}
+
+/// One output row of the attention·V fold, dispatched to the `isa` tier:
+/// `orow[j] (+)= Σ_p a[p] · bd[p·bn + lo + j]`, `p` ascending through one
+/// [`fmadd`] chain per output element (each SIMD lane owns one independent
+/// column's chain, so all tiers are bitwise-equal).
+#[inline(always)]
+fn av_row(
+    a: &[f32],
+    bd: &[f32],
+    lo: usize,
+    bn: usize,
+    orow: &mut [f32],
+    accumulate: bool,
+    isa: Isa,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if isa != Isa::Scalar {
+        // Bounds: the deepest B read is (seg-1)·bn + lo + orow.len() =
+        // (seg-1)·bn + hi ≤ b.rows()·b.cols() = bd.len() (the caller
+        // asserted seg ≤ b.rows() and hi ≤ b.cols()). CPU support is
+        // guaranteed by `active_isa`.
+        unsafe {
+            match isa {
+                Isa::Avx2 => simd::x86::av_row_avx2(
+                    a.as_ptr(),
+                    a.len(),
+                    bd.as_ptr().add(lo),
+                    bn,
+                    orow.as_mut_ptr(),
+                    orow.len(),
+                    accumulate,
+                ),
+                Isa::Avx512 => simd::x86::av_row_avx512(
+                    a.as_ptr(),
+                    a.len(),
+                    bd.as_ptr().add(lo),
+                    bn,
+                    orow.as_mut_ptr(),
+                    orow.len(),
+                    accumulate,
+                ),
+                Isa::Scalar => unreachable!(),
             }
+        }
+        return;
+    }
+    let _ = isa;
+    if !accumulate {
+        orow.fill(0.0);
+    }
+    for (p, &av) in a.iter().enumerate() {
+        let brow = &bd[p * bn + lo..p * bn + lo + orow.len()];
+        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+            *o = fmadd(av, bv, *o);
         }
     }
 }
@@ -933,20 +1050,56 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
     out
 }
 
+/// Max over a slice, dispatched to the `isa` tier. All tiers return the
+/// same *value* as the scalar `f32::max` fold (max is order-insensitive over
+/// finite floats); on a `±0.0` tie the SIMD tiers may pick the other zero's
+/// sign, which the softmax callers provably absorb (`exp(v - ±0.0)` reads
+/// only the value).
+#[inline(always)]
+fn max_slice(xs: &[f32], isa: Isa) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    match isa {
+        Isa::Scalar => {}
+        Isa::Avx2 => return unsafe { simd::x86::max_slice_avx2(xs) },
+        Isa::Avx512 => return unsafe { simd::x86::max_slice_avx512(xs) },
+    }
+    let _ = isa;
+    xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// `xs[i] *= s`, dispatched to the `isa` tier — elementwise, so every tier
+/// is bitwise-equal.
+#[inline(always)]
+fn scale_slice(xs: &mut [f32], s: f32, isa: Isa) {
+    #[cfg(target_arch = "x86_64")]
+    match isa {
+        Isa::Scalar => {}
+        Isa::Avx2 => return unsafe { simd::x86::scale_slice_avx2(xs, s) },
+        Isa::Avx512 => return unsafe { simd::x86::scale_slice_avx512(xs, s) },
+    }
+    let _ = isa;
+    for v in xs.iter_mut() {
+        *v *= s;
+    }
+}
+
 /// In-place row-wise softmax (allocation-free form of [`softmax_rows`]).
+///
+/// The max scan and the `1/sum` scale pass dispatch to the active SIMD tier;
+/// the `exp` + sum pass stays scalar in every tier (libm `expf` is the
+/// bit-reference, and the sum is one ascending accumulation chain).
 pub fn softmax_rows_in_place(out: &mut Matrix) {
+    let isa = simd::active_isa();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = max_slice(row, isa);
         let mut sum = 0.0;
         for v in row.iter_mut() {
             *v = (*v - max).exp();
             sum += *v;
         }
         let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
+        scale_slice(row, inv, isa);
     }
 }
 
@@ -961,21 +1114,20 @@ pub fn softmax_rows_in_place(out: &mut Matrix) {
 /// is never `-0.0`), and `+0.0 × inv` is `+0.0`. Skipping them drops half
 /// the `exp` calls of a square prefill score block and the masking pass.
 pub fn softmax_rows_causal_in_place(out: &mut Matrix, offset: usize) {
+    let isa = simd::active_isa();
     let n = out.cols();
     for r in 0..out.rows() {
         let valid = (offset + r + 1).min(n);
         let row = out.row_mut(r);
         let (head, tail) = row.split_at_mut(valid);
-        let max = head.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = max_slice(head, isa);
         let mut sum = 0.0;
         for v in head.iter_mut() {
             *v = (*v - max).exp();
             sum += *v;
         }
         let inv = 1.0 / sum;
-        for v in head.iter_mut() {
-            *v *= inv;
-        }
+        scale_slice(head, inv, isa);
         tail.fill(0.0);
     }
 }
@@ -1015,22 +1167,34 @@ pub fn sigmoid(v: f32) -> f32 {
 /// clamped polynomial arithmetic, so an elementwise map over a matrix
 /// compiles to SIMD. Like every kernel here it is exactly reproducible:
 /// same input, same bits, on every path that calls it.
+/// The rational-tanh / GELU polynomial constants, shared verbatim with the
+/// vector tiers in [`crate::simd`] — one source of truth, so a coefficient
+/// tweak can never bitwise-desync the scalar and SIMD paths.
+pub(crate) mod tanh_poly {
+    /// Saturating clamp: past ±7.905 f32 tanh rounds to ±1.
+    pub const CLAMP: f32 = 7.905_311;
+    pub const A1: f32 = 4.893_525_6e-3;
+    pub const A3: f32 = 6.372_619_3e-4;
+    pub const A5: f32 = 1.485_722_4e-5;
+    pub const A7: f32 = 5.122_297_1e-8;
+    pub const A9: f32 = -8.604_672e-11;
+    pub const A11: f32 = 2.000_188e-13;
+    pub const A13: f32 = -2.760_768_5e-16;
+    pub const B0: f32 = 4.893_525e-3;
+    pub const B2: f32 = 2.268_434_6e-3;
+    pub const B4: f32 = 1.185_347_1e-4;
+    pub const B6: f32 = 1.198_258_4e-6;
+    /// sqrt(2/pi), the GELU tanh-approximation scale.
+    pub const GELU_C: f32 = 0.797_884_6;
+    /// The GELU cubic coefficient.
+    pub const GELU_K: f32 = 0.044_715;
+}
+
 #[inline]
 pub fn tanh_fast(x: f32) -> f32 {
-    const CLAMP: f32 = 7.905_311;
+    use tanh_poly::*;
     let x = x.clamp(-CLAMP, CLAMP);
     let x2 = x * x;
-    const A1: f32 = 4.893_525_6e-3;
-    const A3: f32 = 6.372_619_3e-4;
-    const A5: f32 = 1.485_722_4e-5;
-    const A7: f32 = 5.122_297_1e-8;
-    const A9: f32 = -8.604_672e-11;
-    const A11: f32 = 2.000_188e-13;
-    const A13: f32 = -2.760_768_5e-16;
-    const B0: f32 = 4.893_525e-3;
-    const B2: f32 = 2.268_434_6e-3;
-    const B4: f32 = 1.185_347_1e-4;
-    const B6: f32 = 1.198_258_4e-6;
     let p = ((((((A13 * x2 + A11) * x2 + A9) * x2 + A7) * x2 + A5) * x2 + A3) * x2 + A1) * x;
     let q = ((B6 * x2 + B4) * x2 + B2) * x2 + B0;
     p / q
@@ -1042,8 +1206,28 @@ pub fn tanh_fast(x: f32) -> f32 {
 /// function, so their outputs stay bitwise identical to each other.
 #[inline]
 pub fn gelu(v: f32) -> f32 {
-    const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * v * (1.0 + tanh_fast(C * (v + 0.044_715 * v * v * v)))
+    const C: f32 = tanh_poly::GELU_C;
+    const K: f32 = tanh_poly::GELU_K;
+    0.5 * v * (1.0 + tanh_fast(C * (v + K * v * v * v)))
+}
+
+/// In-place GELU over a slice, dispatched to the active SIMD tier. The
+/// vector tiers replicate [`gelu`]'s exact operation sequence lane-by-lane
+/// (plain multiplies and adds, never contracted to FMA — the scalar form
+/// uses `*`/`+`, which Rust never fuses), so finite inputs produce
+/// bitwise-identical outputs in every tier; NaNs stay NaN.
+pub fn gelu_slice(xs: &mut [f32]) {
+    let isa = simd::active_isa();
+    #[cfg(target_arch = "x86_64")]
+    match isa {
+        Isa::Scalar => {}
+        Isa::Avx2 => return unsafe { simd::x86::gelu_slice_avx2(xs) },
+        Isa::Avx512 => return unsafe { simd::x86::gelu_slice_avx512(xs) },
+    }
+    let _ = isa;
+    for v in xs.iter_mut() {
+        *v = gelu(*v);
+    }
 }
 
 /// Derivative of [`gelu`] (same [`tanh_fast`] inner tanh).
@@ -1179,11 +1363,12 @@ mod tests {
         let mut banded = Matrix::zeros(64, 29);
         // Simulate a 3-way band split exactly as run_banded would.
         let (ad, bd) = (a.data(), b.data());
+        let isa = simd::active_isa();
         let mut rest = banded.data_mut();
         for band in row_bands(64, 3) {
             let (chunk, tail) = rest.split_at_mut(band.len() * 29);
             rest = tail;
-            matmul_band(|p, i| ad[i * 33 + p], bd, band, chunk, 33, 29, false);
+            matmul_band(|p, i| ad[i * 33 + p], bd, band, chunk, 33, 29, false, isa);
         }
         assert_eq!(serial.data(), banded.data());
     }

@@ -31,6 +31,8 @@ pub mod kernels;
 pub mod matrix;
 pub mod op;
 pub mod param;
+pub mod quant;
+pub mod simd;
 pub mod tape;
 
 pub use batch::SeqBatch;
@@ -38,4 +40,6 @@ pub use error::TensorError;
 pub use matrix::Matrix;
 pub use op::Op;
 pub use param::{Gradients, Param, ParamId, ParamSet};
+pub use quant::{QuantSpec, QuantizedMatrix};
+pub use simd::Isa;
 pub use tape::{NodeId, Tape};

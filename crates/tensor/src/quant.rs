@@ -1,0 +1,520 @@
+//! Blockwise int8 weight quantization with a fused dequant-matmul kernel.
+//!
+//! Frozen base weights never need gradients, so they can be stored as packed
+//! signed bytes plus per-block scales and dequantized on the fly inside the
+//! matmul inner loop — 4× less weight memory traffic per product. Adapters,
+//! gates and everything a tape touches stay f32.
+//!
+//! # Scheme
+//!
+//! Symmetric blockwise absmax, the int8 sibling of the 4-bit quantizer the
+//! QLoRA baseline applies (`crates/baselines/src/qlora.rs`, which delegates
+//! its arithmetic to [`quantize_dequantize_levels`] here): each weight row is
+//! split into `block_size` column blocks; per block `scale = absmax / 127`
+//! and values round to `q ∈ [-127, 127]` (symmetric — the `-128` code is
+//! unused so the grid is sign-balanced). Dequantization is exactly
+//! `q as f32 * scale`.
+//!
+//! # Determinism contract
+//!
+//! [`QuantizedMatrix::matmul`] is **bitwise-identical** to
+//! `kernels::matmul(x, &self.dequantize())` in every ISA tier and at every
+//! thread count: the fused kernel computes each dequantized value with the
+//! same two exact-or-correctly-rounded steps (int→float convert is exact for
+//! `|q| ≤ 127`; one f32 multiply) and folds it through the same ascending-`p`
+//! accumulation chain as the dense kernel. Quantization itself is lossy —
+//! per-element error against the *original* weights is bounded by
+//! [`max_abs_error`] — but everything downstream of the quantized values is
+//! exact, which is what lets one tolerance statement at the weights cover the
+//! whole inference stack.
+
+use crate::kernels;
+use crate::matrix::Matrix;
+use crate::simd::{self, Isa};
+use serde::{Deserialize, Serialize};
+
+/// Symmetric int8 levels: `[-MAX_LEVEL, MAX_LEVEL]`.
+const MAX_LEVEL: f32 = 127.0;
+
+/// Blockwise int8 quantization parameters for the frozen base.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuantSpec {
+    /// Values per quantization block along a weight row (64, QLoRA's choice,
+    /// keeps blocks aligned with the 16-column matmul strips).
+    pub block_size: usize,
+}
+
+impl Default for QuantSpec {
+    fn default() -> Self {
+        QuantSpec { block_size: 64 }
+    }
+}
+
+/// Worst-case absolute error of int8 absmax quantization for a block with
+/// the given absmax: half a quantization step, plus an ulp-scale slop term
+/// for the two roundings (`v/scale` and `q*scale`) the half-step argument
+/// treats as exact, plus an absolute epsilon for subnormal-scale corners.
+pub fn max_abs_error(absmax: f32) -> f32 {
+    absmax / (2.0 * MAX_LEVEL) + absmax * 1e-5 + 1e-7
+}
+
+/// Quantizes one buffer blockwise to symmetric levels and dequantizes it
+/// back, in place: per block `scale = absmax / max_level`, levels clamped to
+/// `[min_level, max_level]`, zero blocks untouched. The shared arithmetic
+/// core of this module's int8 path (`max_level = 127`) and the QLoRA
+/// baseline's 4-bit path (`max_level = 7`, `min_level = -8`).
+pub fn quantize_dequantize_levels(
+    data: &mut [f32],
+    block_size: usize,
+    max_level: f32,
+    min_level: f32,
+) {
+    assert!(block_size > 0, "block_size must be positive");
+    for block in data.chunks_mut(block_size) {
+        let absmax = block.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if absmax == 0.0 {
+            continue;
+        }
+        let scale = absmax / max_level;
+        for v in block.iter_mut() {
+            let q = (*v / scale).round().clamp(min_level, max_level);
+            *v = q * scale;
+        }
+    }
+}
+
+/// A row-major matrix stored as packed int8 blocks plus per-block scales.
+///
+/// Layout: `q[r*cols + c]` holds the quantized value of element `(r, c)`;
+/// `scales[r*blocks_per_row + c/block_size]` its block scale. Serialization
+/// round-trips exactly (bytes and scale bits are stored verbatim).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    block_size: usize,
+    q: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` blockwise along its rows.
+    ///
+    /// # Panics
+    /// Panics if `spec.block_size == 0`.
+    pub fn quantize(m: &Matrix, spec: QuantSpec) -> Self {
+        let bs = spec.block_size;
+        assert!(bs > 0, "QuantSpec::block_size must be positive");
+        let (rows, cols) = m.shape();
+        let bpr = cols.div_ceil(bs).max(1);
+        let mut q = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows * bpr];
+        for r in 0..rows {
+            let row = m.row(r);
+            for (blk, chunk) in row.chunks(bs).enumerate() {
+                let absmax = chunk.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+                if absmax == 0.0 {
+                    continue; // q stays 0, scale stays 0.0: dequantizes to +0.0
+                }
+                let scale = absmax / MAX_LEVEL;
+                scales[r * bpr + blk] = scale;
+                for (c, &v) in chunk.iter().enumerate() {
+                    let lvl = (v / scale).round().clamp(-MAX_LEVEL, MAX_LEVEL);
+                    q[r * cols + blk * bs + c] = lvl as i8;
+                }
+            }
+        }
+        QuantizedMatrix {
+            rows,
+            cols,
+            block_size: bs,
+            q,
+            scales,
+        }
+    }
+
+    /// Rows of the (logical f32) matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the (logical f32) matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The quantization block size along rows.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Blocks per row.
+    fn bpr(&self) -> usize {
+        self.cols.div_ceil(self.block_size).max(1)
+    }
+
+    /// The dequantized element `(r, c)` — `q as f32 * scale`, the exact value
+    /// the fused matmul folds.
+    #[inline(always)]
+    fn deq(&self, r: usize, c: usize) -> f32 {
+        self.q[r * self.cols + c] as f32 * self.scales[r * self.bpr() + c / self.block_size]
+    }
+
+    /// Materializes the dequantized f32 matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let bpr = self.bpr();
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            let srow = &self.scales[r * bpr..(r + 1) * bpr];
+            for (c, &qv) in self.q[r * self.cols..(r + 1) * self.cols]
+                .iter()
+                .enumerate()
+            {
+                data.push(qv as f32 * srow[c / self.block_size]);
+            }
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// `x @ self` with in-register dequantization.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.cols);
+        self.matmul_into(x, &mut out, false);
+        out
+    }
+
+    /// `out (+)= x @ self`, allocation-free; bitwise-identical to
+    /// `kernels::matmul_into(x, &self.dequantize(), out, accumulate)` in
+    /// every ISA tier and at every thread count (see module docs).
+    pub fn matmul_into(&self, x: &Matrix, out: &mut Matrix, accumulate: bool) {
+        let (m, k) = x.shape();
+        let n = self.cols;
+        assert_eq!(self.rows, k, "quantized matmul: inner dims");
+        assert_eq!(out.shape(), (m, n), "quantized matmul: out shape");
+        let flops = 2 * m * n * k;
+        let xd = x.data();
+        let isa = simd::active_isa();
+        kernels::run_banded(out.data_mut(), m, n, flops, |rows, chunk| {
+            self.band(xd, k, rows, chunk, n, accumulate, isa);
+        });
+    }
+
+    /// One row band of the fused product — the quantized mirror of the dense
+    /// kernel's band: identical MR/4/2 row-tile ladder, identical `NR`-wide
+    /// column strips (when `block_size` is a multiple of `NR`, so a strip
+    /// never straddles a scale boundary; otherwise every column runs the
+    /// scalar chain), identical scalar edges.
+    #[allow(clippy::too_many_arguments)]
+    fn band(
+        &self,
+        xd: &[f32],
+        k: usize,
+        rows: std::ops::Range<usize>,
+        chunk: &mut [f32],
+        n: usize,
+        accumulate: bool,
+        isa: Isa,
+    ) {
+        let mb = rows.len();
+        let mut apack = vec![0.0f32; k * kernels::MR];
+        let mut ib = 0;
+        while mb - ib >= kernels::MR {
+            self.qtile_rows::<{ kernels::MR }>(
+                xd, rows.start, ib, chunk, k, n, accumulate, &mut apack, isa,
+            );
+            ib += kernels::MR;
+        }
+        if mb - ib >= 4 {
+            self.qtile_rows::<4>(xd, rows.start, ib, chunk, k, n, accumulate, &mut apack, isa);
+            ib += 4;
+        }
+        if mb - ib >= 2 {
+            self.qtile_rows::<2>(xd, rows.start, ib, chunk, k, n, accumulate, &mut apack, isa);
+            ib += 2;
+        }
+        for li in ib..mb {
+            self.scalar_row_tail(xd, rows.start + li, li, chunk, k, n, 0, n, accumulate);
+        }
+    }
+
+    /// Quantized mirror of the dense kernel's `tile_rows`.
+    #[allow(clippy::too_many_arguments)]
+    fn qtile_rows<const R: usize>(
+        &self,
+        xd: &[f32],
+        row0: usize,
+        ib: usize,
+        chunk: &mut [f32],
+        k: usize,
+        n: usize,
+        accumulate: bool,
+        apack: &mut [f32],
+        isa: Isa,
+    ) {
+        // A strip must sit inside one scale block per weight row; blocks
+        // whose size is not a multiple of NR fall back to the scalar chain
+        // for every column (the default 64 never does).
+        let j_main = if self.block_size.is_multiple_of(kernels::NR) {
+            n - n % kernels::NR
+        } else {
+            0
+        };
+        let apack = &mut apack[..k * R];
+        for (p, ap) in apack.chunks_exact_mut(R).enumerate() {
+            for (r, slot) in ap.iter_mut().enumerate() {
+                *slot = xd[(row0 + ib + r) * k + p];
+            }
+        }
+        for jb in (0..j_main).step_by(kernels::NR) {
+            self.qstrip16::<R>(apack, jb, k, n, chunk, ib, accumulate, isa);
+        }
+        for r in 0..R {
+            self.scalar_row_tail(
+                xd,
+                row0 + ib + r,
+                ib + r,
+                chunk,
+                k,
+                n,
+                j_main,
+                n,
+                accumulate,
+            );
+        }
+    }
+
+    /// One `R×NR` fused-dequant column strip, dispatched to the `isa` tier.
+    #[allow(clippy::too_many_arguments)]
+    fn qstrip16<const R: usize>(
+        &self,
+        apack: &[f32],
+        jb: usize,
+        k: usize,
+        n: usize,
+        chunk: &mut [f32],
+        ib: usize,
+        accumulate: bool,
+        isa: Isa,
+    ) {
+        let bpr = self.bpr();
+        let blk = jb / self.block_size;
+        #[cfg(target_arch = "x86_64")]
+        if isa != Isa::Scalar {
+            // Bounds: deepest q read (k-1)·n + jb + 16 ≤ k·n; deepest scale
+            // read (k-1)·bpr + blk < k·bpr; out as in the dense strip. The
+            // caller guarantees jb+16 stays inside block `blk` for all rows.
+            unsafe {
+                let out = chunk.as_mut_ptr().add(ib * n + jb);
+                match isa {
+                    Isa::Avx2 => simd::x86::qstrip16_avx2::<R>(
+                        apack.as_ptr(),
+                        self.q.as_ptr().add(jb),
+                        n,
+                        self.scales.as_ptr().add(blk),
+                        bpr,
+                        k,
+                        out,
+                        n,
+                        accumulate,
+                    ),
+                    Isa::Avx512 => simd::x86::qstrip16_avx512::<R>(
+                        apack.as_ptr(),
+                        self.q.as_ptr().add(jb),
+                        n,
+                        self.scales.as_ptr().add(blk),
+                        bpr,
+                        k,
+                        out,
+                        n,
+                        accumulate,
+                    ),
+                    Isa::Scalar => unreachable!(),
+                }
+            }
+            return;
+        }
+        let _ = isa;
+        let mut acc = [[0.0f32; kernels::NR]; R];
+        for (p, ap) in apack.chunks_exact(R).enumerate() {
+            let scale = self.scales[p * bpr + blk];
+            let qrow = &self.q[p * n + jb..p * n + jb + kernels::NR];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = ap[r];
+                for (c, s) in acc_row.iter_mut().enumerate() {
+                    *s = kernels::fmadd(av, qrow[c] as f32 * scale, *s);
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let orow = &mut chunk[(ib + r) * n + jb..(ib + r) * n + jb + kernels::NR];
+            if accumulate {
+                for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
+                    *o += v;
+                }
+            } else {
+                orow.copy_from_slice(acc_row);
+            }
+        }
+    }
+
+    /// Quantized mirror of the dense kernel's scalar edge path.
+    #[allow(clippy::too_many_arguments)]
+    fn scalar_row_tail(
+        &self,
+        xd: &[f32],
+        i: usize,
+        li: usize,
+        chunk: &mut [f32],
+        k: usize,
+        n: usize,
+        j_lo: usize,
+        j_hi: usize,
+        accumulate: bool,
+    ) {
+        for j in j_lo..j_hi {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s = kernels::fmadd(xd[i * k + p], self.deq(p, j), s);
+            }
+            let o = &mut chunk[li * n + j];
+            if accumulate {
+                *o += s;
+            } else {
+                *o = s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::Isa;
+
+    fn wave(rows: usize, cols: usize, f: f32) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| (i as f32 * f).sin()).collect(),
+        )
+    }
+
+    #[test]
+    fn error_within_bound_per_block() {
+        let m = wave(5, 150, 0.37);
+        let qm = QuantizedMatrix::quantize(&m, QuantSpec { block_size: 64 });
+        let d = qm.dequantize();
+        for r in 0..5 {
+            for (blk, chunk) in m.row(r).chunks(64).enumerate() {
+                let absmax = chunk.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+                let bound = max_abs_error(absmax);
+                for (c, &v) in chunk.iter().enumerate() {
+                    let err = (v - d.get(r, blk * 64 + c)).abs();
+                    assert!(err <= bound, "err {err} > bound {bound} at ({r},{blk},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let m = wave(3, 70, 0.51);
+        let spec = QuantSpec { block_size: 16 };
+        let once = QuantizedMatrix::quantize(&m, spec).dequantize();
+        let twice = QuantizedMatrix::quantize(&once, spec).dequantize();
+        assert_eq!(once.data(), twice.data());
+    }
+
+    #[test]
+    fn zero_and_edge_blocks() {
+        // All-zero matrix dequantizes to exact zeros.
+        let z = Matrix::zeros(2, 40);
+        let qz = QuantizedMatrix::quantize(&z, QuantSpec { block_size: 16 });
+        assert!(qz.dequantize().data().iter().all(|&v| v == 0.0));
+        // Single element: one block, scale = |v| / 127, value survives to
+        // within the bound.
+        let s = Matrix::from_vec(1, 1, vec![-0.8125]);
+        let qs = QuantizedMatrix::quantize(&s, QuantSpec::default());
+        assert!((qs.dequantize().get(0, 0) + 0.8125).abs() <= max_abs_error(0.8125));
+        // Ragged final block (cols not a multiple of block_size).
+        let m = wave(2, 19, 0.73);
+        let qm = QuantizedMatrix::quantize(&m, QuantSpec { block_size: 8 });
+        let d = qm.dequantize();
+        for (v, w) in m.data().iter().zip(d.data()) {
+            assert!((v - w).abs() <= max_abs_error(1.0));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_is_exact() {
+        let m = wave(4, 33, 0.29);
+        let qm = QuantizedMatrix::quantize(&m, QuantSpec { block_size: 16 });
+        let json = serde_json::to_string(&qm).unwrap();
+        let back: QuantizedMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(qm, back);
+        assert_eq!(qm.dequantize().data(), back.dequantize().data());
+    }
+
+    #[test]
+    fn fused_matmul_is_bitwise_dequantize_then_matmul() {
+        // Shapes covering full strips, ragged columns, ragged rows, the
+        // scalar row ladder, and a block size that disables strips.
+        for &(m, k, n, bs) in &[
+            (8usize, 64usize, 64usize, 64usize),
+            (5, 33, 80, 16),
+            (1, 7, 19, 64),
+            (13, 16, 31, 3),
+            (2, 64, 128, 32),
+        ] {
+            let x = wave(m, k, 0.31);
+            let w = wave(k, n, 0.57);
+            let qw = QuantizedMatrix::quantize(&w, QuantSpec { block_size: bs });
+            let fused = qw.matmul(&x);
+            let dense = kernels::matmul(&x, &qw.dequantize());
+            for (a, b) in fused.data().iter().zip(dense.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{m}x{k}x{n} bs={bs}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matmul_bitwise_across_isa_tiers() {
+        let x = wave(9, 48, 0.41);
+        let w = wave(48, 80, 0.23);
+        let qw = QuantizedMatrix::quantize(&w, QuantSpec { block_size: 16 });
+        simd::set_isa(Some(Isa::Scalar));
+        let base = qw.matmul(&x);
+        for isa in [Isa::Avx2, Isa::Avx512] {
+            if !simd::supported(isa) {
+                continue;
+            }
+            simd::set_isa(Some(isa));
+            let tier = qw.matmul(&x);
+            for (a, b) in tier.data().iter().zip(base.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} tier", isa.name());
+            }
+        }
+        simd::set_isa(None);
+    }
+
+    #[test]
+    fn accumulate_adds_once_after_the_chain() {
+        let x = wave(1, 8, 0.61);
+        let w = wave(8, 4, 0.43);
+        let qw = QuantizedMatrix::quantize(&w, QuantSpec::default());
+        let mut out = Matrix::full(1, 4, 10.0);
+        qw.matmul_into(&x, &mut out, true);
+        let plain = qw.matmul(&x);
+        for c in 0..4 {
+            assert_eq!(out.get(0, c), 10.0 + plain.get(0, c));
+        }
+    }
+}

@@ -1,0 +1,818 @@
+//! Runtime-dispatched explicit-SIMD kernel tiers.
+//!
+//! The scalar/autovec kernels in [`crate::kernels`] stay the portable
+//! fallback and the semantic reference; this module adds explicit
+//! `std::arch` AVX2 and AVX-512 micro-kernels for the hot inner loops
+//! (matmul column strips, attention AV panels, GELU, softmax max/scale and
+//! the fused int8 dequant-matmul strips of [`crate::quant`]), selected once
+//! per kernel call by [`active_isa`].
+//!
+//! # Tier selection
+//!
+//! Resolution order mirrors the thread knob in `kernels`:
+//! [`set_isa`] override → the [`ISA_ENV`] environment variable → runtime
+//! CPU-feature detection ([`detect_best`]). The env knob is strict: an
+//! unknown value, or a tier the running CPU cannot execute, aborts with a
+//! clear message instead of silently falling back — a mistyped
+//! `INFUSERKI_ISA=axv2` must not quietly benchmark the scalar tier.
+//!
+//! # Bitwise contract
+//!
+//! Every f32 tier is **bit-for-bit identical** to the scalar tier, by
+//! construction: SIMD is applied only across *independent output elements*
+//! (the 16 output columns of a matmul strip, the lanes of an elementwise
+//! map), never across the inner accumulation dimension. Each output element
+//! keeps the exact single ascending-`p` accumulation chain the scalar
+//! kernels define, with the same fused-or-not multiply-add per build
+//! (see [`crate::kernels::fmadd`]): fused `vfmadd` intrinsics when the build
+//! targets FMA, separate multiply + add intrinsics otherwise. Dot-shaped
+//! kernels (`a@bᵀ`, score panels), whose single-element chains cannot be
+//! lane-parallelized without reassociating, run the shared scalar path in
+//! every tier.
+//!
+//! Two value-level (not bit-level) caveats, both invisible to finite
+//! workloads: the vectorized softmax max-scan may return the other sign of
+//! zero on `±0.0` ties (the subsequent `v - max` and `exp` make the softmax
+//! output bitwise identical regardless), and NaN lanes flow through the
+//! vector GELU/min/max as NaN values without a payload guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable selecting the kernel instruction-set tier.
+pub const ISA_ENV: &str = "INFUSERKI_ISA";
+
+/// A kernel instruction-set tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// The portable scalar/autovec kernels (always available).
+    Scalar,
+    /// Explicit 256-bit `std::arch` kernels (requires AVX2).
+    Avx2,
+    /// Explicit 512-bit `std::arch` kernels (requires AVX-512F + AVX2).
+    Avx512,
+}
+
+impl Isa {
+    /// The knob spelling of this tier (`scalar` / `avx2` / `avx512`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+
+    /// All tiers, strongest last.
+    pub const ALL: [Isa; 3] = [Isa::Scalar, Isa::Avx2, Isa::Avx512];
+}
+
+/// Parses an [`ISA_ENV`] value. Strict: exactly `scalar`, `avx2` or
+/// `avx512` (surrounding whitespace tolerated); anything else is an error
+/// naming the knob and the valid spellings.
+pub fn parse_isa(raw: &str) -> Result<Isa, String> {
+    match raw.trim() {
+        "scalar" => Ok(Isa::Scalar),
+        "avx2" => Ok(Isa::Avx2),
+        "avx512" => Ok(Isa::Avx512),
+        other => Err(format!(
+            "{ISA_ENV} must be one of scalar|avx2|avx512; got `{other}`"
+        )),
+    }
+}
+
+/// Whether the running CPU can execute `isa`.
+pub fn supported(isa: Isa) -> bool {
+    match isa {
+        Isa::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// The strongest tier the running CPU supports.
+pub fn detect_best() -> Isa {
+    if supported(Isa::Avx512) {
+        Isa::Avx512
+    } else if supported(Isa::Avx2) {
+        Isa::Avx2
+    } else {
+        Isa::Scalar
+    }
+}
+
+/// Resolves an optional [`ISA_ENV`] value into a tier: `None` detects the
+/// best supported tier; `Some` must parse and be supported, otherwise an
+/// error describes the problem (never a silent fallback). Pure function —
+/// the unit-testable core of [`active_isa`]'s env resolution.
+pub fn resolve_isa(raw: Option<&str>) -> Result<Isa, String> {
+    match raw {
+        None => Ok(detect_best()),
+        Some(s) => {
+            let isa = parse_isa(s)?;
+            if supported(isa) {
+                Ok(isa)
+            } else {
+                Err(format!(
+                    "{ISA_ENV}={} requests the {} tier, but this CPU does not support it \
+                     (best available: {})",
+                    s.trim(),
+                    isa.name(),
+                    detect_best().name()
+                ))
+            }
+        }
+    }
+}
+
+/// Runtime tier override; 0 = unset (use env/detection).
+static ISA_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn isa_to_code(isa: Isa) -> usize {
+    match isa {
+        Isa::Scalar => 1,
+        Isa::Avx2 => 2,
+        Isa::Avx512 => 3,
+    }
+}
+
+/// Overrides the kernel tier for this process (differential tests sweep all
+/// tiers available on one machine this way). `None` clears the override.
+///
+/// # Panics
+/// Panics if the requested tier is not supported by the running CPU.
+pub fn set_isa(isa: Option<Isa>) {
+    match isa {
+        None => ISA_OVERRIDE.store(0, Ordering::SeqCst),
+        Some(isa) => {
+            assert!(
+                supported(isa),
+                "set_isa: this CPU does not support the {} tier",
+                isa.name()
+            );
+            ISA_OVERRIDE.store(isa_to_code(isa), Ordering::SeqCst);
+        }
+    }
+}
+
+/// The tier every dispatched kernel call uses right now:
+/// [`set_isa`] override → [`ISA_ENV`] (strict, resolved once) →
+/// [`detect_best`].
+///
+/// # Panics
+/// Panics (on first use, with a clear message) if [`ISA_ENV`] is set to an
+/// unknown value or to a tier this CPU cannot execute.
+pub fn active_isa() -> Isa {
+    match ISA_OVERRIDE.load(Ordering::SeqCst) {
+        1 => return Isa::Scalar,
+        2 => return Isa::Avx2,
+        3 => return Isa::Avx512,
+        _ => {}
+    }
+    static DEFAULT: OnceLock<Isa> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let raw = match std::env::var(ISA_ENV) {
+            Ok(v) => Some(v),
+            Err(std::env::VarError::NotPresent) => None,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("{ISA_ENV} is set to a non-UTF-8 value; expected scalar|avx2|avx512")
+            }
+        };
+        match resolve_isa(raw.as_deref()) {
+            Ok(isa) => isa,
+            Err(e) => panic!("{e}"),
+        }
+    })
+}
+
+/// Explicit AVX2 / AVX-512 micro-kernels. Every function is `unsafe` —
+/// callers must have checked the matching CPU feature (the dispatchers in
+/// `kernels`/`quant` only reach these arms when [`active_isa`] says so) and
+/// must uphold the pointer-range contracts documented per function.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use crate::kernels::{fmadd, gelu, tanh_poly as tp};
+    use core::arch::x86_64::*;
+
+    /// One multiply-add chain step on 8 lanes, matching
+    /// [`crate::kernels::fmadd`]'s build-level fused/unfused choice: fused
+    /// `vfmadd` in FMA builds, separate multiply + add otherwise (so the
+    /// AVX2 tier executed on an FMA-capable CPU under a baseline build stays
+    /// bitwise equal to that build's unfused scalar chain).
+    #[inline(always)]
+    unsafe fn madd256(a: __m256, b: __m256, c: __m256) -> __m256 {
+        #[cfg(target_feature = "fma")]
+        {
+            _mm256_fmadd_ps(a, b, c)
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            _mm256_add_ps(c, _mm256_mul_ps(a, b))
+        }
+    }
+
+    /// 16-lane sibling of [`madd256`].
+    #[inline(always)]
+    unsafe fn madd512(a: __m512, b: __m512, c: __m512) -> __m512 {
+        #[cfg(target_feature = "fma")]
+        {
+            _mm512_fmadd_ps(a, b, c)
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            _mm512_add_ps(c, _mm512_mul_ps(a, b))
+        }
+    }
+
+    // ---- dense f32 matmul strips -------------------------------------------
+
+    /// `R×16` dense strip: for `r < R`, `out[r*ostride..+16] (+)= Σ_p
+    /// apack[p*R+r] · b[p*bstride..+16]`, `p` ascending through one
+    /// [`madd256`] chain per output element — the exact chain of the scalar
+    /// tile path, 8 columns per register, two register halves per strip.
+    ///
+    /// # Safety
+    /// Requires AVX2. `apack` must hold `k*R` floats, `b` must be readable
+    /// for `(k-1)*bstride + 16` floats, `out` for `(R-1)*ostride + 16`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn strip16_avx2<const R: usize>(
+        apack: *const f32,
+        b: *const f32,
+        bstride: usize,
+        k: usize,
+        out: *mut f32,
+        ostride: usize,
+        accumulate: bool,
+    ) {
+        // Two independent 8-wide halves keep register pressure at R
+        // accumulators + operands (R=8 with a full 16-wide strip would
+        // spill half the ymm file).
+        for half in 0..2 {
+            let mut acc = [_mm256_setzero_ps(); R];
+            let mut bp = b.add(half * 8);
+            let mut ap = apack;
+            for _ in 0..k {
+                let bv = _mm256_loadu_ps(bp);
+                for (r, s) in acc.iter_mut().enumerate() {
+                    *s = madd256(_mm256_set1_ps(*ap.add(r)), bv, *s);
+                }
+                bp = bp.add(bstride);
+                ap = ap.add(R);
+            }
+            for (r, &s) in acc.iter().enumerate() {
+                let o = out.add(r * ostride + half * 8);
+                let v = if accumulate {
+                    _mm256_add_ps(_mm256_loadu_ps(o), s)
+                } else {
+                    s
+                };
+                _mm256_storeu_ps(o, v);
+            }
+        }
+    }
+
+    /// 512-bit form of [`strip16_avx2`]: one ZMM register per output row.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; same pointer contracts as [`strip16_avx2`].
+    #[target_feature(enable = "avx2,avx512f")]
+    pub unsafe fn strip16_avx512<const R: usize>(
+        apack: *const f32,
+        b: *const f32,
+        bstride: usize,
+        k: usize,
+        out: *mut f32,
+        ostride: usize,
+        accumulate: bool,
+    ) {
+        let mut acc = [_mm512_setzero_ps(); R];
+        let mut bp = b;
+        let mut ap = apack;
+        for _ in 0..k {
+            let bv = _mm512_loadu_ps(bp);
+            for (r, s) in acc.iter_mut().enumerate() {
+                *s = madd512(_mm512_set1_ps(*ap.add(r)), bv, *s);
+            }
+            bp = bp.add(bstride);
+            ap = ap.add(R);
+        }
+        for (r, &s) in acc.iter().enumerate() {
+            let o = out.add(r * ostride);
+            let v = if accumulate {
+                _mm512_add_ps(_mm512_loadu_ps(o), s)
+            } else {
+                s
+            };
+            _mm512_storeu_ps(o, v);
+        }
+    }
+
+    // ---- fused int8 dequant-matmul strips ----------------------------------
+
+    /// [`strip16_avx2`] over an int8 B strip: per inner step the 16 quantized
+    /// bytes `q[p*qstride..+16]` dequantize in registers as
+    /// `q as f32 * scales[p*sstride]` (sign-extend → exact i32→f32 convert →
+    /// multiply — the identical arithmetic of scalar dequantization) before
+    /// extending the same per-element chains. The caller guarantees the
+    /// 16-column strip lies inside one quantization block per row, so one
+    /// scale covers the whole strip width.
+    ///
+    /// # Safety
+    /// Requires AVX2. `q` readable for `(k-1)*qstride + 16` bytes, `scales`
+    /// for `(k-1)*sstride + 1` floats; `apack`/`out` as [`strip16_avx2`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qstrip16_avx2<const R: usize>(
+        apack: *const f32,
+        q: *const i8,
+        qstride: usize,
+        scales: *const f32,
+        sstride: usize,
+        k: usize,
+        out: *mut f32,
+        ostride: usize,
+        accumulate: bool,
+    ) {
+        for half in 0..2 {
+            let mut acc = [_mm256_setzero_ps(); R];
+            let mut qp = q.add(half * 8);
+            let mut sp = scales;
+            let mut ap = apack;
+            for _ in 0..k {
+                let qi = _mm_loadl_epi64(qp as *const __m128i);
+                let qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qi));
+                let bv = _mm256_mul_ps(qf, _mm256_set1_ps(*sp));
+                for (r, s) in acc.iter_mut().enumerate() {
+                    *s = madd256(_mm256_set1_ps(*ap.add(r)), bv, *s);
+                }
+                qp = qp.add(qstride);
+                sp = sp.add(sstride);
+                ap = ap.add(R);
+            }
+            for (r, &s) in acc.iter().enumerate() {
+                let o = out.add(r * ostride + half * 8);
+                let v = if accumulate {
+                    _mm256_add_ps(_mm256_loadu_ps(o), s)
+                } else {
+                    s
+                };
+                _mm256_storeu_ps(o, v);
+            }
+        }
+    }
+
+    /// 512-bit form of [`qstrip16_avx2`].
+    ///
+    /// # Safety
+    /// Requires AVX-512F; same pointer contracts as [`qstrip16_avx2`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,avx512f")]
+    pub unsafe fn qstrip16_avx512<const R: usize>(
+        apack: *const f32,
+        q: *const i8,
+        qstride: usize,
+        scales: *const f32,
+        sstride: usize,
+        k: usize,
+        out: *mut f32,
+        ostride: usize,
+        accumulate: bool,
+    ) {
+        let mut acc = [_mm512_setzero_ps(); R];
+        let mut qp = q;
+        let mut sp = scales;
+        let mut ap = apack;
+        for _ in 0..k {
+            let qi = _mm_loadu_si128(qp as *const __m128i);
+            let qf = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(qi));
+            let bv = _mm512_mul_ps(qf, _mm512_set1_ps(*sp));
+            for (r, s) in acc.iter_mut().enumerate() {
+                *s = madd512(_mm512_set1_ps(*ap.add(r)), bv, *s);
+            }
+            qp = qp.add(qstride);
+            sp = sp.add(sstride);
+            ap = ap.add(R);
+        }
+        for (r, &s) in acc.iter().enumerate() {
+            let o = out.add(r * ostride);
+            let v = if accumulate {
+                _mm512_add_ps(_mm512_loadu_ps(o), s)
+            } else {
+                s
+            };
+            _mm512_storeu_ps(o, v);
+        }
+    }
+
+    // ---- attention AV row fold ---------------------------------------------
+
+    /// One output row of the attention·V window product:
+    /// `out[0..w] (+)= Σ_p a[p] · b[p*bstride..+w]`, `p` ascending. Vector
+    /// chunks hold their output columns in a register across the whole fold
+    /// (each lane one independent chain, continued from the prior `out`
+    /// value when `accumulate`); the ragged tail runs the identical scalar
+    /// chain.
+    ///
+    /// # Safety
+    /// Requires AVX2. `a` readable for `seg` floats, `b` for
+    /// `(seg-1)*bstride + w`, `out` writable for `w`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn av_row_avx2(
+        a: *const f32,
+        seg: usize,
+        b: *const f32,
+        bstride: usize,
+        out: *mut f32,
+        w: usize,
+        accumulate: bool,
+    ) {
+        let mut c = 0;
+        while c + 8 <= w {
+            let mut acc = if accumulate {
+                _mm256_loadu_ps(out.add(c))
+            } else {
+                _mm256_setzero_ps()
+            };
+            let mut bp = b.add(c);
+            for p in 0..seg {
+                acc = madd256(_mm256_set1_ps(*a.add(p)), _mm256_loadu_ps(bp), acc);
+                bp = bp.add(bstride);
+            }
+            _mm256_storeu_ps(out.add(c), acc);
+            c += 8;
+        }
+        av_row_tail(a, seg, b, bstride, out, c, w, accumulate);
+    }
+
+    /// 512-bit form of [`av_row_avx2`]: 16-wide chunks, then the shared
+    /// scalar tail (head windows here are 8–64 columns, so the tail is cold).
+    ///
+    /// # Safety
+    /// Requires AVX-512F; same pointer contracts as [`av_row_avx2`].
+    #[target_feature(enable = "avx2,avx512f")]
+    pub unsafe fn av_row_avx512(
+        a: *const f32,
+        seg: usize,
+        b: *const f32,
+        bstride: usize,
+        out: *mut f32,
+        w: usize,
+        accumulate: bool,
+    ) {
+        let mut c = 0;
+        while c + 16 <= w {
+            let mut acc = if accumulate {
+                _mm512_loadu_ps(out.add(c))
+            } else {
+                _mm512_setzero_ps()
+            };
+            let mut bp = b.add(c);
+            for p in 0..seg {
+                acc = madd512(_mm512_set1_ps(*a.add(p)), _mm512_loadu_ps(bp), acc);
+                bp = bp.add(bstride);
+            }
+            _mm512_storeu_ps(out.add(c), acc);
+            c += 16;
+        }
+        if c + 8 <= w {
+            let mut acc = if accumulate {
+                _mm256_loadu_ps(out.add(c))
+            } else {
+                _mm256_setzero_ps()
+            };
+            let mut bp = b.add(c);
+            for p in 0..seg {
+                acc = madd256(_mm256_set1_ps(*a.add(p)), _mm256_loadu_ps(bp), acc);
+                bp = bp.add(bstride);
+            }
+            _mm256_storeu_ps(out.add(c), acc);
+            c += 8;
+        }
+        av_row_tail(a, seg, b, bstride, out, c, w, accumulate);
+    }
+
+    /// Scalar column tail of the AV row fold — the exact
+    /// [`crate::kernels::fmadd`] chain of the scalar kernel.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn av_row_tail(
+        a: *const f32,
+        seg: usize,
+        b: *const f32,
+        bstride: usize,
+        out: *mut f32,
+        c0: usize,
+        w: usize,
+        accumulate: bool,
+    ) {
+        for j in c0..w {
+            let mut s = if accumulate { *out.add(j) } else { 0.0 };
+            for p in 0..seg {
+                s = fmadd(*a.add(p), *b.add(p * bstride + j), s);
+            }
+            *out.add(j) = s;
+        }
+    }
+
+    // ---- elementwise GELU --------------------------------------------------
+
+    /// 8-lane [`crate::kernels::tanh_fast`]: the identical clamp and
+    /// mul/add-ordered rational polynomial, deliberately *never* fused —
+    /// the scalar form uses plain `*`/`+`, which Rust never contracts, so a
+    /// fused vector variant would diverge bitwise in FMA builds.
+    #[inline(always)]
+    unsafe fn tanh_fast256(x: __m256) -> __m256 {
+        // NaN lanes: `_mm256_min_ps(x, c)` returns `c` when `x` is NaN, so
+        // they leave the clamp finite; the caller restores NaN.
+        let x = _mm256_max_ps(
+            _mm256_min_ps(x, _mm256_set1_ps(tp::CLAMP)),
+            _mm256_set1_ps(-tp::CLAMP),
+        );
+        let x2 = _mm256_mul_ps(x, x);
+        let mut p = _mm256_set1_ps(tp::A13);
+        for &a in &[tp::A11, tp::A9, tp::A7, tp::A5, tp::A3, tp::A1] {
+            p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(a));
+        }
+        let p = _mm256_mul_ps(p, x);
+        let mut q = _mm256_set1_ps(tp::B6);
+        for &b in &[tp::B4, tp::B2, tp::B0] {
+            q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(b));
+        }
+        _mm256_div_ps(p, q)
+    }
+
+    /// 16-lane sibling of [`tanh_fast256`].
+    #[inline(always)]
+    unsafe fn tanh_fast512(x: __m512) -> __m512 {
+        let x = _mm512_max_ps(
+            _mm512_min_ps(x, _mm512_set1_ps(tp::CLAMP)),
+            _mm512_set1_ps(-tp::CLAMP),
+        );
+        let x2 = _mm512_mul_ps(x, x);
+        let mut p = _mm512_set1_ps(tp::A13);
+        for &a in &[tp::A11, tp::A9, tp::A7, tp::A5, tp::A3, tp::A1] {
+            p = _mm512_add_ps(_mm512_mul_ps(p, x2), _mm512_set1_ps(a));
+        }
+        let p = _mm512_mul_ps(p, x);
+        let mut q = _mm512_set1_ps(tp::B6);
+        for &b in &[tp::B4, tp::B2, tp::B0] {
+            q = _mm512_add_ps(_mm512_mul_ps(q, x2), _mm512_set1_ps(b));
+        }
+        _mm512_div_ps(p, q)
+    }
+
+    /// In-place GELU over a slice, 8 lanes at a time — operation-for-
+    /// operation the scalar [`crate::kernels::gelu`] (multiplies
+    /// left-associated, plain mul/add, division exact), so finite inputs map
+    /// to bitwise-identical outputs. NaN lanes are blended back to NaN.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gelu_slice_avx2(xs: &mut [f32]) {
+        let n = xs.len();
+        let ptr = xs.as_mut_ptr();
+        let c = _mm256_set1_ps(tp::GELU_C);
+        let k3 = _mm256_set1_ps(tp::GELU_K);
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(ptr.add(i));
+            // u = C * (v + K * v * v * v), multiplies left-associated.
+            let t = _mm256_mul_ps(_mm256_mul_ps(_mm256_mul_ps(k3, v), v), v);
+            let u = _mm256_mul_ps(c, _mm256_add_ps(v, t));
+            let th = tanh_fast256(u);
+            let r = _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, th));
+            let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(v, v);
+            let r = _mm256_blendv_ps(r, v, nan);
+            _mm256_storeu_ps(ptr.add(i), r);
+            i += 8;
+        }
+        for x in &mut xs[i..] {
+            *x = gelu(*x);
+        }
+    }
+
+    /// 16-lane form of [`gelu_slice_avx2`].
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx2,avx512f")]
+    pub unsafe fn gelu_slice_avx512(xs: &mut [f32]) {
+        let n = xs.len();
+        let ptr = xs.as_mut_ptr();
+        let c = _mm512_set1_ps(tp::GELU_C);
+        let k3 = _mm512_set1_ps(tp::GELU_K);
+        let half = _mm512_set1_ps(0.5);
+        let one = _mm512_set1_ps(1.0);
+        let mut i = 0;
+        while i + 16 <= n {
+            let v = _mm512_loadu_ps(ptr.add(i));
+            let t = _mm512_mul_ps(_mm512_mul_ps(_mm512_mul_ps(k3, v), v), v);
+            let u = _mm512_mul_ps(c, _mm512_add_ps(v, t));
+            let th = tanh_fast512(u);
+            let r = _mm512_mul_ps(_mm512_mul_ps(half, v), _mm512_add_ps(one, th));
+            let nan = _mm512_cmp_ps_mask::<_CMP_UNORD_Q>(v, v);
+            let r = _mm512_mask_blend_ps(nan, r, v);
+            _mm512_storeu_ps(ptr.add(i), r);
+            i += 16;
+        }
+        for x in &mut xs[i..] {
+            *x = gelu(*x);
+        }
+    }
+
+    // ---- softmax helpers ---------------------------------------------------
+
+    /// Max over a slice: lanewise vector max, then an ordered scalar fold of
+    /// the lanes and the tail. For finite inputs the result *value* equals
+    /// the scalar fold's (max is order-insensitive), differing at most in
+    /// the sign of a `±0.0` winner — which the softmax subtraction provably
+    /// cannot propagate into an output bit.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max_slice_avx2(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let p = xs.as_ptr();
+        let mut m = f32::NEG_INFINITY;
+        let mut i = 0;
+        if n >= 8 {
+            let mut mv = _mm256_loadu_ps(p);
+            i = 8;
+            while i + 8 <= n {
+                mv = _mm256_max_ps(mv, _mm256_loadu_ps(p.add(i)));
+                i += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), mv);
+            for &l in &lanes {
+                m = m.max(l);
+            }
+        }
+        for &x in &xs[i..] {
+            m = m.max(x);
+        }
+        m
+    }
+
+    /// 16-lane form of [`max_slice_avx2`].
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx2,avx512f")]
+    pub unsafe fn max_slice_avx512(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let p = xs.as_ptr();
+        let mut m = f32::NEG_INFINITY;
+        let mut i = 0;
+        if n >= 16 {
+            let mut mv = _mm512_loadu_ps(p);
+            i = 16;
+            while i + 16 <= n {
+                mv = _mm512_max_ps(mv, _mm512_loadu_ps(p.add(i)));
+                i += 16;
+            }
+            let mut lanes = [0.0f32; 16];
+            _mm512_storeu_ps(lanes.as_mut_ptr(), mv);
+            for &l in &lanes {
+                m = m.max(l);
+            }
+        }
+        for &x in &xs[i..] {
+            m = m.max(x);
+        }
+        m
+    }
+
+    /// `xs[i] *= s` — elementwise, so bitwise-identical to the scalar loop.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_slice_avx2(xs: &mut [f32], s: f32) {
+        let n = xs.len();
+        let ptr = xs.as_mut_ptr();
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(ptr.add(i), _mm256_mul_ps(_mm256_loadu_ps(ptr.add(i)), sv));
+            i += 8;
+        }
+        for x in &mut xs[i..] {
+            *x *= s;
+        }
+    }
+
+    /// 16-lane form of [`scale_slice_avx2`].
+    ///
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx2,avx512f")]
+    pub unsafe fn scale_slice_avx512(xs: &mut [f32], s: f32) {
+        let n = xs.len();
+        let ptr = xs.as_mut_ptr();
+        let sv = _mm512_set1_ps(s);
+        let mut i = 0;
+        while i + 16 <= n {
+            _mm512_storeu_ps(ptr.add(i), _mm512_mul_ps(_mm512_loadu_ps(ptr.add(i)), sv));
+            i += 16;
+        }
+        for x in &mut xs[i..] {
+            *x *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_exact_tier_names() {
+        assert_eq!(parse_isa("scalar"), Ok(Isa::Scalar));
+        assert_eq!(parse_isa(" avx2 "), Ok(Isa::Avx2));
+        assert_eq!(parse_isa("avx512"), Ok(Isa::Avx512));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_loudly() {
+        for bad in ["", "  ", "AVX2", "axv2", "avx-512", "auto", "best", "1"] {
+            let err = parse_isa(bad).unwrap_err();
+            assert!(
+                err.contains(ISA_ENV) && err.contains("scalar|avx2|avx512"),
+                "error for {bad:?} must name the knob and valid values: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_unset_detects_supported_tier() {
+        let isa = resolve_isa(None).expect("detection never fails");
+        assert!(supported(isa));
+    }
+
+    #[test]
+    fn resolve_invalid_value_is_loud_not_a_fallback() {
+        let err = resolve_isa(Some("turbo")).unwrap_err();
+        assert!(err.contains(ISA_ENV), "{err}");
+    }
+
+    #[test]
+    fn resolve_unsupported_tier_is_an_error() {
+        // Whichever way detection goes on this host, both branches are
+        // meaningful: a supported tier resolves to itself, an unsupported
+        // one must error (not fall back).
+        for isa in Isa::ALL {
+            let r = resolve_isa(Some(isa.name()));
+            if supported(isa) {
+                assert_eq!(r, Ok(isa));
+            } else {
+                let err = r.unwrap_err();
+                assert!(
+                    err.contains(ISA_ENV) && err.contains(isa.name()),
+                    "unsupported tier must fail loudly: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_is_always_supported() {
+        assert!(supported(Isa::Scalar));
+        let _ = detect_best(); // must not panic anywhere
+    }
+
+    #[test]
+    fn set_isa_overrides_and_clears() {
+        let before = active_isa();
+        set_isa(Some(Isa::Scalar));
+        assert_eq!(active_isa(), Isa::Scalar);
+        set_isa(None);
+        assert!(supported(active_isa()));
+        set_isa(Some(before));
+        set_isa(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn set_isa_rejects_unsupported_tier() {
+        // Find an unsupported tier if any; otherwise simulate the panic the
+        // assert would produce so the expectation holds on maxed-out hosts.
+        for isa in [Isa::Avx512, Isa::Avx2] {
+            if !supported(isa) {
+                set_isa(Some(isa));
+            }
+        }
+        panic!("this CPU does not support no tier (all tiers available)");
+    }
+}

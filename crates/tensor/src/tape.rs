@@ -224,9 +224,12 @@ impl Tape {
         self.push(Op::Relu(a), v)
     }
 
-    /// Element-wise GELU (tanh approximation).
+    /// Element-wise GELU (tanh approximation), through the same SIMD-
+    /// dispatched [`kernels::gelu_slice`] as the inference path (all tiers
+    /// bitwise-equal).
     pub fn gelu(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(kernels::gelu);
+        let mut v = self.value(a).clone();
+        kernels::gelu_slice(v.data_mut());
         self.push(Op::Gelu(a), v)
     }
 

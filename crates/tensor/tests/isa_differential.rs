@@ -1,0 +1,271 @@
+//! ISA-dispatch differential suite: every dispatched kernel, run under every
+//! tier the host supports, must be **bit-for-bit** the scalar tier's output —
+//! across ragged shapes (proptest), at the banded thread counts, and for the
+//! fused int8 dequant-matmul. Plus the loud-failure contract of the
+//! `INFUSERKI_ISA` knob: an invalid value aborts with a clear message
+//! (checked end-to-end in a subprocess), never a silent fallback.
+
+use infuserki_tensor::{kernels, quant, simd, Matrix};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global tier override. (The bitwise
+/// contract makes cross-talk harmless in value terms, but a failure must
+/// point at the tier that produced it.)
+static ISA_GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    ISA_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The non-scalar tiers this host can execute.
+fn simd_tiers() -> Vec<simd::Isa> {
+    [simd::Isa::Avx2, simd::Isa::Avx512]
+        .into_iter()
+        .filter(|&isa| simd::supported(isa))
+        .collect()
+}
+
+/// Runs `f` under `isa` and returns its output.
+fn under<R>(isa: simd::Isa, f: impl Fn() -> R) -> R {
+    simd::set_isa(Some(isa));
+    let r = f();
+    simd::set_isa(None);
+    r
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{ctx}: elem {i} {x} vs {y} (bits differ)"
+        );
+    }
+}
+
+fn matrix(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+    Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `a@b` and `aᵀ@b` across ragged shapes: strips, column tails, the
+    /// MR/4/2/scalar row ladder, and accumulate mode.
+    #[test]
+    fn matmul_family_bitwise_across_tiers(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+        accumulate in prop::bool::ANY,
+    ) {
+        let _g = guard();
+        let vals: Vec<f32> = (0..m.max(k) * k.max(n) + m * n)
+            .map(|i| ((i as f32 + (seed % 1000) as f32) * 0.37).sin())
+            .collect();
+        let a = matrix(m, k, &vals);
+        let b = matrix(k, n, &vals[1..]);
+        let at = matrix(k, m, &vals);
+        let init = matrix(m, n, &vals[2..]);
+        let scalar = under(simd::Isa::Scalar, || {
+            let mut out = init.clone();
+            kernels::matmul_into(&a, &b, &mut out, accumulate);
+            let mut out_at = init.clone();
+            kernels::matmul_at_into(&at, &b, &mut out_at, accumulate);
+            (out, out_at)
+        });
+        for isa in simd_tiers() {
+            let tier = under(isa, || {
+                let mut out = init.clone();
+                kernels::matmul_into(&a, &b, &mut out, accumulate);
+                let mut out_at = init.clone();
+                kernels::matmul_at_into(&at, &b, &mut out_at, accumulate);
+                (out, out_at)
+            });
+            assert_bits_eq(&tier.0, &scalar.0, &format!("matmul {m}x{k}x{n} {}", isa.name()));
+            assert_bits_eq(&tier.1, &scalar.1, &format!("matmul_at {m}x{k}x{n} {}", isa.name()));
+        }
+    }
+
+    /// The attention·V window fold (contiguous and segmented forms).
+    #[test]
+    fn av_fold_bitwise_across_tiers(
+        ra in 1usize..8,
+        hist in 1usize..30,
+        d in 1usize..24,
+        seed in 0u64..100,
+    ) {
+        let _g = guard();
+        let lo = d / 3;
+        let hi = d;
+        let attn = Matrix::from_vec(ra, hist, (0..ra * hist)
+            .map(|i| ((i as f32 + (seed % 100) as f32) * 0.41).sin()).collect());
+        let v = Matrix::from_vec(hist, d, (0..hist * d)
+            .map(|i| (i as f32 * 0.23).cos()).collect());
+        let run = || {
+            let mut merged = Matrix::full(ra, d, 7.5);
+            kernels::matmul_cols_into(&attn, &v, lo, hi, &mut merged, 0);
+            // Segmented: split the history at an awkward point and continue.
+            let split = hist / 2;
+            let mut seg = Matrix::full(ra, d, 7.5);
+            kernels::matmul_cols_seg_into(&attn, 0, split, &v, lo, hi, &mut seg, 0, false);
+            kernels::matmul_cols_seg_into(
+                &attn, split, hist, &v.slice_rows(split, hist), lo, hi, &mut seg, 0, split > 0,
+            );
+            (merged, seg)
+        };
+        let scalar = under(simd::Isa::Scalar, run);
+        assert_bits_eq(&scalar.0, &scalar.1, "segmented fold vs contiguous (scalar)");
+        for isa in simd_tiers() {
+            let tier = under(isa, run);
+            assert_bits_eq(&tier.0, &scalar.0, &format!("av fold {ra}x{hist}x{d} {}", isa.name()));
+            assert_bits_eq(&tier.1, &scalar.1, &format!("av seg fold {ra}x{hist}x{d} {}", isa.name()));
+        }
+    }
+
+    /// Softmax (plain and causal) and GELU over ragged rows.
+    #[test]
+    fn softmax_and_gelu_bitwise_across_tiers(
+        rows in 1usize..10,
+        cols in 1usize..40,
+        offset in 0usize..6,
+        seed in 0u64..50,
+    ) {
+        let _g = guard();
+        let x = Matrix::from_vec(rows, cols, (0..rows * cols)
+            .map(|i| ((i as f32 + (seed % 50) as f32) * 0.63).sin() * 4.0).collect());
+        let run = || {
+            let mut s = x.clone();
+            kernels::softmax_rows_in_place(&mut s);
+            let mut c = x.clone();
+            kernels::softmax_rows_causal_in_place(&mut c, offset);
+            let mut g = x.clone();
+            kernels::gelu_slice(g.data_mut());
+            (s, c, g)
+        };
+        let scalar = under(simd::Isa::Scalar, run);
+        for isa in simd_tiers() {
+            let tier = under(isa, run);
+            assert_bits_eq(&tier.0, &scalar.0, &format!("softmax {rows}x{cols} {}", isa.name()));
+            assert_bits_eq(&tier.1, &scalar.1, &format!("causal softmax {rows}x{cols} {}", isa.name()));
+            assert_bits_eq(&tier.2, &scalar.2, &format!("gelu {rows}x{cols} {}", isa.name()));
+        }
+    }
+
+    /// Fused int8 dequant-matmul: every tier bitwise vs the scalar fused
+    /// kernel, and the scalar fused kernel bitwise vs dense-over-dequantized.
+    #[test]
+    fn quantized_matmul_bitwise_across_tiers(
+        m in 1usize..12,
+        k in 1usize..32,
+        n in 1usize..48,
+        bs_idx in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let _g = guard();
+        let bs = [3usize, 16, 32, 64][bs_idx];
+        let x = Matrix::from_vec(m, k, (0..m * k)
+            .map(|i| ((i as f32 + (seed % 100) as f32) * 0.31).sin()).collect());
+        let w = Matrix::from_vec(k, n, (0..k * n).map(|i| (i as f32 * 0.57).cos()).collect());
+        let qw = quant::QuantizedMatrix::quantize(&w, quant::QuantSpec { block_size: bs });
+        let scalar = under(simd::Isa::Scalar, || {
+            let fused = qw.matmul(&x);
+            let dense = kernels::matmul(&x, &qw.dequantize());
+            assert_bits_eq(&fused, &dense, "fused vs dense (scalar)");
+            fused
+        });
+        for isa in simd_tiers() {
+            let tier = under(isa, || qw.matmul(&x));
+            assert_bits_eq(&tier, &scalar, &format!("qmatmul {m}x{k}x{n} bs={bs} {}", isa.name()));
+        }
+    }
+}
+
+/// A product big enough to cross `PAR_MIN_FLOPS` (160³ ≈ 8.2 MFLOP): the
+/// banded multi-thread path and every tier must all agree bitwise.
+#[test]
+fn banded_threads_and_tiers_all_agree_bitwise() {
+    let _g = guard();
+    let a = Matrix::from_vec(160, 160, (0..160 * 160).map(|i| (i as f32).sin()).collect());
+    let b = Matrix::from_vec(160, 160, (0..160 * 160).map(|i| (i as f32).cos()).collect());
+    kernels::set_num_threads(1);
+    let base = under(simd::Isa::Scalar, || kernels::matmul(&a, &b));
+    for threads in [1usize, 4] {
+        kernels::set_num_threads(threads);
+        let scalar = under(simd::Isa::Scalar, || kernels::matmul(&a, &b));
+        assert_bits_eq(&scalar, &base, &format!("scalar @ {threads} threads"));
+        for isa in simd_tiers() {
+            let tier = under(isa, || kernels::matmul(&a, &b));
+            assert_bits_eq(&tier, &base, &format!("{} @ {threads} threads", isa.name()));
+        }
+    }
+    kernels::set_num_threads(0);
+}
+
+/// The knob parser rejects garbage with a message naming the knob and the
+/// valid spellings, and never falls back.
+#[test]
+fn invalid_isa_values_are_rejected() {
+    for bad in ["avx9000", "AVX2", "", "auto"] {
+        let err = simd::parse_isa(bad).unwrap_err();
+        assert!(err.contains(simd::ISA_ENV), "{err}");
+        assert!(err.contains("scalar|avx2|avx512"), "{err}");
+    }
+    let err = simd::resolve_isa(Some("fast")).unwrap_err();
+    assert!(err.contains(simd::ISA_ENV), "{err}");
+}
+
+/// Subprocess probe: only runs the kernel call when the parent test below
+/// re-invokes this binary with the probe env set.
+#[test]
+fn probe_active_isa_under_env() {
+    if std::env::var("INFUSERKI_ISA_PROBE").is_err() {
+        return;
+    }
+    // With an invalid INFUSERKI_ISA this must panic loudly inside active_isa.
+    let a = Matrix::full(2, 2, 1.0);
+    let _ = kernels::matmul(&a, &a);
+}
+
+/// End-to-end loud failure: a process with `INFUSERKI_ISA=avx9000` must die
+/// with a message naming the knob on its first dispatched kernel call — not
+/// silently fall back to another tier.
+#[test]
+fn invalid_isa_env_fails_loudly_end_to_end() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "probe_active_isa_under_env",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("INFUSERKI_ISA", "avx9000")
+        .env("INFUSERKI_ISA_PROBE", "1")
+        .output()
+        .expect("spawn probe");
+    assert!(
+        !out.status.success(),
+        "probe must fail under an invalid INFUSERKI_ISA"
+    );
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("INFUSERKI_ISA") && text.contains("scalar|avx2|avx512"),
+        "failure must name the knob and valid values:\n{text}"
+    );
+}
+
+/// Forcing a tier through the env knob (valid spelling) resolves to exactly
+/// that tier — `scalar` is always legal, so this is host-independent.
+#[test]
+fn scalar_env_value_resolves_to_scalar() {
+    assert_eq!(simd::resolve_isa(Some("scalar")), Ok(simd::Isa::Scalar));
+    assert_eq!(simd::resolve_isa(Some(" scalar ")), Ok(simd::Isa::Scalar));
+}

@@ -8,10 +8,20 @@
 //! floating-point combining is deterministic for a given thread count and
 //! identical to the serial result when one thread is used.
 
+use std::cell::Cell;
 use std::sync::OnceLock;
+
+std::thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = unset.
+    static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
 
 /// Number of worker threads used for parallel pipelines.
 pub fn current_num_threads() -> usize {
+    let o = POOL_OVERRIDE.with(Cell::get);
+    if o != 0 {
+        return o;
+    }
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         for var in ["RAYON_NUM_THREADS", "INFUSERKI_THREADS"] {
@@ -23,6 +33,56 @@ pub fn current_num_threads() -> usize {
         }
         std::thread::available_parallelism().map_or(1, |n| n.get())
     })
+}
+
+/// Builder for a scoped thread-count override (rayon-compatible shape).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default (env/detected) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count; 0 keeps the default resolution.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible here; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override. Unlike real rayon this shim spawns scoped
+/// threads per pipeline rather than keeping a pool alive; `install` simply
+/// pins [`current_num_threads`] for the closure (on this thread), which is
+/// all the deterministic chunked splitter consults.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed, restoring the
+    /// previous override afterwards (panic-safe).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_OVERRIDE.with(Cell::get));
+        POOL_OVERRIDE.with(|c| c.set(self.num_threads));
+        f()
+    }
 }
 
 /// Maps `items` through `f` on worker threads, preserving input order.
@@ -239,6 +299,25 @@ mod tests {
         let v: Vec<i32> = (0..10).collect();
         let sums: Vec<i32> = v.par_chunks(4).map(|c| c.iter().sum()).collect();
         assert_eq!(sums, vec![1 + 2 + 3, 4 + 5 + 6 + 7, 8 + 9]);
+    }
+
+    #[test]
+    fn install_pins_and_restores_thread_count() {
+        let base = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let (inside, result): (usize, Vec<i32>) = pool.install(|| {
+            let v: Vec<i32> = (0..20).collect();
+            (
+                crate::current_num_threads(),
+                v.par_iter().map(|&x| x * 2).collect(),
+            )
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(result, (0..20).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(crate::current_num_threads(), base);
     }
 
     #[test]
