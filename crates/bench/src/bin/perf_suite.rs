@@ -14,7 +14,10 @@
 //!   closed loop of 16 in-flight generate requests, decode tokens/s;
 //! * `prefix_sweep` — the same closed loop with every prompt cut from three
 //!   shared 40-token templates, so most prefills adopt paged-KV blocks from
-//!   the radix prefix cache instead of recomputing them, tokens/s.
+//!   the radix prefix cache instead of recomputing them, tokens/s;
+//! * `swap_under_load` — the closed loop with a knowledge-bundle
+//!   promote/rollback mid-run; informational only (p99 TTFT across the
+//!   swap), never gated.
 //!
 //! ```text
 //! perf_suite --write results/bench_baseline.json   # (re-)baseline
@@ -120,6 +123,7 @@ fn run_suite() -> PerfSuite {
     suite.push(bench_quantized_decode());
     suite.push(bench_serve_closed_loop());
     suite.push(bench_prefix_sweep());
+    suite.push(bench_swap_under_load());
     suite
 }
 
@@ -297,8 +301,66 @@ fn bench_prefix_sweep() -> PerfRecord {
         .metric("wall_ms", wall * 1e3)
 }
 
+/// Closed-loop serving with a live knowledge swap: 8 in flight, 48 total; a
+/// bundle is loaded+promoted after a third of the completions and rolled
+/// back after two thirds. Informational only — the p99 TTFT spanning the
+/// swap is the number to watch; it must NOT join the gated list, since swap
+/// cost rides on bundle deserialization, not the steady-state hot path.
+fn bench_swap_under_load() -> PerfRecord {
+    const VOCAB: usize = 64;
+    let (load, total) = (8usize, 48usize);
+    let model = demo_model();
+    let bundle = infuserki_bench::swap::demo_bundle_file(&model, "perf_suite_swap");
+    let (client, handle) =
+        spawn_scheduler(model, NoHook, ServeConfig::default()).expect("scheduler spawns");
+    let mut rng = ChaCha8Rng::seed_from_u64(9018);
+    let submit = |rng: &mut ChaCha8Rng| {
+        let plen = rng.gen_range(4usize..24);
+        let prompt: Vec<usize> = (0..plen).map(|_| rng.gen_range(0..VOCAB)).collect();
+        client.generate(prompt, 16, None).expect("submit accepted")
+    };
+    let started = Instant::now();
+    let mut in_flight = VecDeque::new();
+    let mut submitted = 0usize;
+    while submitted < load {
+        in_flight.push_back(submit(&mut rng));
+        submitted += 1;
+    }
+    let mut completed = 0usize;
+    let mut tokens = 0u64;
+    while let Some(h) = in_flight.pop_front() {
+        match h.wait().expect("scheduler alive") {
+            Outcome::Generated { tokens: t } => tokens += t.len() as u64,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        completed += 1;
+        if completed == total / 3 {
+            let info = client
+                .load_bundle(bundle.to_string_lossy().as_ref())
+                .expect("bundle loads");
+            client.promote(info.version).expect("bundle promotes");
+        } else if completed == 2 * total / 3 {
+            client.rollback().expect("rollback succeeds");
+        }
+        if submitted < total {
+            in_flight.push_back(submit(&mut rng));
+            submitted += 1;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    handle.shutdown();
+    let _ = std::fs::remove_file(&bundle);
+    let snap = client.metrics();
+    PerfRecord::new("swap_under_load")
+        .metric("tok_per_s", tokens as f64 / wall)
+        .metric("ttft_p99_ms", snap.ttft_p99_ms)
+        .metric("swaps", snap.bundle_swaps as f64)
+        .metric("wall_ms", wall * 1e3)
+}
+
 /// Metrics the gate compares (higher is better). Latency-flavored metrics
-/// in the records are informational only.
+/// in the records are informational only — `swap_under_load` in particular
+/// stays off this list by design (see its doc comment).
 const GATED: &[(&str, &str)] = &[
     ("matmul_256", "gflops"),
     ("cached_decode", "tok_per_s"),

@@ -22,6 +22,7 @@ pub mod cli;
 pub mod extensions;
 pub mod figs;
 pub mod runner;
+pub mod swap;
 pub mod tables;
 
 pub use cli::{parse_args, Scale};

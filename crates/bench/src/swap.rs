@@ -1,0 +1,39 @@
+//! Shared fixture for the hot-swap load scenarios: bakes a knowledge bundle
+//! against the serving demo model so `serve_load` and `perf_suite` can drive
+//! `load_bundle`/`promote`/`rollback` through the live control plane.
+
+use std::path::PathBuf;
+
+use infuserki_core::{InfuserKiConfig, InfuserKiMethod, KnowledgeBundle};
+use infuserki_nn::TransformerLm;
+
+/// A trained-looking method on `base`: real adapter/infuser shapes, weights
+/// deterministically nudged away from the identity so a swap observably
+/// changes served tokens.
+pub fn nudged_method(base: &TransformerLm) -> InfuserKiMethod {
+    let mut c = InfuserKiConfig::for_model(base.n_layers());
+    c.bottleneck = 4;
+    c.infuser_hidden = 4;
+    c.rc_dim = 8;
+    let mut m = InfuserKiMethod::new(c, base, 5);
+    m.visit_adapters_mut(&mut |p: &mut infuserki_tensor::Param| {
+        for (i, w) in p.data_mut().data_mut().iter_mut().enumerate() {
+            *w += 0.5 * ((i % 7) as f32 - 3.0);
+        }
+    });
+    m
+}
+
+/// Saves a bundle for `base` under a unique temp path and returns it.
+/// Callers should remove the file when done.
+pub fn demo_bundle_file(base: &TransformerLm, tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "infuserki_{tag}_{}.bundle.json",
+        std::process::id()
+    ));
+    KnowledgeBundle::new("bench-swap", nudged_method(base), base, None, Vec::new())
+        .expect("bundle builds against demo model")
+        .save(&path)
+        .expect("bundle saves to temp dir");
+    path
+}

@@ -15,6 +15,7 @@
 //!   switches for the paper's Table 4 variants.
 
 pub mod adapter;
+pub mod bundle;
 pub mod config;
 pub mod dataset;
 pub mod detect;
@@ -23,6 +24,7 @@ pub mod infuser;
 pub mod method;
 pub mod trainer;
 
+pub use bundle::{base_model_digest, EvalStamp, GateProbe, KnowledgeBundle, BUNDLE_FORMAT};
 pub use config::{Ablation, GateInput, InfuserKiConfig, Placement, Site, TrainConfig};
 pub use dataset::{InfuserSample, KiDataset, McqBank, RcSample};
 pub use detect::{answer_mcq, answer_mcq_batch, detect_unknown, DetectionResult};

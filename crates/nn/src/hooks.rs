@@ -291,6 +291,115 @@ pub trait LayerHook: Sync {
     }
 }
 
+/// References forward every method to the referent. This must cover the
+/// *entire* trait: relying on the default bodies here would silently replace
+/// a hook's native overrides (e.g. [`NoHook`]'s identity fast paths or
+/// InfuserKI's packed batch kernels) with the scratch-tape emulation,
+/// breaking bitwise equality for stateful hooks. With this impl,
+/// `&dyn LayerHook` is itself a `LayerHook`, which lets owners of a borrowed
+/// hook re-share it behind `Arc` (the serving bundle registry does).
+impl<H: LayerHook + ?Sized> LayerHook for &H {
+    fn attn_q_delta(&self, layer: usize, x: NodeId, tape: &mut Tape) -> Option<NodeId> {
+        (**self).attn_q_delta(layer, x, tape)
+    }
+
+    fn attn_v_delta(&self, layer: usize, x: NodeId, tape: &mut Tape) -> Option<NodeId> {
+        (**self).attn_v_delta(layer, x, tape)
+    }
+
+    fn prefix_kv(&self, layer: usize, tape: &mut Tape) -> Option<(NodeId, NodeId)> {
+        (**self).prefix_kv(layer, tape)
+    }
+
+    fn attn_output(
+        &self,
+        layer: usize,
+        attn_in: NodeId,
+        attn_out: NodeId,
+        tape: &mut Tape,
+        trace: &mut ForwardTrace,
+    ) -> NodeId {
+        (**self).attn_output(layer, attn_in, attn_out, tape, trace)
+    }
+
+    fn ffn_output(
+        &self,
+        layer: usize,
+        ffn_in: NodeId,
+        ffn_out: NodeId,
+        tape: &mut Tape,
+        trace: &mut ForwardTrace,
+    ) -> NodeId {
+        (**self).ffn_output(layer, ffn_in, ffn_out, tape, trace)
+    }
+
+    fn supports_incremental(&self) -> bool {
+        (**self).supports_incremental()
+    }
+
+    fn make_state(&self) -> Option<Box<dyn HookState>> {
+        (**self).make_state()
+    }
+
+    fn prefix_cache_safe(&self) -> bool {
+        (**self).prefix_cache_safe()
+    }
+
+    fn infer_attn_q_delta(&self, layer: usize, x: &Matrix) -> Option<Matrix> {
+        (**self).infer_attn_q_delta(layer, x)
+    }
+
+    fn infer_attn_v_delta(&self, layer: usize, x: &Matrix) -> Option<Matrix> {
+        (**self).infer_attn_v_delta(layer, x)
+    }
+
+    fn infer_prefix_kv(&self, layer: usize) -> Option<(Matrix, Matrix)> {
+        (**self).infer_prefix_kv(layer)
+    }
+
+    fn infer_attn_output(
+        &self,
+        layer: usize,
+        attn_in: &Matrix,
+        attn_out: Matrix,
+        state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        (**self).infer_attn_output(layer, attn_in, attn_out, state)
+    }
+
+    fn infer_ffn_output(
+        &self,
+        layer: usize,
+        ffn_in: &Matrix,
+        ffn_out: Matrix,
+        state: &mut Option<Box<dyn HookState>>,
+    ) -> Matrix {
+        (**self).infer_ffn_output(layer, ffn_in, ffn_out, state)
+    }
+
+    fn infer_attn_output_batch(
+        &self,
+        layer: usize,
+        attn_in: &Matrix,
+        attn_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        (**self).infer_attn_output_batch(layer, attn_in, attn_out, batch, states)
+    }
+
+    fn infer_ffn_output_batch(
+        &self,
+        layer: usize,
+        ffn_in: &Matrix,
+        ffn_out: Matrix,
+        batch: &SeqBatch,
+        states: &mut [Option<Box<dyn HookState>>],
+    ) -> Matrix {
+        (**self).infer_ffn_output_batch(layer, ffn_in, ffn_out, batch, states)
+    }
+}
+
 /// The identity hook: runs the unmodified base model.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHook;

@@ -26,6 +26,9 @@ use crate::block_alloc::{BlockId, BlockPool};
 use crate::hooks::HookState;
 
 struct Node {
+    /// Namespace tag of the tree this node belongs to (inherited from its
+    /// root). Needed to unlink roots from the tagged root map on eviction.
+    tag: u64,
     /// The chunk of tokens this node extends its parent by (`block_rows`
     /// long).
     chunk: Vec<usize>,
@@ -50,11 +53,20 @@ pub struct PrefixMatch {
 }
 
 /// Radix (chunk-trie) index from token prefixes to pinned KV blocks.
+///
+/// The index is partitioned into disjoint namespaces by a caller-supplied
+/// `tag` (the serving layer uses the knowledge-bundle version): entries
+/// inserted under one tag are invisible to lookups under another, because KV
+/// blocks and hook-state snapshots are only reusable by requests running the
+/// *same* hook weights. All namespaces share one LRU clock and one eviction
+/// pool, so a hot tag naturally displaces a cold one under budget pressure.
+/// The untagged [`PrefixIndex::lookup`]/[`PrefixIndex::insert`] operate on
+/// tag 0.
 pub struct PrefixIndex {
     block_rows: usize,
     nodes: Vec<Option<Node>>,
     free_nodes: Vec<usize>,
-    roots: HashMap<Vec<usize>, usize>,
+    roots: HashMap<(u64, Vec<usize>), usize>,
     clock: u64,
     evicted: u64,
 }
@@ -109,13 +121,19 @@ impl PrefixIndex {
         self.clock
     }
 
-    /// Longest indexed prefix of `prompt`, capped so at least one prompt
-    /// token remains un-matched (the engine must still feed something to get
-    /// the request's own logits). Touches the matched path's LRU stamps and
-    /// returns cloned state from the deepest matched node. Does *not* take
-    /// block references — the caller adopts them (which does) while it holds
-    /// the scheduler single-threaded.
+    /// Longest indexed prefix of `prompt` in namespace 0. See
+    /// [`PrefixIndex::lookup_in`].
     pub fn lookup(&mut self, prompt: &[usize]) -> Option<PrefixMatch> {
+        self.lookup_in(0, prompt)
+    }
+
+    /// Longest prefix of `prompt` indexed under `tag`, capped so at least
+    /// one prompt token remains un-matched (the engine must still feed
+    /// something to get the request's own logits). Touches the matched
+    /// path's LRU stamps and returns cloned state from the deepest matched
+    /// node. Does *not* take block references — the caller adopts them
+    /// (which does) while it holds the scheduler single-threaded.
+    pub fn lookup_in(&mut self, tag: u64, prompt: &[usize]) -> Option<PrefixMatch> {
         let b = self.block_rows;
         let now = self.tick();
         let mut matched = 0usize;
@@ -124,7 +142,7 @@ impl PrefixIndex {
         while matched + b < prompt.len() {
             let chunk = &prompt[matched..matched + b];
             let next = match at {
-                None => self.roots.get(chunk).copied(),
+                None => self.roots.get(&(tag, chunk.to_vec())).copied(),
                 Some(id) => self.node(id).children.get(chunk).copied(),
             };
             match next {
@@ -144,16 +162,29 @@ impl PrefixIndex {
         })
     }
 
-    /// Indexes the full-block prefix `tokens` (length must be a nonzero
-    /// multiple of `block_rows`) whose blocks are `blocks`, with `state` the
-    /// hook state at the boundary. Existing path nodes are kept (first
-    /// writer wins — equivalent content by the determinism contract); only a
-    /// missing final node takes a new block reference. Insertion is
-    /// incremental: callers index every boundary in order during prefill, so
-    /// at most the last node is new.
+    /// Indexes a full-block prefix in namespace 0. See
+    /// [`PrefixIndex::insert_in`].
     pub fn insert(
         &mut self,
         pool: &mut BlockPool,
+        tokens: &[usize],
+        blocks: &[BlockId],
+        state: &Option<Box<dyn HookState>>,
+    ) {
+        self.insert_in(pool, 0, tokens, blocks, state)
+    }
+
+    /// Indexes under `tag` the full-block prefix `tokens` (length must be a
+    /// nonzero multiple of `block_rows`) whose blocks are `blocks`, with
+    /// `state` the hook state at the boundary. Existing path nodes are kept
+    /// (first writer wins — equivalent content by the determinism contract,
+    /// which holds *within* a namespace); only a missing final node takes a
+    /// new block reference. Insertion is incremental: callers index every
+    /// boundary in order during prefill, so at most the last node is new.
+    pub fn insert_in(
+        &mut self,
+        pool: &mut BlockPool,
+        tag: u64,
         tokens: &[usize],
         blocks: &[BlockId],
         state: &Option<Box<dyn HookState>>,
@@ -172,7 +203,7 @@ impl PrefixIndex {
         let mut at: Option<usize> = None;
         for (d, chunk) in tokens.chunks(b).enumerate() {
             let existing = match at {
-                None => self.roots.get(chunk).copied(),
+                None => self.roots.get(&(tag, chunk.to_vec())).copied(),
                 Some(id) => self.node(id).children.get(chunk).copied(),
             };
             let id = match existing {
@@ -189,6 +220,7 @@ impl PrefixIndex {
                     debug_assert!(d + 1 == blocks.len() || state.is_none());
                     pool.retain(blocks[d]);
                     let node = Node {
+                        tag,
                         chunk: chunk.to_vec(),
                         block: blocks[d],
                         state: state.clone(),
@@ -208,7 +240,7 @@ impl PrefixIndex {
                     };
                     match at {
                         None => {
-                            self.roots.insert(chunk.to_vec(), id);
+                            self.roots.insert((tag, chunk.to_vec()), id);
                         }
                         Some(p) => {
                             self.node_mut(p).children.insert(chunk.to_vec(), id);
@@ -238,7 +270,7 @@ impl PrefixIndex {
         self.free_nodes.push(victim);
         match node.parent {
             None => {
-                self.roots.remove(&node.chunk);
+                self.roots.remove(&(node.tag, node.chunk));
             }
             Some(p) => {
                 self.node_mut(p).children.remove(&node.chunk);
@@ -359,6 +391,47 @@ mod tests {
         assert!(idx.evict_lru(&mut p).is_none());
         p.release(a[0]);
         assert!(idx.evict_lru(&mut p).is_some());
+    }
+
+    #[test]
+    fn tags_partition_the_index_into_disjoint_namespaces() {
+        let mut idx = PrefixIndex::new(2);
+        let mut p = pool();
+        let a = blocks(&mut p, 1);
+        let b = blocks(&mut p, 1);
+        idx.insert_in(&mut p, 1, &[1, 2], &a, &None);
+        idx.insert_in(&mut p, 2, &[1, 2], &b, &None);
+        // Identical tokens, different tag → different trees, different
+        // blocks: a request under bundle 2 must never adopt bundle 1's KV.
+        assert_eq!(idx.len(), 2);
+        let m1 = idx.lookup_in(1, &[1, 2, 9]).expect("tag-1 hit");
+        let m2 = idx.lookup_in(2, &[1, 2, 9]).expect("tag-2 hit");
+        assert_eq!(m1.blocks, a);
+        assert_eq!(m2.blocks, b);
+        assert!(idx.lookup_in(3, &[1, 2, 9]).is_none(), "unknown tag misses");
+        // Untagged API is namespace 0, not a union view.
+        assert!(idx.lookup(&[1, 2, 9]).is_none());
+    }
+
+    #[test]
+    fn eviction_unlinks_tagged_roots() {
+        let mut idx = PrefixIndex::new(2);
+        let mut p = pool();
+        let a = blocks(&mut p, 1);
+        let b = blocks(&mut p, 1);
+        idx.insert_in(&mut p, 7, &[1, 2], &a, &None);
+        idx.insert_in(&mut p, 8, &[1, 2], &b, &None);
+        p.release(a[0]);
+        p.release(b[0]);
+        // The tag-7 root is colder; it goes first, and its removal must not
+        // disturb the tag-8 tree sharing the same chunk key.
+        assert!(idx.lookup_in(8, &[1, 2, 9]).is_some());
+        assert!(idx.evict_lru(&mut p).is_some());
+        assert!(idx.lookup_in(7, &[1, 2, 9]).is_none());
+        assert_eq!(idx.lookup_in(8, &[1, 2, 9]).map(|m| m.blocks), Some(b));
+        assert!(idx.evict_lru(&mut p).is_some());
+        assert!(idx.evict_lru(&mut p).is_none());
+        assert_eq!(p.live_blocks(), 0);
     }
 
     #[test]

@@ -26,6 +26,9 @@ struct Args {
     model: Option<String>,
     demo: bool,
     cfg: ServeConfig,
+    /// Knowledge bundles staged (in order) before the listener comes up;
+    /// repeatable. The last one is promoted to active.
+    bundles: Vec<String>,
     /// Enable tracing spans and write a Chrome trace here at shutdown.
     trace_out: Option<String>,
 }
@@ -33,10 +36,13 @@ struct Args {
 fn usage() -> &'static str {
     "usage: serve (--demo | --model PATH) [--host H] [--port P] \
      [--budget ROWS] [--batch N] [--chunk N] [--queue N] [--threads N] \
-     [--trace-out PATH]\n\
+     [--bundle PATH]... [--trace-out PATH]\n\
      --port 0 binds an ephemeral port; the chosen address is printed as\n\
-     `LISTENING <addr>` on stdout. --trace-out enables tracing spans and\n\
-     writes a chrome://tracing-loadable JSON trace to PATH at shutdown."
+     `LISTENING <addr>` on stdout. --bundle (repeatable) stages knowledge\n\
+     bundles at startup and promotes the last one; more can be loaded live\n\
+     via the load_bundle/promote/rollback wire ops. --trace-out enables\n\
+     tracing spans and writes a chrome://tracing-loadable JSON trace to\n\
+     PATH at shutdown."
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -46,6 +52,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         model: None,
         demo: false,
         cfg: ServeConfig::default(),
+        bundles: Vec::new(),
         trace_out: None,
     };
     let mut it = argv.iter();
@@ -71,6 +78,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threads" => {
                 args.cfg.threads = Some(parse_count(&value("--threads")?, "--threads")?);
             }
+            "--bundle" => args.bundles.push(value("--bundle")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -136,6 +144,34 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Stage every --bundle in order and promote the last, so the process
+    // comes up already serving the newest knowledge; earlier ones stay
+    // pinnable (and are the rollback target).
+    let mut last_version = None;
+    for path in &args.bundles {
+        match client.load_bundle(path) {
+            Ok(info) => {
+                eprintln!(
+                    "serve: staged bundle `{}` ({path}) as version {}",
+                    info.name, info.version
+                );
+                last_version = Some(info.version);
+            }
+            Err(e) => {
+                eprintln!("serve: failed to load bundle `{path}`: {e}");
+                sched.shutdown();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(v) = last_version {
+        if let Err(e) = client.promote(v) {
+            eprintln!("serve: failed to promote bundle version {v}: {e}");
+            sched.shutdown();
+            return ExitCode::from(2);
+        }
+        eprintln!("serve: bundle version {v} active");
+    }
     let listener = match TcpListener::bind((args.host.as_str(), args.port)) {
         Ok(l) => l,
         Err(e) => {

@@ -18,15 +18,23 @@ use infuserki_nn::{LayerHook, TransformerLm};
 
 use crate::config::ServeConfig;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::{BundleInfo, ControlError, ControlOp, ControlOutcome, GateReport};
 use crate::request::{
     CancelToken, GenerateSpec, McqSpec, Outcome, Request, RequestId, RequestKind, Response,
     SubmitError,
 };
 use crate::scheduler::{EngineLimits, Scheduler};
 
+/// A control-plane op plus the channel its result goes back on.
+struct ControlRequest {
+    op: ControlOp,
+    tx: Sender<Result<ControlOutcome, ControlError>>,
+}
+
 /// Inbox messages of the scheduler thread.
 enum Msg {
     Request(Request),
+    Control(ControlRequest),
     Shutdown,
 }
 
@@ -80,13 +88,18 @@ impl ResponseHandle {
     }
 }
 
-/// Options attached to a submission (priority, deadline).
+/// Options attached to a submission (priority, deadline, bundle pin).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SubmitOpts {
     /// Higher runs first; ties run in arrival order.
     pub priority: i32,
     /// Hard deadline; past it the request expires wherever it is.
     pub deadline: Option<Instant>,
+    /// Knowledge-bundle version pin; `None` runs on whatever version is
+    /// active at admission. An unknown pin is rejected asynchronously
+    /// ([`crate::RejectReason::UnknownBundle`] on the response channel) —
+    /// only the scheduler thread knows the live registry.
+    pub bundle: Option<u32>,
 }
 
 /// Cloneable handle submitting requests to a running scheduler thread.
@@ -142,11 +155,61 @@ impl Client {
         if let Some(d) = opts.deadline {
             req = req.with_deadline(d);
         }
+        if let Some(v) = opts.bundle {
+            req = req.with_bundle(v);
+        }
         let cancel = req.cancel.clone();
         self.tx
             .send(Msg::Request(req))
             .map_err(|_| SubmitError::Disconnected)?;
         Ok(cancel)
+    }
+
+    /// Executes one knowledge-bundle control op on the scheduler thread
+    /// (between steps — a swap never tears a batch) and blocks for the
+    /// result.
+    pub fn control(&self, op: ControlOp) -> Result<ControlOutcome, ControlError> {
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Control(ControlRequest { op, tx }))
+            .map_err(|_| ControlError::Disconnected)?;
+        rx.recv().map_err(|_| ControlError::Disconnected)?
+    }
+
+    /// Loads, verifies and stages a [`infuserki_core::KnowledgeBundle`]
+    /// file; the returned version is pinnable immediately but serves
+    /// unpinned traffic only after [`Client::promote`].
+    pub fn load_bundle(&self, path: &str) -> Result<BundleInfo, ControlError> {
+        match self.control(ControlOp::LoadBundle { path: path.into() })? {
+            ControlOutcome::Loaded(info) => Ok(info),
+            other => unreachable!("load_bundle returned {other:?}"),
+        }
+    }
+
+    /// Promotes a staged version to active (after the scheduler's NR
+    /// regression gate, whose report is returned when the bundle carries
+    /// probes).
+    pub fn promote(&self, version: u32) -> Result<Option<GateReport>, ControlError> {
+        match self.control(ControlOp::Promote { version })? {
+            ControlOutcome::Promoted { gate, .. } => Ok(gate),
+            other => unreachable!("promote returned {other:?}"),
+        }
+    }
+
+    /// Restores the previously active version; returns the now-active one.
+    pub fn rollback(&self) -> Result<u32, ControlError> {
+        match self.control(ControlOp::Rollback)? {
+            ControlOutcome::RolledBack { version } => Ok(version),
+            other => unreachable!("rollback returned {other:?}"),
+        }
+    }
+
+    /// Every registered knowledge version, in version order.
+    pub fn list_bundles(&self) -> Result<Vec<BundleInfo>, ControlError> {
+        match self.control(ControlOp::ListBundles)? {
+            ControlOutcome::Bundles(list) => Ok(list),
+            other => unreachable!("list_bundles returned {other:?}"),
+        }
     }
 
     /// Greedy generation convenience wrapper.
@@ -217,27 +280,38 @@ pub fn spawn_scheduler<H>(
 where
     H: LayerHook + Send + 'static,
 {
-    cfg.validate()?;
-    // Build a probe scheduler to surface construction errors (incremental
-    // support, limits) before spawning.
-    let limits = {
-        let probe = Scheduler::new(&model, &hook, cfg.clone())?;
-        probe.limits().clone()
-    };
     let (tx, rx) = mpsc::channel::<Msg>();
-    let (metrics_tx, metrics_rx) = mpsc::channel();
+    // The scheduler borrows the model and hook, which live on the thread's
+    // stack — so it is constructed exactly once, there, and the thread
+    // reports the outcome (limits + metrics, or the construction error)
+    // back through this channel. Construction failures still surface
+    // synchronously from this function; no second "probe" scheduler is
+    // built just to pre-validate.
+    let (init_tx, init_rx) = mpsc::channel::<Result<(EngineLimits, Arc<ServeMetrics>), String>>();
     let join = std::thread::Builder::new()
         .name("infuserki-serve".into())
         .spawn(move || {
-            let mut sched =
-                Scheduler::new(&model, &hook, cfg).expect("probe scheduler validated this config");
-            let _ = metrics_tx.send(sched.metrics());
+            let mut sched = match Scheduler::new(&model, &hook, cfg) {
+                Ok(s) => s,
+                Err(e) => {
+                    let _ = init_tx.send(Err(e));
+                    return;
+                }
+            };
+            let _ = init_tx.send(Ok((sched.limits().clone(), sched.metrics())));
             let mut draining = false;
             loop {
                 // Drain the inbox without blocking while work is live.
                 loop {
                     match rx.try_recv() {
                         Ok(Msg::Request(r)) => sched.enqueue(r),
+                        Ok(Msg::Control(c)) => {
+                            let _ = c.tx.send(if draining {
+                                Err(ControlError::ShuttingDown)
+                            } else {
+                                sched.handle_control(c.op)
+                            });
+                        }
                         Ok(Msg::Shutdown) => {
                             draining = true;
                             sched.begin_drain();
@@ -264,6 +338,9 @@ where
                 // Idle: block until something arrives.
                 match rx.recv() {
                     Ok(Msg::Request(r)) => sched.enqueue(r),
+                    Ok(Msg::Control(c)) => {
+                        let _ = c.tx.send(sched.handle_control(c.op));
+                    }
                     Ok(Msg::Shutdown) | Err(_) => {
                         draining = true;
                         sched.begin_drain();
@@ -272,9 +349,14 @@ where
             }
         })
         .map_err(|e| format!("serve: failed to spawn scheduler thread: {e}"))?;
-    let metrics = metrics_rx
-        .recv()
-        .map_err(|_| "serve: scheduler thread died during startup".to_string())?;
+    let (limits, metrics) = match init_rx.recv() {
+        Ok(Ok(init)) => init,
+        Ok(Err(e)) => {
+            let _ = join.join();
+            return Err(e);
+        }
+        Err(_) => return Err("serve: scheduler thread died during startup".to_string()),
+    };
     let client = Client {
         tx: tx.clone(),
         limits,

@@ -33,6 +33,7 @@ pub mod client;
 pub mod config;
 pub mod metrics;
 pub mod queue;
+pub mod registry;
 pub mod request;
 pub mod scheduler;
 pub mod server;
@@ -40,6 +41,10 @@ pub mod server;
 pub use client::{spawn_scheduler, Client, ResponseHandle, SchedulerHandle, SubmitOpts};
 pub use config::ServeConfig;
 pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use registry::{
+    BundleEntry, BundleInfo, BundleRegistry, ControlError, ControlOp, ControlOutcome, GateReport,
+    HookArc,
+};
 pub use request::{
     CancelToken, GenerateSpec, McqSpec, Outcome, RejectReason, Request, RequestId, RequestKind,
     Response, SubmitError,

@@ -90,6 +90,14 @@ pub struct ServeMetrics {
     pub tbt_ms: Arc<obs::Histogram>,
     /// Per-step wall time (non-idle steps), milliseconds.
     pub step_ms: Arc<obs::Histogram>,
+    /// Currently active (promoted) knowledge-bundle version.
+    pub bundle_active_version: Arc<obs::Gauge>,
+    /// Successful `promote` operations (version swaps).
+    pub bundle_swaps: Arc<obs::Counter>,
+    /// Successful `rollback` operations.
+    pub bundle_rollbacks: Arc<obs::Counter>,
+    /// `promote` attempts refused by the NR regression gate.
+    pub bundle_rejected_promotions: Arc<obs::Counter>,
 }
 
 impl ServeMetrics {
@@ -132,6 +140,10 @@ impl ServeMetrics {
             ttft_ms: h("serve.ttft_ms"),
             tbt_ms: h("serve.tbt_ms"),
             step_ms: h("serve.step_ms"),
+            bundle_active_version: g("serve.bundle.active_version"),
+            bundle_swaps: c("serve.bundle.swaps"),
+            bundle_rollbacks: c("serve.bundle.rollbacks"),
+            bundle_rejected_promotions: c("serve.bundle.rejected_promotions"),
             registry,
         }
     }
@@ -196,6 +208,10 @@ impl ServeMetrics {
             ttft_samples: ttft.count as usize,
             tbt_p50_ms: tbt.p50,
             tbt_p99_ms: tbt.p99,
+            bundle_active_version: self.bundle_active_version.get().max(0) as u64,
+            bundle_swaps: self.bundle_swaps.get(),
+            bundle_rollbacks: self.bundle_rollbacks.get(),
+            bundle_rejected_promotions: self.bundle_rejected_promotions.get(),
         }
     }
 }
@@ -277,6 +293,14 @@ pub struct MetricsSnapshot {
     pub tbt_p50_ms: f64,
     /// 99th-percentile time-between-tokens, milliseconds.
     pub tbt_p99_ms: f64,
+    /// See [`ServeMetrics::bundle_active_version`].
+    pub bundle_active_version: u64,
+    /// See [`ServeMetrics::bundle_swaps`].
+    pub bundle_swaps: u64,
+    /// See [`ServeMetrics::bundle_rollbacks`].
+    pub bundle_rollbacks: u64,
+    /// See [`ServeMetrics::bundle_rejected_promotions`].
+    pub bundle_rejected_promotions: u64,
 }
 
 impl MetricsSnapshot {
@@ -338,6 +362,10 @@ mod tests {
         assert!(j.contains("\"tbt_p50_ms\""));
         assert!(j.contains("\"prefix_hits\""));
         assert!(j.contains("\"blocks_evicted\""));
+        assert!(j.contains("\"bundle_active_version\""));
+        assert!(j.contains("\"bundle_swaps\""));
+        assert!(j.contains("\"bundle_rollbacks\""));
+        assert!(j.contains("\"bundle_rejected_promotions\""));
     }
 
     #[test]

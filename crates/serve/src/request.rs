@@ -96,6 +96,12 @@ pub enum RejectReason {
     },
     /// Malformed request (empty prompt, out-of-vocabulary token, …).
     Invalid(String),
+    /// The request pinned a knowledge-bundle version the registry has never
+    /// loaded.
+    UnknownBundle {
+        /// The requested version.
+        version: u32,
+    },
     /// The scheduler is draining for shutdown.
     ShuttingDown,
 }
@@ -111,6 +117,9 @@ impl std::fmt::Display for RejectReason {
                 "request needs {cost} KV rows but the whole budget is {budget}"
             ),
             RejectReason::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            RejectReason::UnknownBundle { version } => {
+                write!(f, "unknown knowledge-bundle version {version}")
+            }
             RejectReason::ShuttingDown => write!(f, "scheduler is shutting down"),
         }
     }
@@ -165,6 +174,12 @@ pub struct Request {
     pub priority: i32,
     /// Hard deadline; past it the request expires wherever it is.
     pub deadline: Option<Instant>,
+    /// Knowledge-bundle version pin. `None` resolves to whichever version is
+    /// *active at admission*; `Some(v)` runs on exactly version `v`
+    /// (rejected at enqueue if `v` was never loaded). Either way the
+    /// resolved version stays pinned until the request retires, even across
+    /// promote/rollback.
+    pub bundle: Option<u32>,
     /// Cooperative cancellation flag.
     pub cancel: CancelToken,
     /// Submission timestamp (TTFT baseline).
@@ -181,6 +196,7 @@ impl Request {
             kind,
             priority: 0,
             deadline: None,
+            bundle: None,
             cancel: CancelToken::new(),
             submitted_at: Instant::now(),
             tx,
@@ -196,6 +212,12 @@ impl Request {
     /// Sets the hard deadline.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Pins the request to a specific knowledge-bundle version.
+    pub fn with_bundle(mut self, version: u32) -> Self {
+        self.bundle = Some(version);
         self
     }
 

@@ -1,8 +1,13 @@
 //! The continuous-batching scheduler core.
 //!
-//! One [`Scheduler`] owns one ragged KV cache holding every live *lane* (a
-//! cache sequence: a generate request mid-prefill or mid-decode, an MCQ
-//! prompt mid-prefill, or one MCQ option branch). Each [`Scheduler::step`]:
+//! One [`Scheduler`] owns a [`BundleRegistry`] of knowledge versions and one
+//! ragged KV cache *per live version* (a [`VersionGroup`]) holding that
+//! version's *lanes* (a cache sequence: a generate request mid-prefill or
+//! mid-decode, an MCQ prompt mid-prefill, or one MCQ option branch). A
+//! request resolves its version at admission — its explicit `bundle` pin, or
+//! whatever is active right then — and stays on that version's hook until it
+//! retires, no matter how many promotes/rollbacks happen meanwhile. Each
+//! [`Scheduler::step`]:
 //!
 //! 1. **Sweeps** cancelled and deadline-expired requests out of the batch
 //!    ([`infuserki_nn::KvCache::retain_indices`]).
@@ -13,10 +18,12 @@
 //!    starved by small late arrivals.
 //! 3. Builds one chunk per lane — up to [`crate::ServeConfig::prefill_chunk`]
 //!    prompt tokens for prefilling lanes, exactly one token for decode
-//!    lanes — and advances them all with a single
-//!    [`infuserki_nn::TransformerLm::extend_cached_batch`] call. Chunked
-//!    prefill means a newcomer with a long prompt joins the batch gradually
-//!    while every live decode lane still produces its token each step.
+//!    lanes — and advances each version group with one
+//!    [`infuserki_nn::TransformerLm::extend_cached_batch`] call (one forward
+//!    per live version per step; splitting the batch by version is bitwise
+//!    free because batching is bitwise-invariant). Chunked prefill means a
+//!    newcomer with a long prompt joins the batch gradually while every live
+//!    decode lane still produces its token each step.
 //! 4. Retires finished lanes, spawns MCQ option branches (gathered from the
 //!    prompt's cache *before* the prompt lane is dropped), back-fills the
 //!    cache, and responds to finished requests.
@@ -45,13 +52,17 @@ use std::time::Instant;
 
 use infuserki_obs as obs;
 
-use infuserki_nn::sampler::{argmax, beam_search, option_probabilities};
+use infuserki_core::KnowledgeBundle;
+use infuserki_nn::sampler::{argmax, beam_search, option_probabilities, score_options};
 use infuserki_nn::{KvCache, LayerHook, PoolHandle, PrefixIndex, PrefixMatch, TransformerLm};
 use infuserki_tensor::{kernels, Matrix, SeqBatch};
 
 use crate::config::ServeConfig;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::queue::RequestQueue;
+use crate::registry::{
+    BundleInfo, BundleRegistry, ControlError, ControlOp, ControlOutcome, GateReport, HookArc,
+};
 use crate::request::{GenerateSpec, McqSpec, Outcome, RejectReason, Request, RequestKind};
 
 /// Model-derived admission limits, computed once at scheduler construction
@@ -221,32 +232,45 @@ pub struct StepReport {
     pub queue_depth: usize,
 }
 
+/// All live state of one knowledge version: its hook, its ragged KV cache,
+/// and the lanes running on it. Groups exist only while they have lanes; a
+/// version with no in-flight work costs nothing per step.
+struct VersionGroup<'a> {
+    version: u32,
+    hook: HookArc<'a>,
+    /// Cross-request prefix sharing for this version: the config asked for
+    /// it *and* this hook's state is a pure function of the token prefix.
+    /// Index entries are keyed by `(version, tokens)`, so sharing never
+    /// crosses versions.
+    prefix_enabled: bool,
+    /// This version's hook carries per-sequence state; indexable prefill
+    /// chunks must then end on single block boundaries so each indexed node
+    /// stores the exact state snapshot at its own boundary.
+    hook_stateful: bool,
+    /// The live ragged cache; lane `i` is cache sequence `i`.
+    cache: KvCache,
+    lanes: Vec<Lane>,
+}
+
 /// The continuous-batching scheduler. Single-threaded by design: drive it
 /// directly for deterministic tests, or hand it to [`crate::spawn_scheduler`]
 /// to run on its own thread behind a [`crate::Client`].
 pub struct Scheduler<'a> {
     model: &'a TransformerLm,
-    hook: &'a dyn LayerHook,
+    /// Knowledge versions; version 0 is the construction hook.
+    registry: BundleRegistry<'a>,
     cfg: ServeConfig,
     limits: EngineLimits,
     queue: RequestQueue,
-    /// The live ragged cache; `None` iff no lanes are live.
-    cache: Option<KvCache>,
+    /// Per-version live state; empty iff no lanes are live anywhere.
+    groups: Vec<VersionGroup<'a>>,
     /// The one paged block pool every lane cache (and the prefix index)
     /// allocates from, so blocks are shareable across requests.
     pool: PoolHandle,
-    /// Radix index over cached full-block token prefixes; hits fork their
-    /// blocks copy-on-write into the new lane and skip that much prefill.
+    /// Radix index over cached full-block token prefixes, namespaced by
+    /// bundle version; hits fork their blocks copy-on-write into the new
+    /// lane and skip that much prefill.
     index: PrefixIndex,
-    /// Cross-request prefix sharing is on: the config asked for it *and*
-    /// the hook's state is a pure function of the token prefix.
-    prefix_enabled: bool,
-    /// The hook carries per-sequence state; indexable prefill chunks must
-    /// then end on single block boundaries so each indexed node stores the
-    /// exact state snapshot at its own boundary.
-    hook_stateful: bool,
-    /// Lane `i` is cache sequence `i` — the vec mirrors cache order exactly.
-    lanes: Vec<Lane>,
     slots: Vec<Option<InFlight>>,
     free_slots: Vec<usize>,
     reserved_rows: usize,
@@ -256,7 +280,8 @@ pub struct Scheduler<'a> {
 
 impl<'a> Scheduler<'a> {
     /// Builds a scheduler over `model` + `hook` (which must support
-    /// incremental decoding). Fails on invalid config.
+    /// incremental decoding); `hook` becomes knowledge version 0, active.
+    /// Fails on invalid config.
     pub fn new(
         model: &'a TransformerLm,
         hook: &'a dyn LayerHook,
@@ -276,23 +301,24 @@ impl<'a> Scheduler<'a> {
         };
         let slots = (0..cfg.max_batch).map(|_| None).collect::<Vec<_>>();
         let free_slots = (0..cfg.max_batch).rev().collect();
-        let prefix_enabled = cfg.prefix_cache && hook.prefix_cache_safe();
+        let metrics = Arc::new(ServeMetrics::new());
+        // `&dyn LayerHook` is `Send + Sync` (the trait requires `Sync`) and
+        // implements `LayerHook` by forwarding, so a borrowed hook shares
+        // through `Arc` exactly like an owned bundle hook.
+        let registry = BundleRegistry::new(Arc::new(hook) as HookArc<'a>, &metrics);
         Ok(Scheduler {
             model,
-            hook,
+            registry,
             queue: RequestQueue::new(cfg.queue_capacity),
             limits,
             pool: model.new_pool(cfg.block_rows),
             index: PrefixIndex::new(cfg.block_rows),
-            prefix_enabled,
-            hook_stateful: hook.make_state().is_some(),
             cfg,
-            cache: None,
-            lanes: Vec::new(),
+            groups: Vec::new(),
             slots,
             free_slots,
             reserved_rows: 0,
-            metrics: Arc::new(ServeMetrics::new()),
+            metrics,
             draining: false,
         })
     }
@@ -314,7 +340,143 @@ impl<'a> Scheduler<'a> {
 
     /// Whether stepping would make progress (queued or live work exists).
     pub fn has_work(&self) -> bool {
-        !self.queue.is_empty() || !self.lanes.is_empty()
+        !self.queue.is_empty() || !self.groups.is_empty()
+    }
+
+    // ----- knowledge-bundle control plane ----------------------------------
+
+    /// The version unpinned requests resolve to at admission.
+    pub fn active_version(&self) -> u32 {
+        self.registry.active_version()
+    }
+
+    /// Executes one control op. Runs between steps on the scheduler thread,
+    /// so a swap can never tear a batch: every in-flight lane keeps the hook
+    /// its request resolved at admission.
+    pub fn handle_control(&mut self, op: ControlOp) -> Result<ControlOutcome, ControlError> {
+        match op {
+            ControlOp::LoadBundle { path } => self.load_bundle(&path).map(ControlOutcome::Loaded),
+            ControlOp::Promote { version } => self
+                .promote(version)
+                .map(|gate| ControlOutcome::Promoted { version, gate }),
+            ControlOp::Rollback => self
+                .rollback()
+                .map(|version| ControlOutcome::RolledBack { version }),
+            ControlOp::ListBundles => Ok(ControlOutcome::Bundles(self.list_bundles())),
+        }
+    }
+
+    /// Loads, verifies and stages a [`KnowledgeBundle`] file. The new
+    /// version is immediately pinnable (`bundle: v` on requests) but does
+    /// not serve unpinned traffic until [`Scheduler::promote`].
+    pub fn load_bundle(&mut self, path: &str) -> Result<BundleInfo, ControlError> {
+        let bundle = KnowledgeBundle::load(path).map_err(ControlError::Bundle)?;
+        bundle
+            .verify(self.model)
+            .map_err(ControlError::Incompatible)?;
+        let KnowledgeBundle {
+            name,
+            config_fingerprint,
+            stamp,
+            gate_probes,
+            method,
+            ..
+        } = bundle;
+        let hook: HookArc<'static> = Arc::new(method);
+        if !hook.supports_incremental() {
+            return Err(ControlError::Incompatible(format!(
+                "bundle '{name}' hook does not support KV-cached incremental decoding"
+            )));
+        }
+        // EngineLimits (and every client's synchronous validation) bake in
+        // the base hook's prefix-row width; a bundle changing it would make
+        // admitted reservations wrong for its lanes.
+        let rows = self.model.max_prefix_rows(hook.as_ref());
+        if rows != self.limits.prefix_rows {
+            return Err(ControlError::Incompatible(format!(
+                "bundle '{name}' needs {rows} prefix K/V rows per layer but the engine was \
+                 sized for {}",
+                self.limits.prefix_rows
+            )));
+        }
+        let v = self.registry.stage(
+            name,
+            config_fingerprint,
+            stamp,
+            gate_probes,
+            hook,
+            &self.metrics,
+        );
+        Ok(self.registry.info(v))
+    }
+
+    /// Promotes a staged version to active after the NR regression gate
+    /// passes: on the bundle's held-out known-set probes, the candidate must
+    /// answer at least as many correctly as the currently active version
+    /// (the paper's knowledge-retention criterion, enforced online). The
+    /// gate runs single-request sampler calls on the scheduler thread — a
+    /// promote blocks the batch for the probe forwards, which is the price
+    /// of gating on the exact serving weights.
+    pub fn promote(&mut self, version: u32) -> Result<Option<GateReport>, ControlError> {
+        let active = self.registry.active_version();
+        if self.registry.get(version).is_none() {
+            return Err(ControlError::UnknownVersion(version));
+        }
+        if version == active {
+            return Err(ControlError::AlreadyActive(version));
+        }
+        let gate = {
+            let staged = self.registry.get(version).unwrap();
+            if staged.gate_probes.is_empty() {
+                None
+            } else {
+                let active_hook = self.registry.get(active).unwrap().hook.clone();
+                let probes = &staged.gate_probes;
+                let mut report = GateReport {
+                    probes: probes.len(),
+                    staged_correct: 0,
+                    active_correct: 0,
+                };
+                for p in probes {
+                    if probe_answer(self.model, staged.hook.as_ref(), p) == p.correct {
+                        report.staged_correct += 1;
+                    }
+                    if probe_answer(self.model, active_hook.as_ref(), p) == p.correct {
+                        report.active_correct += 1;
+                    }
+                }
+                if report.staged_correct < report.active_correct {
+                    self.metrics.bundle_rejected_promotions.inc();
+                    return Err(ControlError::NrGateFailed {
+                        version,
+                        gate: report,
+                    });
+                }
+                Some(report)
+            }
+        };
+        self.registry.promote(version);
+        self.metrics.bundle_swaps.inc();
+        self.metrics.bundle_active_version.set(version as i64);
+        Ok(gate)
+    }
+
+    /// Restores the previously active version (no gate: rollback is the
+    /// escape hatch and must never be refused). Returns the now-active
+    /// version.
+    pub fn rollback(&mut self) -> Result<u32, ControlError> {
+        let v = self
+            .registry
+            .rollback()
+            .ok_or(ControlError::NothingToRollBack)?;
+        self.metrics.bundle_rollbacks.inc();
+        self.metrics.bundle_active_version.set(v as i64);
+        Ok(v)
+    }
+
+    /// Every registered version, in version order.
+    pub fn list_bundles(&self) -> Vec<BundleInfo> {
+        self.registry.list()
     }
 
     /// Stops accepting new requests; in-flight and queued work still runs.
@@ -344,6 +506,18 @@ impl<'a> Scheduler<'a> {
             req.respond(Outcome::Rejected(RejectReason::ShuttingDown));
             self.metrics.rejected_shutdown.inc();
             return;
+        }
+        // An explicit version pin must exist *now*; versions are never
+        // unloaded, so a pin that validates here stays resolvable at
+        // admission no matter what control ops run in between.
+        if let Some(v) = req.bundle {
+            if self.registry.get(v).is_none() {
+                self.metrics.rejected_invalid.inc();
+                req.respond(Outcome::Rejected(RejectReason::UnknownBundle {
+                    version: v,
+                }));
+                return;
+            }
         }
         let cost = match self.limits.validate(&req.kind) {
             Ok(c) => c,
@@ -376,7 +550,7 @@ impl<'a> Scheduler<'a> {
         let now = Instant::now();
         self.sweep_dead(now);
         let admitted = self.admit(now);
-        if self.lanes.is_empty() {
+        if self.groups.is_empty() {
             let m = &self.metrics;
             m.idle_steps.inc();
             m.queue_depth.set(self.queue.len() as i64);
@@ -393,20 +567,25 @@ impl<'a> Scheduler<'a> {
             };
         }
         let finished = self.advance_lanes();
+        let active_lanes: usize = self.groups.iter().map(|g| g.lanes.len()).sum();
         let report = StepReport {
             ran_forward: true,
             admitted,
             finished,
-            active_lanes: self.lanes.len(),
+            active_lanes,
             queue_depth: self.queue.len(),
         };
         let m = &self.metrics;
         m.queue_depth.set(self.queue.len() as i64);
-        m.active_lanes.set(self.lanes.len() as i64);
+        m.active_lanes.set(active_lanes as i64);
         m.active_requests
             .set(self.slots.iter().filter(|s| s.is_some()).count() as i64);
         m.reserved_rows.set(self.reserved_rows as i64);
-        let used = self.cache.as_ref().map_or(0, KvCache::rows_used) as i64;
+        let used = self
+            .groups
+            .iter()
+            .map(|g| g.cache.rows_used())
+            .sum::<usize>() as i64;
         m.kv_rows_used.set(used);
         m.kv_rows_peak.set_max(used);
         self.set_block_gauges();
@@ -441,7 +620,7 @@ impl<'a> Scheduler<'a> {
     /// Retires every lane whose request was cancelled or deadline-expired,
     /// responding accordingly.
     fn sweep_dead(&mut self, now: Instant) {
-        if self.lanes.is_empty() {
+        if self.groups.is_empty() {
             return;
         }
         let mut any_dead = false;
@@ -468,22 +647,28 @@ impl<'a> Scheduler<'a> {
         if !any_dead {
             return;
         }
-        let keep: Vec<usize> = (0..self.lanes.len())
-            .filter(|&i| self.slots[self.lanes[i].slot].is_some())
-            .collect();
-        if keep.is_empty() {
-            self.cache = None;
-            self.lanes.clear();
-        } else {
-            self.cache
-                .as_mut()
-                .expect("lanes imply a cache")
-                .retain_indices(&keep);
-            self.lanes = keep.iter().map(|&i| self.lanes[i]).collect();
+        let mut groups = std::mem::take(&mut self.groups);
+        for g in &mut groups {
+            let keep: Vec<usize> = (0..g.lanes.len())
+                .filter(|&i| self.slots[g.lanes[i].slot].is_some())
+                .collect();
+            if keep.len() == g.lanes.len() {
+                continue;
+            }
+            if keep.is_empty() {
+                // Dropping the group (below) drops its cache and releases
+                // the blocks.
+                g.lanes.clear();
+                continue;
+            }
+            g.cache.retain_indices(&keep);
+            g.lanes = keep.iter().map(|&i| g.lanes[i]).collect();
             if self.cfg.compact_after_retire {
-                self.cache.as_mut().unwrap().compact();
+                g.cache.compact();
             }
         }
+        groups.retain(|g| !g.lanes.is_empty());
+        self.groups = groups;
     }
 
     /// Admits queue heads while slots and budget allow. Returns how many
@@ -516,6 +701,20 @@ impl<'a> Scheduler<'a> {
             // cold cached prefixes are evicted before the head is made to
             // wait — so pinning rows in the index can never deadlock
             // admission.
+            // Resolve the head's knowledge version *now*: its explicit pin,
+            // or the currently active version. Versions are never unloaded,
+            // so a pin validated at enqueue always resolves.
+            let version = head
+                .request
+                .bundle
+                .unwrap_or_else(|| self.registry.active_version());
+            let prefix_ok = {
+                let entry = self
+                    .registry
+                    .get(version)
+                    .expect("pins are validated at enqueue; versions never unload");
+                self.cfg.prefix_cache && entry.prefix_cache_safe
+            };
             let prompt = match &head.request.kind {
                 RequestKind::Generate(g) if g.beam_width <= 1 && g.max_new > 0 => {
                     Some(g.prompt.as_slice())
@@ -527,9 +726,12 @@ impl<'a> Scheduler<'a> {
             let hit = loop {
                 // Re-run the lookup after every eviction: the evicted leaf
                 // may have been on the matched path, invalidating its
-                // blocks (they are only pinned at adoption, below).
+                // blocks (they are only pinned at adoption, below). The
+                // lookup is namespaced by version: cached blocks and
+                // hook-state snapshots are only reusable under the exact
+                // hook that produced them.
                 let hit = match prompt {
-                    Some(p) if self.prefix_enabled => self.index.lookup(p),
+                    Some(p) if prefix_ok => self.index.lookup_in(version as u64, p),
                     _ => None,
                 };
                 let discount = hit.as_ref().map_or(0, |m| m.tokens);
@@ -547,18 +749,25 @@ impl<'a> Scheduler<'a> {
                 break;
             };
             let entry = self.queue.pop().unwrap();
-            self.admit_one(entry.request, entry.cost - discount, hit);
+            self.admit_one(entry.request, version, entry.cost - discount, hit);
             admitted += 1;
         }
         admitted
     }
 
-    /// Admits one request: answers trivial and beam requests inline,
-    /// otherwise reserves rows and opens a prefill lane. `hit` is the
-    /// cached prefix the admission check matched (already discounted from
-    /// `cost`); it is adopted before any further eviction can free it.
-    fn admit_one(&mut self, req: Request, cost: usize, hit: Option<PrefixMatch>) {
+    /// Admits one request on `version`: answers trivial and beam requests
+    /// inline, otherwise reserves rows and opens a prefill lane in the
+    /// version's group. `hit` is the cached prefix the admission check
+    /// matched (already discounted from `cost`); it is adopted before any
+    /// further eviction can free it.
+    fn admit_one(&mut self, req: Request, version: u32, cost: usize, hit: Option<PrefixMatch>) {
         self.metrics.admitted.inc();
+        let entry = self
+            .registry
+            .get(version)
+            .expect("admit resolved this version");
+        entry.served.inc();
+        let hook = entry.hook.clone();
         match &req.kind {
             RequestKind::Generate(g) => {
                 if g.max_new == 0 || g.prompt.len() >= self.limits.max_seq {
@@ -573,7 +782,7 @@ impl<'a> Scheduler<'a> {
                 if g.beam_width > 1 {
                     let tokens = beam_search(
                         self.model,
-                        self.hook,
+                        hook.as_ref(),
                         &g.prompt,
                         g.max_new,
                         g.beam_width,
@@ -584,22 +793,37 @@ impl<'a> Scheduler<'a> {
                     self.metrics.completed.inc();
                     return;
                 }
-                self.open_lane(req, cost, hit, LaneRole::GenPrefill { fed: 0 });
+                self.open_lane(req, version, cost, hit, LaneRole::GenPrefill { fed: 0 });
             }
             RequestKind::Mcq(m) => {
                 let scores = vec![0.0; m.options.len()];
-                self.open_lane_with(req, cost, hit, LaneRole::McqPrefill { fed: 0 }, scores);
+                self.open_lane_with(
+                    req,
+                    version,
+                    cost,
+                    hit,
+                    LaneRole::McqPrefill { fed: 0 },
+                    scores,
+                );
             }
         }
     }
 
-    fn open_lane(&mut self, req: Request, cost: usize, hit: Option<PrefixMatch>, role: LaneRole) {
-        self.open_lane_with(req, cost, hit, role, Vec::new());
+    fn open_lane(
+        &mut self,
+        req: Request,
+        version: u32,
+        cost: usize,
+        hit: Option<PrefixMatch>,
+        role: LaneRole,
+    ) {
+        self.open_lane_with(req, version, cost, hit, role, Vec::new());
     }
 
     fn open_lane_with(
         &mut self,
         req: Request,
+        version: u32,
         cost: usize,
         hit: Option<PrefixMatch>,
         role: LaneRole,
@@ -614,46 +838,71 @@ impl<'a> Scheduler<'a> {
             branches_left: 0,
         });
         self.reserved_rows += cost;
-        let fresh = self.model.new_cache_in(self.hook, self.pool.clone());
-        match self.cache.as_mut() {
-            Some(c) => c.absorb(fresh),
-            None => self.cache = Some(fresh),
-        }
+        let metrics = Arc::clone(&self.metrics);
+        // Find or create the version's group. Group creation is where a
+        // request *pins* its hook: the group holds the version's [`HookArc`]
+        // until its last lane retires. `new_cache_in` pre-opens exactly one
+        // empty sequence — this lane's.
+        let g = match self.groups.iter().position(|g| g.version == version) {
+            Some(i) => {
+                let fresh = self
+                    .model
+                    .new_cache_in(self.groups[i].hook.as_ref(), self.pool.clone());
+                self.groups[i].cache.absorb(fresh);
+                &mut self.groups[i]
+            }
+            None => {
+                let entry = self
+                    .registry
+                    .get(version)
+                    .expect("admit resolved this version");
+                self.groups.push(VersionGroup {
+                    version,
+                    hook: entry.hook.clone(),
+                    prefix_enabled: self.cfg.prefix_cache && entry.prefix_cache_safe,
+                    hook_stateful: entry.stateful,
+                    cache: self
+                        .model
+                        .new_cache_in(entry.hook.as_ref(), self.pool.clone()),
+                    lanes: Vec::new(),
+                });
+                self.groups.last_mut().unwrap()
+            }
+        };
         // Prefix-cache hit: adopt the matched blocks by reference (pinning
         // them against eviction) and start prefill past them. The adopted
         // rows are never re-fed; the skipped forward work is the win.
         let mut fed = 0;
         if let Some(m) = hit {
-            let cache = self.cache.as_mut().expect("lane cache just absorbed");
-            let lane_idx = cache.n_seqs() - 1;
+            let lane_idx = g.cache.n_seqs() - 1;
             fed = m.tokens;
-            cache.adopt_prefix(lane_idx, &m.blocks, m.tokens, m.state);
-            self.metrics.prefix_hits.inc();
-            self.metrics.prefix_hit_tokens.add(m.tokens as u64);
-        } else if self.prefix_enabled {
-            self.metrics.prefix_misses.inc();
+            g.cache.adopt_prefix(lane_idx, &m.blocks, m.tokens, m.state);
+            metrics.prefix_hits.inc();
+            metrics.prefix_hit_tokens.add(m.tokens as u64);
+        } else if g.prefix_enabled {
+            metrics.prefix_misses.inc();
         }
         let role = match role {
             LaneRole::GenPrefill { .. } => LaneRole::GenPrefill { fed },
             LaneRole::McqPrefill { .. } => LaneRole::McqPrefill { fed },
             other => other,
         };
-        self.lanes.push(Lane { slot, role });
+        g.lanes.push(Lane { slot, role });
     }
 
     /// End of the prompt span a lane at `fed` feeds this step: up to
     /// `prefill_chunk` tokens, cut back to a block boundary when the chunk
-    /// would cross one and the prefix cache is live. A prompt chunk that
-    /// *ends* on a boundary leaves an exact hook-state snapshot there for
-    /// the index; chunking is bitwise-invariant, so the cut changes no
+    /// would cross one and the group's prefix cache is live. A prompt chunk
+    /// that *ends* on a boundary leaves an exact hook-state snapshot there
+    /// for the index; chunking is bitwise-invariant, so the cut changes no
     /// output — it only splits the prefill across one more step.
-    fn prefill_end(&self, fed: usize, total: usize) -> usize {
+    fn prefill_end(&self, fed: usize, total: usize, prefix_enabled: bool, stateful: bool) -> usize {
         let mut end = total.min(fed + self.cfg.prefill_chunk);
-        if !self.prefix_enabled {
+        if !prefix_enabled {
             return end;
         }
         let b = self.cfg.block_rows;
-        if self.hook_stateful {
+        if stateful {
             // One indexable boundary per chunk: a chunk spanning several
             // boundaries could only snapshot the state at its end, not at
             // the interior boundaries it would index.
@@ -668,7 +917,8 @@ impl<'a> Scheduler<'a> {
     }
 
     /// The tokens lane `lane` feeds this step (always non-empty).
-    fn lane_chunk(&self, lane: &Lane) -> Vec<usize> {
+    /// `prefix_enabled`/`stateful` are its group's chunk-alignment flags.
+    fn lane_chunk(&self, lane: &Lane, prefix_enabled: bool, stateful: bool) -> Vec<usize> {
         let inf = self.slots[lane.slot]
             .as_ref()
             .expect("lane has a live slot");
@@ -676,12 +926,12 @@ impl<'a> Scheduler<'a> {
         match lane.role {
             LaneRole::GenPrefill { fed } => {
                 let p = &gen_spec(&inf.req).prompt;
-                p[fed..self.prefill_end(fed, p.len())].to_vec()
+                p[fed..self.prefill_end(fed, p.len(), prefix_enabled, stateful)].to_vec()
             }
             LaneRole::GenDecode { pending } => vec![pending],
             LaneRole::McqPrefill { fed } => {
                 let p = &mcq_spec(&inf.req).prompt;
-                p[fed..self.prefill_end(fed, p.len())].to_vec()
+                p[fed..self.prefill_end(fed, p.len(), prefix_enabled, stateful)].to_vec()
             }
             LaneRole::McqBranch { opt, fed } => {
                 let o = &mcq_spec(&inf.req).options[opt];
@@ -691,29 +941,70 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    /// One batched forward over every lane, then per-lane bookkeeping.
-    /// Returns the number of requests finished.
+    /// One batched forward per live version group, then per-lane
+    /// bookkeeping. Returns the number of requests finished.
     fn advance_lanes(&mut self) -> usize {
         let _sp = obs::enabled().then(|| obs::span("serve.advance_lanes"));
         let t0 = Instant::now();
-        let chunks: Vec<Vec<usize>> = self.lanes.iter().map(|l| self.lane_chunk(l)).collect();
+        let mut groups = std::mem::take(&mut self.groups);
+        let mut finished = 0usize;
+        let mut lanes_before = 0usize;
+        let mut prefill_toks = 0u64;
+        let mut decode_toks = 0u64;
+        for g in &mut groups {
+            lanes_before += g.lanes.len();
+            let (f, p, d) = self.advance_group(g);
+            finished += f;
+            prefill_toks += p;
+            decode_toks += d;
+        }
+        groups.retain(|g| !g.lanes.is_empty());
+        self.groups = groups;
+
+        let m = &self.metrics;
+        let elapsed = t0.elapsed();
+        m.steps.inc();
+        m.occupancy_lane_steps.add(lanes_before as u64);
+        m.prefill_tokens.add(prefill_toks);
+        m.decode_tokens.add(decode_toks);
+        m.busy_ns.add(elapsed.as_nanos() as u64);
+        m.step_ms.record_duration(elapsed);
+        // Each decode lane emits exactly one token per step it advances,
+        // so the step's wall time is one time-between-tokens observation.
+        if decode_toks > 0 {
+            m.tbt_ms.record_duration(elapsed);
+        }
+        m.completed.add(finished as u64);
+        finished
+    }
+
+    /// Advances one version group: one batched forward over its lanes under
+    /// its pinned hook, then the per-lane bookkeeping. Returns
+    /// `(finished, prefill_tokens, decode_tokens)`. A group whose last lane
+    /// retires is left empty for the caller to drop (releasing its cache).
+    fn advance_group(&mut self, g: &mut VersionGroup<'a>) -> (usize, u64, u64) {
+        let chunks: Vec<Vec<usize>> = g
+            .lanes
+            .iter()
+            .map(|l| self.lane_chunk(l, g.prefix_enabled, g.hook_stateful))
+            .collect();
         let lens: Vec<usize> = chunks.iter().map(Vec::len).collect();
-        let mut cache = self.cache.take().expect("lanes imply a cache");
+        let cache = &mut g.cache;
         let logits = self
             .model
-            .extend_cached_batch(&chunks, self.hook, &mut cache);
+            .extend_cached_batch(&chunks, g.hook.as_ref(), cache);
         let batch = SeqBatch::from_lens(&lens);
 
         // Index every prompt prefill that just reached a block boundary:
         // its full blocks (plus the hook-state snapshot at the boundary)
-        // become adoptable by later requests with the same prefix. This
-        // runs before retirement, so even a prompt finishing this step
-        // leaves its prefix behind.
-        if self.prefix_enabled {
+        // become adoptable by later requests with the same prefix — in this
+        // version's namespace only. This runs before retirement, so even a
+        // prompt finishing this step leaves its prefix behind.
+        if g.prefix_enabled {
             let b = self.cfg.block_rows;
             let handle = self.pool.clone();
             let mut pool = handle.lock();
-            for (i, lane) in self.lanes.iter().enumerate() {
+            for (i, lane) in g.lanes.iter().enumerate() {
                 let inf = self.slots[lane.slot]
                     .as_ref()
                     .expect("lane has a live slot");
@@ -725,8 +1016,9 @@ impl<'a> Scheduler<'a> {
                 let t = fed + lens[i];
                 if t.is_multiple_of(b) {
                     let state = cache.clone_state(i);
-                    self.index.insert(
+                    self.index.insert_in(
                         &mut pool,
+                        g.version as u64,
                         &prompt[..t],
                         &cache.seq_table(i)[..t / b],
                         &state,
@@ -735,7 +1027,7 @@ impl<'a> Scheduler<'a> {
             }
         }
 
-        let lanes = std::mem::take(&mut self.lanes);
+        let lanes = std::mem::take(&mut g.lanes);
         let n_before = lanes.len();
         let mut new_lanes: Vec<Lane> = Vec::with_capacity(n_before);
         let mut keep: Vec<usize> = Vec::with_capacity(n_before);
@@ -901,24 +1193,18 @@ impl<'a> Scheduler<'a> {
             let srcs: Vec<usize> = spawns.iter().map(|&(src, _, _)| src).collect();
             Some(cache.gather(&srcs))
         };
-        self.cache = if keep.is_empty() {
-            None
+        if keep.is_empty() {
+            // Every surviving sequence (if any) is a fresh branch; otherwise
+            // the group is now empty and the caller drops it, cache and all.
+            if let Some(b) = branch_cache {
+                *cache = b;
+            }
         } else {
             if keep.len() < n_before {
                 cache.retain_indices(&keep);
             }
-            Some(cache)
-        };
-        if let Some(b) = branch_cache {
-            match self.cache.as_mut() {
-                Some(c) => c.absorb(b),
-                None => self.cache = Some(b),
-            }
-        }
-        let retired_any = keep.len() < n_before;
-        if retired_any && self.cfg.compact_after_retire {
-            if let Some(c) = self.cache.as_mut() {
-                c.compact();
+            if let Some(b) = branch_cache {
+                cache.absorb(b);
             }
         }
         for &(_, slot, oi) in &spawns {
@@ -927,28 +1213,16 @@ impl<'a> Scheduler<'a> {
                 role: LaneRole::McqBranch { opt: oi, fed: 0 },
             });
         }
-        self.lanes = new_lanes;
-        debug_assert_eq!(
-            self.lanes.len(),
-            self.cache.as_ref().map_or(0, KvCache::n_seqs),
+        let retired_any = keep.len() < n_before;
+        if retired_any && self.cfg.compact_after_retire && !new_lanes.is_empty() {
+            cache.compact();
+        }
+        g.lanes = new_lanes;
+        debug_assert!(
+            g.lanes.is_empty() || g.lanes.len() == g.cache.n_seqs(),
             "lane list must mirror cache sequences"
         );
-
-        let m = &self.metrics;
-        let elapsed = t0.elapsed();
-        m.steps.inc();
-        m.occupancy_lane_steps.add(n_before as u64);
-        m.prefill_tokens.add(prefill_toks);
-        m.decode_tokens.add(decode_toks);
-        m.busy_ns.add(elapsed.as_nanos() as u64);
-        m.step_ms.record_duration(elapsed);
-        // Each decode lane emits exactly one token per step it advances,
-        // so the step's wall time is one time-between-tokens observation.
-        if decode_toks > 0 {
-            m.tbt_ms.record_duration(elapsed);
-        }
-        m.completed.add(finished as u64);
-        finished
+        (finished, prefill_toks, decode_toks)
     }
 
     /// Replays one iteration of the single-path greedy loop for `tok`, the
@@ -1028,6 +1302,19 @@ fn mcq_spec(req: &Request) -> &McqSpec {
         RequestKind::Mcq(m) => m,
         RequestKind::Generate(_) => unreachable!("MCQ lane on a generate request"),
     }
+}
+
+/// Which option `hook` picks for a held-out NR gate probe: the paper's
+/// detection-probe scoring (length-normalized option likelihood, argmax) on
+/// the single-request sampler path.
+fn probe_answer(
+    model: &TransformerLm,
+    hook: &dyn LayerHook,
+    probe: &infuserki_core::GateProbe,
+) -> usize {
+    let scores = score_options(model, hook, &probe.prompt, &probe.options);
+    let lens: Vec<usize> = probe.options.iter().map(Vec::len).collect();
+    argmax(&option_probabilities(&scores, &lens))
 }
 
 #[cfg(test)]
@@ -1277,9 +1564,74 @@ mod tests {
         );
         sched.run_until_idle();
         assert_eq!(sched.reserved_rows, 0);
-        assert!(sched.cache.is_none(), "drained scheduler holds no cache");
+        assert!(
+            sched.groups.is_empty(),
+            "drained scheduler holds no version groups (or caches)"
+        );
         let snap = sched.snapshot();
         assert_eq!(snap.completed, 1);
         assert!(snap.kv_rows_peak > 0);
+    }
+
+    #[test]
+    fn unknown_bundle_pin_is_rejected_at_enqueue() {
+        let m = model();
+        let mut sched = Scheduler::new(&m, &NoHook, ServeConfig::default()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let req = Request::new(
+            0,
+            RequestKind::Generate(GenerateSpec::greedy(vec![1, 2], 2, None)),
+            tx,
+        )
+        .with_bundle(7);
+        sched.enqueue(req);
+        assert_eq!(
+            rx.try_recv().unwrap().outcome,
+            Outcome::Rejected(RejectReason::UnknownBundle { version: 7 })
+        );
+        // Version 0 (the construction hook) always exists and is pinnable.
+        let (tx, rx) = mpsc::channel();
+        sched.enqueue(
+            Request::new(
+                1,
+                RequestKind::Generate(GenerateSpec::greedy(vec![1, 2], 2, None)),
+                tx,
+            )
+            .with_bundle(0),
+        );
+        kernels::set_num_threads(1);
+        sched.run_until_idle();
+        assert!(matches!(
+            rx.try_recv().unwrap().outcome,
+            Outcome::Generated { .. }
+        ));
+    }
+
+    #[test]
+    fn control_plane_promote_and_rollback_flip_active_version() {
+        let m = model();
+        let mut sched = Scheduler::new(&m, &NoHook, ServeConfig::default()).unwrap();
+        assert_eq!(sched.active_version(), 0);
+        assert!(matches!(
+            sched.handle_control(ControlOp::Promote { version: 9 }),
+            Err(ControlError::UnknownVersion(9))
+        ));
+        assert!(matches!(
+            sched.handle_control(ControlOp::Promote { version: 0 }),
+            Err(ControlError::AlreadyActive(0))
+        ));
+        assert!(matches!(
+            sched.handle_control(ControlOp::Rollback),
+            Err(ControlError::NothingToRollBack)
+        ));
+        let out = sched.handle_control(ControlOp::ListBundles).unwrap();
+        match out {
+            ControlOutcome::Bundles(list) => {
+                assert_eq!(list.len(), 1);
+                assert_eq!(list[0].name, "base");
+                assert!(list[0].active);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
     }
 }

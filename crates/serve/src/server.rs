@@ -4,11 +4,25 @@
 //!
 //! ```json
 //! {"op":"generate","id":1,"prompt":[1,2,3],"max_new":8,"eos":3,"beam":1,"priority":0,"timeout_ms":500}
-//! {"op":"mcq","id":2,"prompt":[4,5],"options":[[6],[7,8]]}
+//! {"op":"mcq","id":2,"prompt":[4,5],"options":[[6],[7,8]],"bundle":1}
 //! {"op":"cancel","id":1}
 //! {"op":"metrics"}
+//! {"op":"load_bundle","path":"facts.bundle.json"}
+//! {"op":"promote","version":1}
+//! {"op":"rollback"}
+//! {"op":"list_bundles"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! The optional `bundle` field on `generate`/`mcq` pins the request to a
+//! loaded knowledge-bundle version; unpinned requests run on whatever
+//! version is active at admission (see the scheduler docs). Control ops
+//! reply `{"status":"bundle_loaded","bundle":{...}}`,
+//! `{"status":"promoted","version":1,"gate":{...}}`,
+//! `{"status":"rolled_back","version":0}` and
+//! `{"status":"bundles","bundles":[...]}`; failures (unknown version, NR
+//! regression-gate refusal, incompatible artifact) come back as
+//! `{"status":"control_error","error":"nr_gate_failed","detail":"..."}`.
 //!
 //! Responses (in completion order, not request order — match on `id`):
 //!
@@ -42,6 +56,7 @@ use std::time::{Duration, Instant};
 use serde::Value;
 
 use crate::client::{Client, SubmitOpts};
+use crate::registry::{BundleInfo, ControlError, ControlOp, ControlOutcome, GateReport};
 use crate::request::{
     CancelToken, GenerateSpec, McqSpec, Outcome, RejectReason, RequestKind, Response, SubmitError,
 };
@@ -128,7 +143,16 @@ fn parse_opts(v: &Value) -> Result<SubmitOpts, String> {
     };
     let deadline = opt_field_usize(v, "timeout_ms")?
         .map(|ms| Instant::now() + Duration::from_millis(ms as u64));
-    Ok(SubmitOpts { priority, deadline })
+    let bundle = match opt_field_usize(v, "bundle")? {
+        None => None,
+        Some(b) if b <= u32::MAX as usize => Some(b as u32),
+        Some(_) => return Err("field `bundle` must fit a 32-bit version number".into()),
+    };
+    Ok(SubmitOpts {
+        priority,
+        deadline,
+        bundle,
+    })
 }
 
 fn parse_generate(v: &Value) -> Result<RequestKind, String> {
@@ -165,8 +189,84 @@ fn reject_reason_slug(r: &RejectReason) -> &'static str {
         RejectReason::QueueFull { .. } => "queue_full",
         RejectReason::BudgetExceeded { .. } => "budget_exceeded",
         RejectReason::Invalid(_) => "invalid",
+        RejectReason::UnknownBundle { .. } => "unknown_bundle",
         RejectReason::ShuttingDown => "shutting_down",
     }
+}
+
+fn control_error_slug(e: &ControlError) -> &'static str {
+    match e {
+        ControlError::UnknownVersion(_) => "unknown_version",
+        ControlError::AlreadyActive(_) => "already_active",
+        ControlError::NrGateFailed { .. } => "nr_gate_failed",
+        ControlError::NothingToRollBack => "nothing_to_roll_back",
+        ControlError::Bundle(_) => "bundle_unreadable",
+        ControlError::Incompatible(_) => "incompatible",
+        ControlError::ShuttingDown => "shutting_down",
+        ControlError::Disconnected => "disconnected",
+    }
+}
+
+fn gate_value(g: &GateReport) -> Value {
+    obj(vec![
+        ("probes", num(g.probes as f64)),
+        ("staged_correct", num(g.staged_correct as f64)),
+        ("active_correct", num(g.active_correct as f64)),
+    ])
+}
+
+fn bundle_info_value(b: &BundleInfo) -> Value {
+    let opt_f32 = |x: Option<f32>| x.map_or(Value::Null, |v| num(f64::from(v)));
+    obj(vec![
+        ("version", num(f64::from(b.version))),
+        ("name", str_v(&b.name)),
+        ("config_fingerprint", str_v(&b.config_fingerprint)),
+        ("active", Value::Bool(b.active)),
+        ("previous", Value::Bool(b.previous)),
+        ("requests", num(b.requests as f64)),
+        ("nr", opt_f32(b.nr)),
+        ("rr", opt_f32(b.rr)),
+        ("gate_probes", num(b.gate_probes as f64)),
+    ])
+}
+
+/// Renders a control-plane result as its wire line.
+fn control_line(result: &Result<ControlOutcome, ControlError>) -> String {
+    let v = match result {
+        Ok(ControlOutcome::Loaded(info)) => obj(vec![
+            ("status", str_v("bundle_loaded")),
+            ("bundle", bundle_info_value(info)),
+        ]),
+        Ok(ControlOutcome::Promoted { version, gate }) => obj(vec![
+            ("status", str_v("promoted")),
+            ("version", num(f64::from(*version))),
+            ("gate", gate.as_ref().map_or(Value::Null, gate_value)),
+        ]),
+        Ok(ControlOutcome::RolledBack { version }) => obj(vec![
+            ("status", str_v("rolled_back")),
+            ("version", num(f64::from(*version))),
+        ]),
+        Ok(ControlOutcome::Bundles(list)) => obj(vec![
+            ("status", str_v("bundles")),
+            (
+                "bundles",
+                Value::Array(list.iter().map(bundle_info_value).collect()),
+            ),
+        ]),
+        Err(e) => {
+            let mut fields = vec![
+                ("status", str_v("control_error")),
+                ("error", str_v(control_error_slug(e))),
+                ("detail", str_v(&e.to_string())),
+            ];
+            if let ControlError::NrGateFailed { version, gate } = e {
+                fields.push(("version", num(f64::from(*version))));
+                fields.push(("gate", gate_value(gate)));
+            }
+            obj(fields)
+        }
+    };
+    json_line(&v)
 }
 
 /// Renders a terminal outcome as its wire line.
@@ -318,6 +418,37 @@ fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<bool
                 let v = obj(vec![("status", str_v("metrics")), ("metrics", snap_value)]);
                 send_line(&writer, &json_line(&v))?;
             }
+            "load_bundle" => {
+                match value.get_field("path").and_then(Value::as_str) {
+                    Some(path) => {
+                        let res = client.control(ControlOp::LoadBundle { path: path.into() });
+                        send_line(&writer, &control_line(&res))?;
+                    }
+                    None => send_line(
+                        &writer,
+                        &error_line(None, &ctx("missing field `path`".into())),
+                    )?,
+                };
+            }
+            "promote" => match field_usize(&value, "version") {
+                Ok(v) if v <= u32::MAX as usize => {
+                    let res = client.control(ControlOp::Promote { version: v as u32 });
+                    send_line(&writer, &control_line(&res))?;
+                }
+                Ok(_) => send_line(
+                    &writer,
+                    &error_line(None, &ctx("field `version` must fit 32 bits".into())),
+                )?,
+                Err(e) => send_line(&writer, &error_line(None, &ctx(e)))?,
+            },
+            "rollback" => {
+                let res = client.control(ControlOp::Rollback);
+                send_line(&writer, &control_line(&res))?;
+            }
+            "list_bundles" => {
+                let res = client.control(ControlOp::ListBundles);
+                send_line(&writer, &control_line(&res))?;
+            }
             "shutdown" => {
                 send_line(
                     &writer,
@@ -429,5 +560,29 @@ mod tests {
         let opts = parse_opts(&none).unwrap();
         assert_eq!(opts.priority, 0);
         assert!(opts.deadline.is_none());
+        assert_eq!(opts.bundle, None);
+        let pinned: Value = serde_json::from_str(r#"{"bundle":2}"#).unwrap();
+        assert_eq!(parse_opts(&pinned).unwrap().bundle, Some(2));
+    }
+
+    #[test]
+    fn control_lines_render_expected_shapes() {
+        let rolled = control_line(&Ok(ControlOutcome::RolledBack { version: 0 }));
+        assert_eq!(rolled, r#"{"status":"rolled_back","version":0}"#);
+        let gate = GateReport {
+            probes: 4,
+            staged_correct: 1,
+            active_correct: 3,
+        };
+        let failed = control_line(&Err(ControlError::NrGateFailed { version: 2, gate }));
+        assert!(failed.contains(r#""status":"control_error""#));
+        assert!(failed.contains(r#""error":"nr_gate_failed""#));
+        assert!(failed.contains(r#""staged_correct":1"#));
+        let unknown = control_line(&Err(ControlError::UnknownVersion(9)));
+        assert!(unknown.contains(r#""error":"unknown_version""#));
+        assert_eq!(
+            reject_reason_slug(&RejectReason::UnknownBundle { version: 3 }),
+            "unknown_bundle"
+        );
     }
 }
