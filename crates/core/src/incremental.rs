@@ -30,6 +30,26 @@ pub struct IncrementalReport {
     pub training: TrainingReport,
 }
 
+impl IncrementalReport {
+    /// Saves the report as JSON (creating parent directories), so an
+    /// integration round leaves an auditable artifact next to the bundle it
+    /// produced.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        let json = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.as_ref().display()))
+    }
+
+    /// Loads a report saved by [`save`](Self::save).
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
+        serde_json::from_str(&json).map_err(|e| format!("parse report: {e}"))
+    }
+}
+
 /// Integrates `new_triples` into an existing `method`.
 ///
 /// Detection runs with the method's hook attached, so knowledge from earlier
@@ -146,6 +166,26 @@ mod tests {
             second.newly_integrated,
             first.newly_integrated
         );
+    }
+
+    #[test]
+    fn report_round_trips_through_json_file() {
+        let report = IncrementalReport {
+            presented: 20,
+            already_known: 7,
+            newly_integrated: 13,
+            training: TrainingReport::default(),
+        };
+        let path = std::env::temp_dir().join(format!(
+            "ki_increport_rt_{}/round.report.json",
+            std::process::id()
+        ));
+        report.save(&path).unwrap();
+        let loaded = IncrementalReport::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.presented, 20);
+        assert_eq!(loaded.already_known, 7);
+        assert_eq!(loaded.newly_integrated, 13);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! `kg_ingest` — command-line front end for the WAL-backed triple store.
+//!
+//! ```text
+//! kg_ingest append   <wal-dir> <file...> [--format jsonl|csv|tsv|pipe]
+//!                    [--sync-every N] [--snapshot-every N] [--non-functional]
+//! kg_ingest tail     <wal-dir> <feed-file> [--format ...] [--poll-ms N]
+//!                    [--idle-exit-ms N] [--sync-every N] [--snapshot-every N]
+//! kg_ingest snapshot <wal-dir>
+//! kg_ingest verify   <wal-dir>
+//! kg_ingest dump     <wal-dir>
+//! ```
+//!
+//! `append` ingests whole files (format sniffed from the extension unless
+//! `--format` pins it). `tail` watches a feed file and ingests new complete
+//! lines as they are appended — a minimal watch mode for hooking the WAL to
+//! an external producer; `--idle-exit-ms` stops after a quiet period (0 =
+//! run forever), which is how tests and batch jobs use it. `verify` recovers
+//! the directory read-only and reports what a restart would see.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use infuserki_ingest::{
+    parse_deltas, recover, AppendOutcome, DeltaFormat, DurableStore, StoreOptions,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kg_ingest <append|tail|snapshot|verify|dump> <wal-dir> [args...]\n\
+         run with a subcommand for details (see crate docs)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(dir)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let dir = PathBuf::from(dir);
+    let rest = &args[2..];
+    let result = match cmd.as_str() {
+        "append" => cmd_append(&dir, rest),
+        "tail" => cmd_tail(&dir, rest),
+        "snapshot" => cmd_snapshot(&dir),
+        "verify" => cmd_verify(&dir),
+        "dump" => cmd_dump(&dir),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("kg_ingest {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Options shared by `append` and `tail`.
+struct IngestArgs {
+    format: Option<DeltaFormat>,
+    opts: StoreOptions,
+    poll_ms: u64,
+    idle_exit_ms: u64,
+    files: Vec<PathBuf>,
+}
+
+fn parse_ingest_args(rest: &[String]) -> Result<IngestArgs, String> {
+    let mut out = IngestArgs {
+        format: None,
+        opts: StoreOptions::default(),
+        poll_ms: 200,
+        idle_exit_ms: 0,
+        files: Vec::new(),
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--format" => {
+                let v = value("--format")?;
+                out.format =
+                    Some(DeltaFormat::parse(v).ok_or_else(|| format!("unknown format `{v}`"))?);
+            }
+            "--sync-every" => {
+                out.opts.sync_every = value("--sync-every")?
+                    .parse()
+                    .map_err(|_| "--sync-every needs an integer".to_string())?;
+            }
+            "--snapshot-every" => {
+                out.opts.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every needs an integer".to_string())?;
+            }
+            "--poll-ms" => {
+                out.poll_ms = value("--poll-ms")?
+                    .parse()
+                    .map_err(|_| "--poll-ms needs an integer".to_string())?;
+            }
+            "--idle-exit-ms" => {
+                out.idle_exit_ms = value("--idle-exit-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-exit-ms needs an integer".to_string())?;
+            }
+            "--non-functional" => out.opts.functional = false,
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => out.files.push(PathBuf::from(other)),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `text` and appends every accepted record, printing typed rejects
+/// (parse-level and store-level) to stderr. Returns `(accepted, rejected)`.
+fn ingest_text(
+    ds: &mut DurableStore,
+    text: &str,
+    format: DeltaFormat,
+    source: &str,
+) -> Result<(u64, u64), String> {
+    let batch = parse_deltas(text, format);
+    let mut accepted = 0;
+    let mut rejected = batch.rejects.len() as u64;
+    for r in &batch.rejects {
+        eprintln!("{source}: {r}");
+    }
+    for p in &batch.accepted {
+        match ds.append(&p.delta).map_err(|e| e.to_string())? {
+            AppendOutcome::Accepted(_) => accepted += 1,
+            AppendOutcome::Rejected(mut r) => {
+                r.line = p.line;
+                rejected += 1;
+                eprintln!("{source}: {r}");
+            }
+        }
+    }
+    Ok((accepted, rejected))
+}
+
+fn cmd_append(dir: &Path, rest: &[String]) -> Result<ExitCode, String> {
+    let a = parse_ingest_args(rest)?;
+    if a.files.is_empty() {
+        return Err("append needs at least one input file".into());
+    }
+    let mut ds = DurableStore::open(dir, a.opts).map_err(|e| e.to_string())?;
+    let (mut accepted, mut rejected) = (0, 0);
+    for file in &a.files {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let format = a.format.unwrap_or_else(|| DeltaFormat::from_path(file));
+        let (acc, rej) = ingest_text(&mut ds, &text, format, &file.display().to_string())?;
+        accepted += acc;
+        rejected += rej;
+    }
+    ds.sync().map_err(|e| e.to_string())?;
+    println!(
+        "accepted {accepted} rejected {rejected} seq {} live {}",
+        ds.state().seq,
+        ds.state().live_len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_tail(dir: &Path, rest: &[String]) -> Result<ExitCode, String> {
+    let a = parse_ingest_args(rest)?;
+    let [feed] = a.files.as_slice() else {
+        return Err("tail needs exactly one feed file".into());
+    };
+    let format = a.format.unwrap_or_else(|| DeltaFormat::from_path(feed));
+    let mut ds = DurableStore::open(dir, a.opts).map_err(|e| e.to_string())?;
+    let mut offset = 0u64;
+    let mut carry = String::new();
+    let mut idle_ms = 0u64;
+    let (mut accepted, mut rejected) = (0, 0);
+    loop {
+        let grown = match std::fs::File::open(feed) {
+            Ok(mut f) => {
+                let len = f.metadata().map_err(|e| e.to_string())?.len();
+                if len < offset {
+                    // The feed was truncated/rotated: start over from the top.
+                    offset = 0;
+                    carry.clear();
+                }
+                if len > offset {
+                    f.seek(SeekFrom::Start(offset)).map_err(|e| e.to_string())?;
+                    let mut buf = String::new();
+                    f.read_to_string(&mut buf).map_err(|e| e.to_string())?;
+                    offset = len;
+                    carry.push_str(&buf);
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(e.to_string()),
+        };
+        // Only complete lines are ingested; a partial trailing line waits
+        // for the producer to finish it.
+        if grown {
+            let complete_up_to = carry.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            if complete_up_to > 0 {
+                let chunk: String = carry.drain(..complete_up_to).collect();
+                let (acc, rej) = ingest_text(&mut ds, &chunk, format, &feed.display().to_string())?;
+                accepted += acc;
+                rejected += rej;
+                ds.sync().map_err(|e| e.to_string())?;
+                println!(
+                    "accepted {acc} rejected {rej} seq {} live {}",
+                    ds.state().seq,
+                    ds.state().live_len()
+                );
+            }
+            idle_ms = 0;
+        } else {
+            idle_ms += a.poll_ms;
+            if a.idle_exit_ms > 0 && idle_ms >= a.idle_exit_ms {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(a.poll_ms.max(1)));
+    }
+    println!(
+        "done: accepted {accepted} rejected {rejected} seq {} live {}",
+        ds.state().seq,
+        ds.state().live_len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_snapshot(dir: &Path) -> Result<ExitCode, String> {
+    let mut ds = DurableStore::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?;
+    let path = ds.snapshot().map_err(|e| e.to_string())?;
+    println!("snapshot {} at seq {}", path.display(), ds.state().seq);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_verify(dir: &Path) -> Result<ExitCode, String> {
+    match recover(dir) {
+        Ok(rec) => {
+            println!(
+                "ok: seq {} live {} tombstones {} snapshot_seq {} valid_bytes {}{}",
+                rec.state.seq,
+                rec.state.live_len(),
+                rec.state.tombstones.len(),
+                rec.snapshot_seq,
+                rec.valid_len,
+                if rec.dropped_tail {
+                    " (torn tail would be truncated)"
+                } else {
+                    ""
+                }
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("corrupt: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_dump(dir: &Path) -> Result<ExitCode, String> {
+    let rec = recover(dir).map_err(|e| e.to_string())?;
+    let store = &rec.state.store;
+    for t in rec.state.live_triples() {
+        println!(
+            "{}|{}|{}",
+            store.entity_name(t.head),
+            store.relation_name(t.relation),
+            store.entity_name(t.tail)
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,231 @@
+//! Typed triplet deltas and the per-record reject taxonomy.
+//!
+//! A delta is the unit the whole streaming path moves: parsers emit them,
+//! the WAL logs them, the materialized [`crate::store::KgState`] applies
+//! them, and the update pipeline batches them into training rounds. Deltas
+//! carry entity/relation *names* (not interned ids) — names are the stable
+//! identity across processes and restarts; ids depend on interning order.
+
+use serde::{Deserialize, Serialize};
+
+/// What a delta does to the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// Assert the triple.
+    Add,
+    /// Tombstone a previously asserted triple.
+    Retract,
+}
+
+impl DeltaOp {
+    /// Wire name (`"add"` / `"retract"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeltaOp::Add => "add",
+            DeltaOp::Retract => "retract",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "add" | "+" => Some(DeltaOp::Add),
+            "retract" | "del" | "-" => Some(DeltaOp::Retract),
+            _ => None,
+        }
+    }
+}
+
+/// One triplet delta, by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TripleDelta {
+    /// Add or retract.
+    pub op: DeltaOp,
+    /// Subject (head entity) name.
+    pub subject: String,
+    /// Relation name.
+    pub relation: String,
+    /// Object (tail entity) name.
+    pub object: String,
+}
+
+impl TripleDelta {
+    /// An `add` delta.
+    pub fn add(s: impl Into<String>, r: impl Into<String>, o: impl Into<String>) -> Self {
+        TripleDelta {
+            op: DeltaOp::Add,
+            subject: s.into(),
+            relation: r.into(),
+            object: o.into(),
+        }
+    }
+
+    /// A `retract` delta.
+    pub fn retract(s: impl Into<String>, r: impl Into<String>, o: impl Into<String>) -> Self {
+        TripleDelta {
+            op: DeltaOp::Retract,
+            subject: s.into(),
+            relation: r.into(),
+            object: o.into(),
+        }
+    }
+
+    /// True when any field is empty after trimming.
+    pub fn has_empty_field(&self) -> bool {
+        self.subject.trim().is_empty()
+            || self.relation.trim().is_empty()
+            || self.object.trim().is_empty()
+    }
+}
+
+impl std::fmt::Display for TripleDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}|{}|{}",
+            self.op.as_str(),
+            self.subject,
+            self.relation,
+            self.object
+        )
+    }
+}
+
+/// The JSON shape a delta takes inside WAL records and JSONL input.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeltaWire {
+    /// `"add"` or `"retract"`.
+    pub op: String,
+    /// Subject name.
+    pub s: String,
+    /// Relation name.
+    pub r: String,
+    /// Object name.
+    pub o: String,
+}
+
+impl From<&TripleDelta> for DeltaWire {
+    fn from(d: &TripleDelta) -> Self {
+        DeltaWire {
+            op: d.op.as_str().to_string(),
+            s: d.subject.clone(),
+            r: d.relation.clone(),
+            o: d.object.clone(),
+        }
+    }
+}
+
+impl TryFrom<DeltaWire> for TripleDelta {
+    type Error = String;
+
+    fn try_from(w: DeltaWire) -> Result<Self, String> {
+        let op = DeltaOp::parse(&w.op).ok_or_else(|| format!("unknown op `{}`", w.op))?;
+        Ok(TripleDelta {
+            op,
+            subject: w.s,
+            relation: w.r,
+            object: w.o,
+        })
+    }
+}
+
+/// Why a record was turned away, as a closed taxonomy (each kind maps to a
+/// metrics bucket and a stable slug for tooling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// The line/row could not be parsed at all.
+    Syntax,
+    /// A subject/relation/object field was empty.
+    EmptyField,
+    /// The same `(op, s, r, o)` appeared earlier in this batch.
+    DuplicateInBatch,
+    /// An `add` of a triple that is already live in the store.
+    DuplicateOfLive,
+    /// A `retract` of a triple that is not live.
+    UnknownTriple,
+    /// An `add` whose `(subject, relation)` already has a different live
+    /// tail (the functional invariant the MCQ builder needs).
+    FunctionalConflict,
+    /// A name uses words outside the serving tokenizer's closed vocabulary;
+    /// the pipeline cannot phrase questions about it.
+    OutOfVocabulary,
+    /// A new relation past the method's relation-head capacity.
+    RelationCapacity,
+}
+
+impl RejectKind {
+    /// Stable lower-snake slug for logs/JSON.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RejectKind::Syntax => "syntax",
+            RejectKind::EmptyField => "empty_field",
+            RejectKind::DuplicateInBatch => "duplicate_in_batch",
+            RejectKind::DuplicateOfLive => "duplicate_of_live",
+            RejectKind::UnknownTriple => "unknown_triple",
+            RejectKind::FunctionalConflict => "functional_conflict",
+            RejectKind::OutOfVocabulary => "out_of_vocabulary",
+            RejectKind::RelationCapacity => "relation_capacity",
+        }
+    }
+}
+
+/// One rejected input record with its source position (1-based line and
+/// byte column, 0 when not applicable — e.g. API-level appends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedRecord {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based byte column of the offending field.
+    pub col: usize,
+    /// Which invariant the record broke.
+    pub kind: RejectKind,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for RejectedRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.kind.slug(), self.detail)
+        } else {
+            write!(
+                f,
+                "line {}, col {}: {}: {}",
+                self.line,
+                self.col,
+                self.kind.slug(),
+                self.detail
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_round_trips_wire_names() {
+        assert_eq!(DeltaOp::parse("add"), Some(DeltaOp::Add));
+        assert_eq!(DeltaOp::parse("retract"), Some(DeltaOp::Retract));
+        assert_eq!(DeltaOp::parse("-"), Some(DeltaOp::Retract));
+        assert_eq!(DeltaOp::parse("nope"), None);
+        assert_eq!(DeltaOp::Add.as_str(), "add");
+    }
+
+    #[test]
+    fn delta_wire_round_trip() {
+        let d = TripleDelta::retract("aspirin", "treats", "headache");
+        let w = DeltaWire::from(&d);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: DeltaWire = serde_json::from_str(&json).unwrap();
+        assert_eq!(TripleDelta::try_from(back).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_fields_detected() {
+        assert!(TripleDelta::add("", "r", "o").has_empty_field());
+        assert!(TripleDelta::add("s", "  ", "o").has_empty_field());
+        assert!(!TripleDelta::add("s", "r", "o").has_empty_field());
+    }
+}

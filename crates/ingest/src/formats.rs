@@ -1,0 +1,334 @@
+//! Multi-format delta parsing: JSONL, CSV, TSV, and the repo's original
+//! pipe-separated triple lines, all with per-record positions, typed
+//! rejects, and in-batch dedup.
+//!
+//! Parsing never fails as a whole: every input line either becomes a
+//! [`ParsedDelta`] or a [`RejectedRecord`] — a bad row cannot poison the
+//! rest of a feed.
+
+use std::path::Path;
+
+use crate::delta::{DeltaOp, DeltaWire, RejectKind, RejectedRecord, TripleDelta};
+
+/// Supported input encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaFormat {
+    /// One JSON object per line: `{"op":"add","s":..,"r":..,"o":..}`
+    /// (`op` defaults to `add` when absent).
+    Jsonl,
+    /// Comma-separated `op,subject,relation,object` (or three columns for
+    /// an implicit add); double quotes escape commas.
+    Csv,
+    /// Tab-separated, same column rules as CSV, no quoting.
+    Tsv,
+    /// The repo's `subject|relation|object` lines, optionally prefixed
+    /// with `+ ` / `- ` (or `add ` / `retract `) for the op.
+    Pipe,
+}
+
+impl DeltaFormat {
+    /// Picks a format from a file name's extension. `.jsonl`/`.json` →
+    /// JSONL, `.csv` → CSV, `.tsv` → TSV, anything else (including the
+    /// seed corpora's `.txt`) → pipe.
+    pub fn from_path(path: impl AsRef<Path>) -> Self {
+        match path
+            .as_ref()
+            .extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or("")
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "jsonl" | "json" => DeltaFormat::Jsonl,
+            "csv" => DeltaFormat::Csv,
+            "tsv" => DeltaFormat::Tsv,
+            _ => DeltaFormat::Pipe,
+        }
+    }
+
+    /// Parses a format name (`jsonl`, `csv`, `tsv`, `pipe`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "jsonl" | "json" => Some(DeltaFormat::Jsonl),
+            "csv" => Some(DeltaFormat::Csv),
+            "tsv" => Some(DeltaFormat::Tsv),
+            "pipe" | "txt" => Some(DeltaFormat::Pipe),
+            _ => None,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeltaFormat::Jsonl => "jsonl",
+            DeltaFormat::Csv => "csv",
+            DeltaFormat::Tsv => "tsv",
+            DeltaFormat::Pipe => "pipe",
+        }
+    }
+}
+
+/// One accepted delta with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedDelta {
+    /// The delta.
+    pub delta: TripleDelta,
+    /// 1-based source line it came from.
+    pub line: usize,
+}
+
+/// Everything one parse pass produced.
+#[derive(Debug, Clone, Default)]
+pub struct ParseBatch {
+    /// Records that passed syntax, field, and in-batch-dedup checks.
+    pub accepted: Vec<ParsedDelta>,
+    /// Records turned away, with positions and reasons.
+    pub rejects: Vec<RejectedRecord>,
+}
+
+/// Parses `text` in the given format. Blank lines and `#` comments are
+/// skipped in the line-oriented formats; exact `(op, s, r, o)` repeats
+/// within the batch are rejected as [`RejectKind::DuplicateInBatch`].
+pub fn parse_deltas(text: &str, format: DeltaFormat) -> ParseBatch {
+    let mut batch = ParseBatch::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_line(raw, format) {
+            Ok(delta) => accept(&mut batch, delta, raw, line),
+            Err((col, detail)) => batch.rejects.push(RejectedRecord {
+                line,
+                col,
+                kind: RejectKind::Syntax,
+                detail,
+            }),
+        }
+    }
+    batch
+}
+
+/// Runs field/dedup validation on one syntactically-good delta.
+fn accept(batch: &mut ParseBatch, delta: TripleDelta, raw: &str, line: usize) {
+    let col = raw.len() - raw.trim_start().len() + 1;
+    if delta.has_empty_field() {
+        batch.rejects.push(RejectedRecord {
+            line,
+            col,
+            kind: RejectKind::EmptyField,
+            detail: format!("empty field in `{delta}`"),
+        });
+        return;
+    }
+    if batch.accepted.iter().any(|p| p.delta == delta) {
+        batch.rejects.push(RejectedRecord {
+            line,
+            col,
+            kind: RejectKind::DuplicateInBatch,
+            detail: format!("duplicate of an earlier record in this batch: `{delta}`"),
+        });
+        return;
+    }
+    batch.accepted.push(ParsedDelta { delta, line });
+}
+
+/// Parses one non-blank line. Errors are `(1-based column, message)`.
+fn parse_line(raw: &str, format: DeltaFormat) -> Result<TripleDelta, (usize, String)> {
+    match format {
+        DeltaFormat::Jsonl => parse_jsonl_line(raw),
+        DeltaFormat::Csv => parse_columns(raw, &split_csv(raw.trim())),
+        DeltaFormat::Tsv => {
+            let cols: Vec<String> = raw
+                .trim()
+                .split('\t')
+                .map(|c| c.trim().to_string())
+                .collect();
+            parse_columns(raw, &cols)
+        }
+        DeltaFormat::Pipe => parse_pipe_line(raw),
+    }
+}
+
+fn parse_jsonl_line(raw: &str) -> Result<TripleDelta, (usize, String)> {
+    let wire: DeltaWire = match serde_json::from_str(raw.trim()) {
+        Ok(w) => w,
+        Err(e) => return Err((1, format!("bad JSON delta: {e}"))),
+    };
+    TripleDelta::try_from(wire).map_err(|e| {
+        let col = raw.find("\"op\"").map(|i| i + 1).unwrap_or(1);
+        (col, e)
+    })
+}
+
+/// Shared column logic for CSV/TSV: 4 columns = `op,s,r,o`; 3 columns = an
+/// implicit add.
+fn parse_columns(raw: &str, cols: &[String]) -> Result<TripleDelta, (usize, String)> {
+    let base = raw.len() - raw.trim_start().len() + 1;
+    match cols.len() {
+        3 => Ok(TripleDelta::add(&cols[0], &cols[1], &cols[2])),
+        4 => {
+            let op = DeltaOp::parse(cols[0].as_str())
+                .ok_or_else(|| (base, format!("unknown op `{}`", cols[0])))?;
+            Ok(TripleDelta {
+                op,
+                subject: cols[1].clone(),
+                relation: cols[2].clone(),
+                object: cols[3].clone(),
+            })
+        }
+        n => Err((base, format!("expected 3 or 4 columns, found {n}"))),
+    }
+}
+
+/// Minimal CSV splitter: commas separate fields; a field wrapped in double
+/// quotes may contain commas, and `""` inside quotes is a literal quote.
+fn split_csv(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                chars.next();
+                cur.push('"');
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields.iter().map(|f| f.trim().to_string()).collect()
+}
+
+/// `subject|relation|object` with an optional leading op token, matching
+/// `kg::io`'s column rules (only the object may contain `|`).
+fn parse_pipe_line(raw: &str) -> Result<TripleDelta, (usize, String)> {
+    let base = raw.len() - raw.trim_start().len();
+    let trimmed = raw.trim();
+    let (op, rest, rest_base) = match trimmed.split_once(char::is_whitespace) {
+        Some((tok, rest)) if DeltaOp::parse(tok).is_some() => {
+            let consumed = trimmed.len() - rest.trim_start().len();
+            (
+                DeltaOp::parse(tok).unwrap(),
+                rest.trim_start(),
+                base + consumed,
+            )
+        }
+        _ => (DeltaOp::Add, trimmed, base),
+    };
+    let Some((subject, tail)) = rest.split_once('|') else {
+        return Err((
+            rest_base + 1,
+            format!("expected `subject|relation|object`, found `{trimmed}`"),
+        ));
+    };
+    let Some((relation, object)) = tail.split_once('|') else {
+        return Err((
+            rest_base + subject.len() + 2,
+            "missing `|` between relation and object".to_string(),
+        ));
+    };
+    Ok(TripleDelta {
+        op,
+        subject: subject.trim().to_string(),
+        relation: relation.trim().to_string(),
+        object: object.trim().to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_sniffing_from_extension() {
+        assert_eq!(DeltaFormat::from_path("feed.jsonl"), DeltaFormat::Jsonl);
+        assert_eq!(DeltaFormat::from_path("x/feed.CSV"), DeltaFormat::Csv);
+        assert_eq!(DeltaFormat::from_path("feed.tsv"), DeltaFormat::Tsv);
+        assert_eq!(DeltaFormat::from_path("triplets.txt"), DeltaFormat::Pipe);
+        assert_eq!(DeltaFormat::from_path("no_ext"), DeltaFormat::Pipe);
+    }
+
+    #[test]
+    fn jsonl_parses_adds_and_retracts() {
+        let text = concat!(
+            "{\"op\":\"add\",\"s\":\"aspirin\",\"r\":\"treats\",\"o\":\"headache\"}\n",
+            "{\"op\":\"retract\",\"s\":\"aspirin\",\"r\":\"treats\",\"o\":\"headache\"}\n",
+            "not json\n",
+        );
+        let batch = parse_deltas(text, DeltaFormat::Jsonl);
+        assert_eq!(batch.accepted.len(), 2);
+        assert_eq!(batch.accepted[0].delta.op, DeltaOp::Add);
+        assert_eq!(batch.accepted[1].delta.op, DeltaOp::Retract);
+        assert_eq!(batch.rejects.len(), 1);
+        assert_eq!(batch.rejects[0].line, 3);
+        assert_eq!(batch.rejects[0].kind, RejectKind::Syntax);
+    }
+
+    #[test]
+    fn csv_quoting_and_implicit_add() {
+        let text = "aspirin,treats,headache\nretract,\"a,spirin\",treats,headache\n";
+        let batch = parse_deltas(text, DeltaFormat::Csv);
+        assert!(batch.rejects.is_empty(), "{:?}", batch.rejects);
+        assert_eq!(
+            batch.accepted[0].delta,
+            TripleDelta::add("aspirin", "treats", "headache")
+        );
+        assert_eq!(batch.accepted[1].delta.subject, "a,spirin");
+        assert_eq!(batch.accepted[1].delta.op, DeltaOp::Retract);
+    }
+
+    #[test]
+    fn tsv_column_count_errors_carry_position() {
+        let batch = parse_deltas("a\tb\n", DeltaFormat::Tsv);
+        assert_eq!(batch.accepted.len(), 0);
+        assert_eq!(batch.rejects[0].line, 1);
+        assert!(batch.rejects[0].detail.contains("expected 3 or 4"));
+    }
+
+    #[test]
+    fn pipe_accepts_op_prefixes_and_plain_lines() {
+        let text = "aspirin | treats | headache\n- aspirin | treats | headache\nretract b|r|c\n";
+        let batch = parse_deltas(text, DeltaFormat::Pipe);
+        assert!(batch.rejects.is_empty(), "{:?}", batch.rejects);
+        assert_eq!(batch.accepted[0].delta.op, DeltaOp::Add);
+        assert_eq!(batch.accepted[1].delta.op, DeltaOp::Retract);
+        assert_eq!(batch.accepted[2].delta, TripleDelta::retract("b", "r", "c"));
+    }
+
+    #[test]
+    fn pipe_object_may_contain_pipes() {
+        let batch = parse_deltas("a|r|c|d\n", DeltaFormat::Pipe);
+        assert_eq!(batch.accepted[0].delta.object, "c|d");
+    }
+
+    #[test]
+    fn in_batch_duplicates_rejected_across_all_formats() {
+        let text = "a|r|b\na|r|b\n";
+        let batch = parse_deltas(text, DeltaFormat::Pipe);
+        assert_eq!(batch.accepted.len(), 1);
+        assert_eq!(batch.rejects.len(), 1);
+        assert_eq!(batch.rejects[0].kind, RejectKind::DuplicateInBatch);
+        assert_eq!(batch.rejects[0].line, 2);
+        // An add and a retract of the same triple are NOT duplicates.
+        let batch = parse_deltas("a|r|b\n- a|r|b\n", DeltaFormat::Pipe);
+        assert_eq!(batch.accepted.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let batch = parse_deltas("# header\n\na|r|b\n", DeltaFormat::Pipe);
+        assert_eq!(batch.accepted.len(), 1);
+        assert_eq!(batch.accepted[0].line, 3);
+    }
+
+    #[test]
+    fn empty_fields_rejected_with_kind() {
+        let batch = parse_deltas("a||b\n", DeltaFormat::Pipe);
+        assert_eq!(batch.rejects[0].kind, RejectKind::EmptyField);
+    }
+}

@@ -1,0 +1,54 @@
+//! # infuserki-ingest
+//!
+//! Streaming KG ingestion for the InfuserKI serving stack: a durable,
+//! WAL-backed triple store and an online knowledge-update pipeline that
+//! turns appended facts into live, hot-swappable knowledge bundles.
+//!
+//! The subsystem closes the loop the paper leaves offline. InfuserKI's
+//! output is a small adapter patch over a frozen base model; this crate
+//! makes the *input* side continuous too:
+//!
+//! ```text
+//!   feeds (jsonl/csv/tsv/pipe)
+//!        │  parse + validate + dedup            [`formats`], [`delta`]
+//!        ▼
+//!   WAL  (checksummed, sequenced, fsync-batched) [`wal`]
+//!        │  snapshots + crash recovery           [`store`]
+//!        ▼
+//!   update pipeline (batch → detect → train → package → publish)
+//!        │                                       [`pipeline`]
+//!        ▼
+//!   serving registry (load → stage → promote, NR gate)
+//! ```
+//!
+//! Durability contract: a crash at any byte of the log loses at most the
+//! un-fsynced tail; recovery replays the surviving prefix onto the latest
+//! valid snapshot and reaches a state bitwise-equal (canonical JSON bytes)
+//! to a process that never crashed — see `tests/wal_recovery.rs`.
+//!
+//! The `kg_ingest` binary fronts the library: `append` feeds files into a
+//! WAL, `tail` watches a feed file and streams new lines in, `snapshot`,
+//! `verify`, and `dump` operate on an existing WAL directory.
+
+pub mod delta;
+pub mod formats;
+pub mod metrics;
+pub mod pipeline;
+pub mod store;
+pub mod wal;
+
+pub use delta::{DeltaOp, DeltaWire, RejectKind, RejectedRecord, TripleDelta};
+pub use formats::{parse_deltas, DeltaFormat, ParseBatch, ParsedDelta};
+pub use metrics::IngestMetrics;
+pub use pipeline::{
+    probe_from_mcq, BundlePublisher, PipelineConfig, PipelineError, PublishError, PublishReport,
+    RoundOutcome, UpdatePipeline,
+};
+pub use store::{
+    latest_snapshot_seq, recover, AppendOutcome, Applied, DurableStore, KgState, Recovered,
+    StoreOptions,
+};
+pub use wal::{
+    crc32, decode_record, encode_record, read_wal, ReadOutcome, WalError, WalRecord, WalTailer,
+    WalWriter, WAL_FILE,
+};

@@ -1,0 +1,130 @@
+//! `ingest.*` observability handles.
+//!
+//! One [`IngestMetrics`] is created per pipeline against whichever
+//! [`Registry`] should export it — the serve binary passes its
+//! `ServeMetrics` registry so `ingest.*` names show up in the same
+//! `metrics` wire snapshot as `serve.*`.
+
+use std::sync::Arc;
+
+use infuserki_obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::delta::RejectKind;
+
+/// Handles for every ingest metric (names are stable API).
+pub struct IngestMetrics {
+    /// `ingest.records_in` — records read from inputs (before validation).
+    pub records_in: Arc<Counter>,
+    /// `ingest.records_accepted` — records appended to the WAL.
+    pub records_accepted: Arc<Counter>,
+    /// `ingest.records_rejected` — sum over all reject kinds.
+    pub records_rejected: Arc<Counter>,
+    /// `ingest.rejected.<kind>` — one counter per [`RejectKind`] slug.
+    rejected_by_kind: Vec<(RejectKind, Arc<Counter>)>,
+    /// `ingest.wal_bytes` — bytes in the log.
+    pub wal_bytes: Arc<Gauge>,
+    /// `ingest.snapshot_age_records` — records appended since the last
+    /// snapshot (0 right after one).
+    pub snapshot_age_records: Arc<Gauge>,
+    /// `ingest.pending_deltas` — live deltas waiting for the next round.
+    pub pending_deltas: Arc<Gauge>,
+    /// `ingest.rounds` — update rounds started.
+    pub rounds: Arc<Counter>,
+    /// `ingest.bundles_published` — bundles promoted to live.
+    pub bundles_published: Arc<Counter>,
+    /// `ingest.bundles_refused` — bundles turned away by the NR gate.
+    pub bundles_refused: Arc<Counter>,
+    /// `ingest.apply_ms` — WAL poll + state apply latency.
+    pub apply_ms: Arc<Histogram>,
+    /// `ingest.integrate_ms` — detect + train latency per round.
+    pub integrate_ms: Arc<Histogram>,
+    /// `ingest.package_ms` — bundle build + write latency per round.
+    pub package_ms: Arc<Histogram>,
+    /// `ingest.publish_ms` — registry load→stage→promote latency.
+    pub publish_ms: Arc<Histogram>,
+}
+
+impl IngestMetrics {
+    /// Registers (or re-attaches to) every ingest metric in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        const KINDS: [RejectKind; 8] = [
+            RejectKind::Syntax,
+            RejectKind::EmptyField,
+            RejectKind::DuplicateInBatch,
+            RejectKind::DuplicateOfLive,
+            RejectKind::UnknownTriple,
+            RejectKind::FunctionalConflict,
+            RejectKind::OutOfVocabulary,
+            RejectKind::RelationCapacity,
+        ];
+        IngestMetrics {
+            records_in: registry.counter("ingest.records_in"),
+            records_accepted: registry.counter("ingest.records_accepted"),
+            records_rejected: registry.counter("ingest.records_rejected"),
+            rejected_by_kind: KINDS
+                .iter()
+                .map(|&k| {
+                    (
+                        k,
+                        registry.counter(&format!("ingest.rejected.{}", k.slug())),
+                    )
+                })
+                .collect(),
+            wal_bytes: registry.gauge("ingest.wal_bytes"),
+            snapshot_age_records: registry.gauge("ingest.snapshot_age_records"),
+            pending_deltas: registry.gauge("ingest.pending_deltas"),
+            rounds: registry.counter("ingest.rounds"),
+            bundles_published: registry.counter("ingest.bundles_published"),
+            bundles_refused: registry.counter("ingest.bundles_refused"),
+            apply_ms: registry.histogram("ingest.apply_ms"),
+            integrate_ms: registry.histogram("ingest.integrate_ms"),
+            package_ms: registry.histogram("ingest.package_ms"),
+            publish_ms: registry.histogram("ingest.publish_ms"),
+        }
+    }
+
+    /// Counts one rejected record in both the total and its kind bucket.
+    pub fn reject(&self, kind: RejectKind) {
+        self.records_rejected.inc();
+        if let Some((_, c)) = self.rejected_by_kind.iter().find(|(k, _)| *k == kind) {
+            c.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infuserki_obs::MetricValue;
+
+    #[test]
+    fn reject_counts_total_and_kind() {
+        let reg = Registry::new();
+        let m = IngestMetrics::new(&reg);
+        m.reject(RejectKind::Syntax);
+        m.reject(RejectKind::Syntax);
+        m.reject(RejectKind::OutOfVocabulary);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("ingest.records_rejected"),
+            Some(&MetricValue::Counter(3))
+        );
+        assert_eq!(
+            snap.get("ingest.rejected.syntax"),
+            Some(&MetricValue::Counter(2))
+        );
+        assert_eq!(
+            snap.get("ingest.rejected.out_of_vocabulary"),
+            Some(&MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn metric_names_all_under_ingest_prefix() {
+        let reg = Registry::new();
+        let _ = IngestMetrics::new(&reg);
+        for (name, _) in reg.snapshot().entries {
+            assert!(name.starts_with("ingest."), "{name}");
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! The append-only write-ahead log of triplet deltas.
+//!
+//! One text record per line:
+//!
+//! ```text
+//! <seq:016x> <crc:08x> <payload-json>
+//! ```
+//!
+//! `seq` is a monotonically increasing record number starting at 1; `crc`
+//! is the IEEE CRC-32 of `"<seq:016x> <payload-json>"`, so a record's
+//! checksum covers both its position and its content. The payload is the
+//! [`crate::delta::DeltaWire`] JSON object.
+//!
+//! Durability contract:
+//!
+//! * records are appended through a buffered writer and fsynced every
+//!   `sync_every` records (and on [`WalWriter::sync`]), so a crash loses at
+//!   most the unsynced suffix;
+//! * only the *suffix* of the file can be torn: a record that is followed
+//!   by another record must validate, and a bad checksum mid-file is
+//!   reported as corruption rather than silently skipped;
+//! * readers drop an invalid trailing record (a torn write) and report how
+//!   many bytes they trusted, so a writer reopening the log truncates the
+//!   torn tail before appending — replayed state is bitwise-equal to a
+//!   never-crashed store over the surviving prefix.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::delta::{DeltaWire, TripleDelta};
+
+/// File name of the log inside a WAL directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// IEEE CRC-32 (the ubiquitous reflected 0xEDB88320 polynomial), computed
+/// bitwise — the log is line-oriented text, not a throughput-critical
+/// binary format, and a table-free implementation keeps this dependency
+/// free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (1-based).
+    pub seq: u64,
+    /// The logged delta.
+    pub delta: TripleDelta,
+}
+
+/// WAL failures. `Corrupt` means the log is damaged *before* its tail —
+/// recovery refuses to guess and surfaces the position instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(String),
+    /// A non-tail record failed validation.
+    Corrupt {
+        /// 1-based line of the bad record.
+        line: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::Corrupt { line, detail } => write!(f, "wal corrupt at line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e.to_string())
+    }
+}
+
+/// Encodes one record as its line (no trailing newline).
+pub fn encode_record(seq: u64, delta: &TripleDelta) -> String {
+    let payload = serde_json::to_string(&DeltaWire::from(delta)).expect("delta serializes");
+    let body = format!("{seq:016x} {payload}");
+    let crc = crc32(body.as_bytes());
+    format!("{seq:016x} {crc:08x} {payload}")
+}
+
+/// Decodes one line. `Err` carries the reason.
+pub fn decode_record(line: &str) -> Result<WalRecord, String> {
+    let (seq_hex, rest) = line.split_once(' ').ok_or("missing seq field")?;
+    let (crc_hex, payload) = rest.split_once(' ').ok_or("missing crc field")?;
+    if seq_hex.len() != 16 {
+        return Err(format!("seq field has width {}", seq_hex.len()));
+    }
+    let seq = u64::from_str_radix(seq_hex, 16).map_err(|_| "seq is not hex".to_string())?;
+    let crc = u32::from_str_radix(crc_hex, 16).map_err(|_| "crc is not hex".to_string())?;
+    let body = format!("{seq:016x} {payload}");
+    let actual = crc32(body.as_bytes());
+    if actual != crc {
+        return Err(format!(
+            "checksum mismatch (stored {crc:08x}, actual {actual:08x})"
+        ));
+    }
+    let wire: DeltaWire =
+        serde_json::from_str(payload).map_err(|e| format!("payload does not parse: {e}"))?;
+    let delta = TripleDelta::try_from(wire)?;
+    Ok(WalRecord { seq, delta })
+}
+
+/// Result of scanning a log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Valid records with `seq > from_seq`, in order.
+    pub records: Vec<WalRecord>,
+    /// Highest sequence number seen (0 for an empty log).
+    pub last_seq: u64,
+    /// Bytes of the file covered by valid records (a reopening writer
+    /// truncates to this length).
+    pub valid_len: u64,
+    /// True when a torn trailing record was dropped.
+    pub dropped_tail: bool,
+}
+
+impl ReadOutcome {
+    fn empty() -> Self {
+        ReadOutcome {
+            records: Vec::new(),
+            last_seq: 0,
+            valid_len: 0,
+            dropped_tail: false,
+        }
+    }
+}
+
+/// Scans the log at `path`, returning records with `seq > from_seq`.
+///
+/// Sequence numbers must increase strictly by 1 from the first record seen;
+/// a gap or regression is corruption. A missing file reads as empty. Only a
+/// *final* invalid record is tolerated (dropped as a torn write).
+pub fn read_wal(path: impl AsRef<Path>, from_seq: u64) -> Result<ReadOutcome, WalError> {
+    let mut text = String::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReadOutcome::empty()),
+        Err(e) => return Err(e.into()),
+    }
+    scan_records(&text, from_seq, 0)
+}
+
+/// Scans `text` (the log content starting at byte `base_offset`, whose
+/// first line is record line `base_line + 1`). Shared by full reads and the
+/// incremental tailer.
+fn scan_records(text: &str, from_seq: u64, base_line: usize) -> Result<ReadOutcome, WalError> {
+    let mut out = ReadOutcome::empty();
+    let mut expect: Option<u64> = None;
+    let mut consumed = 0usize;
+    let mut rest = text;
+    let mut line_no = base_line;
+    while let Some(nl) = rest.find('\n') {
+        let line = &rest[..nl];
+        line_no += 1;
+        let after = &rest[nl + 1..];
+        match decode_record(line) {
+            Ok(rec) => {
+                if let Some(e) = expect {
+                    if rec.seq != e {
+                        return Err(WalError::Corrupt {
+                            line: line_no,
+                            detail: format!("sequence gap: expected {e}, got {}", rec.seq),
+                        });
+                    }
+                }
+                expect = Some(rec.seq + 1);
+                out.last_seq = rec.seq;
+                if rec.seq > from_seq {
+                    out.records.push(rec);
+                }
+                consumed += nl + 1;
+                out.valid_len = consumed as u64;
+            }
+            Err(detail) => {
+                // A bad record is only tolerable as the very tail of the
+                // file: a crash can tear the suffix, nothing else.
+                if after.trim_end().is_empty() {
+                    out.dropped_tail = true;
+                    return Ok(out);
+                }
+                return Err(WalError::Corrupt {
+                    line: line_no,
+                    detail,
+                });
+            }
+        }
+        rest = after;
+    }
+    if !rest.is_empty() {
+        // Trailing bytes without a newline: an in-progress or torn append.
+        out.dropped_tail = true;
+    }
+    Ok(out)
+}
+
+/// Appending writer with fsync batching.
+pub struct WalWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    seq: u64,
+    bytes: u64,
+    unsynced: usize,
+    sync_every: usize,
+}
+
+impl WalWriter {
+    /// Opens (creating if needed) the log at `path` for appending.
+    /// `resume_seq`/`valid_len` come from a prior [`read_wal`]; the file is
+    /// truncated to `valid_len` first so a torn tail never pollutes new
+    /// records. `sync_every` of 0 fsyncs on every append.
+    pub fn open(
+        path: impl AsRef<Path>,
+        resume_seq: u64,
+        valid_len: u64,
+        sync_every: usize,
+    ) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            out: BufWriter::new(file),
+            path,
+            seq: resume_seq,
+            bytes: valid_len,
+            unsynced: 0,
+            sync_every,
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one delta, returning its sequence number. The record is
+    /// durable once [`sync`](Self::sync) runs (explicitly or via the
+    /// batching threshold).
+    pub fn append(&mut self, delta: &TripleDelta) -> Result<u64, WalError> {
+        let seq = self.seq + 1;
+        let line = encode_record(seq, delta);
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.seq = seq;
+        self.bytes += line.len() as u64 + 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every.max(1) {
+            self.sync()?;
+        }
+        Ok(seq)
+    }
+
+    /// Flushes buffered records and fsyncs file data.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Last assigned sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Bytes written to the log (including any unsynced suffix).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records appended since the last fsync.
+    pub fn unsynced(&self) -> usize {
+        self.unsynced
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+/// Incremental, read-only log consumer: remembers its byte offset and next
+/// expected sequence number, and surfaces new records as they are flushed
+/// by a writer in this or another process. A torn/incomplete trailing
+/// record is left in place for the next poll.
+pub struct WalTailer {
+    path: PathBuf,
+    offset: u64,
+    next_seq: u64,
+    line: usize,
+}
+
+impl WalTailer {
+    /// A tailer positioned after `(seq, offset)` — typically the values a
+    /// recovery pass returned.
+    pub fn new(path: impl AsRef<Path>, seq: u64, offset: u64, line: usize) -> Self {
+        WalTailer {
+            path: path.as_ref().to_path_buf(),
+            offset,
+            next_seq: seq + 1,
+            line,
+        }
+    }
+
+    /// Sequence number of the last consumed record.
+    pub fn seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Reads any new complete records. Returns an empty vector when the
+    /// file has not grown (or only a partial record has appeared).
+    pub fn poll(&mut self) -> Result<Vec<WalRecord>, WalError> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let len = file.metadata()?.len();
+        if len <= self.offset {
+            return Ok(Vec::new());
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        let out = scan_records(&text, self.next_seq - 1, self.line)?;
+        if let Some(first) = out.records.first() {
+            if first.seq != self.next_seq {
+                return Err(WalError::Corrupt {
+                    line: self.line + 1,
+                    detail: format!(
+                        "tail resumes at seq {}, expected {}",
+                        first.seq, self.next_seq
+                    ),
+                });
+            }
+        }
+        self.offset += out.valid_len;
+        self.line += out.records.len();
+        if let Some(last) = out.records.last() {
+            self.next_seq = last.seq + 1;
+        }
+        Ok(out.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("infuserki_wal_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(WAL_FILE)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let d = TripleDelta::add("a b", "rel", "c");
+        let line = encode_record(7, &d);
+        let rec = decode_record(&line).unwrap();
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.delta, d);
+    }
+
+    #[test]
+    fn tampered_record_fails_checksum() {
+        let line = encode_record(1, &TripleDelta::add("a", "r", "b"));
+        let bad = line.replace("\"a\"", "\"x\"");
+        assert!(decode_record(&bad).unwrap_err().contains("checksum"));
+    }
+
+    #[test]
+    fn write_then_read_all() {
+        let p = tmp("rw");
+        let mut w = WalWriter::open(&p, 0, 0, 8).unwrap();
+        for i in 0..5 {
+            w.append(&TripleDelta::add(format!("e{i}"), "r", "t"))
+                .unwrap();
+        }
+        w.sync().unwrap();
+        let out = read_wal(&p, 0).unwrap();
+        assert_eq!(out.records.len(), 5);
+        assert_eq!(out.last_seq, 5);
+        assert!(!out.dropped_tail);
+        assert_eq!(out.valid_len, std::fs::metadata(&p).unwrap().len());
+        // Partial reads skip the prefix.
+        assert_eq!(read_wal(&p, 3).unwrap().records.len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_reopen() {
+        let p = tmp("torn");
+        let mut w = WalWriter::open(&p, 0, 0, 0).unwrap();
+        for i in 0..3 {
+            w.append(&TripleDelta::add(format!("e{i}"), "r", "t"))
+                .unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let full = std::fs::metadata(&p).unwrap().len();
+        // Tear the last record in half.
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 7]).unwrap();
+        let out = read_wal(&p, 0).unwrap();
+        assert_eq!(out.records.len(), 2);
+        assert!(out.dropped_tail);
+        // Reopen for appending: the torn suffix is cut, new record follows.
+        let mut w = WalWriter::open(&p, out.last_seq, out.valid_len, 0).unwrap();
+        w.append(&TripleDelta::add("e9", "r", "t")).unwrap();
+        w.sync().unwrap();
+        let out2 = read_wal(&p, 0).unwrap();
+        assert_eq!(out2.records.len(), 3);
+        assert_eq!(out2.last_seq, 3);
+        assert!(!out2.dropped_tail);
+        assert!(std::fs::metadata(&p).unwrap().len() < full + 10);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_a_skip() {
+        let p = tmp("corrupt");
+        let mut w = WalWriter::open(&p, 0, 0, 0).unwrap();
+        for i in 0..3 {
+            w.append(&TripleDelta::add(format!("e{i}"), "r", "t"))
+                .unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(&p).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let tampered = lines[1].replace("e1", "xx");
+        lines[1] = &tampered;
+        std::fs::write(&p, format!("{}\n", lines.join("\n"))).unwrap();
+        match read_wal(&p, 0) {
+            Err(WalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_gap_is_corruption() {
+        let p = tmp("gap");
+        let l1 = encode_record(1, &TripleDelta::add("a", "r", "b"));
+        let l3 = encode_record(3, &TripleDelta::add("c", "r", "d"));
+        std::fs::write(&p, format!("{l1}\n{l3}\n")).unwrap();
+        assert!(matches!(
+            read_wal(&p, 0),
+            Err(WalError::Corrupt { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn tailer_sees_records_as_they_are_flushed() {
+        let p = tmp("tail");
+        let mut w = WalWriter::open(&p, 0, 0, 0).unwrap();
+        let mut t = WalTailer::new(&p, 0, 0, 0);
+        assert!(t.poll().unwrap().is_empty());
+        w.append(&TripleDelta::add("a", "r", "b")).unwrap();
+        w.sync().unwrap();
+        let got = t.poll().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 1);
+        assert!(t.poll().unwrap().is_empty());
+        w.append(&TripleDelta::add("c", "r", "d")).unwrap();
+        w.append(&TripleDelta::retract("a", "r", "b")).unwrap();
+        w.sync().unwrap();
+        let got = t.poll().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].seq, 3);
+        assert_eq!(t.seq(), 3);
+    }
+
+    #[test]
+    fn tailer_waits_out_a_partial_trailing_record() {
+        let p = tmp("tail_partial");
+        let mut w = WalWriter::open(&p, 0, 0, 0).unwrap();
+        w.append(&TripleDelta::add("a", "r", "b")).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Simulate a half-flushed second record (no newline).
+        let half = encode_record(2, &TripleDelta::add("c", "r", "d"));
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        f.write_all(&half.as_bytes()[..half.len() / 2]).unwrap();
+        drop(f);
+        let mut t = WalTailer::new(&p, 0, 0, 0);
+        let got = t.poll().unwrap();
+        assert_eq!(got.len(), 1, "complete record consumed");
+        // Complete the record: tailer picks it up on the next poll.
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        f.write_all(&half.as_bytes()[half.len() / 2..]).unwrap();
+        f.write_all(b"\n").unwrap();
+        drop(f);
+        let got = t.poll().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Crash-recovery property suite for the WAL-backed triple store.
+//!
+//! The durability contract under test: a crash at ANY byte of the log
+//! loses at most the un-fsynced tail, and recovery (replaying the WAL
+//! tail onto the latest valid snapshot) reconstructs a state **bitwise
+//! equal** (canonical JSON bytes) to a process that applied exactly the
+//! surviving prefix and never crashed. Randomized over delta sequences,
+//! snapshot cadences and crash offsets with a seeded RNG —
+//! deterministic, but covering torn records, snapshot boundaries and
+//! empty-log edges.
+
+use std::path::{Path, PathBuf};
+
+use infuserki_ingest::{recover, AppendOutcome, DurableStore, KgState, StoreOptions, TripleDelta};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("infuserki_walrec_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Generates a plausible random delta stream: mostly adds over a small
+/// name pool (so duplicates and re-adds happen), with retracts of live
+/// facts mixed in.
+fn random_deltas(rng: &mut ChaCha8Rng, n: usize) -> Vec<TripleDelta> {
+    let mut live: Vec<(String, String, String)> = Vec::new();
+    let mut out = Vec::new();
+    while out.len() < n {
+        if !live.is_empty() && rng.gen_range(0..4) == 0 {
+            let (s, r, o) = live.swap_remove(rng.gen_range(0..live.len()));
+            out.push(TripleDelta::retract(&s, &r, &o));
+        } else {
+            let s = format!("entity {}", rng.gen_range(0..10));
+            let r = format!("relation {}", rng.gen_range(0..3));
+            let o = format!("entity {}", rng.gen_range(0..10));
+            if !live.iter().any(|t| *t == (s.clone(), r.clone(), o.clone())) {
+                live.push((s.clone(), r.clone(), o.clone()));
+                out.push(TripleDelta::add(&s, &r, &o));
+            }
+        }
+    }
+    out
+}
+
+/// The never-crashed reference: the first `k` accepted deltas folded into a
+/// fresh state, exactly as a process that only ever saw those would hold it.
+fn reference_state(accepted: &[TripleDelta], k: u64) -> KgState {
+    let mut state = KgState::default();
+    for (i, d) in accepted.iter().take(k as usize).enumerate() {
+        state.apply(d);
+        state.seq = i as u64 + 1;
+    }
+    state
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(infuserki_ingest::WAL_FILE)
+}
+
+#[test]
+fn recovery_at_random_crash_points_is_bitwise_equal_to_uncrashed() {
+    for iter in 0..24u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC4A5 ^ iter);
+        let dir = tmp(&format!("prop{iter}"));
+        let opts = StoreOptions {
+            sync_every: [1, 4, 32][rng.gen_range(0..3usize)],
+            snapshot_every: [0, 3, 7][rng.gen_range(0..3usize)],
+            functional: false,
+        };
+        let deltas = random_deltas(&mut rng, 30);
+        let mut ds = DurableStore::open(&dir, opts.clone()).unwrap();
+        let mut accepted = Vec::new();
+        for d in &deltas {
+            if let AppendOutcome::Accepted(_) = ds.append(d).unwrap() {
+                accepted.push(d.clone());
+            }
+        }
+        ds.sync().unwrap();
+        let full_len = ds.wal_bytes();
+        drop(ds);
+
+        // Sanity: recovering the untouched dir reproduces the full prefix.
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.state.seq, accepted.len() as u64, "iter {iter}");
+        assert_eq!(
+            rec.state.canonical_bytes(),
+            reference_state(&accepted, rec.state.seq).canonical_bytes(),
+            "iter {iter}: uncrashed recovery diverged"
+        );
+
+        // Crash: truncate the log at a random byte (possibly mid-record).
+        let crash_at = rng.gen_range(0..=full_len);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(wal_path(&dir))
+            .unwrap();
+        f.set_len(crash_at).unwrap();
+        drop(f);
+
+        let rec = recover(&dir).unwrap();
+        // The surviving prefix length is whatever recovery says it is; the
+        // property is that the state is EXACTLY the fold of that prefix.
+        assert!(rec.state.seq <= accepted.len() as u64);
+        let reference = reference_state(&accepted, rec.state.seq);
+        assert_eq!(
+            rec.state.canonical_bytes(),
+            reference.canonical_bytes(),
+            "iter {iter}: crash at byte {crash_at}/{full_len} diverged at seq {}",
+            rec.state.seq
+        );
+
+        // Ingestion resumes over the crashed dir: the writer truncates the
+        // torn tail and continues the sequence without gaps.
+        let mut ds = DurableStore::open(&dir, opts).unwrap();
+        let resumed_seq = ds.state().seq;
+        assert_eq!(resumed_seq, rec.state.seq, "iter {iter}");
+        let novel = TripleDelta::add(format!("post crash {iter}"), "relation 0", "entity 0");
+        match ds.append(&novel).unwrap() {
+            AppendOutcome::Accepted(seq) => assert_eq!(seq, resumed_seq + 1, "iter {iter}"),
+            AppendOutcome::Rejected(r) => panic!("iter {iter}: novel add rejected: {r}"),
+        }
+        ds.sync().unwrap();
+        drop(ds);
+        let rec2 = recover(&dir).unwrap();
+        assert_eq!(rec2.state.seq, resumed_seq + 1, "iter {iter}");
+        assert!(rec2.state.is_live(&rec2.state.resolve(&novel).unwrap()));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn recovery_survives_losing_wal_bytes_behind_a_snapshot() {
+    // A snapshot can outlive truncated WAL bytes (e.g. the log is damaged
+    // right after a snapshot landed). Recovery then stands on the snapshot
+    // alone — still bitwise equal to the fold of the covered prefix.
+    let dir = tmp("snapgap");
+    let opts = StoreOptions {
+        sync_every: 1,
+        snapshot_every: 5,
+        functional: false,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let deltas = random_deltas(&mut rng, 12);
+    let mut ds = DurableStore::open(&dir, opts).unwrap();
+    let mut accepted = Vec::new();
+    for d in &deltas {
+        if let AppendOutcome::Accepted(_) = ds.append(d).unwrap() {
+            accepted.push(d.clone());
+        }
+    }
+    ds.sync().unwrap();
+    let snap_seq = ds.last_snapshot_seq();
+    assert!(snap_seq >= 5, "snapshot cadence should have fired");
+    drop(ds);
+
+    // Truncate the WAL to empty: everything lives in the snapshot now.
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(wal_path(&dir))
+        .unwrap()
+        .set_len(0)
+        .unwrap();
+    let rec = recover(&dir).unwrap();
+    assert_eq!(rec.state.seq, snap_seq);
+    assert_eq!(
+        rec.state.canonical_bytes(),
+        reference_state(&accepted, snap_seq).canonical_bytes()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_older_evidence() {
+    let dir = tmp("badsnap");
+    let opts = StoreOptions {
+        sync_every: 1,
+        snapshot_every: 4,
+        functional: false,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(5150);
+    let deltas = random_deltas(&mut rng, 10);
+    let mut ds = DurableStore::open(&dir, opts).unwrap();
+    let mut accepted = Vec::new();
+    for d in &deltas {
+        if let AppendOutcome::Accepted(_) = ds.append(d).unwrap() {
+            accepted.push(d.clone());
+        }
+    }
+    ds.sync().unwrap();
+    drop(ds);
+
+    // Flip bytes in the NEWEST snapshot; the checksum must catch it and
+    // recovery must fall back (older snapshot or pure replay) — with the
+    // full WAL intact the final state is unchanged either way.
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            p.file_name()?
+                .to_str()?
+                .starts_with("snapshot-")
+                .then_some(p)
+        })
+        .collect();
+    snaps.sort();
+    let newest = snaps.last().expect("cadence produced snapshots").clone();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let rec = recover(&dir).unwrap();
+    assert_eq!(rec.state.seq, accepted.len() as u64);
+    assert_eq!(
+        rec.state.canonical_bytes(),
+        reference_state(&accepted, rec.state.seq).canonical_bytes()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,6 +20,7 @@ pub mod store;
 pub mod types;
 pub mod umls;
 
+pub use io::ParseError;
 pub use metaqa::{synth_metaqa, MetaQaConfig};
 pub use stats::KgStats;
 pub use store::TripleStore;

@@ -192,6 +192,11 @@ impl TripleStore {
         self.entity_index.get(name).copied()
     }
 
+    /// Looks up a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relation_index.get(name).copied()
+    }
+
     /// All triples in insertion order.
     pub fn triples(&self) -> &[Triple] {
         &self.triples

@@ -13,12 +13,15 @@
 
 use std::net::TcpListener;
 use std::process::ExitCode;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use infuserki_ingest::{PipelineConfig, UpdatePipeline};
 use infuserki_nn::{NoHook, TransformerLm};
 use infuserki_obs as obs;
-use infuserki_serve::{demo_model, server, spawn_scheduler, ServeConfig};
+use infuserki_serve::{
+    demo_model, load_tokenizer, server, spawn_scheduler, spawn_watcher, ServeConfig,
+};
 
 struct Args {
     host: String,
@@ -31,18 +34,31 @@ struct Args {
     bundles: Vec<String>,
     /// Enable tracing spans and write a Chrome trace here at shutdown.
     trace_out: Option<String>,
+    /// WAL directory to watch: runs the online knowledge-update pipeline
+    /// in-process, publishing live bundles through the registry.
+    watch_kg: Option<String>,
+    /// Tokenizer JSON the pipeline phrases MCQs with (required with
+    /// --watch-kg; must match the served model's vocabulary).
+    watch_tokenizer: Option<String>,
+    /// Optional `PipelineConfig` JSON overriding the pipeline defaults.
+    watch_config: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: serve (--demo | --model PATH) [--host H] [--port P] \
      [--budget ROWS] [--batch N] [--chunk N] [--queue N] [--threads N] \
-     [--bundle PATH]... [--trace-out PATH]\n\
+     [--bundle PATH]... [--trace-out PATH] \
+     [--watch-kg DIR --watch-tokenizer PATH [--watch-config PATH]]\n\
      --port 0 binds an ephemeral port; the chosen address is printed as\n\
      `LISTENING <addr>` on stdout. --bundle (repeatable) stages knowledge\n\
      bundles at startup and promotes the last one; more can be loaded live\n\
-     via the load_bundle/promote/rollback wire ops. --trace-out enables\n\
-     tracing spans and writes a chrome://tracing-loadable JSON trace to\n\
-     PATH at shutdown."
+     via the load_bundle/promote/rollback wire ops. --watch-kg runs the\n\
+     online knowledge-update pipeline in-process over a WAL directory\n\
+     (append facts with `kg_ingest`): batched deltas are trained and\n\
+     published live through the NR promote gate. --watch-tokenizer is the\n\
+     tokenizer JSON matching the served model; --watch-config overrides\n\
+     `PipelineConfig` defaults. --trace-out enables tracing spans and\n\
+     writes a chrome://tracing-loadable JSON trace to PATH at shutdown."
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -54,6 +70,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cfg: ServeConfig::default(),
         bundles: Vec::new(),
         trace_out: None,
+        watch_kg: None,
+        watch_tokenizer: None,
+        watch_config: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -80,6 +99,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--bundle" => args.bundles.push(value("--bundle")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--watch-kg" => args.watch_kg = Some(value("--watch-kg")?),
+            "--watch-tokenizer" => args.watch_tokenizer = Some(value("--watch-tokenizer")?),
+            "--watch-config" => args.watch_config = Some(value("--watch-config")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -87,6 +109,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.demo == args.model.is_some() {
         return Err(format!(
             "pass exactly one of --demo or --model PATH\n{}",
+            usage()
+        ));
+    }
+    if args.watch_kg.is_some() && args.watch_tokenizer.is_none() {
+        return Err(format!(
+            "--watch-kg needs --watch-tokenizer PATH (the pipeline phrases \
+             MCQs with it)\n{}",
+            usage()
+        ));
+    }
+    if args.watch_kg.is_none() && (args.watch_tokenizer.is_some() || args.watch_config.is_some()) {
+        return Err(format!(
+            "--watch-tokenizer/--watch-config only make sense with --watch-kg\n{}",
             usage()
         ));
     }
@@ -137,6 +172,9 @@ fn main() -> ExitCode {
             }
         }
     };
+    // The watcher's pipeline trains against its own copy of the frozen
+    // base; taken before the scheduler thread consumes the original.
+    let mut watch_model = args.watch_kg.as_ref().map(|_| model.clone());
     let (client, sched) = match spawn_scheduler(model, NoHook, args.cfg.clone()) {
         Ok(cs) => cs,
         Err(e) => {
@@ -172,10 +210,77 @@ fn main() -> ExitCode {
         }
         eprintln!("serve: bundle version {v} active");
     }
+    // Bring the online knowledge-update watcher up before the listener so
+    // the WAL is recovered (and any startup error surfaces) before clients
+    // can connect.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut watcher = None;
+    if let Some(wal_dir) = &args.watch_kg {
+        let tok_path = args
+            .watch_tokenizer
+            .as_deref()
+            .expect("parse_args enforces --watch-tokenizer");
+        let tokenizer = match load_tokenizer(tok_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                sched.shutdown();
+                return ExitCode::from(2);
+            }
+        };
+        let pcfg = match &args.watch_config {
+            Some(path) => {
+                let json = match std::fs::read_to_string(path) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("serve: read watch config `{path}`: {e}");
+                        sched.shutdown();
+                        return ExitCode::from(2);
+                    }
+                };
+                match serde_json::from_str::<PipelineConfig>(&json) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("serve: parse watch config `{path}`: {e}");
+                        sched.shutdown();
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            None => PipelineConfig::default(),
+        };
+        let metrics = client.metrics_handle();
+        let pipeline = match UpdatePipeline::new(
+            watch_model.take().expect("watch model cloned above"),
+            tokenizer,
+            wal_dir,
+            pcfg,
+            client.clone(),
+            metrics.registry(),
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("serve: failed to open WAL dir `{wal_dir}`: {e}");
+                sched.shutdown();
+                return ExitCode::from(2);
+            }
+        };
+        eprintln!(
+            "serve: watching KG WAL at `{wal_dir}` (baseline seq {}, {} live triples)",
+            pipeline.state().seq,
+            pipeline.state().live_len()
+        );
+        watcher = Some(spawn_watcher(pipeline, Arc::clone(&stop)));
+    }
     let listener = match TcpListener::bind((args.host.as_str(), args.port)) {
         Ok(l) => l,
         Err(e) => {
             eprintln!("serve: failed to bind {}:{}: {e}", args.host, args.port);
+            stop.store(true, Ordering::Relaxed);
+            if let Some(w) = watcher {
+                let _ = w.join();
+            }
+            sched.shutdown();
             return ExitCode::from(1);
         }
     };
@@ -191,8 +296,14 @@ fn main() -> ExitCode {
         args.cfg.prefill_chunk,
         args.cfg.queue_capacity
     );
-    let stop = Arc::new(AtomicBool::new(false));
-    if let Err(e) = server::run(listener, client, stop) {
+    let accept_result = server::run(listener, client, Arc::clone(&stop));
+    // The watcher goes down first (it publishes through the scheduler), then
+    // the scheduler drains.
+    stop.store(true, Ordering::Relaxed);
+    if let Some(w) = watcher {
+        let _ = w.join();
+    }
+    if let Err(e) = accept_result {
         eprintln!("serve: accept loop failed: {e}");
         sched.shutdown();
         return ExitCode::from(1);

@@ -37,6 +37,7 @@ pub mod registry;
 pub mod request;
 pub mod scheduler;
 pub mod server;
+pub mod watch;
 
 pub use client::{spawn_scheduler, Client, ResponseHandle, SchedulerHandle, SubmitOpts};
 pub use config::ServeConfig;
@@ -50,6 +51,7 @@ pub use request::{
     Response, SubmitError,
 };
 pub use scheduler::{EngineLimits, Scheduler, StepReport};
+pub use watch::{load_tokenizer, spawn_watcher};
 
 use infuserki_nn::{ModelConfig, TransformerLm};
 use rand::SeedableRng;

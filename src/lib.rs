@@ -6,6 +6,7 @@
 pub use infuserki_baselines as baselines;
 pub use infuserki_core as core;
 pub use infuserki_eval as eval;
+pub use infuserki_ingest as ingest;
 pub use infuserki_kg as kg;
 pub use infuserki_nn as nn;
 pub use infuserki_serve as serve;
