@@ -22,6 +22,11 @@
 //!   batched) plus the full delta→published-bundle latency of one online
 //!   update round; informational only (training cost dominates and scales
 //!   with the method config, not the hot path), never gated.
+//! * `router_load` — the same closed loop driven through the two-replica
+//!   front router with template-heavy prompts; informational only (replicas
+//!   share this host's cores, so tok/s measures dispatch overhead rather
+//!   than real scaling — `router_load --replicas 1,2,4` is the full sweep),
+//!   never gated.
 //!
 //! ```text
 //! perf_suite --write results/bench_baseline.json   # (re-)baseline
@@ -129,6 +134,7 @@ fn run_suite() -> PerfSuite {
     suite.push(bench_prefix_sweep());
     suite.push(bench_swap_under_load());
     suite.push(bench_ingest_throughput());
+    suite.push(bench_router_load());
     suite
 }
 
@@ -505,10 +511,73 @@ fn bench_ingest_throughput() -> PerfRecord {
         .metric("round_ms", round_wall * 1e3)
 }
 
+/// Closed loop through the two-replica front router: 8 in flight, 48
+/// total, prompts cut from three shared templates so prefix affinity keeps
+/// template traffic homed. Informational only — both replicas share this
+/// host's cores, so tok/s here tracks dispatch/fan-out overhead rather
+/// than real scaling; it must NOT join the gated list.
+fn bench_router_load() -> PerfRecord {
+    const VOCAB: usize = 64;
+    let (load, total) = (8usize, 48usize);
+    let cfg = infuserki_router::RouterConfig {
+        replicas: 2,
+        serve: ServeConfig::default(),
+        ..infuserki_router::RouterConfig::default()
+    };
+    let (client, handle) =
+        infuserki_router::spawn_router(cfg, |_| (demo_model(), NoHook)).expect("router spawns");
+    let mut rng = ChaCha8Rng::seed_from_u64(9019);
+    let templates: Vec<Vec<usize>> = (0..3)
+        .map(|_| (0..24).map(|_| rng.gen_range(0..VOCAB)).collect())
+        .collect();
+    let submit = |rng: &mut ChaCha8Rng| {
+        let mut prompt = templates[rng.gen_range(0..templates.len())].clone();
+        for _ in 0..rng.gen_range(1..5) {
+            prompt.push(rng.gen_range(0..VOCAB));
+        }
+        let kind = infuserki_serve::RequestKind::Generate(infuserki_serve::GenerateSpec::greedy(
+            prompt, 16, None,
+        ));
+        client
+            .submit(kind, infuserki_serve::SubmitOpts::default(), None)
+            .expect("submit accepted")
+    };
+    let started = Instant::now();
+    let mut in_flight = VecDeque::new();
+    let mut submitted = 0usize;
+    while submitted < load {
+        in_flight.push_back(submit(&mut rng));
+        submitted += 1;
+    }
+    let mut tokens = 0u64;
+    while let Some(h) = in_flight.pop_front() {
+        match h.wait().expect("router alive") {
+            Outcome::Generated { tokens: t } => tokens += t.len() as u64,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        if submitted < total {
+            in_flight.push_back(submit(&mut rng));
+            submitted += 1;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let m = client.metrics();
+    let dispatched = m.dispatched.get().max(1);
+    let record = PerfRecord::new("router_load")
+        .metric("tok_per_s", tokens as f64 / wall)
+        .metric(
+            "affinity_share",
+            m.affinity_hits.get() as f64 / dispatched as f64,
+        )
+        .metric("wall_ms", wall * 1e3);
+    handle.shutdown();
+    record
+}
+
 /// Metrics the gate compares (higher is better). Latency-flavored metrics
-/// in the records are informational only — `swap_under_load` and
-/// `ingest_throughput` in particular stay off this list by design (see
-/// their doc comments).
+/// in the records are informational only — `swap_under_load`,
+/// `ingest_throughput`, and `router_load` in particular stay off this list
+/// by design (see their doc comments).
 const GATED: &[(&str, &str)] = &[
     ("matmul_256", "gflops"),
     ("cached_decode", "tok_per_s"),

@@ -1,0 +1,148 @@
+//! Router load series: drives the multi-replica front router under a
+//! closed loop at a sweep of replica counts and reports wall-clock decode
+//! throughput, the affinity-dispatch share, and the per-replica dispatch
+//! spread — the numbers quoted in the README's Multi-replica section (not
+//! a paper artifact, and never gated: replicas share this host's cores, so
+//! the scaling curve measures scheduler overhead, not ideal speedup).
+//!
+//! Closed-loop load: each level keeps exactly `load` requests in flight —
+//! every completion immediately submits the next — until the total request
+//! count drains. Prompts are cut from a small pool of shared templates plus
+//! a unique suffix, so prefix affinity keeps template traffic homed and the
+//! per-replica radix caches stay warm.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use infuserki_router::{spawn_router, RouterConfig};
+use infuserki_serve::{demo_model, GenerateSpec, Outcome, RequestKind, ServeConfig, SubmitOpts};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const VOCAB: usize = 64;
+
+fn main() {
+    let mut total = 96usize;
+    let mut load = 16usize;
+    let mut replica_counts: Vec<usize> = vec![1, 2];
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--total" => {
+                i += 1;
+                total = argv[i].parse().unwrap();
+            }
+            "--load" => {
+                i += 1;
+                load = argv[i].parse().unwrap();
+            }
+            "--replicas" => {
+                i += 1;
+                replica_counts = argv[i].split(',').map(|s| s.parse().unwrap()).collect();
+            }
+            other => panic!("unknown arg {other}"),
+        }
+        i += 1;
+    }
+
+    println!(
+        "router load series: demo model, {total} requests per level, \
+         {load} in flight, greedy max_new 16"
+    );
+    println!(
+        "{:>9} {:>12} {:>10} {:>10} {:>20} {:>8}",
+        "replicas", "wall tok/s", "affinity", "balanced", "per-replica", "wall s"
+    );
+    let mut single = None;
+    for &replicas in &replica_counts {
+        let r = run_level(replicas, load, total);
+        let spread = r
+            .per_replica
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "{replicas:>9} {:>12.1} {:>10} {:>10} {spread:>20} {:>8.2}",
+            r.toks, r.affinity, r.balanced, r.wall
+        );
+        if replicas == 1 {
+            single = Some(r.toks);
+        } else if let Some(base) = single {
+            println!(
+                "          scaling vs 1 replica: {:.2}x (cores are shared; \
+                 sub-linear is expected)",
+                r.toks / base
+            );
+        }
+    }
+}
+
+struct LevelReport {
+    toks: f64,
+    affinity: u64,
+    balanced: u64,
+    per_replica: Vec<u64>,
+    wall: f64,
+}
+
+/// Runs one closed-loop level through `spawn_router` with `replicas`
+/// identical demo-model schedulers.
+fn run_level(replicas: usize, load: usize, total: usize) -> LevelReport {
+    let cfg = RouterConfig {
+        replicas,
+        serve: ServeConfig::default(),
+        ..RouterConfig::default()
+    };
+    let (client, handle) =
+        spawn_router(cfg, |_| (demo_model(), infuserki_nn::NoHook)).expect("router spawns");
+    let mut rng = ChaCha8Rng::seed_from_u64(9200 + replicas as u64);
+    let templates: Vec<Vec<usize>> = (0..4)
+        .map(|_| (0..24).map(|_| rng.gen_range(0..VOCAB)).collect())
+        .collect();
+    let submit = |rng: &mut ChaCha8Rng| {
+        let mut prompt = templates[rng.gen_range(0..templates.len())].clone();
+        for _ in 0..rng.gen_range(1..5) {
+            prompt.push(rng.gen_range(0..VOCAB));
+        }
+        let kind = RequestKind::Generate(GenerateSpec::greedy(prompt, 16, None));
+        client
+            .submit(kind, SubmitOpts::default(), None)
+            .expect("submit accepted")
+    };
+
+    let started = Instant::now();
+    let mut in_flight = VecDeque::new();
+    let mut submitted = 0usize;
+    while submitted < total.min(load) {
+        in_flight.push_back(submit(&mut rng));
+        submitted += 1;
+    }
+    let mut tokens = 0u64;
+    while let Some(h) = in_flight.pop_front() {
+        match h.wait().expect("router alive") {
+            Outcome::Generated { tokens: t } => tokens += t.len() as u64,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        if submitted < total {
+            in_flight.push_back(submit(&mut rng));
+            submitted += 1;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let m = client.metrics();
+    assert_eq!(m.dispatched.get() as usize, total);
+    let per_replica: Vec<u64> = (0..replicas)
+        .map(|i| m.replica_dispatched[i].get())
+        .collect();
+    let report = LevelReport {
+        toks: tokens as f64 / wall,
+        affinity: m.affinity_hits.get(),
+        balanced: m.balanced.get(),
+        per_replica,
+        wall,
+    };
+    handle.shutdown();
+    report
+}

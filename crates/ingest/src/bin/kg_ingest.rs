@@ -6,6 +6,7 @@
 //! kg_ingest tail     <wal-dir> <feed-file> [--format ...] [--poll-ms N]
 //!                    [--idle-exit-ms N] [--sync-every N] [--snapshot-every N]
 //! kg_ingest snapshot <wal-dir>
+//! kg_ingest compact  <wal-dir>
 //! kg_ingest verify   <wal-dir>
 //! kg_ingest dump     <wal-dir>
 //! ```
@@ -15,7 +16,10 @@
 //! lines as they are appended — a minimal watch mode for hooking the WAL to
 //! an external producer; `--idle-exit-ms` stops after a quiet period (0 =
 //! run forever), which is how tests and batch jobs use it. `verify` recovers
-//! the directory read-only and reports what a restart would see.
+//! the directory read-only and reports what a restart would see. `compact`
+//! rewrites a long WAL as snapshot + fresh empty log anchored at the
+//! snapshot's sequence — recovery-equivalent, but replay no longer walks
+//! the full history.
 
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -27,7 +31,7 @@ use infuserki_ingest::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: kg_ingest <append|tail|snapshot|verify|dump> <wal-dir> [args...]\n\
+        "usage: kg_ingest <append|tail|snapshot|compact|verify|dump> <wal-dir> [args...]\n\
          run with a subcommand for details (see crate docs)"
     );
     ExitCode::from(2)
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         "append" => cmd_append(&dir, rest),
         "tail" => cmd_tail(&dir, rest),
         "snapshot" => cmd_snapshot(&dir),
+        "compact" => cmd_compact(&dir),
         "verify" => cmd_verify(&dir),
         "dump" => cmd_dump(&dir),
         _ => return usage(),
@@ -237,6 +242,20 @@ fn cmd_snapshot(dir: &Path) -> Result<ExitCode, String> {
     let mut ds = DurableStore::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?;
     let path = ds.snapshot().map_err(|e| e.to_string())?;
     println!("snapshot {} at seq {}", path.display(), ds.state().seq);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compact(dir: &Path) -> Result<ExitCode, String> {
+    let mut ds = DurableStore::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?;
+    let before = ds.wal_bytes();
+    let path = ds.compact().map_err(|e| e.to_string())?;
+    println!(
+        "compacted {} log bytes into {} at seq {} ({} live)",
+        before,
+        path.display(),
+        ds.state().seq,
+        ds.state().live_len()
+    );
     Ok(ExitCode::SUCCESS)
 }
 

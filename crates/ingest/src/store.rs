@@ -431,6 +431,26 @@ impl DurableStore {
         self.last_snapshot_seq = self.state.seq;
         Ok(path)
     }
+
+    /// Compacts the store: writes a checksummed snapshot of the current
+    /// state, then swaps the log for a fresh empty one anchored at the
+    /// snapshot's sequence. Recovery afterwards replays snapshot + empty
+    /// log — the same state as replaying the full history — and the next
+    /// append continues the sequence numbering unbroken. Crash-safe at
+    /// every point: the snapshot lands durably (fsync + tmp-rename) before
+    /// the log is touched, and a log that ends behind the newest snapshot
+    /// is exactly what the fresh-log rule in [`DurableStore::open`]
+    /// already recovers from.
+    pub fn compact(&mut self) -> Result<PathBuf, WalError> {
+        let path = self.snapshot()?;
+        self.writer = WalWriter::open(
+            self.dir.join(WAL_FILE),
+            self.state.seq,
+            0,
+            self.opts.sync_every,
+        )?;
+        Ok(path)
+    }
 }
 
 #[cfg(test)]

@@ -60,9 +60,19 @@ fn wal_path(dir: &Path) -> PathBuf {
     dir.join(infuserki_ingest::WAL_FILE)
 }
 
+/// Iterations for the randomized property loops. CI's weekly deep-fuzz job
+/// raises this ~10× via `INFUSERKI_FUZZ_ITERS`; the default keeps the
+/// per-push suite fast.
+fn fuzz_iters() -> u64 {
+    std::env::var("INFUSERKI_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(24)
+}
+
 #[test]
 fn recovery_at_random_crash_points_is_bitwise_equal_to_uncrashed() {
-    for iter in 0..24u64 {
+    for iter in 0..fuzz_iters() {
         let mut rng = ChaCha8Rng::seed_from_u64(0xC4A5 ^ iter);
         let dir = tmp(&format!("prop{iter}"));
         let opts = StoreOptions {
@@ -171,6 +181,71 @@ fn recovery_survives_losing_wal_bytes_behind_a_snapshot() {
         reference_state(&accepted, snap_seq).canonical_bytes()
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_is_recovery_equivalent_and_resumable() {
+    // `compact()` = snapshot + fresh empty log anchored at the snapshot
+    // seq. The contract: recovery over the compacted dir is bitwise equal
+    // to recovery over the full history, sequence numbering continues
+    // unbroken, and post-compaction appends survive another crash/reopen.
+    for iter in 0..fuzz_iters().min(12) {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC09A ^ iter);
+        let dir = tmp(&format!("compact{iter}"));
+        let opts = StoreOptions {
+            sync_every: [1, 4, 32][rng.gen_range(0..3usize)],
+            snapshot_every: [0, 3, 7][rng.gen_range(0..3usize)],
+            functional: false,
+        };
+        let deltas = random_deltas(&mut rng, 40);
+        let mut ds = DurableStore::open(&dir, opts.clone()).unwrap();
+        let mut accepted = Vec::new();
+        for d in &deltas {
+            if let AppendOutcome::Accepted(_) = ds.append(d).unwrap() {
+                accepted.push(d.clone());
+            }
+        }
+        let pre_seq = ds.state().seq;
+        let before = ds.state().canonical_bytes();
+        assert!(ds.wal_bytes() > 0, "iter {iter}: log should be non-empty");
+
+        ds.compact().unwrap();
+        assert_eq!(ds.wal_bytes(), 0, "iter {iter}: compaction empties the log");
+        assert_eq!(ds.last_snapshot_seq(), pre_seq, "iter {iter}");
+        assert_eq!(ds.state().canonical_bytes(), before, "iter {iter}");
+
+        // Recovery over the compacted dir stands on the snapshot alone and
+        // reproduces the exact fold of the full accepted history.
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.state.seq, pre_seq, "iter {iter}");
+        assert_eq!(
+            rec.state.canonical_bytes(),
+            reference_state(&accepted, pre_seq).canonical_bytes(),
+            "iter {iter}: compacted recovery diverged from uncompacted history"
+        );
+
+        // Appends continue the sequence unbroken through the same handle...
+        let novel = TripleDelta::add(format!("post compact {iter}"), "relation 0", "entity 0");
+        match ds.append(&novel).unwrap() {
+            AppendOutcome::Accepted(seq) => assert_eq!(seq, pre_seq + 1, "iter {iter}"),
+            AppendOutcome::Rejected(r) => panic!("iter {iter}: post-compact add rejected: {r}"),
+        }
+        ds.sync().unwrap();
+        drop(ds);
+        // ...and survive a reopen: snapshot + new log replay together.
+        let ds2 = DurableStore::open(&dir, opts).unwrap();
+        assert_eq!(ds2.state().seq, pre_seq + 1, "iter {iter}");
+        assert!(ds2.state().is_live(&ds2.state().resolve(&novel).unwrap()));
+        let mut with_novel = accepted.clone();
+        with_novel.push(novel);
+        assert_eq!(
+            ds2.state().canonical_bytes(),
+            reference_state(&with_novel, pre_seq + 1).canonical_bytes(),
+            "iter {iter}: post-compaction append lost or reordered"
+        );
+        drop(ds2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

@@ -3,24 +3,28 @@
 //! ```text
 //! serve --demo --port 0
 //! serve --model model.bin --port 7878 --budget 4096 --batch 16 --chunk 32
+//! serve --demo --replicas 4 --tenant-rate 50 --tenant-burst 10
 //! ```
 //!
-//! Binds a `TcpListener`, spawns the continuous-batching scheduler, prints
-//! `LISTENING <addr>` on stdout (port 0 binds an ephemeral port — parse the
-//! line to find it), then serves newline-delimited JSON until a peer sends
-//! `{"op":"shutdown"}`. See the crate docs and README "Serving" for the
-//! wire format.
+//! Binds a `TcpListener`, spawns the continuous-batching scheduler — or,
+//! with `--replicas N` (N > 1), a router front over N independent
+//! scheduler replicas — prints `LISTENING <addr>` on stdout (port 0 binds
+//! an ephemeral port — parse the line to find it), then serves
+//! newline-delimited JSON until a peer sends `{"op":"shutdown"}`. See the
+//! serve/router crate docs and README "Serving" for the wire format.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use infuserki_ingest::{PipelineConfig, UpdatePipeline};
+use infuserki_ingest::{BundlePublisher, PipelineConfig, UpdatePipeline};
 use infuserki_nn::{NoHook, TransformerLm};
 use infuserki_obs as obs;
+use infuserki_router::{spawn_router, RouterConfig};
 use infuserki_serve::{
-    demo_model, load_tokenizer, server, spawn_scheduler, spawn_watcher, ServeConfig,
+    demo_model, load_tokenizer, server, spawn_scheduler, spawn_watcher, ControlOp, ControlOutcome,
+    Frontend, ServeConfig,
 };
 
 struct Args {
@@ -29,6 +33,11 @@ struct Args {
     model: Option<String>,
     demo: bool,
     cfg: ServeConfig,
+    /// Model replicas behind the front; 1 serves through a single
+    /// scheduler exactly as before, >1 spawns the router.
+    replicas: usize,
+    /// Router tenant shaping (only meaningful with --replicas > 1).
+    router: RouterConfig,
     /// Knowledge bundles staged (in order) before the listener comes up;
     /// repeatable. The last one is promoted to active.
     bundles: Vec<String>,
@@ -47,18 +56,26 @@ struct Args {
 fn usage() -> &'static str {
     "usage: serve (--demo | --model PATH) [--host H] [--port P] \
      [--budget ROWS] [--batch N] [--chunk N] [--queue N] [--threads N] \
+     [--replicas N] [--tenant-queue N] [--tenant-inflight N] \
+     [--tenant-rate R] [--tenant-burst B] \
      [--bundle PATH]... [--trace-out PATH] \
      [--watch-kg DIR --watch-tokenizer PATH [--watch-config PATH]]\n\
      --port 0 binds an ephemeral port; the chosen address is printed as\n\
-     `LISTENING <addr>` on stdout. --bundle (repeatable) stages knowledge\n\
-     bundles at startup and promotes the last one; more can be loaded live\n\
-     via the load_bundle/promote/rollback wire ops. --watch-kg runs the\n\
-     online knowledge-update pipeline in-process over a WAL directory\n\
-     (append facts with `kg_ingest`): batched deltas are trained and\n\
-     published live through the NR promote gate. --watch-tokenizer is the\n\
-     tokenizer JSON matching the served model; --watch-config overrides\n\
-     `PipelineConfig` defaults. --trace-out enables tracing spans and\n\
-     writes a chrome://tracing-loadable JSON trace to PATH at shutdown."
+     `LISTENING <addr>` on stdout. --replicas N > 1 serves through the\n\
+     multi-replica router: N independent schedulers (each its own KV pool\n\
+     and budget) behind prefix-affinity dispatch, per-tenant fair-share\n\
+     queues (bound --tenant-queue, in-flight cap --tenant-inflight, token\n\
+     bucket --tenant-rate req/s with burst --tenant-burst), and atomic\n\
+     bundle fan-out. --bundle (repeatable) stages knowledge bundles at\n\
+     startup and promotes the last one; more can be loaded live via the\n\
+     load_bundle/promote/rollback wire ops. --watch-kg runs the online\n\
+     knowledge-update pipeline in-process over a WAL directory (append\n\
+     facts with `kg_ingest`): batched deltas are trained and published\n\
+     live through the NR promote gate (fleet-wide and all-or-none under\n\
+     --replicas). --watch-tokenizer is the tokenizer JSON matching the\n\
+     served model; --watch-config overrides `PipelineConfig` defaults.\n\
+     --trace-out enables tracing spans and writes a\n\
+     chrome://tracing-loadable JSON trace to PATH at shutdown."
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -68,6 +85,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         model: None,
         demo: false,
         cfg: ServeConfig::default(),
+        replicas: 1,
+        router: RouterConfig::default(),
         bundles: Vec::new(),
         trace_out: None,
         watch_kg: None,
@@ -96,6 +115,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--queue" => args.cfg.queue_capacity = parse_count(&value("--queue")?, "--queue")?,
             "--threads" => {
                 args.cfg.threads = Some(parse_count(&value("--threads")?, "--threads")?);
+            }
+            "--replicas" => args.replicas = parse_count(&value("--replicas")?, "--replicas")?,
+            "--tenant-queue" => {
+                args.router.tenant_queue_capacity =
+                    parse_count(&value("--tenant-queue")?, "--tenant-queue")?;
+            }
+            "--tenant-inflight" => {
+                args.router.max_tenant_inflight =
+                    value("--tenant-inflight")?.parse().map_err(|_| {
+                        "--tenant-inflight needs an integer (0 = unlimited)".to_string()
+                    })?;
+            }
+            "--tenant-rate" => {
+                args.router.tenant_refill_per_sec =
+                    parse_rate(&value("--tenant-rate")?, "--tenant-rate")?;
+            }
+            "--tenant-burst" => {
+                args.router.tenant_bucket_capacity =
+                    parse_rate(&value("--tenant-burst")?, "--tenant-burst")?;
             }
             "--bundle" => args.bundles.push(value("--bundle")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
@@ -136,6 +174,153 @@ fn parse_count(raw: &str, flag: &str) -> Result<usize, String> {
     }
 }
 
+fn parse_rate(raw: &str, flag: &str) -> Result<f64, String> {
+    match raw.trim().parse::<f64>() {
+        Ok(r) if r >= 0.0 && r.is_finite() => Ok(r),
+        _ => Err(format!("{flag} needs a non-negative number, got `{raw}`")),
+    }
+}
+
+/// Everything between "front is up" and "accept loop returned": bundle
+/// staging, the optional watch-kg pipeline, the listener and the JSONL
+/// accept loop. Generic over the front so the single-scheduler `Client`
+/// and the multi-replica `RouterClient` share one code path (control ops
+/// and publishes fan out fleet-wide under the latter).
+fn run_front<F>(
+    args: &Args,
+    client: F,
+    pipeline_registry: &obs::Registry,
+    mut watch_model: Option<TransformerLm>,
+    stop: &Arc<AtomicBool>,
+    threads: usize,
+) -> Result<(), u8>
+where
+    F: Frontend + BundlePublisher,
+{
+    // Stage every --bundle in order and promote the last, so the process
+    // comes up already serving the newest knowledge; earlier ones stay
+    // pinnable (and are the rollback target).
+    let mut last_version = None;
+    for path in &args.bundles {
+        match client.control_op(ControlOp::LoadBundle { path: path.clone() }) {
+            Ok(ControlOutcome::Loaded(info)) => {
+                eprintln!(
+                    "serve: staged bundle `{}` ({path}) as version {}",
+                    info.name, info.version
+                );
+                last_version = Some(info.version);
+            }
+            Ok(other) => {
+                eprintln!("serve: unexpected load outcome {other:?}");
+                return Err(2);
+            }
+            Err(e) => {
+                eprintln!("serve: failed to load bundle `{path}`: {e}");
+                return Err(2);
+            }
+        }
+    }
+    if let Some(v) = last_version {
+        if let Err(e) = client.control_op(ControlOp::Promote { version: v }) {
+            eprintln!("serve: failed to promote bundle version {v}: {e}");
+            return Err(2);
+        }
+        eprintln!("serve: bundle version {v} active");
+    }
+    // Bring the online knowledge-update watcher up before the listener so
+    // the WAL is recovered (and any startup error surfaces) before clients
+    // can connect.
+    let mut watcher = None;
+    if let Some(wal_dir) = &args.watch_kg {
+        let tok_path = args
+            .watch_tokenizer
+            .as_deref()
+            .expect("parse_args enforces --watch-tokenizer");
+        let tokenizer = match load_tokenizer(tok_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                return Err(2);
+            }
+        };
+        let pcfg = match &args.watch_config {
+            Some(path) => {
+                let json = match std::fs::read_to_string(path) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("serve: read watch config `{path}`: {e}");
+                        return Err(2);
+                    }
+                };
+                match serde_json::from_str::<PipelineConfig>(&json) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("serve: parse watch config `{path}`: {e}");
+                        return Err(2);
+                    }
+                }
+            }
+            None => PipelineConfig::default(),
+        };
+        let pipeline = match UpdatePipeline::new(
+            watch_model.take().expect("watch model cloned before spawn"),
+            tokenizer,
+            wal_dir,
+            pcfg,
+            client.clone(),
+            pipeline_registry,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("serve: failed to open WAL dir `{wal_dir}`: {e}");
+                return Err(2);
+            }
+        };
+        eprintln!(
+            "serve: watching KG WAL at `{wal_dir}` (baseline seq {}, {} live triples)",
+            pipeline.state().seq,
+            pipeline.state().live_len()
+        );
+        watcher = Some(spawn_watcher(pipeline, Arc::clone(stop)));
+    }
+    let listener = match TcpListener::bind((args.host.as_str(), args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: failed to bind {}:{}: {e}", args.host, args.port);
+            stop.store(true, Ordering::Relaxed);
+            if let Some(w) = watcher {
+                let _ = w.join();
+            }
+            return Err(1);
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("LISTENING {addr}");
+    eprintln!(
+        "serve: {} replica(s), {} threads, budget {} rows, batch {}, chunk {}, queue {}",
+        args.replicas,
+        threads,
+        args.cfg.kv_budget_rows,
+        args.cfg.max_batch,
+        args.cfg.prefill_chunk,
+        args.cfg.queue_capacity
+    );
+    let accept_result = server::run(listener, client, Arc::clone(stop));
+    // The watcher goes down first (it publishes through the front), then
+    // the caller drains the scheduler(s).
+    stop.store(true, Ordering::Relaxed);
+    if let Some(w) = watcher {
+        let _ = w.join();
+    }
+    if let Err(e) = accept_result {
+        eprintln!("serve: accept loop failed: {e}");
+        return Err(1);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -173,142 +358,61 @@ fn main() -> ExitCode {
         }
     };
     // The watcher's pipeline trains against its own copy of the frozen
-    // base; taken before the scheduler thread consumes the original.
-    let mut watch_model = args.watch_kg.as_ref().map(|_| model.clone());
-    let (client, sched) = match spawn_scheduler(model, NoHook, args.cfg.clone()) {
-        Ok(cs) => cs,
-        Err(e) => {
-            eprintln!("serve: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    // Stage every --bundle in order and promote the last, so the process
-    // comes up already serving the newest knowledge; earlier ones stay
-    // pinnable (and are the rollback target).
-    let mut last_version = None;
-    for path in &args.bundles {
-        match client.load_bundle(path) {
-            Ok(info) => {
-                eprintln!(
-                    "serve: staged bundle `{}` ({path}) as version {}",
-                    info.name, info.version
-                );
-                last_version = Some(info.version);
-            }
-            Err(e) => {
-                eprintln!("serve: failed to load bundle `{path}`: {e}");
-                sched.shutdown();
-                return ExitCode::from(2);
-            }
-        }
-    }
-    if let Some(v) = last_version {
-        if let Err(e) = client.promote(v) {
-            eprintln!("serve: failed to promote bundle version {v}: {e}");
-            sched.shutdown();
-            return ExitCode::from(2);
-        }
-        eprintln!("serve: bundle version {v} active");
-    }
-    // Bring the online knowledge-update watcher up before the listener so
-    // the WAL is recovered (and any startup error surfaces) before clients
-    // can connect.
+    // base; taken before the scheduler thread(s) consume the original.
+    let watch_model = args.watch_kg.as_ref().map(|_| model.clone());
     let stop = Arc::new(AtomicBool::new(false));
-    let mut watcher = None;
-    if let Some(wal_dir) = &args.watch_kg {
-        let tok_path = args
-            .watch_tokenizer
-            .as_deref()
-            .expect("parse_args enforces --watch-tokenizer");
-        let tokenizer = match load_tokenizer(tok_path) {
-            Ok(t) => t,
+    let result = if args.replicas > 1 {
+        let mut rcfg = args.router.clone();
+        rcfg.replicas = args.replicas;
+        rcfg.serve = args.cfg.clone();
+        // Every replica serves an identical model copy, so responses are
+        // independent of which replica a request lands on.
+        let mut copies: Vec<TransformerLm> =
+            (0..args.replicas - 1).map(|_| model.clone()).collect();
+        copies.push(model);
+        let (client, handle) = match spawn_router(rcfg, move |_| {
+            (copies.pop().expect("one model copy per replica"), NoHook)
+        }) {
+            Ok(ch) => ch,
             Err(e) => {
                 eprintln!("serve: {e}");
-                sched.shutdown();
                 return ExitCode::from(2);
             }
         };
-        let pcfg = match &args.watch_config {
-            Some(path) => {
-                let json = match std::fs::read_to_string(path) {
-                    Ok(j) => j,
-                    Err(e) => {
-                        eprintln!("serve: read watch config `{path}`: {e}");
-                        sched.shutdown();
-                        return ExitCode::from(2);
-                    }
-                };
-                match serde_json::from_str::<PipelineConfig>(&json) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("serve: parse watch config `{path}`: {e}");
-                        sched.shutdown();
-                        return ExitCode::from(2);
-                    }
-                }
+        let registry_client = client.clone();
+        let result = run_front(
+            &args,
+            client,
+            registry_client.metrics().registry(),
+            watch_model,
+            &stop,
+            threads,
+        );
+        handle.shutdown();
+        result
+    } else {
+        let (client, sched) = match spawn_scheduler(model, NoHook, args.cfg.clone()) {
+            Ok(cs) => cs,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                return ExitCode::from(2);
             }
-            None => PipelineConfig::default(),
         };
         let metrics = client.metrics_handle();
-        let pipeline = match UpdatePipeline::new(
-            watch_model.take().expect("watch model cloned above"),
-            tokenizer,
-            wal_dir,
-            pcfg,
-            client.clone(),
+        let result = run_front(
+            &args,
+            client,
             metrics.registry(),
-        ) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("serve: failed to open WAL dir `{wal_dir}`: {e}");
-                sched.shutdown();
-                return ExitCode::from(2);
-            }
-        };
-        eprintln!(
-            "serve: watching KG WAL at `{wal_dir}` (baseline seq {}, {} live triples)",
-            pipeline.state().seq,
-            pipeline.state().live_len()
+            watch_model,
+            &stop,
+            threads,
         );
-        watcher = Some(spawn_watcher(pipeline, Arc::clone(&stop)));
-    }
-    let listener = match TcpListener::bind((args.host.as_str(), args.port)) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("serve: failed to bind {}:{}: {e}", args.host, args.port);
-            stop.store(true, Ordering::Relaxed);
-            if let Some(w) = watcher {
-                let _ = w.join();
-            }
-            sched.shutdown();
-            return ExitCode::from(1);
-        }
-    };
-    let addr = listener
-        .local_addr()
-        .expect("bound listener has an address");
-    println!("LISTENING {addr}");
-    eprintln!(
-        "serve: {} threads, budget {} rows, batch {}, chunk {}, queue {}",
-        threads,
-        args.cfg.kv_budget_rows,
-        args.cfg.max_batch,
-        args.cfg.prefill_chunk,
-        args.cfg.queue_capacity
-    );
-    let accept_result = server::run(listener, client, Arc::clone(&stop));
-    // The watcher goes down first (it publishes through the scheduler), then
-    // the scheduler drains.
-    stop.store(true, Ordering::Relaxed);
-    if let Some(w) = watcher {
-        let _ = w.join();
-    }
-    if let Err(e) = accept_result {
-        eprintln!("serve: accept loop failed: {e}");
         sched.shutdown();
-        return ExitCode::from(1);
+        result
+    };
+    if let Err(code) = result {
+        return ExitCode::from(code);
     }
-    sched.shutdown();
     if let Some(path) = &args.trace_out {
         match obs::write_chrome_trace(path) {
             Ok(()) => eprintln!("serve: wrote trace to {path}"),

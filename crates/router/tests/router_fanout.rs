@@ -1,0 +1,270 @@
+//! Fan-out edge cases of the multi-replica router: tenant fairness under an
+//! aggressive tenant, replica death mid-request, and all-or-none group
+//! promotion with an injected partial failure.
+
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+use infuserki_core::{InfuserKiConfig, InfuserKiMethod, KnowledgeBundle};
+use infuserki_nn::{sampler, LayerHook, NoHook, TransformerLm};
+use infuserki_router::{affinity, spawn_router, RouterConfig};
+use infuserki_serve::{
+    demo_model, ControlError, GenerateSpec, Outcome, RejectReason, RequestKind, ServeConfig,
+    SubmitOpts,
+};
+use infuserki_tensor::kernels;
+
+/// The kernel thread override is process-global; tests that pin it
+/// serialize behind this lock.
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn fleet_cfg(replicas: usize) -> RouterConfig {
+    RouterConfig {
+        replicas,
+        serve: ServeConfig {
+            block_rows: 4,
+            ..ServeConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+fn gen(prompt: Vec<usize>, max_new: usize) -> RequestKind {
+    RequestKind::Generate(GenerateSpec::greedy(prompt, max_new, None))
+}
+
+/// A hook that slows every forward down without changing any output, so
+/// tests can reliably catch requests mid-decode.
+struct SlowHook(Duration);
+
+impl LayerHook for SlowHook {
+    fn infer_attn_q_delta(
+        &self,
+        _layer: usize,
+        _x: &infuserki_tensor::Matrix,
+    ) -> Option<infuserki_tensor::Matrix> {
+        std::thread::sleep(self.0);
+        None
+    }
+}
+
+/// An aggressive tenant floods 30 requests before a polite tenant submits
+/// 4. Round-robin fair share must interleave the polite tenant's requests
+/// near the front instead of behind the whole backlog.
+#[test]
+fn aggressive_tenant_cannot_starve_polite_tenant() {
+    let cfg = RouterConfig {
+        // A small in-flight cap keeps the aggressive backlog parked in its
+        // tenant queue, where the fair-share drain (not arrival order)
+        // decides what goes next.
+        max_tenant_inflight: 2,
+        ..fleet_cfg(1)
+    };
+    let (client, handle) = spawn_router(cfg, |_| (demo_model(), NoHook)).unwrap();
+    // One shared response channel: responses arrive in completion order.
+    let (tx, rx) = mpsc::channel();
+    let n_big = 30u64;
+    for id in 0..n_big {
+        client
+            .submit_with_sender(
+                id,
+                gen(vec![1 + (id as usize % 5), 2, 3], 6),
+                SubmitOpts::default(),
+                Some("aggressive"),
+                tx.clone(),
+            )
+            .unwrap();
+    }
+    let polite_ids: Vec<u64> = (1000..1004).collect();
+    for &id in &polite_ids {
+        client
+            .submit_with_sender(
+                id,
+                gen(vec![7, 8, 9], 6),
+                SubmitOpts::default(),
+                Some("polite"),
+                tx.clone(),
+            )
+            .unwrap();
+    }
+    let total = n_big as usize + polite_ids.len();
+    let mut order = Vec::with_capacity(total);
+    for _ in 0..total {
+        let resp = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        assert!(
+            matches!(resp.outcome, Outcome::Generated { .. }),
+            "request {} failed: {:?}",
+            resp.id,
+            resp.outcome
+        );
+        order.push(resp.id);
+    }
+    let last_polite = order
+        .iter()
+        .enumerate()
+        .filter(|(_, id)| polite_ids.contains(id))
+        .map(|(pos, _)| pos)
+        .max()
+        .unwrap();
+    // Without fair share the polite tenant would finish in the last 4
+    // slots (positions 30..34). Round-robin must pull all of its requests
+    // well into the first half.
+    assert!(
+        last_polite < total / 2,
+        "polite tenant's last completion at position {last_polite}/{total}: starved \
+         (order {order:?})"
+    );
+    handle.shutdown();
+}
+
+/// Kill a replica while it is mid-decode: its in-flight request must come
+/// back as the typed `ReplicaFailed` rejection, the survivor's request
+/// must complete correctly, and new traffic keeps being served.
+#[test]
+fn replica_death_mid_request_fails_typed_and_survivors_serve() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let cfg = fleet_cfg(2);
+    let block_rows = cfg.serve.block_rows;
+    let affinity_blocks = cfg.affinity_blocks;
+    let (client, handle) =
+        spawn_router(cfg, |_| (demo_model(), SlowHook(Duration::from_millis(2)))).unwrap();
+    // Build one prompt homed on each replica, so we know exactly which
+    // request dies and which survives.
+    let alive = vec![true, true];
+    let mut homed: [Option<Vec<usize>>; 2] = [None, None];
+    'outer: for seed in 0..64usize {
+        let prompt: Vec<usize> = (0..9).map(|i| (seed * 13 + i) % 32).collect();
+        let h = affinity::prefix_hash(&prompt, block_rows, affinity_blocks).unwrap();
+        let home = affinity::rendezvous_pick(h, &alive).unwrap();
+        if homed[home].is_none() {
+            homed[home] = Some(prompt);
+            if homed.iter().all(Option::is_some) {
+                break 'outer;
+            }
+        }
+    }
+    let doomed_prompt = homed[0].clone().expect("a prompt homed on replica 0");
+    let safe_prompt = homed[1].clone().expect("a prompt homed on replica 1");
+    let doomed = client
+        .submit(gen(doomed_prompt, 48), SubmitOpts::default(), None)
+        .unwrap();
+    let safe = client
+        .submit(gen(safe_prompt.clone(), 48), SubmitOpts::default(), None)
+        .unwrap();
+    // Let both dispatch and enter decode (SlowHook stretches each forward),
+    // then kill replica 0 under them.
+    std::thread::sleep(Duration::from_millis(40));
+    client.kill_replica(0);
+    match doomed.wait().unwrap() {
+        Outcome::Rejected(RejectReason::ReplicaFailed) => {}
+        other => panic!("doomed request got {other:?}, wanted ReplicaFailed"),
+    }
+    let reference = demo_model();
+    match safe.wait().unwrap() {
+        Outcome::Generated { tokens } => {
+            // SlowHook only sleeps; outputs are identical to the bare model.
+            let want = sampler::greedy_decode(&reference, &NoHook, &safe_prompt, 48, None);
+            assert_eq!(tokens, want, "survivor's response must be unaffected");
+        }
+        other => panic!("safe request got {other:?}"),
+    }
+    assert_eq!(client.replicas_alive(), 1);
+    assert!(client.metrics().failed_replica.get() >= 1);
+    // New traffic — including prompts whose affinity home was the dead
+    // replica — keeps being served by the survivor.
+    let after = client
+        .submit(
+            gen(vec![3, 1, 4, 1, 5, 9, 2, 6, 5], 4),
+            SubmitOpts::default(),
+            None,
+        )
+        .unwrap();
+    assert!(matches!(after.wait().unwrap(), Outcome::Generated { .. }));
+    handle.shutdown();
+    kernels::set_num_threads(0);
+}
+
+fn nudged_method(b: &TransformerLm) -> InfuserKiMethod {
+    let mut c = InfuserKiConfig::for_model(b.n_layers());
+    c.bottleneck = 4;
+    c.infuser_hidden = 4;
+    c.rc_dim = 8;
+    let mut m = InfuserKiMethod::new(c, b, 5);
+    m.visit_adapters_mut(&mut |p: &mut infuserki_tensor::Param| {
+        for (i, w) in p.data_mut().data_mut().iter_mut().enumerate() {
+            *w += 0.5 * ((i % 7) as f32 - 3.0);
+        }
+    });
+    m
+}
+
+/// Inject a promote failure on one replica of three: the fleet must roll
+/// the already-promoted replicas back (all-or-none), keep serving the base
+/// everywhere, and then promote cleanly once the fault is gone.
+#[test]
+fn partial_promotion_failure_rolls_the_whole_group_back() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let model = demo_model();
+    let bundle_path = std::env::temp_dir().join(format!(
+        "infuserki_router_fanout_{}.bundle.json",
+        std::process::id()
+    ));
+    KnowledgeBundle::new("fanout-k1", nudged_method(&model), &model, None, Vec::new())
+        .unwrap()
+        .save(&bundle_path)
+        .unwrap();
+    let (client, handle) = spawn_router(fleet_cfg(3), |_| (demo_model(), NoHook)).unwrap();
+    let info = client.load_bundle(bundle_path.to_str().unwrap()).unwrap();
+    assert_eq!(info.version, 1, "staged on every replica as version 1");
+
+    // Promote with a fault injected at replica 2: replicas 0 and 1 promote
+    // first, then the fault refuses — the group must roll back.
+    let err = client.promote_with_fault(info.version, 2).unwrap_err();
+    assert!(
+        matches!(err, ControlError::UnknownVersion(_)),
+        "fault surfaces as the refusing replica's error, got {err:?}"
+    );
+    assert_eq!(client.metrics().group_rollbacks.get(), 1);
+
+    // No replica serves v1: unpinned traffic still gets base-model tokens
+    // (bitwise at one kernel thread), on every replica.
+    let method = nudged_method(&model);
+    let prompt = vec![1usize, 2, 3];
+    let want_base = sampler::greedy_decode(&model, &NoHook, &prompt, 6, None);
+    let want_v1 = sampler::greedy_decode(&model, &method.hook(), &prompt, 6, None);
+    assert_ne!(want_base, want_v1, "bundle must observably change output");
+    for _ in 0..6 {
+        let h = client
+            .submit(gen(prompt.clone(), 6), SubmitOpts::default(), None)
+            .unwrap();
+        match h.wait().unwrap() {
+            Outcome::Generated { tokens } => assert_eq!(
+                tokens, want_base,
+                "a replica served the half-promoted bundle after group rollback"
+            ),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    let listed = client.list_bundles().unwrap();
+    assert!(
+        listed.iter().all(|b| !(b.version == 1 && b.active)),
+        "v1 still active somewhere after rollback: {listed:?}"
+    );
+
+    // Without the fault the same promote lands fleet-wide.
+    client.promote(info.version).unwrap();
+    for _ in 0..6 {
+        let h = client
+            .submit(gen(prompt.clone(), 6), SubmitOpts::default(), None)
+            .unwrap();
+        match h.wait().unwrap() {
+            Outcome::Generated { tokens } => assert_eq!(tokens, want_v1),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_file(&bundle_path);
+    kernels::set_num_threads(0);
+}

@@ -36,6 +36,11 @@ enum Msg {
     Request(Request),
     Control(ControlRequest),
     Shutdown,
+    /// Abandon ship without draining: the thread exits immediately, dropping
+    /// every queued and in-flight request (their response senders die with
+    /// them). Failure-injection hook for replica-death tests; never sent in
+    /// production paths.
+    Crash,
 }
 
 /// Awaits the single terminal [`Response`] of one submitted request, and
@@ -150,19 +155,45 @@ impl Client {
         opts: SubmitOpts,
         tx: Sender<Response>,
     ) -> Result<CancelToken, SubmitError> {
+        let cancel = CancelToken::new();
+        self.submit_with_parts(id, kind, opts, cancel.clone(), tx)?;
+        Ok(cancel)
+    }
+
+    /// Fully-assembled submission: the caller owns the id, the response
+    /// channel *and* the cancellation token. The router front needs this
+    /// form — it hands out the token while the request is still waiting in
+    /// a tenant queue, before any scheduler has seen it.
+    pub fn submit_with_parts(
+        &self,
+        id: RequestId,
+        kind: RequestKind,
+        opts: SubmitOpts,
+        cancel: CancelToken,
+        tx: Sender<Response>,
+    ) -> Result<(), SubmitError> {
         self.limits.validate(&kind).map_err(SubmitError::Rejected)?;
         let mut req = Request::new(id, kind, tx).with_priority(opts.priority);
+        req.cancel = cancel;
         if let Some(d) = opts.deadline {
             req = req.with_deadline(d);
         }
         if let Some(v) = opts.bundle {
             req = req.with_bundle(v);
         }
-        let cancel = req.cancel.clone();
         self.tx
             .send(Msg::Request(req))
             .map_err(|_| SubmitError::Disconnected)?;
-        Ok(cancel)
+        Ok(())
+    }
+
+    /// Failure injection: makes the scheduler thread exit *immediately*,
+    /// without draining — queued and in-flight requests are dropped on the
+    /// floor and their response channels disconnect, exactly like a crashed
+    /// process. Only for replica-death tests.
+    #[doc(hidden)]
+    pub fn crash_for_test(&self) {
+        let _ = self.tx.send(Msg::Crash);
     }
 
     /// Executes one knowledge-bundle control op on the scheduler thread
@@ -316,6 +347,7 @@ where
                             draining = true;
                             sched.begin_drain();
                         }
+                        Ok(Msg::Crash) => return,
                         Err(TryRecvError::Empty) => break,
                         Err(TryRecvError::Disconnected) => {
                             draining = true;
@@ -345,6 +377,7 @@ where
                         draining = true;
                         sched.begin_drain();
                     }
+                    Ok(Msg::Crash) => return,
                 }
             }
         })

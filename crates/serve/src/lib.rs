@@ -51,6 +51,7 @@ pub use request::{
     Response, SubmitError,
 };
 pub use scheduler::{EngineLimits, Scheduler, StepReport};
+pub use server::Frontend;
 pub use watch::{load_tokenizer, spawn_watcher};
 
 use infuserki_nn::{ModelConfig, TransformerLm};

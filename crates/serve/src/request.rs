@@ -104,6 +104,15 @@ pub enum RejectReason {
     },
     /// The scheduler is draining for shutdown.
     ShuttingDown,
+    /// The tenant's fair-share queue is at capacity (multi-replica router
+    /// front; single-scheduler serving never emits this).
+    TenantQueueFull {
+        /// The configured per-tenant queue capacity.
+        capacity: usize,
+    },
+    /// The replica executing the request died before responding (router
+    /// front; survivors keep serving, so a retry may succeed).
+    ReplicaFailed,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -121,6 +130,10 @@ impl std::fmt::Display for RejectReason {
                 write!(f, "unknown knowledge-bundle version {version}")
             }
             RejectReason::ShuttingDown => write!(f, "scheduler is shutting down"),
+            RejectReason::TenantQueueFull { capacity } => {
+                write!(f, "tenant queue full (capacity {capacity})")
+            }
+            RejectReason::ReplicaFailed => write!(f, "replica died before responding"),
         }
     }
 }

@@ -16,7 +16,11 @@
 //!
 //! The optional `bundle` field on `generate`/`mcq` pins the request to a
 //! loaded knowledge-bundle version; unpinned requests run on whatever
-//! version is active at admission (see the scheduler docs). Control ops
+//! version is active at admission (see the scheduler docs). The optional
+//! `tenant` string field tags the request with a tenant id: ignored by
+//! single-scheduler serving, used by the multi-replica router front
+//! (`serve --replicas N`) to key fair-share queues and token-bucket rate
+//! limits. Control ops
 //! reply `{"status":"bundle_loaded","bundle":{...}}`,
 //! `{"status":"promoted","version":1,"gate":{...}}`,
 //! `{"status":"rolled_back","version":0}` and
@@ -58,8 +62,56 @@ use serde::Value;
 use crate::client::{Client, SubmitOpts};
 use crate::registry::{BundleInfo, ControlError, ControlOp, ControlOutcome, GateReport};
 use crate::request::{
-    CancelToken, GenerateSpec, McqSpec, Outcome, RejectReason, RequestKind, Response, SubmitError,
+    CancelToken, GenerateSpec, McqSpec, Outcome, RejectReason, RequestId, RequestKind, Response,
+    SubmitError,
 };
+
+/// What the TCP front needs from whatever sits behind it: a single
+/// scheduler's [`Client`], or a multi-replica router. Implementations are
+/// cloned per connection, so they must be cheap shared handles.
+///
+/// The optional `tenant` tag comes from the wire request's `"tenant"`
+/// field. Single-scheduler serving ignores it; the router front keys its
+/// fair-share queues and token buckets on it.
+pub trait Frontend: Clone + Send + 'static {
+    /// Submits one request; the terminal [`Response`] arrives on `tx`.
+    fn submit_request(
+        &self,
+        id: RequestId,
+        kind: RequestKind,
+        opts: SubmitOpts,
+        tenant: Option<&str>,
+        tx: mpsc::Sender<Response>,
+    ) -> Result<CancelToken, SubmitError>;
+
+    /// Executes one knowledge-bundle control op.
+    fn control_op(&self, op: ControlOp) -> Result<ControlOutcome, ControlError>;
+
+    /// Point-in-time metrics as a JSON object string (the `metrics` op's
+    /// payload).
+    fn metrics_json(&self) -> String;
+}
+
+impl Frontend for Client {
+    fn submit_request(
+        &self,
+        id: RequestId,
+        kind: RequestKind,
+        opts: SubmitOpts,
+        _tenant: Option<&str>,
+        tx: mpsc::Sender<Response>,
+    ) -> Result<CancelToken, SubmitError> {
+        self.submit_with_sender(id, kind, opts, tx)
+    }
+
+    fn control_op(&self, op: ControlOp) -> Result<ControlOutcome, ControlError> {
+        self.control(op)
+    }
+
+    fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+}
 
 /// Serializes a `Value` tree as one line (no trailing newline).
 fn json_line(v: &Value) -> String {
@@ -191,6 +243,8 @@ fn reject_reason_slug(r: &RejectReason) -> &'static str {
         RejectReason::Invalid(_) => "invalid",
         RejectReason::UnknownBundle { .. } => "unknown_bundle",
         RejectReason::ShuttingDown => "shutting_down",
+        RejectReason::TenantQueueFull { .. } => "tenant_queue_full",
+        RejectReason::ReplicaFailed => "replica_failed",
     }
 }
 
@@ -321,7 +375,7 @@ fn send_line(stream: &Arc<Mutex<TcpStream>>, line: &str) -> std::io::Result<()> 
 /// Serves one connection: reads request lines, submits through `client`,
 /// and writes responses as they complete. Returns `true` if the peer asked
 /// the whole server to shut down.
-fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<bool> {
+fn handle_connection<F: Frontend>(stream: TcpStream, client: &F) -> std::io::Result<bool> {
     let reader = BufReader::new(stream.try_clone()?);
     let writer = Arc::new(Mutex::new(stream));
     // All of this connection's requests respond through one channel; the
@@ -385,7 +439,8 @@ fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<bool
                         continue;
                     }
                 };
-                match client.submit_with_sender(id, kind, opts, tx.clone()) {
+                let tenant = value.get_field("tenant").and_then(Value::as_str);
+                match client.submit_request(id, kind, opts, tenant, tx.clone()) {
                     Ok(cancel) => {
                         cancels.insert(id, cancel);
                     }
@@ -412,16 +467,15 @@ fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<bool
                 Err(e) => send_line(&writer, &error_line(None, &ctx(e)))?,
             },
             "metrics" => {
-                let snap = client.metrics();
-                let snap_value: Value =
-                    serde_json::from_str(&snap.to_json()).expect("snapshot JSON round-trips");
+                let snap_value: Value = serde_json::from_str(&client.metrics_json())
+                    .expect("snapshot JSON round-trips");
                 let v = obj(vec![("status", str_v("metrics")), ("metrics", snap_value)]);
                 send_line(&writer, &json_line(&v))?;
             }
             "load_bundle" => {
                 match value.get_field("path").and_then(Value::as_str) {
                     Some(path) => {
-                        let res = client.control(ControlOp::LoadBundle { path: path.into() });
+                        let res = client.control_op(ControlOp::LoadBundle { path: path.into() });
                         send_line(&writer, &control_line(&res))?;
                     }
                     None => send_line(
@@ -432,7 +486,7 @@ fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<bool
             }
             "promote" => match field_usize(&value, "version") {
                 Ok(v) if v <= u32::MAX as usize => {
-                    let res = client.control(ControlOp::Promote { version: v as u32 });
+                    let res = client.control_op(ControlOp::Promote { version: v as u32 });
                     send_line(&writer, &control_line(&res))?;
                 }
                 Ok(_) => send_line(
@@ -442,11 +496,11 @@ fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<bool
                 Err(e) => send_line(&writer, &error_line(None, &ctx(e)))?,
             },
             "rollback" => {
-                let res = client.control(ControlOp::Rollback);
+                let res = client.control_op(ControlOp::Rollback);
                 send_line(&writer, &control_line(&res))?;
             }
             "list_bundles" => {
-                let res = client.control(ControlOp::ListBundles);
+                let res = client.control_op(ControlOp::ListBundles);
                 send_line(&writer, &control_line(&res))?;
             }
             "shutdown" => {
@@ -474,7 +528,11 @@ fn handle_connection(stream: TcpStream, client: &Client) -> std::io::Result<bool
 /// `stop` is set externally and the listener is woken by a connection).
 /// Connections are handled on their own threads; in-flight connections keep
 /// running after the loop returns and end when their peers disconnect.
-pub fn run(listener: TcpListener, client: Client, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+pub fn run<F: Frontend>(
+    listener: TcpListener,
+    client: F,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
     let addr = listener.local_addr()?;
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {

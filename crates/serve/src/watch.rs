@@ -70,8 +70,8 @@ pub fn load_tokenizer(path: &str) -> Result<Tokenizer, String> {
 /// set. Round outcomes are narrated on stderr; pipeline errors are logged
 /// and polling continues (ingestion must outlive transient publish
 /// failures — durability lives in the WAL, not in this thread).
-pub fn spawn_watcher(
-    mut pipeline: UpdatePipeline<Client>,
+pub fn spawn_watcher<P: BundlePublisher + Send + 'static>(
+    mut pipeline: UpdatePipeline<P>,
     stop: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()

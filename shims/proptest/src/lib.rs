@@ -8,6 +8,12 @@
 //! sampled inputs' debug representation and its case index. Sampling is
 //! deterministic per (test name, case index), so failures reproduce exactly
 //! on re-run.
+//!
+//! Case counts honour two env knobs (read at config construction time):
+//! `PROPTEST_CASES` replaces the default of 64 (upstream-compatible), and
+//! `PROPTEST_CASES_SCALE` multiplies both the default and any explicit
+//! `with_cases(N)` — the deep-fuzz CI workflow sets these to run the same
+//! properties at ~10× depth.
 
 pub mod strategy {
     //! The [`Strategy`] trait and combinators.
@@ -215,16 +221,35 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// Config running `cases` iterations.
+        /// Config running `cases` iterations, scaled by `PROPTEST_CASES_SCALE`
+        /// when set (a multiplier for deep-fuzz runs; e.g. `10` turns an
+        /// explicit `with_cases(300)` into 3000 cases).
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: cases.saturating_mul(env_u32("PROPTEST_CASES_SCALE", 1).max(1)),
+            }
         }
     }
 
     impl Default for ProptestConfig {
+        /// Upstream-compatible: `PROPTEST_CASES` overrides the default case
+        /// count (64), and `PROPTEST_CASES_SCALE` multiplies whichever base
+        /// applies — CI's deep-fuzz workflow sets these to widen coverage
+        /// without code changes.
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: env_u32("PROPTEST_CASES", 64)
+                    .saturating_mul(env_u32("PROPTEST_CASES_SCALE", 1).max(1)),
+            }
         }
+    }
+
+    /// Reads an env var as u32, falling back on absence or parse failure.
+    fn env_u32(name: &str, default: u32) -> u32 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default)
     }
 
     /// A failed property assertion.

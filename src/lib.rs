@@ -9,6 +9,7 @@ pub use infuserki_eval as eval;
 pub use infuserki_ingest as ingest;
 pub use infuserki_kg as kg;
 pub use infuserki_nn as nn;
+pub use infuserki_router as router;
 pub use infuserki_serve as serve;
 pub use infuserki_tensor as tensor;
 pub use infuserki_text as text;

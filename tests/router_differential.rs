@@ -1,0 +1,302 @@
+//! Differential suite for the multi-replica router: every response served
+//! through `spawn_router` — whichever replica it lands on, whatever the
+//! tenant mix — must equal running that request *alone* on the
+//! single-sequence sampler path (the same oracle `serve_differential.rs`
+//! holds the single scheduler to, so router == single-scheduler by
+//! transitivity). Bitwise with serial kernels; MCQ scores within 1e-5 with
+//! parallel row-banded kernels.
+//!
+//! Template schedules additionally pin down the affinity machinery: shared
+//! leading chunks must actually route by prefix affinity (nonzero
+//! `router.dispatch.affinity`), not silently degrade to pure least-loaded.
+//!
+//! The kernel thread override is process-global; this file serializes every
+//! test behind one lock.
+
+use std::sync::Mutex;
+
+use infuserki::nn::{sampler, ModelConfig, NoHook, TransformerLm};
+use infuserki::router::{spawn_router, PendingResponse, RouterConfig};
+use infuserki::serve::{GenerateSpec, McqSpec, Outcome, RequestKind, ServeConfig, SubmitOpts};
+use infuserki::tensor::kernels;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const VOCAB: usize = 40;
+
+static THREADS: Mutex<()> = Mutex::new(());
+
+/// Extra randomized seeds for deep-fuzz runs: `INFUSERKI_DIFF_SEEDS=N`
+/// appends N derived seeds to the pinned schedules (default 0 keeps the
+/// tier-1 runtime flat; the weekly deep-fuzz workflow raises it ~10×).
+fn extra_seeds(base: u64) -> Vec<u64> {
+    let n: u64 = std::env::var("INFUSERKI_DIFF_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    (0..n)
+        .map(|i| base.wrapping_add(1 + i).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+fn base() -> TransformerLm {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    TransformerLm::new(ModelConfig::tiny(VOCAB), &mut rng)
+}
+
+/// Small-knob per-replica config forcing chunked prefill and slot
+/// contention inside every replica, with small paged-KV blocks so short
+/// shared prefixes are already indexable (and hashable for affinity).
+fn tight_cfg(prefill_chunk: usize, max_batch: usize, kv_budget_rows: usize) -> ServeConfig {
+    ServeConfig {
+        prefill_chunk,
+        max_batch,
+        kv_budget_rows,
+        block_rows: 4,
+        prefix_cache: true,
+        queue_capacity: 64,
+        compact_after_retire: true,
+        threads: None,
+    }
+}
+
+fn fleet(replicas: usize, serve: ServeConfig) -> RouterConfig {
+    RouterConfig {
+        replicas,
+        serve,
+        ..RouterConfig::default()
+    }
+}
+
+/// One randomized request mix: mostly generates, a third MCQs.
+fn random_kind(rng: &mut ChaCha8Rng) -> RequestKind {
+    if rng.gen_range(0..3) < 2 {
+        let plen = rng.gen_range(1..9);
+        let prompt: Vec<usize> = (0..plen).map(|_| rng.gen_range(0..VOCAB)).collect();
+        let eos = if rng.gen_range(0..3) == 0 {
+            Some(0)
+        } else {
+            None
+        };
+        RequestKind::Generate(GenerateSpec::greedy(prompt, rng.gen_range(1..9), eos))
+    } else {
+        let plen = rng.gen_range(1..7);
+        let prompt: Vec<usize> = (0..plen).map(|_| rng.gen_range(0..VOCAB)).collect();
+        let n_opts = rng.gen_range(2..5);
+        let options: Vec<Vec<usize>> = (0..n_opts)
+            .map(|_| {
+                let olen = rng.gen_range(1..5);
+                (0..olen).map(|_| rng.gen_range(0..VOCAB)).collect()
+            })
+            .collect();
+        RequestKind::Mcq(McqSpec { prompt, options })
+    }
+}
+
+/// Template-derived request mix: most prompts share a leading chunk with
+/// one of three templates, so both the per-replica radix prefix cache and
+/// the router's affinity hash see repeats.
+fn template_kinds(rng: &mut ChaCha8Rng, n_requests: usize) -> Vec<RequestKind> {
+    let templates: Vec<Vec<usize>> = (0..3)
+        .map(|_| {
+            let len = rng.gen_range(9..14);
+            (0..len).map(|_| rng.gen_range(0..VOCAB)).collect()
+        })
+        .collect();
+    (0..n_requests)
+        .map(|_| {
+            let t = &templates[rng.gen_range(0..templates.len())];
+            let keep = rng.gen_range(t.len() - 3..=t.len());
+            let mut prompt: Vec<usize> = t[..keep].to_vec();
+            for _ in 0..rng.gen_range(0..4) {
+                prompt.push(rng.gen_range(0..VOCAB));
+            }
+            if rng.gen_range(0..3) < 2 {
+                RequestKind::Generate(GenerateSpec::greedy(prompt, rng.gen_range(1..9), None))
+            } else {
+                let options: Vec<Vec<usize>> = (0..rng.gen_range(2..5))
+                    .map(|_| {
+                        let olen = rng.gen_range(1..5);
+                        (0..olen).map(|_| rng.gen_range(0..VOCAB)).collect()
+                    })
+                    .collect();
+                RequestKind::Mcq(McqSpec { prompt, options })
+            }
+        })
+        .collect()
+}
+
+const TENANTS: [Option<&str>; 4] = [None, Some("alpha"), Some("beta"), Some("gamma")];
+
+/// Submits every kind (random tenants keep the fair-share machinery in the
+/// loop), waits for all outcomes, and returns them in submission order.
+fn run_through_router(
+    client: &infuserki::router::RouterClient,
+    rng: &mut ChaCha8Rng,
+    kinds: &[RequestKind],
+) -> Vec<Outcome> {
+    let handles: Vec<PendingResponse> = kinds
+        .iter()
+        .map(|k| {
+            let tenant = TENANTS[rng.gen_range(0..TENANTS.len())];
+            client
+                .submit(k.clone(), SubmitOpts::default(), tenant)
+                .expect("differential submissions are valid")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.wait().expect("router outlives the schedule"))
+        .collect()
+}
+
+/// Every outcome must match the single-request sampler path.
+fn verify(
+    model: &TransformerLm,
+    kinds: &[RequestKind],
+    outcomes: &[Outcome],
+    bitwise: bool,
+    name: &str,
+) {
+    for (id, (kind, outcome)) in kinds.iter().zip(outcomes).enumerate() {
+        match (kind, outcome) {
+            (RequestKind::Generate(g), Outcome::Generated { tokens }) => {
+                let want = sampler::greedy_decode(model, &NoHook, &g.prompt, g.max_new, g.eos);
+                assert_eq!(*tokens, want, "{name}: request {id} token divergence");
+            }
+            (RequestKind::Mcq(m), Outcome::McqScored { scores, .. }) => {
+                let want = sampler::score_options(model, &NoHook, &m.prompt, &m.options);
+                for (oi, (x, y)) in scores.iter().zip(&want).enumerate() {
+                    if bitwise {
+                        assert!(
+                            x.to_bits() == y.to_bits(),
+                            "{name}: request {id} option {oi}: {x} vs {y} (bitwise)"
+                        );
+                    } else {
+                        assert!(
+                            (x - y).abs() <= 1e-5,
+                            "{name}: request {id} option {oi}: {x} vs {y} (1e-5)"
+                        );
+                    }
+                }
+            }
+            other => panic!("{name}: request {id} kind/outcome mismatch {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn two_replica_router_is_bitwise_under_randomized_mixes() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    // Deep-fuzz extension: each derived seed also derives a batch shape and
+    // replica count, widening coverage past the pinned pair.
+    let fuzz: Vec<(u64, ServeConfig)> = extra_seeds(9100)
+        .into_iter()
+        .map(|seed| {
+            (
+                seed,
+                tight_cfg(1 + (seed % 5) as usize, 2 + (seed % 3) as usize, 256),
+            )
+        })
+        .collect();
+    let pinned = [
+        (2101u64, tight_cfg(2, 3, 256)),
+        (2202, tight_cfg(5, 4, 256)),
+    ];
+    for (seed, cfg) in pinned.into_iter().chain(fuzz) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let kinds: Vec<RequestKind> = (0..16).map(|_| random_kind(&mut rng)).collect();
+        let (client, handle) =
+            spawn_router(fleet(2, cfg), |_| (base(), NoHook)).expect("router spawns");
+        let outcomes = run_through_router(&client, &mut rng, &kinds);
+        verify(&b, &kinds, &outcomes, true, "two-replica");
+        assert_eq!(
+            client.metrics().dispatched.get(),
+            kinds.len() as u64,
+            "every request dispatched exactly once"
+        );
+        // Both replicas must have actually served traffic — otherwise this
+        // differential degenerates to the single-scheduler one.
+        let per_replica: Vec<u64> = (0..2)
+            .map(|i| client.metrics().replica_dispatched[i].get())
+            .collect();
+        assert!(
+            per_replica.iter().all(|&c| c > 0),
+            "seed {seed}: dispatch never spread: {per_replica:?}"
+        );
+        handle.shutdown();
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn three_replica_router_is_bitwise_under_randomized_mixes() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    let mut rng = ChaCha8Rng::seed_from_u64(2303);
+    let kinds: Vec<RequestKind> = (0..18).map(|_| random_kind(&mut rng)).collect();
+    let (client, handle) =
+        spawn_router(fleet(3, tight_cfg(3, 3, 256)), |_| (base(), NoHook)).expect("router spawns");
+    let outcomes = run_through_router(&client, &mut rng, &kinds);
+    verify(&b, &kinds, &outcomes, true, "three-replica");
+    handle.shutdown();
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn template_schedules_route_by_affinity_and_stay_bitwise() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(1);
+    let b = base();
+    for (seed, replicas) in [(2707u64, 2usize), (2808, 3)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let kinds = template_kinds(&mut rng, 18);
+        let (client, handle) =
+            spawn_router(fleet(replicas, tight_cfg(4, 4, 256)), |_| (base(), NoHook))
+                .expect("router spawns");
+        let outcomes = run_through_router(&client, &mut rng, &kinds);
+        verify(&b, &kinds, &outcomes, true, "template");
+        // Shared leading chunks must route by prefix affinity: requests cut
+        // from the same template hash to the same home replica.
+        let hits = client.metrics().affinity_hits.get();
+        assert!(
+            hits > 0,
+            "seed {seed} ({replicas} replicas): template schedule never \
+             dispatched by affinity ({} balanced)",
+            client.metrics().balanced.get()
+        );
+        handle.shutdown();
+    }
+    kernels::set_num_threads(0);
+}
+
+#[test]
+fn router_mcq_scores_close_with_parallel_kernels() {
+    let _g = THREADS.lock().unwrap();
+    kernels::set_num_threads(4);
+    let b = base();
+    let mut rng = ChaCha8Rng::seed_from_u64(2909);
+    let kinds = template_kinds(&mut rng, 14);
+    let (client, handle) =
+        spawn_router(fleet(2, tight_cfg(4, 4, 256)), |_| (base(), NoHook)).expect("router spawns");
+    let outcomes = run_through_router(&client, &mut rng, &kinds);
+    // At four threads only the MCQ score comparison is meaningful (the
+    // row-banded kernels reassociate sums); greedy token streams are
+    // checked in the serial tests above.
+    for (id, (kind, outcome)) in kinds.iter().zip(&outcomes).enumerate() {
+        if let (RequestKind::Mcq(m), Outcome::McqScored { scores, .. }) = (kind, outcome) {
+            let want = sampler::score_options(&b, &NoHook, &m.prompt, &m.options);
+            for (oi, (x, y)) in scores.iter().zip(&want).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-5,
+                    "request {id} option {oi}: {x} vs {y} (threads 4)"
+                );
+            }
+        }
+    }
+    handle.shutdown();
+    kernels::set_num_threads(0);
+}

@@ -32,6 +32,19 @@ const VOCAB: usize = 40;
 
 static THREADS: Mutex<()> = Mutex::new(());
 
+/// Extra randomized seeds for deep-fuzz runs: `INFUSERKI_DIFF_SEEDS=N`
+/// appends N derived seeds to the pinned schedules (default 0 keeps the
+/// tier-1 runtime flat; the weekly deep-fuzz workflow raises it ~10×).
+fn extra_seeds(base: u64) -> Vec<u64> {
+    let n: u64 = std::env::var("INFUSERKI_DIFF_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    (0..n)
+        .map(|i| base.wrapping_add(1 + i).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
 fn base() -> TransformerLm {
     let mut rng = ChaCha8Rng::seed_from_u64(21);
     TransformerLm::new(ModelConfig::tiny(VOCAB), &mut rng)
@@ -313,6 +326,18 @@ fn scheduler_is_bitwise_under_randomized_schedules() {
     ] {
         let result = run_schedule(&b, &infuserki::nn::NoHook, seed, cfg, 12);
         verify(&b, &infuserki::nn::NoHook, &result, true, "nohook");
+    }
+    // Deep-fuzz extension: each derived seed also derives a batch shape, so
+    // a wide sweep covers chunk/batch/budget combinations the pinned trio
+    // cannot.
+    for seed in extra_seeds(9000) {
+        let cfg = tight_cfg(
+            1 + (seed % 5) as usize,
+            2 + (seed % 3) as usize,
+            if seed % 2 == 0 { 256 } else { 96 },
+        );
+        let result = run_schedule(&b, &infuserki::nn::NoHook, seed, cfg, 12);
+        verify(&b, &infuserki::nn::NoHook, &result, true, "nohook-fuzz");
     }
     kernels::set_num_threads(0);
 }
